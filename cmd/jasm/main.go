@@ -1,0 +1,128 @@
+// Command jasm assembles the textual class format (see internal/jasm)
+// into class archives, or runs an assembled program directly on the
+// simulated JVM.
+//
+// Usage:
+//
+//	jasm -o out.gjar prog.jasm              # assemble to an archive
+//	jasm -disasm out.gjar                   # archive back to jasm source
+//	jasm -run -main 'demo/Sum.main(I)J' -args 10 prog.jasm
+//
+// The -run form executes pure-bytecode programs; programs with native
+// methods need a host that registers their libraries (see cmd/jprof for
+// the benchmark suite).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/classfile"
+	"repro/internal/jasm"
+	"repro/internal/vm"
+)
+
+func main() {
+	out := flag.String("o", "", "output archive path (assemble mode)")
+	run := flag.Bool("run", false, "run the program instead of assembling")
+	disasm := flag.Bool("disasm", false, "treat the input as a class archive and print jasm source")
+	mainSym := flag.String("main", "", "entry point as Class.name(Desc), run mode")
+	argList := flag.String("args", "", "comma-separated integer arguments, run mode")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: jasm [-o out.gjar | -run -main Class.m(D)R [-args 1,2]] <file.jasm>")
+		os.Exit(2)
+	}
+	if *disasm {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		classes, err := classfile.ReadArchive(f)
+		if err != nil {
+			fatal(err)
+		}
+		text, err := jasm.Print(classes)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(text)
+		return
+	}
+
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	classes, err := jasm.Parse(string(src))
+	if err != nil {
+		fatal(err)
+	}
+
+	if *run {
+		class, method, desc, err := splitMain(*mainSym)
+		if err != nil {
+			fatal(err)
+		}
+		var args []int64
+		if *argList != "" {
+			for _, s := range strings.Split(*argList, ",") {
+				v, err := strconv.ParseInt(strings.TrimSpace(s), 0, 64)
+				if err != nil {
+					fatal(fmt.Errorf("bad argument %q", s))
+				}
+				args = append(args, v)
+			}
+		}
+		v := vm.New(vm.DefaultOptions())
+		if err := v.LoadClasses(classes); err != nil {
+			fatal(err)
+		}
+		res, err := v.Run(class, method, desc, args...)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("result: %d (%d cycles, %d instructions)\n",
+			res, v.TotalCycles(), v.InstructionsExecuted())
+		return
+	}
+
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "jasm: -o or -run required")
+		os.Exit(2)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := classfile.WriteArchive(f, classes); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "jasm: wrote %d class(es) to %s\n", len(classes), *out)
+}
+
+func splitMain(sym string) (class, method, desc string, err error) {
+	if sym == "" {
+		return "", "", "", fmt.Errorf("jasm: -run requires -main Class.name(Desc)")
+	}
+	open := strings.IndexByte(sym, '(')
+	if open < 0 {
+		return "", "", "", fmt.Errorf("jasm: -main %q needs a descriptor", sym)
+	}
+	head := sym[:open]
+	dot := strings.LastIndexByte(head, '.')
+	if dot < 0 {
+		return "", "", "", fmt.Errorf("jasm: -main %q must be Class.name(Desc)", sym)
+	}
+	return head[:dot], head[dot+1:], sym[open:], nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "jasm:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,75 @@
+// Command jinstr is the static bytecode instrumenter of Section IV as a
+// standalone tool: it reads a class archive, wraps every native method
+// with the Figure 2 transition-signalling wrapper, renames the natives
+// with the configured prefix, and writes the rewritten archive — the
+// workflow the paper applies to application jars and to the JDK's rt.jar.
+//
+// Usage:
+//
+//	jinstr [-prefix P] [-runtime C] -in app.gjar -out app-instr.gjar
+//	jinstr -emit-runtime -out runtime.gjar
+//
+// -emit-runtime writes an archive holding only the IPA runtime support
+// class, for loading alongside instrumented code.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/classfile"
+	"repro/internal/instrument"
+)
+
+func main() {
+	prefix := flag.String("prefix", instrument.DefaultPrefix, "native-method prefix")
+	runtime := flag.String("runtime", instrument.DefaultRuntimeClass, "transition-signal runtime class")
+	in := flag.String("in", "", "input class archive")
+	out := flag.String("out", "", "output class archive")
+	emitRuntime := flag.Bool("emit-runtime", false, "write the runtime support class archive and exit")
+	flag.Parse()
+
+	cfg := instrument.Config{Prefix: *prefix, RuntimeClass: *runtime}
+
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "jinstr: -out is required")
+		os.Exit(2)
+	}
+	outF, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer outF.Close()
+
+	if *emitRuntime {
+		if err := classfile.WriteArchive(outF, []*classfile.Class{instrument.RuntimeClassDef(cfg)}); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "jinstr: wrote runtime class %s to %s\n", cfg.RuntimeClass, *out)
+		return
+	}
+
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "jinstr: -in is required (or use -emit-runtime)")
+		os.Exit(2)
+	}
+	inF, err := os.Open(*in)
+	if err != nil {
+		fatal(err)
+	}
+	defer inF.Close()
+
+	st, err := instrument.Archive(inF, outF, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr,
+		"jinstr: scanned %d classes, rewrote %d, wrapped %d native methods, skipped %d\n",
+		st.ClassesScanned, st.ClassesChanged, st.MethodsWrapped, st.Skipped)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "jinstr:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,130 @@
+// Command jprof profiles a suite benchmark with one of the paper's agents
+// and prints the resulting report — the command-line face of the system,
+// analogous to running a JVM with -agentlib:spa or -agentlib:ipa.
+//
+// Usage:
+//
+//	jprof [-agent spa|ipa|chains|sampler|bic|none] [-scale K] [-list] <benchmark>
+//
+// With -agent none the benchmark runs uninstrumented and only the
+// engine's ground-truth attribution is printed. The chains agent
+// additionally prints the hottest mixed Java/native call chains; the
+// sampler agent demonstrates the related-work PC-sampling baseline.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/agents/bic"
+	"repro/internal/agents/chains"
+	"repro/internal/agents/ipa"
+	"repro/internal/agents/sampler"
+	"repro/internal/agents/spa"
+	"repro/internal/core"
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+func main() {
+	agentName := flag.String("agent", "ipa", "profiling agent: spa, ipa, chains, sampler, bic or none")
+	scale := flag.Int("scale", 1, "iteration divisor (1 = full calibrated size)")
+	list := flag.Bool("list", false, "list available benchmarks and exit")
+	asJSON := flag.Bool("json", false, "emit the result as JSON")
+	perMethod := flag.Bool("permethod", false, "with -agent ipa: per-native-method breakdown")
+	flag.Parse()
+
+	if *list {
+		for _, n := range workloads.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: jprof [-agent spa|ipa|none] [-scale K] <benchmark>")
+		os.Exit(2)
+	}
+	b, err := workloads.ByName(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := workloads.Build(b.Spec.Scale(*scale))
+	if err != nil {
+		fatal(err)
+	}
+
+	opts := vm.DefaultOptions()
+	var agent core.Agent
+	var chainAgent *chains.Agent
+	var ipaAgent *ipa.Agent
+	var bicAgent *bic.Agent
+	switch *agentName {
+	case "spa":
+		agent = spa.New()
+	case "ipa":
+		ipaAgent = ipa.NewWithConfig(ipa.Config{Compensate: true, PerMethod: *perMethod})
+		agent = ipaAgent
+	case "chains":
+		chainAgent = chains.New()
+		agent = chainAgent
+	case "sampler":
+		opts.SampleInterval = 2000
+		opts.SampleCost = 20
+		agent = sampler.New()
+	case "bic":
+		bicAgent = bic.New()
+		agent = bicAgent
+	case "none":
+	default:
+		fatal(fmt.Errorf("unknown agent %q", *agentName))
+	}
+
+	res, err := core.Run(prog, agent, opts)
+	if err != nil {
+		fatal(err)
+	}
+	if *asJSON {
+		if err := res.WriteJSON(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	fmt.Printf("benchmark %s: %d cycles, %d threads, %d JIT-compiled methods\n",
+		res.Program, res.TotalCycles, res.Threads, res.JITCompiled)
+	if res.Ops > 0 {
+		fmt.Printf("throughput: %.1f ops/Mcycles\n", res.Throughput())
+	}
+	fmt.Printf("ground truth: %.2f%% native (bytecode=%d native=%d overhead=%d cycles)\n",
+		res.Truth.NativeFraction()*100, res.Truth.BytecodeCycles,
+		res.Truth.NativeCycles, res.Truth.OverheadCycles)
+	fmt.Printf("ground truth counts: %d native method calls, %d JNI calls\n",
+		res.Truth.NativeMethodCalls, res.Truth.JNICalls)
+	if res.Report != nil {
+		fmt.Println()
+		fmt.Print(res.Report.String())
+	}
+	if chainAgent != nil {
+		fmt.Println()
+		fmt.Println("hottest call chains:")
+		fmt.Print(chainAgent.RenderTop(10))
+	}
+	if bicAgent != nil {
+		fmt.Println()
+		fmt.Printf("bytecode instructions executed: %d (over %d basic-block entries)\n",
+			bicAgent.Instructions(), bicAgent.Blocks())
+		fmt.Println("note: an instruction counter reports nothing about native time.")
+	}
+	if ipaAgent != nil && *perMethod {
+		fmt.Println()
+		fmt.Println("per-native-method breakdown:")
+		for _, mt := range ipaAgent.MethodTimes() {
+			fmt.Printf("  %-40s %10d calls %14d cycles\n", mt.Name, mt.Calls, mt.Cycles)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "jprof:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,95 @@
+// Command jvmsim runs a suite benchmark on the bare simulated JVM — no
+// profiling agent — and prints execution statistics, or disassembles the
+// generated classes with -dump.
+//
+// Usage:
+//
+//	jvmsim [-scale K] [-dump|-metrics] <benchmark>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bytecode"
+	"repro/internal/core"
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+func main() {
+	scale := flag.Int("scale", 1, "iteration divisor")
+	dump := flag.Bool("dump", false, "disassemble the generated classes instead of running")
+	metrics := flag.Bool("metrics", false, "print static instruction-mix metrics instead of running")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: jvmsim [-scale K] [-dump] <benchmark>")
+		os.Exit(2)
+	}
+	b, err := workloads.ByName(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := workloads.Build(b.Spec.Scale(*scale))
+	if err != nil {
+		fatal(err)
+	}
+
+	if *metrics {
+		total := make(bytecode.Histogram)
+		for _, c := range prog.Classes {
+			cm, err := bytecode.AnalyzeClass(c)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("class %s: %d methods (%d native), %d instructions, %d basic blocks\n",
+				cm.Name, cm.Methods, cm.NativeMethods, cm.Instructions, cm.BasicBlocks)
+			h, err := bytecode.ClassHistogram(c)
+			if err != nil {
+				fatal(err)
+			}
+			total.Add(h)
+		}
+		fmt.Println("instruction mix:")
+		fmt.Print(total.String())
+		return
+	}
+
+	if *dump {
+		for _, c := range prog.Classes {
+			fmt.Printf("class %s (source %s)\n", c.Name, c.SourceFile)
+			for _, m := range c.Methods {
+				fmt.Printf(" method %s%s flags=%#x maxStack=%d maxLocals=%d\n",
+					m.Name, m.Desc, m.Flags, m.MaxStack, m.MaxLocals)
+				text, err := bytecode.Disassemble(m)
+				if err != nil {
+					fatal(err)
+				}
+				fmt.Print(text)
+			}
+		}
+		return
+	}
+
+	res, err := core.Run(prog, nil, vm.DefaultOptions())
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("benchmark %s\n", res.Program)
+	fmt.Printf("  main result:       %d\n", res.MainResult)
+	fmt.Printf("  total cycles:      %d\n", res.TotalCycles)
+	fmt.Printf("  threads:           %d\n", res.Threads)
+	fmt.Printf("  JIT compiled:      %d methods\n", res.JITCompiled)
+	fmt.Printf("  native fraction:   %.2f%%\n", res.Truth.NativeFraction()*100)
+	fmt.Printf("  native calls:      %d\n", res.Truth.NativeMethodCalls)
+	fmt.Printf("  JNI calls:         %d\n", res.Truth.JNICalls)
+	if res.Ops > 0 {
+		fmt.Printf("  throughput:        %.1f ops/Mcycles\n", res.Throughput())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "jvmsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,93 @@
+// Command tables regenerates the paper's evaluation tables on the
+// simulated JVM: Table I (execution time and profiling overhead for SPA
+// and IPA) and Table II (profiling statistics produced by IPA).
+//
+// Usage:
+//
+//	tables [-table 1|2|all] [-runs N] [-scale K]
+//
+// -runs is the median-of-N repetition count (the paper uses 15; the
+// simulator is deterministic, so 1 gives identical numbers faster).
+// -scale divides every benchmark's iteration count; 1 is the calibrated
+// full size.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	table := flag.String("table", "all", "which table to regenerate: 1, 2 or all")
+	runs := flag.Int("runs", 1, "repetitions per measurement (median reported)")
+	scale := flag.Int("scale", 1, "iteration divisor (1 = full calibrated size)")
+	markdown := flag.Bool("markdown", false, "emit the full campaign as a Markdown report")
+	verify := flag.Bool("verify", false, "verify the paper's qualitative claims and exit non-zero on failure")
+	flag.Parse()
+
+	cfg := harness.DefaultConfig()
+	cfg.Runs = *runs
+	cfg.Scale = *scale
+
+	if *verify {
+		rep, err := harness.VerifyShape(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(rep.String())
+		if !rep.OK() {
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *markdown {
+		rows1, err := harness.TableI(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		geo, err := harness.GeoMeanRow(rows1)
+		if err != nil {
+			fatal(err)
+		}
+		rows2, err := harness.TableII(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		if err := harness.WriteMarkdown(os.Stdout, rows1, geo, rows2); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if *table == "1" || *table == "all" {
+		rows, err := harness.TableI(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		geo, err := harness.GeoMeanRow(rows)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(harness.RenderTableI(rows, geo))
+		fmt.Println()
+	}
+	if *table == "2" || *table == "all" {
+		rows, err := harness.TableII(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(harness.RenderTableII(rows))
+	}
+	if *table != "1" && *table != "2" && *table != "all" {
+		fatal(fmt.Errorf("unknown -table %q (want 1, 2 or all)", *table))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tables:", err)
+	os.Exit(1)
+}

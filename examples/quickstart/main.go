@@ -1,0 +1,130 @@
+// Quickstart: build a tiny program for the simulated JVM by hand, attach
+// the Improved Profiling Agent (IPA), run it, and read the report.
+//
+// The program is the "hello world" of native-code profiling: a Java main
+// loop that calls a native checksum routine, which occasionally calls back
+// into Java through JNI.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/agents/ipa"
+	"repro/internal/bytecode"
+	"repro/internal/classfile"
+	"repro/internal/core"
+	"repro/internal/vm"
+)
+
+const className = "demo/Checksum"
+
+// buildClass assembles the demo class:
+//
+//	public class Checksum {
+//	    static long main(int rounds) {
+//	        long h = 0;
+//	        for (int i = 0; i < rounds; i++) h = mix(checksum(h));
+//	        return h;
+//	    }
+//	    static long mix(long h) { return h*31 + 7; }
+//	    static native long checksum(long h);   // implemented in "C"
+//	}
+func buildClass() (*classfile.Class, error) {
+	// main(I)J — locals: 0=rounds, 1=i, 2=h
+	a := bytecode.NewAssembler()
+	a.Const(0)
+	a.Store(2)
+	a.Const(0)
+	a.Store(1)
+	top := a.NewLabel()
+	end := a.NewLabel()
+	a.Bind(top)
+	a.Load(1)
+	a.Load(0)
+	a.IfCmpge(end)
+	a.Load(2)
+	a.InvokeStatic(className, "checksum", "(J)J")
+	a.InvokeStatic(className, "mix", "(J)J")
+	a.Store(2)
+	a.Inc(1, 1)
+	a.Goto(top)
+	a.Bind(end)
+	a.Load(2)
+	a.IReturn()
+	mainM, err := a.FinishMethod("main", "(I)J", classfile.AccPublic|classfile.AccStatic, 3, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	// mix(J)J
+	m := bytecode.NewAssembler()
+	m.Load(0)
+	m.Const(31)
+	m.Mul()
+	m.Const(7)
+	m.Add()
+	m.IReturn()
+	mixM, err := m.FinishMethod("mix", "(J)J", classfile.AccPublic|classfile.AccStatic, 1, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	return &classfile.Class{
+		Name:       className,
+		SourceFile: "Checksum.java",
+		Methods: []*classfile.Method{
+			mainM,
+			mixM,
+			{Name: "checksum", Desc: "(J)J",
+				Flags: classfile.AccPublic | classfile.AccStatic | classfile.AccNative},
+		},
+	}, nil
+}
+
+func main() {
+	cls, err := buildClass()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The native library: checksum does 400 cycles of native work and
+	// every 16th call consults Java again via JNI.
+	var calls int
+	lib := vm.NativeLibrary{
+		Name: "checksum-native",
+		Funcs: map[string]vm.NativeFunc{
+			className + ".checksum(J)J": func(env vm.Env, args []int64) (int64, error) {
+				env.Work(400)
+				calls++
+				if calls%16 == 0 {
+					return env.CallStatic(className, "mix", "(J)J", args[0])
+				}
+				return args[0] ^ 0x5DEECE66D, nil
+			},
+		},
+	}
+
+	prog := &core.Program{
+		Name:      "quickstart",
+		Classes:   []*classfile.Class{cls},
+		Libraries: []vm.NativeLibrary{lib},
+		MainClass: className, MainName: "main", MainDesc: "(I)J",
+		Args: []int64{2000},
+	}
+
+	res, err := core.Run(prog, ipa.New(), vm.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("ran %s: result=%d, %d cycles on %d thread(s)\n",
+		res.Program, res.MainResult, res.TotalCycles, res.Threads)
+	fmt.Println()
+	fmt.Print(res.Report.String())
+	fmt.Println()
+	fmt.Printf("engine ground truth: %.2f%% native\n", res.Truth.NativeFraction()*100)
+	fmt.Printf("IPA measured:        %.2f%% native\n", res.Report.NativeFraction()*100)
+}

@@ -1,0 +1,145 @@
+// Package bic implements a Bytecode Instruction Counting profiler — the
+// class of portable, bytecode-instrumentation-based tool the paper builds
+// on and cites as its own lineage (reference [1]: "A portable and
+// customizable profiling framework for Java based on bytecode instruction
+// counting"). Such tools insert counter updates at basic-block entries,
+// giving exact platform-independent instruction counts with moderate
+// overhead — and no visibility whatsoever into native code, which is
+// precisely the blind spot the paper's IPA quantifies.
+//
+// The agent uses the bytecode rewriter (bytecode.InstrumentBlocks) to add
+// two static counter fields to every application class and bump them at
+// every basic-block entry with pure bytecode (getstatic/add/putstatic) —
+// no native calls, no JVMTI events, no timestamps. Totals are read from
+// the class statics at VMDeath.
+package bic
+
+import (
+	"fmt"
+
+	"repro/internal/bytecode"
+	"repro/internal/classfile"
+	"repro/internal/core"
+	"repro/internal/jvmti"
+)
+
+// Counter field names added to each instrumented class. The $$ names
+// cannot collide with source-level identifiers.
+const (
+	InstrField = "$$bic$$instr"
+	BlockField = "$$bic$$blocks"
+)
+
+// Agent is the instruction-counting profiler.
+type Agent struct {
+	env *jvmti.Env
+	// classes records the instrumented class names for the final sweep.
+	classes []string
+
+	instructions uint64
+	blocks       uint64
+	collected    bool
+}
+
+// New returns an unattached instruction-counting agent.
+func New() *Agent {
+	return &Agent{}
+}
+
+// Name implements core.Agent.
+func (a *Agent) Name() string { return "BIC" }
+
+// PrepareClasses adds the counter fields and block-entry counter bumps to
+// every class. The injected code is pure bytecode:
+//
+//	getstatic $$bic$$instr; const <blockLen>; add; putstatic $$bic$$instr
+//	getstatic $$bic$$blocks; const 1; add; putstatic $$bic$$blocks
+func (a *Agent) PrepareClasses(classes []*classfile.Class) ([]*classfile.Class, error) {
+	var out []*classfile.Class
+	for _, c := range classes {
+		rewritten, err := a.instrumentClass(c)
+		if err != nil {
+			return nil, fmt.Errorf("bic: %s: %w", c.Name, err)
+		}
+		out = append(out, rewritten)
+	}
+	return out, nil
+}
+
+func (a *Agent) instrumentClass(c *classfile.Class) (*classfile.Class, error) {
+	out := c.Clone()
+	out.Fields = append(out.Fields,
+		&classfile.Field{Name: InstrField, Flags: classfile.AccStatic},
+		&classfile.Field{Name: BlockField, Flags: classfile.AccStatic},
+	)
+	className := out.Name
+	for i, m := range out.Methods {
+		rewritten, err := bytecode.InstrumentBlocks(m, func(as *bytecode.Assembler, count int) {
+			as.GetStatic(className, InstrField)
+			as.Const(int64(count))
+			as.Add()
+			as.PutStatic(className, InstrField)
+			as.GetStatic(className, BlockField)
+			as.Const(1)
+			as.Add()
+			as.PutStatic(className, BlockField)
+		})
+		if err != nil {
+			return nil, err
+		}
+		out.Methods[i] = rewritten
+	}
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	a.classes = append(a.classes, className)
+	return out, nil
+}
+
+// OnLoad enables only VMDeath: the agent is entirely passive at runtime —
+// all counting happens in rewritten application bytecode.
+func (a *Agent) OnLoad(env *jvmti.Env) error {
+	a.env = env
+	env.SetEventCallbacks(jvmti.Callbacks{
+		VMDeath: func(e *jvmti.Env) { a.collect() },
+	})
+	return env.SetEventNotificationMode(true, jvmti.EventVMDeath)
+}
+
+// collect sweeps the counter statics of every instrumented class.
+func (a *Agent) collect() {
+	if a.collected {
+		return
+	}
+	a.collected = true
+	for _, name := range a.classes {
+		cls, err := a.env.VM().Class(name)
+		if err != nil {
+			continue // class was never loaded
+		}
+		if p := cls.Static(InstrField); p != nil {
+			a.instructions += uint64(*p)
+		}
+		if p := cls.Static(BlockField); p != nil {
+			a.blocks += uint64(*p)
+		}
+	}
+}
+
+// Instructions returns the counted application bytecode instructions.
+func (a *Agent) Instructions() uint64 { return a.instructions }
+
+// Blocks returns the number of basic-block entries counted.
+func (a *Agent) Blocks() uint64 { return a.blocks }
+
+// Report implements core.Agent. An instruction counter has no notion of
+// cycles, native time, or JNI transitions; the report carries the
+// instruction count in the bytecode column and zeros elsewhere — the
+// "only meaningful insofar as the measured application does not spend
+// significant time in native code" caveat of Section I, in data form.
+func (a *Agent) Report() *core.Report {
+	return &core.Report{
+		AgentName:           a.Name(),
+		TotalBytecodeCycles: a.instructions, // instruction count, not cycles
+	}
+}

@@ -1,0 +1,316 @@
+// Package chains implements the extension sketched in the paper's
+// conclusion: "tracking complete call chains including a mix of Java and
+// native methods ... this would not be possible with current profilers,
+// since they are either Java-only or system-specific, and are therefore
+// not aware of the frames of both Java and native C-language execution
+// stacks."
+//
+// The agent reifies each thread's full execution stack — Java and native
+// frames interleaved — from the MethodEntry/MethodExit events, and
+// attributes exclusive cycle time to every distinct mixed chain. Like SPA
+// it pays the method-event price (JIT disabled, dispatch per event), so it
+// is a debugging and analysis tool rather than a low-perturbation profiler;
+// the paper positions the capability the same way.
+package chains
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/classfile"
+	"repro/internal/core"
+	"repro/internal/jvmti"
+	"repro/internal/vm"
+)
+
+// HandlerCost models the per-event cost of the chain-tracking handler.
+const HandlerCost = 450
+
+// frame is one reified stack entry.
+type frame struct {
+	name   string
+	native bool
+}
+
+// ChainStat aggregates one distinct mixed call chain.
+type ChainStat struct {
+	// Chain is the rendered chain, root first, native frames marked with
+	// a trailing '*', e.g. "main > nwork* > callback".
+	Chain string
+	// Calls is how many times the chain was entered (its leaf invoked
+	// with exactly this stack).
+	Calls uint64
+	// ExclusiveCycles is time spent with exactly this chain on the
+	// stack (leaf running, no deeper call).
+	ExclusiveCycles uint64
+	// Mixed is true if the chain contains both Java and native frames.
+	Mixed bool
+	// Depth is the number of frames.
+	Depth int
+}
+
+// threadState is the per-thread reified stack plus timing.
+type threadState struct {
+	stack     []frame
+	lastStamp uint64
+	chains    map[string]*ChainStat
+}
+
+// Agent tracks mixed Java/native call chains.
+type Agent struct {
+	// HandlerCost overrides the per-event handler cost when set.
+	HandlerCost uint64
+	// MaxDepth bounds the rendered chain depth; deeper frames fold into
+	// a "..." prefix. Zero means unbounded.
+	MaxDepth int
+
+	env     *jvmti.Env
+	monitor *jvmti.RawMonitor
+	merged  map[string]*ChainStat
+
+	totalBytecode uint64
+	totalNative   uint64
+	nativeCalls   uint64
+	perThread     []core.ThreadStats
+}
+
+// New returns an unattached chain-tracking agent.
+func New() *Agent {
+	return &Agent{HandlerCost: HandlerCost, merged: make(map[string]*ChainStat)}
+}
+
+// Name implements core.Agent.
+func (a *Agent) Name() string { return "CHAINS" }
+
+// PrepareClasses implements core.Agent; no instrumentation is needed.
+func (a *Agent) PrepareClasses(classes []*classfile.Class) ([]*classfile.Class, error) {
+	return classes, nil
+}
+
+// OnLoad attaches the agent: method events plus thread events.
+func (a *Agent) OnLoad(env *jvmti.Env) error {
+	a.env = env
+	a.monitor = env.CreateRawMonitor("CHAINS-stats")
+	env.AddCapabilities(jvmti.Capabilities{
+		CanGenerateMethodEntryEvents: true,
+		CanGenerateMethodExitEvents:  true,
+	})
+	env.SetEventCallbacks(jvmti.Callbacks{
+		ThreadStart: a.threadStart,
+		ThreadEnd:   a.threadEnd,
+		MethodEntry: a.methodEntry,
+		MethodExit:  a.methodExit,
+	})
+	for _, ev := range []jvmti.Event{
+		jvmti.EventThreadStart, jvmti.EventThreadEnd,
+		jvmti.EventMethodEntry, jvmti.EventMethodExit,
+		jvmti.EventVMDeath,
+	} {
+		if err := env.SetEventNotificationMode(true, ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (a *Agent) work(t *vm.Thread) {
+	if a.HandlerCost > 0 {
+		t.AdvanceCycles(a.HandlerCost)
+	}
+}
+
+func (a *Agent) state(t *vm.Thread) *threadState {
+	if s, ok := a.env.GetThreadLocalStorage(t).(*threadState); ok {
+		return s
+	}
+	s := &threadState{
+		lastStamp: a.env.Timestamp(t),
+		chains:    make(map[string]*ChainStat),
+	}
+	a.env.SetThreadLocalStorage(t, s)
+	return s
+}
+
+func (a *Agent) threadStart(env *jvmti.Env, t *vm.Thread) {
+	a.work(t)
+	env.SetThreadLocalStorage(t, &threadState{
+		lastStamp: env.Timestamp(t),
+		chains:    make(map[string]*ChainStat),
+	})
+}
+
+// charge books the elapsed interval to the chain currently on top.
+func (a *Agent) charge(t *vm.Thread, s *threadState) {
+	now := a.env.Timestamp(t)
+	delta := now - s.lastStamp
+	s.lastStamp = now
+	if len(s.stack) == 0 || delta == 0 {
+		return
+	}
+	key := a.render(s.stack)
+	cs, ok := s.chains[key]
+	if !ok {
+		cs = &ChainStat{
+			Chain: key,
+			Mixed: isMixed(s.stack),
+			Depth: len(s.stack),
+		}
+		s.chains[key] = cs
+	}
+	cs.ExclusiveCycles += delta
+}
+
+func (a *Agent) methodEntry(env *jvmti.Env, t *vm.Thread, m *vm.Method) {
+	a.work(t)
+	s := a.state(t)
+	a.charge(t, s) // close the caller chain's interval
+	s.stack = append(s.stack, frame{name: m.Name(), native: m.IsNative()})
+	key := a.render(s.stack)
+	cs, ok := s.chains[key]
+	if !ok {
+		cs = &ChainStat{Chain: key, Mixed: isMixed(s.stack), Depth: len(s.stack)}
+		s.chains[key] = cs
+	}
+	cs.Calls++
+}
+
+func (a *Agent) methodExit(env *jvmti.Env, t *vm.Thread, m *vm.Method) {
+	a.work(t)
+	s := a.state(t)
+	a.charge(t, s) // close the leaving chain's interval
+	if n := len(s.stack); n > 0 {
+		s.stack = s.stack[:n-1]
+	}
+}
+
+func (a *Agent) threadEnd(env *jvmti.Env, t *vm.Thread) {
+	a.work(t)
+	s := a.state(t)
+	a.charge(t, s)
+	var bc, nat uint64
+	var natCalls uint64
+	for _, cs := range s.chains {
+		// A chain's exclusive time belongs to its leaf's side.
+		if strings.HasSuffix(cs.Chain, "*") {
+			nat += cs.ExclusiveCycles
+		} else {
+			bc += cs.ExclusiveCycles
+		}
+	}
+	a.monitor.Enter()
+	for key, cs := range s.chains {
+		m, ok := a.merged[key]
+		if !ok {
+			a.merged[key] = &ChainStat{
+				Chain: cs.Chain, Calls: cs.Calls,
+				ExclusiveCycles: cs.ExclusiveCycles,
+				Mixed:           cs.Mixed, Depth: cs.Depth,
+			}
+		} else {
+			m.Calls += cs.Calls
+			m.ExclusiveCycles += cs.ExclusiveCycles
+		}
+		if strings.HasSuffix(cs.Chain, "*") {
+			natCalls += cs.Calls
+		}
+	}
+	a.totalBytecode += bc
+	a.totalNative += nat
+	a.nativeCalls += natCalls
+	a.perThread = append(a.perThread, core.ThreadStats{
+		ThreadID:          t.ID(),
+		Name:              t.Name(),
+		BytecodeCycles:    bc,
+		NativeCycles:      nat,
+		NativeMethodCalls: natCalls,
+	})
+	a.monitor.Exit()
+}
+
+// render builds the chain key, bounded by MaxDepth.
+func (a *Agent) render(stack []frame) string {
+	frames := stack
+	prefix := ""
+	if a.MaxDepth > 0 && len(frames) > a.MaxDepth {
+		frames = frames[len(frames)-a.MaxDepth:]
+		prefix = "... > "
+	}
+	parts := make([]string, len(frames))
+	for i, f := range frames {
+		if f.native {
+			parts[i] = f.name + "*"
+		} else {
+			parts[i] = f.name
+		}
+	}
+	return prefix + strings.Join(parts, " > ")
+}
+
+func isMixed(stack []frame) bool {
+	var sawJava, sawNative bool
+	for _, f := range stack {
+		if f.native {
+			sawNative = true
+		} else {
+			sawJava = true
+		}
+	}
+	return sawJava && sawNative
+}
+
+// Report implements core.Agent.
+func (a *Agent) Report() *core.Report {
+	a.monitor.Enter()
+	defer a.monitor.Exit()
+	return &core.Report{
+		AgentName:           a.Name(),
+		TotalBytecodeCycles: a.totalBytecode,
+		TotalNativeCycles:   a.totalNative,
+		NativeMethodCalls:   a.nativeCalls,
+		PerThread:           append([]core.ThreadStats(nil), a.perThread...),
+	}
+}
+
+// Chains returns every observed chain, hottest (by exclusive cycles)
+// first.
+func (a *Agent) Chains() []ChainStat {
+	a.monitor.Enter()
+	defer a.monitor.Exit()
+	out := make([]ChainStat, 0, len(a.merged))
+	for _, cs := range a.merged {
+		out = append(out, *cs)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ExclusiveCycles != out[j].ExclusiveCycles {
+			return out[i].ExclusiveCycles > out[j].ExclusiveCycles
+		}
+		return out[i].Chain < out[j].Chain
+	})
+	return out
+}
+
+// MixedChains returns only the chains crossing the Java/native boundary —
+// the profile no Java-only or system-only tool can produce.
+func (a *Agent) MixedChains() []ChainStat {
+	var out []ChainStat
+	for _, cs := range a.Chains() {
+		if cs.Mixed {
+			out = append(out, cs)
+		}
+	}
+	return out
+}
+
+// RenderTop formats the n hottest chains.
+func (a *Agent) RenderTop(n int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %12s  %s\n", "cycles", "calls", "chain (native frames marked *)")
+	for i, cs := range a.Chains() {
+		if i >= n {
+			break
+		}
+		fmt.Fprintf(&b, "%-12d %12d  %s\n", cs.ExclusiveCycles, cs.Calls, cs.Chain)
+	}
+	return b.String()
+}

@@ -1,0 +1,242 @@
+package ipa
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+func testSpec() workloads.Spec {
+	return workloads.Spec{
+		Name: "ipa-test", ClassName: "t/IpaTest",
+		OuterIters: 60, CallsPerIter: 3, WorkPerCall: 10,
+		NativeCallsPerIter: 2, NativeWork: 300,
+		JNIEvery: 5, CallbackWork: 5,
+	}
+}
+
+func runWith(t *testing.T, spec workloads.Spec, agent core.Agent, opts vm.Options) *core.RunResult {
+	t.Helper()
+	prog, err := workloads.Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Run(prog, agent, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestIPAProducesReport(t *testing.T) {
+	res := runWith(t, testSpec(), New(), vm.DefaultOptions())
+	r := res.Report
+	if r == nil || r.AgentName != "IPA" {
+		t.Fatalf("report = %+v", r)
+	}
+	if r.TotalBytecodeCycles == 0 || r.TotalNativeCycles == 0 {
+		t.Fatalf("zero components: %+v", r)
+	}
+}
+
+// TestIPACountsExact verifies Table II's count columns: native method
+// calls counted at J2N transitions and JNI calls counted at interception
+// wrappers. Both are exact by construction of the workload.
+func TestIPACountsExact(t *testing.T) {
+	spec := testSpec()
+	res := runWith(t, spec, New(), vm.DefaultOptions())
+	r := res.Report
+	if r.NativeMethodCalls != spec.ExpectedNativeCalls() {
+		t.Fatalf("native calls = %d, want %d", r.NativeMethodCalls, spec.ExpectedNativeCalls())
+	}
+	// JNI calls: callbacks plus the launcher invocation of main.
+	want := spec.ExpectedJNICallbacks() + 1
+	if r.JNICalls != want {
+		t.Fatalf("JNI calls = %d, want %d", r.JNICalls, want)
+	}
+}
+
+// TestIPAModerateOverhead reproduces the second Table I phenomenon: IPA
+// keeps JIT compilation alive and pays only at transitions, so its
+// overhead is on the order of percents, not thousands of percents.
+func TestIPAModerateOverhead(t *testing.T) {
+	spec := testSpec()
+	plain := runWith(t, spec, nil, vm.DefaultOptions())
+	prof := runWith(t, spec, New(), vm.DefaultOptions())
+	overhead := float64(prof.TotalCycles)/float64(plain.TotalCycles) - 1
+	if overhead < 0 {
+		t.Fatalf("negative overhead %.2f%%", overhead*100)
+	}
+	if overhead > 0.60 {
+		t.Fatalf("IPA overhead = %.1f%%, expected moderate (<60%%)", overhead*100)
+	}
+	if prof.JITCompiled == 0 {
+		t.Fatal("JIT disabled under IPA; it must stay enabled")
+	}
+}
+
+// TestIPAAccuracy: with compensation on, IPA's native fraction must track
+// the unperturbed ground truth closely.
+func TestIPAAccuracy(t *testing.T) {
+	spec := testSpec()
+	plain := runWith(t, spec, nil, vm.DefaultOptions())
+	prof := runWith(t, spec, New(), vm.DefaultOptions())
+	truth := plain.Truth.NativeFraction()
+	measured := prof.Report.NativeFraction()
+	if math.Abs(measured-truth) > 0.03 {
+		t.Fatalf("IPA fraction %.4f vs truth %.4f (|diff| > 3pp)", measured, truth)
+	}
+}
+
+// TestIPACompensationImprovesAccuracy is the A2 ablation: turning the
+// wrapper-cost compensation off must move the measurement further from
+// ground truth (the wrappers' own time leaks into the statistics).
+func TestIPACompensationImprovesAccuracy(t *testing.T) {
+	spec := testSpec()
+	truth := runWith(t, spec, nil, vm.DefaultOptions()).Truth.NativeFraction()
+	with := runWith(t, spec, NewWithConfig(Config{Compensate: true}), vm.DefaultOptions())
+	without := runWith(t, spec, NewWithConfig(Config{Compensate: false}), vm.DefaultOptions())
+	errWith := math.Abs(with.Report.NativeFraction() - truth)
+	errWithout := math.Abs(without.Report.NativeFraction() - truth)
+	if errWith > errWithout {
+		t.Fatalf("compensation hurt accuracy: with=%.5f without=%.5f (truth %.5f)",
+			with.Report.NativeFraction(), without.Report.NativeFraction(), truth)
+	}
+}
+
+// TestIPADynamicInstrumentationEquivalent is the A3 ablation: load-time
+// instrumentation through the ClassFileLoadHook must produce the same
+// counts as ahead-of-time instrumentation.
+func TestIPADynamicInstrumentationEquivalent(t *testing.T) {
+	spec := testSpec()
+	static := runWith(t, spec, NewWithConfig(Config{Compensate: true}), vm.DefaultOptions())
+	dynamic := runWith(t, spec, NewWithConfig(Config{Compensate: true, Dynamic: true}), vm.DefaultOptions())
+	if static.Report.NativeMethodCalls != dynamic.Report.NativeMethodCalls {
+		t.Fatalf("native calls differ: static %d dynamic %d",
+			static.Report.NativeMethodCalls, dynamic.Report.NativeMethodCalls)
+	}
+	if static.Report.JNICalls != dynamic.Report.JNICalls {
+		t.Fatalf("JNI calls differ: static %d dynamic %d",
+			static.Report.JNICalls, dynamic.Report.JNICalls)
+	}
+	fs := static.Report.NativeFraction()
+	fd := dynamic.Report.NativeFraction()
+	if math.Abs(fs-fd) > 0.01 {
+		t.Fatalf("fractions diverge: static %.4f dynamic %.4f", fs, fd)
+	}
+}
+
+func TestIPAMultiThreaded(t *testing.T) {
+	spec := testSpec()
+	spec.Threads = 3
+	res := runWith(t, spec, New(), vm.DefaultOptions())
+	r := res.Report
+	if len(r.PerThread) != 3 {
+		t.Fatalf("per-thread entries = %d, want 3", len(r.PerThread))
+	}
+	// IPA also observes the spawn(I)V native helper: +1.
+	if r.NativeMethodCalls != spec.ExpectedNativeCalls()+1 {
+		t.Fatalf("native calls = %d, want %d", r.NativeMethodCalls, spec.ExpectedNativeCalls()+1)
+	}
+	// JNI: callbacks + one launcher call per thread.
+	want := spec.ExpectedJNICallbacks() + 3
+	if r.JNICalls != want {
+		t.Fatalf("JNI calls = %d, want %d", r.JNICalls, want)
+	}
+	var sum uint64
+	for _, ts := range r.PerThread {
+		sum += ts.BytecodeCycles + ts.NativeCycles
+	}
+	if sum != r.TotalCycles() {
+		t.Fatal("per-thread stats do not sum to totals")
+	}
+}
+
+func TestIPAExceptionPathKeepsBalance(t *testing.T) {
+	// A native method that throws: the wrapper's finally must still
+	// signal J2N_End, leaving the context consistent, and subsequent
+	// measurements must be sane. Build a tiny custom workload where the
+	// native kernel throws on every 3rd call and the worker catches
+	// nothing — so we run main with a handler in bytecode? Simplest: the
+	// callback spec is reused and the throw happens in a dedicated run.
+	spec := testSpec()
+	prog, err := workloads.Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replace the native kernel with a throwing version.
+	for sym := range prog.Libraries[0].Funcs {
+		if sym == spec.ClassName+".nwork(J)J" {
+			prog.Libraries[0].Funcs[sym] = func(env vm.Env, args []int64) (int64, error) {
+				env.Work(50)
+				return 0, vm.Throw(7, "native failure")
+			}
+		}
+	}
+	agent := New()
+	_, err = core.Run(prog, agent, vm.DefaultOptions())
+	if err == nil {
+		t.Fatal("expected the thrown error to surface")
+	}
+	if _, ok := vm.AsThrown(err); !ok {
+		t.Fatalf("err = %v, want Thrown", err)
+	}
+	// No report assertions beyond sanity: the run aborted, but the agent
+	// must not have panicked and its counters must be readable.
+	r := agent.Report()
+	if r == nil {
+		t.Fatal("no report after exceptional run")
+	}
+}
+
+func TestIPADeterministic(t *testing.T) {
+	a := runWith(t, testSpec(), New(), vm.DefaultOptions())
+	b := runWith(t, testSpec(), New(), vm.DefaultOptions())
+	if a.Report.TotalBytecodeCycles != b.Report.TotalBytecodeCycles ||
+		a.Report.TotalNativeCycles != b.Report.TotalNativeCycles ||
+		a.Report.JNICalls != b.Report.JNICalls {
+		t.Fatal("IPA reports differ across identical runs")
+	}
+}
+
+// TestIPAFarCheaperThanSPA is the headline Table I comparison.
+func TestIPAFarCheaperThanSPA(t *testing.T) {
+	spec := testSpec()
+	plain := runWith(t, spec, nil, vm.DefaultOptions())
+	ipa := runWith(t, spec, New(), vm.DefaultOptions())
+	ipaOverhead := float64(ipa.TotalCycles)/float64(plain.TotalCycles) - 1
+	// SPA measured separately in its package; assert IPA's absolute bound
+	// here and that JIT stayed on.
+	if ipaOverhead > 0.6 {
+		t.Fatalf("IPA overhead %.1f%% too high", ipaOverhead*100)
+	}
+	if ipa.JITCompiled == 0 {
+		t.Fatal("JIT off under IPA")
+	}
+}
+
+func TestIPAConfigDefaults(t *testing.T) {
+	a := New()
+	cfg := a.Config()
+	if cfg.Prefix == "" || cfg.RuntimeClass == "" || cfg.WrapperCost == 0 {
+		t.Fatalf("defaults not applied: %+v", cfg)
+	}
+	if !cfg.Compensate {
+		t.Fatal("New() must enable compensation (the paper's configuration)")
+	}
+}
+
+func TestIPAFractionBounds(t *testing.T) {
+	for _, nw := range []uint64{1, 100, 10000} {
+		spec := testSpec()
+		spec.NativeWork = nw
+		res := runWith(t, spec, New(), vm.DefaultOptions())
+		f := res.Report.NativeFraction()
+		if f < 0 || f > 1 || math.IsNaN(f) {
+			t.Fatalf("NativeWork=%d: fraction %f out of bounds", nw, f)
+		}
+	}
+}

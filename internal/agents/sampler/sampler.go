@@ -1,0 +1,129 @@
+// Package sampler implements the related-work comparator of Section VI: a
+// PC-sampling profiler in the style of IBM tprof. Such tools "periodically
+// sample the PC, and compare this value to a map of active code modules,
+// such as the native code libraries loaded by a JVM" — cheap and accurate
+// enough for time fractions, but, as the paper stresses, "not able to
+// construct accurate counts of the number or frequency of JNI calls, nor
+// do they have the potential of exposing the details of mixed Java/native
+// call chains."
+//
+// The agent consumes the substrate's sampling tick (a stand-in for the
+// SIGPROF timer) and classifies each tick as bytecode or native. Its
+// Report deliberately leaves the JNI-call and native-method-call columns
+// at zero: that information is structurally unavailable to a sampler,
+// which is exactly the contrast with IPA the benchmarks quantify.
+package sampler
+
+import (
+	"repro/internal/classfile"
+	"repro/internal/core"
+	"repro/internal/cycles"
+	"repro/internal/jvmti"
+	"repro/internal/vm"
+)
+
+// threadCounts accumulates one thread's sample tallies.
+type threadCounts struct {
+	bytecode uint64
+	native   uint64
+	name     string
+	id       cycles.ThreadID
+}
+
+// Agent is the sampling profiler. The VM must be configured with a
+// non-zero Options.SampleInterval; Run in internal/core passes the options
+// through, so callers set it there.
+type Agent struct {
+	env     *jvmti.Env
+	monitor *jvmti.RawMonitor
+
+	totalBytecode uint64
+	totalNative   uint64
+	perThread     []core.ThreadStats
+	live          map[cycles.ThreadID]*threadCounts
+}
+
+// New returns an unattached sampling agent.
+func New() *Agent {
+	return &Agent{live: make(map[cycles.ThreadID]*threadCounts)}
+}
+
+// Name implements core.Agent.
+func (a *Agent) Name() string { return "SAMPLER" }
+
+// PrepareClasses implements core.Agent; sampling needs no instrumentation.
+func (a *Agent) PrepareClasses(classes []*classfile.Class) ([]*classfile.Class, error) {
+	return classes, nil
+}
+
+// OnLoad attaches the agent: sample ticks plus thread lifecycle events.
+func (a *Agent) OnLoad(env *jvmti.Env) error {
+	a.env = env
+	a.monitor = env.CreateRawMonitor("SAMPLER-stats")
+	env.SetEventCallbacks(jvmti.Callbacks{
+		Sample:    a.sample,
+		ThreadEnd: a.threadEnd,
+	})
+	for _, ev := range []jvmti.Event{jvmti.EventSample, jvmti.EventThreadEnd, jvmti.EventVMDeath} {
+		if err := env.SetEventNotificationMode(true, ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (a *Agent) counts(t *vm.Thread) *threadCounts {
+	a.monitor.Enter()
+	defer a.monitor.Exit()
+	tc, ok := a.live[t.ID()]
+	if !ok {
+		tc = &threadCounts{name: t.Name(), id: t.ID()}
+		a.live[t.ID()] = tc
+	}
+	return tc
+}
+
+func (a *Agent) sample(env *jvmti.Env, t *vm.Thread, inNative bool) {
+	tc := a.counts(t)
+	if inNative {
+		tc.native++
+	} else {
+		tc.bytecode++
+	}
+}
+
+func (a *Agent) threadEnd(env *jvmti.Env, t *vm.Thread) {
+	tc := a.counts(t)
+	a.monitor.Enter()
+	a.totalBytecode += tc.bytecode
+	a.totalNative += tc.native
+	a.perThread = append(a.perThread, core.ThreadStats{
+		ThreadID:       tc.id,
+		Name:           tc.name,
+		BytecodeCycles: tc.bytecode, // sample counts, not cycles
+		NativeCycles:   tc.native,
+	})
+	delete(a.live, t.ID())
+	a.monitor.Exit()
+}
+
+// Samples returns the total tick counts classified as bytecode and native.
+func (a *Agent) Samples() (bytecode, native uint64) {
+	a.monitor.Enter()
+	defer a.monitor.Exit()
+	return a.totalBytecode, a.totalNative
+}
+
+// Report implements core.Agent. Cycle fields carry sample counts (the
+// sampler never sees a cycle counter); the JNI and native-method call
+// columns stay zero — a sampler cannot produce them.
+func (a *Agent) Report() *core.Report {
+	a.monitor.Enter()
+	defer a.monitor.Exit()
+	return &core.Report{
+		AgentName:           a.Name(),
+		TotalBytecodeCycles: a.totalBytecode,
+		TotalNativeCycles:   a.totalNative,
+		PerThread:           append([]core.ThreadStats(nil), a.perThread...),
+	}
+}

@@ -1,0 +1,174 @@
+package sampler
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+func testSpec() workloads.Spec {
+	return workloads.Spec{
+		Name: "sampler-test", ClassName: "t/SamplerTest",
+		OuterIters: 300, CallsPerIter: 3, WorkPerCall: 12,
+		NativeCallsPerIter: 2, NativeWork: 220,
+		JNIEvery: 6, CallbackWork: 5,
+	}
+}
+
+func samplingOpts(interval uint64) vm.Options {
+	opts := vm.DefaultOptions()
+	opts.SampleInterval = interval
+	opts.SampleCost = 20
+	return opts
+}
+
+func runSampler(t *testing.T, spec workloads.Spec, interval uint64) (*Agent, *core.RunResult) {
+	t.Helper()
+	prog, err := workloads.Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent := New()
+	res, err := core.Run(prog, agent, samplingOpts(interval))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return agent, res
+}
+
+func TestSamplerCollectsTicks(t *testing.T) {
+	agent, res := runSampler(t, testSpec(), 500)
+	bc, nat := agent.Samples()
+	if bc == 0 || nat == 0 {
+		t.Fatalf("samples bytecode=%d native=%d; want both non-zero", bc, nat)
+	}
+	// Roughly one tick per interval of virtual time.
+	approx := res.TotalCycles / 500
+	total := bc + nat
+	if total < approx/2 || total > approx*2 {
+		t.Fatalf("tick count %d far from expected ~%d", total, approx)
+	}
+}
+
+func TestSamplerEstimatesNativeFraction(t *testing.T) {
+	spec := testSpec()
+	prog, err := workloads.Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := core.Run(prog, nil, vm.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := plain.Truth.NativeFraction()
+	agent, _ := runSampler(t, spec, 200)
+	bc, nat := agent.Samples()
+	est := float64(nat) / float64(bc+nat)
+	// Sampling is statistical: allow a few points of error at this rate.
+	if math.Abs(est-truth) > 0.05 {
+		t.Fatalf("sampler estimate %.4f vs truth %.4f", est, truth)
+	}
+}
+
+func TestSamplerAccuracyImprovesWithRate(t *testing.T) {
+	spec := testSpec()
+	prog, err := workloads.Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := core.Run(prog, nil, vm.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := plain.Truth.NativeFraction()
+	errAt := func(interval uint64) float64 {
+		agent, _ := runSampler(t, spec, interval)
+		bc, nat := agent.Samples()
+		if bc+nat == 0 {
+			return 1
+		}
+		return math.Abs(float64(nat)/float64(bc+nat) - truth)
+	}
+	coarse := errAt(20000)
+	fine := errAt(100)
+	if fine > coarse+0.01 {
+		t.Fatalf("finer sampling less accurate: fine=%.4f coarse=%.4f", fine, coarse)
+	}
+}
+
+// TestSamplerCannotCountTransitions pins the paper's Section VI contrast:
+// a sampling profiler produces no JNI-call or native-method-call counts.
+func TestSamplerCannotCountTransitions(t *testing.T) {
+	_, res := runSampler(t, testSpec(), 500)
+	r := res.Report
+	if r.JNICalls != 0 || r.NativeMethodCalls != 0 {
+		t.Fatalf("sampler reported transition counts (%d, %d); it must not",
+			r.JNICalls, r.NativeMethodCalls)
+	}
+}
+
+func TestSamplerLowOverhead(t *testing.T) {
+	spec := testSpec()
+	prog, err := workloads.Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := core.Run(prog, nil, vm.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sampled := runSampler(t, spec, 2000)
+	overhead := float64(sampled.TotalCycles)/float64(plain.TotalCycles) - 1
+	// SampleCost 20 per 2000 cycles = about 1%.
+	if overhead > 0.05 {
+		t.Fatalf("sampler overhead %.2f%% too high", overhead*100)
+	}
+	if sampled.JITCompiled == 0 {
+		t.Fatal("sampling must not disable JIT")
+	}
+}
+
+func TestSamplerPerThread(t *testing.T) {
+	spec := testSpec()
+	spec.Threads = 3
+	agent, res := runSampler(t, spec, 500)
+	if len(res.Report.PerThread) != 3 {
+		t.Fatalf("per-thread entries = %d, want 3", len(res.Report.PerThread))
+	}
+	bc, nat := agent.Samples()
+	var sum uint64
+	for _, ts := range res.Report.PerThread {
+		sum += ts.BytecodeCycles + ts.NativeCycles
+	}
+	if sum != bc+nat {
+		t.Fatalf("per-thread ticks %d != totals %d", sum, bc+nat)
+	}
+}
+
+func TestSamplerDeterministic(t *testing.T) {
+	a1, _ := runSampler(t, testSpec(), 700)
+	a2, _ := runSampler(t, testSpec(), 700)
+	b1, n1 := a1.Samples()
+	b2, n2 := a2.Samples()
+	if b1 != b2 || n1 != n2 {
+		t.Fatalf("sampler not deterministic: (%d,%d) vs (%d,%d)", b1, n1, b2, n2)
+	}
+}
+
+func TestSamplerNoTicksWithoutInterval(t *testing.T) {
+	prog, err := workloads.Build(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent := New()
+	if _, err := core.Run(prog, agent, vm.DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	bc, nat := agent.Samples()
+	if bc != 0 || nat != 0 {
+		t.Fatalf("ticks delivered without SampleInterval: %d/%d", bc, nat)
+	}
+}

@@ -1,0 +1,221 @@
+package spa
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+func testSpec() workloads.Spec {
+	return workloads.Spec{
+		Name: "spa-test", ClassName: "t/SpaTest",
+		OuterIters: 40, CallsPerIter: 3, WorkPerCall: 10,
+		NativeCallsPerIter: 2, NativeWork: 300,
+		JNIEvery: 5, CallbackWork: 5,
+	}
+}
+
+func runPair(t *testing.T, spec workloads.Spec) (plain, profiled *core.RunResult) {
+	t.Helper()
+	prog, err := workloads.Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err = core.Run(prog, nil, vm.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog2, err := workloads.Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profiled, err = core.Run(prog2, New(), vm.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plain, profiled
+}
+
+func TestSPAProducesReport(t *testing.T) {
+	_, res := runPair(t, testSpec())
+	r := res.Report
+	if r == nil {
+		t.Fatal("no report")
+	}
+	if r.AgentName != "SPA" {
+		t.Fatalf("agent name = %q", r.AgentName)
+	}
+	if r.TotalBytecodeCycles == 0 || r.TotalNativeCycles == 0 {
+		t.Fatalf("report has zero components: %+v", r)
+	}
+	if len(r.PerThread) != 1 {
+		t.Fatalf("per-thread entries = %d, want 1", len(r.PerThread))
+	}
+}
+
+func TestSPACountsNativeCalls(t *testing.T) {
+	spec := testSpec()
+	_, res := runPair(t, spec)
+	if res.Report.NativeMethodCalls != spec.ExpectedNativeCalls() {
+		t.Fatalf("SPA native calls = %d, want %d",
+			res.Report.NativeMethodCalls, spec.ExpectedNativeCalls())
+	}
+}
+
+// TestSPAExcessiveOverhead reproduces the Table I phenomenon: the
+// MethodEntry/MethodExit events prevent JIT compilation and each event
+// costs a dispatch, making SPA orders of magnitude slower. The paper
+// measured 1,527%-41,775%.
+func TestSPAExcessiveOverhead(t *testing.T) {
+	plain, profiled := runPair(t, testSpec())
+	overhead := float64(profiled.TotalCycles)/float64(plain.TotalCycles) - 1
+	if overhead < 10 { // at least 1000%
+		t.Fatalf("SPA overhead = %.0f%%, expected >1000%%", overhead*100)
+	}
+	if profiled.JITCompiled != 0 {
+		t.Fatalf("JIT compiled %d methods under SPA, want 0", profiled.JITCompiled)
+	}
+	if plain.JITCompiled == 0 {
+		t.Fatal("baseline run compiled nothing; calibration broken")
+	}
+}
+
+// TestSPAMeasurementPerturbation: SPA's own machinery inflates the
+// measured native fraction badly compared to the unperturbed ground truth
+// of the plain run — the reason the paper rejects SPA for measurement.
+func TestSPAMeasuredSplitSumsToMeasuredTime(t *testing.T) {
+	_, profiled := runPair(t, testSpec())
+	r := profiled.Report
+	// The agent attributes every measured cycle to exactly one side, so
+	// the two buckets must cover the profiled main thread's full time
+	// (thread 1 is the only worker here).
+	sum := r.TotalBytecodeCycles + r.TotalNativeCycles
+	if sum == 0 || sum > profiled.TotalCycles {
+		t.Fatalf("measured sum %d out of range (total %d)", sum, profiled.TotalCycles)
+	}
+	// Coverage should be nearly complete for the worker thread.
+	if float64(sum) < 0.95*float64(profiled.TotalCycles) {
+		t.Fatalf("measured %d of %d cycles (<95%%)", sum, profiled.TotalCycles)
+	}
+}
+
+// TestSPATransitionAccounting checks the reified-stack bookkeeping: with
+// zero-cost handlers and zero event-dispatch cost, SPA's split must match
+// the engine ground truth exactly at transitions.
+func TestSPATransitionAccountingExact(t *testing.T) {
+	spec := testSpec()
+	prog, err := workloads.Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := vm.DefaultOptions()
+	opts.CostEventDispatch = 0 // perfect, cost-free events
+	agent := New()
+	agent.HandlerCost = 0
+	res, err := core.Run(prog, agent, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := agent.Report()
+	bc, nat := res.Truth.BytecodeCycles, res.Truth.NativeCycles
+	if r.TotalNativeCycles != nat {
+		t.Fatalf("SPA native = %d, ground truth %d", r.TotalNativeCycles, nat)
+	}
+	// The launcher's invocation overhead elapses before SPA's first event
+	// on the bootstrapping thread — the untrackable window Section III
+	// describes — so allow one CostInvoke of slack per thread.
+	slack := opts.CostInvoke
+	if diff := bc - r.TotalBytecodeCycles; diff > slack {
+		t.Fatalf("SPA bytecode = %d, ground truth %d (diff %d > slack %d)",
+			r.TotalBytecodeCycles, bc, diff, slack)
+	}
+}
+
+func TestSPAMultiThreaded(t *testing.T) {
+	spec := testSpec()
+	spec.Threads = 3
+	prog, err := workloads.Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent := New()
+	res, err := core.Run(prog, agent, vm.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.Report
+	if len(r.PerThread) != 3 {
+		t.Fatalf("per-thread entries = %d, want 3", len(r.PerThread))
+	}
+	var sum uint64
+	for _, ts := range r.PerThread {
+		sum += ts.BytecodeCycles + ts.NativeCycles
+	}
+	if sum != r.TotalCycles() {
+		t.Fatal("per-thread stats do not sum to totals")
+	}
+}
+
+// TestSPANativeFractionOrdering: even perturbed, SPA must rank a native-
+// heavy workload above a bytecode-heavy one.
+func TestSPANativeFractionOrdering(t *testing.T) {
+	low := testSpec()
+	low.NativeWork = 10
+	high := testSpec()
+	high.NativeWork = 3000
+	_, lowRes := runPair(t, low)
+	_, highRes := runPair(t, high)
+	if !(highRes.Report.NativeFraction() > lowRes.Report.NativeFraction()) {
+		t.Fatalf("ordering violated: high=%.4f low=%.4f",
+			highRes.Report.NativeFraction(), lowRes.Report.NativeFraction())
+	}
+}
+
+// TestSPADeterministic: identical runs give identical reports.
+func TestSPADeterministic(t *testing.T) {
+	_, a := runPair(t, testSpec())
+	_, b := runPair(t, testSpec())
+	if a.Report.TotalBytecodeCycles != b.Report.TotalBytecodeCycles ||
+		a.Report.TotalNativeCycles != b.Report.TotalNativeCycles {
+		t.Fatal("SPA reports differ across identical runs")
+	}
+}
+
+func TestSPAHandlerCostConfigurable(t *testing.T) {
+	spec := testSpec()
+	run := func(cost uint64) uint64 {
+		prog, err := workloads.Build(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		agent := New()
+		agent.HandlerCost = cost
+		res, err := core.Run(prog, agent, vm.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.TotalCycles
+	}
+	cheap := run(0)
+	dear := run(5000)
+	if dear <= cheap {
+		t.Fatalf("handler cost had no effect: %d vs %d", cheap, dear)
+	}
+}
+
+// Property-flavoured check: the measured native fraction is always within
+// [0,1] and finite.
+func TestSPAFractionBounds(t *testing.T) {
+	for _, nw := range []uint64{0, 1, 100, 10000} {
+		spec := testSpec()
+		spec.NativeWork = nw
+		_, res := runPair(t, spec)
+		f := res.Report.NativeFraction()
+		if f < 0 || f > 1 || math.IsNaN(f) {
+			t.Fatalf("NativeWork=%d: fraction %f out of bounds", nw, f)
+		}
+	}
+}

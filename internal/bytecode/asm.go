@@ -1,0 +1,441 @@
+package bytecode
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/classfile"
+)
+
+// Label marks a not-yet-resolved branch target inside an Assembler.
+type Label int
+
+// Assembler builds a method body instruction by instruction. It tracks the
+// operand-stack depth to compute MaxStack, interns constants and references,
+// and resolves forward branches when Finish is called.
+//
+// The instrumenter (internal/instrument) and the workload generators are the
+// two clients; the assembler plays the role ASM plays in the paper's tool
+// chain.
+type Assembler struct {
+	code     []byte
+	consts   []int64
+	constIdx map[int64]uint16
+	refs     []classfile.Ref
+	refIdx   map[string]uint16
+
+	labels  []int // label -> code offset, -1 while unbound
+	patches []patch
+
+	depth    int
+	maxDepth int
+	// depthAt remembers the stack depth recorded for each bound label so
+	// branches merging into it can be checked.
+	depthAt map[Label]int
+
+	err error
+}
+
+type patch struct {
+	at    int // offset of the u16 to patch
+	label Label
+}
+
+// NewAssembler returns an empty assembler.
+func NewAssembler() *Assembler {
+	return &Assembler{
+		constIdx: make(map[int64]uint16),
+		refIdx:   make(map[string]uint16),
+		depthAt:  make(map[Label]int),
+	}
+}
+
+// Err returns the first error recorded while assembling, if any.
+func (a *Assembler) Err() error { return a.err }
+
+func (a *Assembler) fail(format string, args ...any) {
+	if a.err == nil {
+		a.err = fmt.Errorf("bytecode: asm: "+format, args...)
+	}
+}
+
+func (a *Assembler) adjust(pops, pushes int) {
+	a.depth -= pops
+	if a.depth < 0 {
+		a.fail("stack underflow at offset %d", len(a.code))
+		a.depth = 0
+	}
+	a.depth += pushes
+	if a.depth > a.maxDepth {
+		a.maxDepth = a.depth
+	}
+}
+
+func (a *Assembler) emit(op Op, operands ...byte) {
+	info, ok := Lookup(op)
+	if !ok {
+		a.fail("unknown opcode %#x", byte(op))
+		return
+	}
+	if len(operands) != info.OperandBytes {
+		a.fail("%s expects %d operand bytes, got %d", info.Name, info.OperandBytes, len(operands))
+		return
+	}
+	if info.Pops >= 0 {
+		a.adjust(info.Pops, info.Pushes)
+	}
+	a.code = append(a.code, byte(op))
+	a.code = append(a.code, operands...)
+}
+
+func u16operand(v uint16) []byte {
+	var b [2]byte
+	binary.BigEndian.PutUint16(b[:], v)
+	return b[:]
+}
+
+// internConst returns the constant-table index for v, adding it if needed.
+func (a *Assembler) internConst(v int64) uint16 {
+	if i, ok := a.constIdx[v]; ok {
+		return i
+	}
+	if len(a.consts) >= math.MaxUint16 {
+		a.fail("constant table overflow")
+		return 0
+	}
+	i := uint16(len(a.consts))
+	a.consts = append(a.consts, v)
+	a.constIdx[v] = i
+	return i
+}
+
+// internRef returns the reference-table index for r, adding it if needed.
+func (a *Assembler) internRef(r classfile.Ref) uint16 {
+	key := fmt.Sprintf("%d:%s", r.Kind, r.String())
+	if i, ok := a.refIdx[key]; ok {
+		return i
+	}
+	if len(a.refs) >= math.MaxUint16 {
+		a.fail("reference table overflow")
+		return 0
+	}
+	i := uint16(len(a.refs))
+	a.refs = append(a.refs, r)
+	a.refIdx[key] = i
+	return i
+}
+
+// NewLabel allocates an unbound label.
+func (a *Assembler) NewLabel() Label {
+	a.labels = append(a.labels, -1)
+	return Label(len(a.labels) - 1)
+}
+
+// Bind attaches the label to the current code offset.
+func (a *Assembler) Bind(l Label) {
+	if int(l) >= len(a.labels) {
+		a.fail("bind of unknown label %d", l)
+		return
+	}
+	if a.labels[l] != -1 {
+		a.fail("label %d bound twice", l)
+		return
+	}
+	if len(a.code) > math.MaxUint16 {
+		a.fail("code exceeds 64KiB")
+		return
+	}
+	a.labels[l] = len(a.code)
+	if want, ok := a.depthAt[l]; ok {
+		if want != a.depth {
+			// Merge point with inconsistent depth: keep the larger for
+			// MaxStack purposes; the verifier re-checks rigorously.
+			if want > a.depth {
+				a.depth = want
+			}
+		}
+	} else {
+		a.depthAt[l] = a.depth
+	}
+}
+
+// Offset returns the current code offset.
+func (a *Assembler) Offset() uint16 { return uint16(len(a.code)) }
+
+// EnterHandler declares that the next instruction is the entry of an
+// exception handler: the modelled stack holds exactly the thrown value.
+// Call it after a terminal instruction, before emitting the handler body.
+func (a *Assembler) EnterHandler() {
+	a.SetDepth(1)
+}
+
+// SetDepth forces the assembler's modelled stack depth. Rewriters that
+// recompute depths with the verifier's analysis (ComputeDepths) use it to
+// seed the model at basic-block boundaries.
+func (a *Assembler) SetDepth(n int) {
+	if n < 0 {
+		a.fail("SetDepth(%d)", n)
+		return
+	}
+	a.depth = n
+	if n > a.maxDepth {
+		a.maxDepth = n
+	}
+}
+
+func (a *Assembler) branch(op Op, l Label) {
+	if int(l) >= len(a.labels) {
+		a.fail("branch to unknown label %d", l)
+		return
+	}
+	info, _ := Lookup(op)
+	a.adjust(info.Pops, info.Pushes)
+	a.code = append(a.code, byte(op), 0, 0)
+	a.patches = append(a.patches, patch{at: len(a.code) - 2, label: l})
+	if _, ok := a.depthAt[l]; !ok {
+		a.depthAt[l] = a.depth
+	}
+}
+
+// Nop emits a nop.
+func (a *Assembler) Nop() { a.emit(OpNop) }
+
+// Const pushes the 64-bit constant v, using the dedicated zero/one opcodes
+// when possible.
+func (a *Assembler) Const(v int64) {
+	switch v {
+	case 0:
+		a.emit(OpIconst0)
+	case 1:
+		a.emit(OpIconst1)
+	default:
+		a.emit(OpConst, u16operand(a.internConst(v))...)
+	}
+}
+
+// Load pushes local slot n.
+func (a *Assembler) Load(slot int) {
+	if slot < 0 || slot > math.MaxUint8 {
+		a.fail("load slot %d out of range", slot)
+		return
+	}
+	a.emit(OpLoad, byte(slot))
+}
+
+// Store pops into local slot n.
+func (a *Assembler) Store(slot int) {
+	if slot < 0 || slot > math.MaxUint8 {
+		a.fail("store slot %d out of range", slot)
+		return
+	}
+	a.emit(OpStore, byte(slot))
+}
+
+// Inc adds delta to local slot n without touching the stack.
+func (a *Assembler) Inc(slot, delta int) {
+	if slot < 0 || slot > math.MaxUint8 {
+		a.fail("inc slot %d out of range", slot)
+		return
+	}
+	if delta < math.MinInt8 || delta > math.MaxInt8 {
+		a.fail("inc delta %d out of range", delta)
+		return
+	}
+	a.emit(OpInc, byte(slot), byte(int8(delta)))
+}
+
+// Arithmetic and logic.
+
+// Add emits add.
+func (a *Assembler) Add() { a.emit(OpAdd) }
+
+// Sub emits sub.
+func (a *Assembler) Sub() { a.emit(OpSub) }
+
+// Mul emits mul.
+func (a *Assembler) Mul() { a.emit(OpMul) }
+
+// Div emits div.
+func (a *Assembler) Div() { a.emit(OpDiv) }
+
+// Rem emits rem.
+func (a *Assembler) Rem() { a.emit(OpRem) }
+
+// Neg emits neg.
+func (a *Assembler) Neg() { a.emit(OpNeg) }
+
+// Shl emits shl.
+func (a *Assembler) Shl() { a.emit(OpShl) }
+
+// Shr emits shr.
+func (a *Assembler) Shr() { a.emit(OpShr) }
+
+// And emits and.
+func (a *Assembler) And() { a.emit(OpAnd) }
+
+// Or emits or.
+func (a *Assembler) Or() { a.emit(OpOr) }
+
+// Xor emits xor.
+func (a *Assembler) Xor() { a.emit(OpXor) }
+
+// Dup emits dup.
+func (a *Assembler) Dup() { a.emit(OpDup) }
+
+// Pop emits pop.
+func (a *Assembler) Pop() { a.emit(OpPop) }
+
+// Swap emits swap.
+func (a *Assembler) Swap() { a.emit(OpSwap) }
+
+// Control flow.
+
+// Goto emits an unconditional jump to l.
+func (a *Assembler) Goto(l Label) { a.branch(OpGoto, l) }
+
+// Ifeq jumps to l if the popped value is zero.
+func (a *Assembler) Ifeq(l Label) { a.branch(OpIfeq, l) }
+
+// Ifne jumps to l if the popped value is non-zero.
+func (a *Assembler) Ifne(l Label) { a.branch(OpIfne, l) }
+
+// Iflt jumps to l if the popped value is negative.
+func (a *Assembler) Iflt(l Label) { a.branch(OpIflt, l) }
+
+// Ifge jumps to l if the popped value is non-negative.
+func (a *Assembler) Ifge(l Label) { a.branch(OpIfge, l) }
+
+// Ifgt jumps to l if the popped value is positive.
+func (a *Assembler) Ifgt(l Label) { a.branch(OpIfgt, l) }
+
+// Ifle jumps to l if the popped value is zero or negative.
+func (a *Assembler) Ifle(l Label) { a.branch(OpIfle, l) }
+
+// IfCmpeq jumps to l if the two popped values are equal.
+func (a *Assembler) IfCmpeq(l Label) { a.branch(OpIfcmpeq, l) }
+
+// IfCmpne jumps to l if the two popped values differ.
+func (a *Assembler) IfCmpne(l Label) { a.branch(OpIfcmpne, l) }
+
+// IfCmplt jumps to l if a < b for popped b then a.
+func (a *Assembler) IfCmplt(l Label) { a.branch(OpIfcmplt, l) }
+
+// IfCmpge jumps to l if a >= b for popped b then a.
+func (a *Assembler) IfCmpge(l Label) { a.branch(OpIfcmpge, l) }
+
+// Invocations. argWords/returnsValue describe the callee so the assembler
+// can track stack depth.
+
+// InvokeStatic calls a static method.
+func (a *Assembler) InvokeStatic(class, name, desc string) {
+	a.invoke(OpInvokeStatic, class, name, desc, true)
+}
+
+// InvokeVirtual calls an instance method through its declared class.
+func (a *Assembler) InvokeVirtual(class, name, desc string) {
+	a.invoke(OpInvokeVirtual, class, name, desc, false)
+}
+
+func (a *Assembler) invoke(op Op, class, name, desc string, static bool) {
+	d, err := classfile.ParseDescriptor(desc)
+	if err != nil {
+		a.fail("invoke %s.%s: %v", class, name, err)
+		return
+	}
+	pops := d.ParamWords
+	if !static {
+		pops++
+	}
+	pushes := 0
+	if d.ReturnsValue {
+		pushes = 1
+	}
+	a.adjust(pops, pushes)
+	idx := a.internRef(classfile.Ref{Kind: classfile.RefMethod, Class: class, Name: name, Desc: desc})
+	a.code = append(a.code, byte(op))
+	a.code = append(a.code, u16operand(idx)...)
+}
+
+// Return emits a void return.
+func (a *Assembler) Return() { a.emit(OpReturn) }
+
+// IReturn emits a value return.
+func (a *Assembler) IReturn() { a.emit(OpIreturn) }
+
+// GetStatic pushes the named static field.
+func (a *Assembler) GetStatic(class, name string) {
+	idx := a.internRef(classfile.Ref{Kind: classfile.RefField, Class: class, Name: name})
+	a.adjust(0, 1)
+	a.code = append(a.code, byte(OpGetStatic))
+	a.code = append(a.code, u16operand(idx)...)
+}
+
+// PutStatic pops into the named static field.
+func (a *Assembler) PutStatic(class, name string) {
+	idx := a.internRef(classfile.Ref{Kind: classfile.RefField, Class: class, Name: name})
+	a.adjust(1, 0)
+	a.code = append(a.code, byte(OpPutStatic))
+	a.code = append(a.code, u16operand(idx)...)
+}
+
+// Arrays.
+
+// NewArray pops a length and pushes a new array handle.
+func (a *Assembler) NewArray() { a.emit(OpNewArray) }
+
+// ALoad pops index and arrayref and pushes the element.
+func (a *Assembler) ALoad() { a.emit(OpALoad) }
+
+// AStore pops value, index and arrayref and stores the element.
+func (a *Assembler) AStore() { a.emit(OpAStore) }
+
+// ArrayLen pops an arrayref and pushes its length.
+func (a *Assembler) ArrayLen() { a.emit(OpArrayLen) }
+
+// Throw raises the popped value as an exception.
+func (a *Assembler) Throw() { a.emit(OpThrow) }
+
+// Finish resolves branches and returns the code, constant table, reference
+// table and computed MaxStack.
+func (a *Assembler) Finish() (code []byte, consts []int64, refs []classfile.Ref, maxStack int, err error) {
+	if a.err != nil {
+		return nil, nil, nil, 0, a.err
+	}
+	if len(a.code) == 0 {
+		return nil, nil, nil, 0, fmt.Errorf("bytecode: asm: empty method body")
+	}
+	if len(a.code) > math.MaxUint16 {
+		return nil, nil, nil, 0, fmt.Errorf("bytecode: asm: code exceeds 64KiB")
+	}
+	for _, p := range a.patches {
+		off := a.labels[p.label]
+		if off == -1 {
+			return nil, nil, nil, 0, fmt.Errorf("bytecode: asm: label %d never bound", p.label)
+		}
+		binary.BigEndian.PutUint16(a.code[p.at:], uint16(off))
+	}
+	return a.code, a.consts, a.refs, a.maxDepth, nil
+}
+
+// FinishMethod assembles the accumulated code into a classfile.Method with
+// the given identity. maxLocals must cover the argument words and any local
+// slots used via Load/Store/Inc.
+func (a *Assembler) FinishMethod(name, desc string, flags classfile.AccessFlags, maxLocals int, handlers []classfile.ExceptionEntry) (*classfile.Method, error) {
+	code, consts, refs, maxStack, err := a.Finish()
+	if err != nil {
+		return nil, err
+	}
+	m := &classfile.Method{
+		Name:      name,
+		Desc:      desc,
+		Flags:     flags,
+		MaxStack:  maxStack,
+		MaxLocals: maxLocals,
+		Code:      code,
+		Refs:      refs,
+		Consts:    consts,
+		Handlers:  handlers,
+	}
+	return m, nil
+}

@@ -1,0 +1,279 @@
+package bytecode
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/classfile"
+)
+
+// assembleLoopMethod builds: for (i = n; i > 0; i--) sum += i; return sum.
+// Locals: 0 = n (arg), 1 = sum.
+func assembleLoopMethod(t *testing.T) *classfile.Method {
+	t.Helper()
+	a := NewAssembler()
+	a.Const(0)
+	a.Store(1)
+	top := a.NewLabel()
+	end := a.NewLabel()
+	a.Bind(top)
+	a.Load(0)
+	a.Ifle(end)
+	a.Load(1)
+	a.Load(0)
+	a.Add()
+	a.Store(1)
+	a.Inc(0, -1)
+	a.Goto(top)
+	a.Bind(end)
+	a.Load(1)
+	a.IReturn()
+	m, err := a.FinishMethod("sumTo", "(I)I", classfile.AccStatic, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestAssembleLoopVerifies(t *testing.T) {
+	m := assembleLoopMethod(t)
+	if err := Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	if m.MaxStack != 2 {
+		t.Fatalf("MaxStack = %d, want 2", m.MaxStack)
+	}
+}
+
+func TestAssemblerConstInterning(t *testing.T) {
+	a := NewAssembler()
+	a.Const(42)
+	a.Pop()
+	a.Const(42)
+	a.Pop()
+	a.Const(7)
+	a.Pop()
+	a.Return()
+	_, consts, _, _, err := a.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(consts) != 2 {
+		t.Fatalf("consts = %v, want 2 interned entries", consts)
+	}
+}
+
+func TestAssemblerZeroOneUseDedicatedOpcodes(t *testing.T) {
+	a := NewAssembler()
+	a.Const(0)
+	a.Pop()
+	a.Const(1)
+	a.Pop()
+	a.Return()
+	code, consts, _, _, err := a.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(consts) != 0 {
+		t.Fatalf("consts = %v, want none for 0/1", consts)
+	}
+	if Op(code[0]) != OpIconst0 || Op(code[2]) != OpIconst1 {
+		t.Fatalf("code = %v", code)
+	}
+}
+
+func TestAssemblerRefInterning(t *testing.T) {
+	a := NewAssembler()
+	a.GetStatic("a/B", "x")
+	a.Pop()
+	a.GetStatic("a/B", "x")
+	a.PutStatic("a/B", "y")
+	a.Return()
+	_, _, refs, _, err := a.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) != 2 {
+		t.Fatalf("refs = %v, want 2", refs)
+	}
+}
+
+func TestAssemblerForwardBranch(t *testing.T) {
+	a := NewAssembler()
+	skip := a.NewLabel()
+	a.Const(5)
+	a.Ifgt(skip)
+	a.Const(1)
+	a.Pop()
+	a.Bind(skip)
+	a.Return()
+	code, _, _, _, err := a.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins, err := Decode(code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The ifgt target must be the offset of the return.
+	var target, retOff int = -1, -1
+	for _, in := range ins {
+		if in.Op == OpIfgt {
+			target = in.Operand
+		}
+		if in.Op == OpReturn {
+			retOff = in.Offset
+		}
+	}
+	if target != retOff {
+		t.Fatalf("branch target %d, return at %d", target, retOff)
+	}
+}
+
+func TestAssemblerUnboundLabelFails(t *testing.T) {
+	a := NewAssembler()
+	l := a.NewLabel()
+	a.Goto(l)
+	if _, _, _, _, err := a.Finish(); err == nil {
+		t.Fatal("unbound label accepted")
+	}
+}
+
+func TestAssemblerDoubleBindFails(t *testing.T) {
+	a := NewAssembler()
+	l := a.NewLabel()
+	a.Bind(l)
+	a.Bind(l)
+	a.Return()
+	if _, _, _, _, err := a.Finish(); err == nil {
+		t.Fatal("double bind accepted")
+	}
+}
+
+func TestAssemblerStackUnderflowDetected(t *testing.T) {
+	a := NewAssembler()
+	a.Add() // nothing on the stack
+	a.Return()
+	if _, _, _, _, err := a.Finish(); err == nil {
+		t.Fatal("underflow accepted")
+	}
+}
+
+func TestAssemblerEmptyBodyFails(t *testing.T) {
+	a := NewAssembler()
+	if _, _, _, _, err := a.Finish(); err == nil {
+		t.Fatal("empty body accepted")
+	}
+}
+
+func TestAssemblerSlotRangeChecks(t *testing.T) {
+	a := NewAssembler()
+	a.Load(300)
+	a.Return()
+	if _, _, _, _, err := a.Finish(); err == nil {
+		t.Fatal("slot 300 accepted")
+	}
+	a = NewAssembler()
+	a.Inc(0, 1000)
+	a.Return()
+	if _, _, _, _, err := a.Finish(); err == nil {
+		t.Fatal("inc delta 1000 accepted")
+	}
+}
+
+func TestAssemblerInvokeStackEffect(t *testing.T) {
+	a := NewAssembler()
+	a.Const(3)
+	a.Const(4)
+	a.InvokeStatic("a/B", "f", "(II)I")
+	a.IReturn()
+	_, _, refs, maxStack, err := a.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxStack != 2 {
+		t.Fatalf("maxStack = %d, want 2", maxStack)
+	}
+	if len(refs) != 1 || refs[0].String() != "a/B.f(II)I" {
+		t.Fatalf("refs = %v", refs)
+	}
+}
+
+func TestAssemblerInvokeVirtualPopsReceiver(t *testing.T) {
+	a := NewAssembler()
+	a.Const(7) // receiver handle
+	a.Const(4)
+	a.InvokeVirtual("a/B", "g", "(I)V")
+	a.Return()
+	_, _, _, maxStack, err := a.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxStack != 2 {
+		t.Fatalf("maxStack = %d, want 2", maxStack)
+	}
+}
+
+func TestAssemblerBadInvokeDescriptor(t *testing.T) {
+	a := NewAssembler()
+	a.InvokeStatic("a/B", "f", "broken")
+	a.Return()
+	if _, _, _, _, err := a.Finish(); err == nil {
+		t.Fatal("bad descriptor accepted")
+	}
+}
+
+func TestFinishMethodPopulatesTables(t *testing.T) {
+	m := assembleLoopMethod(t)
+	if m.Name != "sumTo" || m.Desc != "(I)I" {
+		t.Fatalf("identity wrong: %s%s", m.Name, m.Desc)
+	}
+	if m.MaxLocals != 2 {
+		t.Fatalf("MaxLocals = %d", m.MaxLocals)
+	}
+	if len(m.Code) == 0 {
+		t.Fatal("no code")
+	}
+}
+
+func TestDisassembleLoop(t *testing.T) {
+	m := assembleLoopMethod(t)
+	text, err := Disassemble(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"load", "ifle", "add", "inc", "goto", "ireturn"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestDisassembleNative(t *testing.T) {
+	m := &classfile.Method{Name: "nat", Desc: "()V", Flags: classfile.AccNative | classfile.AccStatic}
+	text, err := Disassemble(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "native method") {
+		t.Fatalf("got %q", text)
+	}
+}
+
+func TestDisassembleShowsRefsAndConsts(t *testing.T) {
+	a := NewAssembler()
+	a.Const(1234)
+	a.InvokeStatic("x/Y", "f", "(I)V")
+	a.Return()
+	m, err := a.FinishMethod("m", "()V", classfile.AccStatic, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := Disassemble(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "1234") || !strings.Contains(text, "x/Y.f(I)V") {
+		t.Fatalf("disassembly missing symbols:\n%s", text)
+	}
+}

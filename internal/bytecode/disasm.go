@@ -1,0 +1,91 @@
+package bytecode
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+
+	"repro/internal/classfile"
+)
+
+// Instruction is one decoded instruction.
+type Instruction struct {
+	Offset  int
+	Op      Op
+	Operand int // branch target, ref/const index, or slot; -1 if none
+	Extra   int // second operand (inc delta); 0 if none
+}
+
+// Decode walks the code of a method and returns its instructions. It fails
+// on unknown opcodes and truncated operands, making it usable as the first
+// stage of verification.
+func Decode(code []byte) ([]Instruction, error) {
+	var out []Instruction
+	for pc := 0; pc < len(code); {
+		op := Op(code[pc])
+		info, ok := Lookup(op)
+		if !ok {
+			return nil, fmt.Errorf("bytecode: unknown opcode %#x at offset %d", code[pc], pc)
+		}
+		if pc+1+info.OperandBytes > len(code) {
+			return nil, fmt.Errorf("bytecode: truncated operands for %s at offset %d", info.Name, pc)
+		}
+		ins := Instruction{Offset: pc, Op: op, Operand: -1}
+		switch info.OperandBytes {
+		case 1:
+			ins.Operand = int(code[pc+1])
+		case 2:
+			if op == OpInc {
+				ins.Operand = int(code[pc+1])
+				ins.Extra = int(int8(code[pc+2]))
+			} else {
+				ins.Operand = int(binary.BigEndian.Uint16(code[pc+1:]))
+			}
+		}
+		out = append(out, ins)
+		pc += 1 + info.OperandBytes
+	}
+	return out, nil
+}
+
+// Disassemble renders a method body as readable text, one instruction per
+// line, resolving constant and reference indices against the method tables.
+func Disassemble(m *classfile.Method) (string, error) {
+	if m.IsNative() {
+		return fmt.Sprintf("  <native method %s%s>\n", m.Name, m.Desc), nil
+	}
+	ins, err := Decode(m.Code)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	for _, i := range ins {
+		info, _ := Lookup(i.Op)
+		fmt.Fprintf(&b, "  %4d: %-14s", i.Offset, info.Name)
+		switch {
+		case i.Op == OpInc:
+			fmt.Fprintf(&b, " slot=%d delta=%+d", i.Operand, i.Extra)
+		case info.ConstIndex:
+			if i.Operand < len(m.Consts) {
+				fmt.Fprintf(&b, " #%d  // %d", i.Operand, m.Consts[i.Operand])
+			} else {
+				fmt.Fprintf(&b, " #%d  // <bad const index>", i.Operand)
+			}
+		case info.RefIndex:
+			if i.Operand < len(m.Refs) {
+				fmt.Fprintf(&b, " #%d  // %s", i.Operand, m.Refs[i.Operand].String())
+			} else {
+				fmt.Fprintf(&b, " #%d  // <bad ref index>", i.Operand)
+			}
+		case info.Branch:
+			fmt.Fprintf(&b, " -> %d", i.Operand)
+		case info.OperandBytes == 1:
+			fmt.Fprintf(&b, " slot=%d", i.Operand)
+		}
+		b.WriteByte('\n')
+	}
+	for idx, h := range m.Handlers {
+		fmt.Fprintf(&b, "  handler %d: [%d,%d) -> %d\n", idx, h.StartPC, h.EndPC, h.HandlerPC)
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,144 @@
+package bytecode
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/classfile"
+)
+
+// Histogram is an instruction-mix profile: counts per opcode mnemonic.
+// It supports the workload-characterization side of the evaluation (the
+// related-work *J tool computes such "dynamic metrics"; this type serves
+// the static variant and any dynamic counts a consumer collects).
+type Histogram map[string]uint64
+
+// Add merges another histogram into h.
+func (h Histogram) Add(other Histogram) {
+	for k, v := range other {
+		h[k] += v
+	}
+}
+
+// Total returns the sum of all counts.
+func (h Histogram) Total() uint64 {
+	var sum uint64
+	for _, v := range h {
+		sum += v
+	}
+	return sum
+}
+
+// TopN returns the n most frequent mnemonics with their counts, ties
+// broken alphabetically.
+func (h Histogram) TopN(n int) []struct {
+	Name  string
+	Count uint64
+} {
+	type row struct {
+		Name  string
+		Count uint64
+	}
+	rows := make([]row, 0, len(h))
+	for k, v := range h {
+		rows = append(rows, row{k, v})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Count != rows[j].Count {
+			return rows[i].Count > rows[j].Count
+		}
+		return rows[i].Name < rows[j].Name
+	})
+	if n > len(rows) {
+		n = len(rows)
+	}
+	out := make([]struct {
+		Name  string
+		Count uint64
+	}, n)
+	for i := 0; i < n; i++ {
+		out[i] = struct {
+			Name  string
+			Count uint64
+		}{rows[i].Name, rows[i].Count}
+	}
+	return out
+}
+
+// String renders the histogram sorted by count.
+func (h Histogram) String() string {
+	var b strings.Builder
+	total := h.Total()
+	for _, r := range h.TopN(len(h)) {
+		fmt.Fprintf(&b, "  %-14s %10d (%5.1f%%)\n", r.Name, r.Count, 100*float64(r.Count)/float64(total))
+	}
+	return b.String()
+}
+
+// MethodHistogram computes the static instruction mix of one method.
+func MethodHistogram(m *classfile.Method) (Histogram, error) {
+	h := make(Histogram)
+	if m.IsNative() || m.IsAbstract() {
+		return h, nil
+	}
+	ins, err := Decode(m.Code)
+	if err != nil {
+		return nil, err
+	}
+	for _, in := range ins {
+		h[in.Op.String()]++
+	}
+	return h, nil
+}
+
+// ClassHistogram computes the static instruction mix of a whole class.
+func ClassHistogram(c *classfile.Class) (Histogram, error) {
+	h := make(Histogram)
+	for _, m := range c.Methods {
+		mh, err := MethodHistogram(m)
+		if err != nil {
+			return nil, fmt.Errorf("%s.%s: %w", c.Name, m.Name, err)
+		}
+		h.Add(mh)
+	}
+	return h, nil
+}
+
+// ClassMetrics summarizes one class for workload characterization.
+type ClassMetrics struct {
+	Name          string
+	Methods       int
+	NativeMethods int
+	Instructions  uint64
+	BasicBlocks   int
+	MaxStackPeak  int
+}
+
+// AnalyzeClass computes the static metrics of a class.
+func AnalyzeClass(c *classfile.Class) (*ClassMetrics, error) {
+	cm := &ClassMetrics{Name: c.Name, Methods: len(c.Methods)}
+	for _, m := range c.Methods {
+		if m.IsNative() {
+			cm.NativeMethods++
+			continue
+		}
+		if m.IsAbstract() {
+			continue
+		}
+		ins, err := Decode(m.Code)
+		if err != nil {
+			return nil, err
+		}
+		cm.Instructions += uint64(len(ins))
+		leaders, err := Leaders(m)
+		if err != nil {
+			return nil, err
+		}
+		cm.BasicBlocks += len(leaders)
+		if m.MaxStack > cm.MaxStackPeak {
+			cm.MaxStackPeak = m.MaxStack
+		}
+	}
+	return cm, nil
+}

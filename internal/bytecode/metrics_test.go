@@ -1,0 +1,88 @@
+package bytecode
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/classfile"
+)
+
+func TestMethodHistogram(t *testing.T) {
+	m := assembleLoopMethod(t)
+	h, err := MethodHistogram(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h["load"] == 0 || h["add"] == 0 || h["goto"] == 0 {
+		t.Fatalf("histogram = %v", h)
+	}
+	ins, _ := Decode(m.Code)
+	if h.Total() != uint64(len(ins)) {
+		t.Fatalf("total = %d, want %d", h.Total(), len(ins))
+	}
+}
+
+func TestHistogramNativeEmpty(t *testing.T) {
+	m := &classfile.Method{Name: "n", Desc: "()V", Flags: classfile.AccNative | classfile.AccStatic}
+	h, err := MethodHistogram(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Total() != 0 {
+		t.Fatal("native method has instructions")
+	}
+}
+
+func TestHistogramAddAndTopN(t *testing.T) {
+	a := Histogram{"add": 5, "mul": 2}
+	b := Histogram{"add": 1, "load": 9}
+	a.Add(b)
+	if a["add"] != 6 || a["load"] != 9 {
+		t.Fatalf("merged = %v", a)
+	}
+	top := a.TopN(2)
+	if len(top) != 2 || top[0].Name != "load" || top[1].Name != "add" {
+		t.Fatalf("top = %v", top)
+	}
+	if got := a.TopN(99); len(got) != 3 {
+		t.Fatalf("TopN overflow = %d rows", len(got))
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h := Histogram{"add": 3, "load": 1}
+	s := h.String()
+	if !strings.Contains(s, "add") || !strings.Contains(s, "75.0%") {
+		t.Fatalf("render = %q", s)
+	}
+}
+
+func TestClassHistogramAndMetrics(t *testing.T) {
+	cls := &classfile.Class{
+		Name: "m/C",
+		Methods: []*classfile.Method{
+			assembleLoopMethod(t),
+			{Name: "n", Desc: "()V", Flags: classfile.AccNative | classfile.AccStatic},
+		},
+	}
+	h, err := ClassHistogram(cls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Total() == 0 {
+		t.Fatal("empty class histogram")
+	}
+	cm, err := AnalyzeClass(cls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm.Methods != 2 || cm.NativeMethods != 1 {
+		t.Fatalf("metrics = %+v", cm)
+	}
+	if cm.Instructions != h.Total() {
+		t.Fatalf("instructions %d != histogram total %d", cm.Instructions, h.Total())
+	}
+	if cm.BasicBlocks < 3 || cm.MaxStackPeak < 2 {
+		t.Fatalf("metrics = %+v", cm)
+	}
+}

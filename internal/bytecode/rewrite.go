@@ -1,0 +1,207 @@
+package bytecode
+
+import (
+	"fmt"
+
+	"repro/internal/classfile"
+)
+
+// BlockInjector emits instrumentation code at a basic-block entry. count
+// is the number of original instructions in the block. The injected code
+// must be stack-neutral (push as much as it pops) and must not touch
+// local variables.
+type BlockInjector func(a *Assembler, count int)
+
+// InstrumentBlocks rewrites a bytecode method so that inject runs at the
+// entry of every basic block — the classic counting-instrumentation
+// transform of bytecode-level profilers (Binder's instruction-counting
+// framework, reference [1] of the paper, works exactly this way). The
+// rewriter:
+//
+//   - splits the body into basic blocks (Leaders),
+//   - re-emits every instruction through an Assembler, turning absolute
+//     branch offsets into labels so injected code can shift layout freely,
+//   - seeds the assembler's stack model from the verifier's depth
+//     analysis (ComputeDepths) so MaxStack is recomputed soundly,
+//   - remaps exception-handler ranges to the new offsets.
+//
+// Native and abstract methods are returned unchanged. The input method is
+// not modified.
+func InstrumentBlocks(m *classfile.Method, inject BlockInjector) (*classfile.Method, error) {
+	if m.IsNative() || m.IsAbstract() {
+		return m, nil
+	}
+	ins, err := Decode(m.Code)
+	if err != nil {
+		return nil, fmt.Errorf("bytecode: rewrite %s: %w", m.Key(), err)
+	}
+	leaders, err := Leaders(m)
+	if err != nil {
+		return nil, err
+	}
+	depths, err := ComputeDepths(m)
+	if err != nil {
+		return nil, fmt.Errorf("bytecode: rewrite %s: %w", m.Key(), err)
+	}
+	leaderSet := make(map[int]bool, len(leaders))
+	for _, off := range leaders {
+		leaderSet[off] = true
+	}
+	// Block sizes: instructions from each leader to the next.
+	blockLen := make(map[int]int, len(leaders))
+	cur := -1
+	for _, in := range ins {
+		if leaderSet[in.Offset] {
+			cur = in.Offset
+		}
+		blockLen[cur]++
+	}
+
+	a := NewAssembler()
+	labels := make(map[int]Label, len(leaders))
+	for _, off := range leaders {
+		labels[off] = a.NewLabel()
+	}
+	newOff := make(map[int]uint16, len(leaders))
+
+	for _, in := range ins {
+		if leaderSet[in.Offset] {
+			if d, ok := depths[in.Offset]; ok {
+				a.SetDepth(d)
+			} else {
+				// Unreachable block: depth is irrelevant; keep it legal.
+				a.SetDepth(0)
+			}
+			a.Bind(labels[in.Offset])
+			newOff[in.Offset] = a.Offset()
+			inject(a, blockLen[in.Offset])
+		}
+		if err := reEmit(a, m, in, labels); err != nil {
+			return nil, fmt.Errorf("bytecode: rewrite %s: %w", m.Key(), err)
+		}
+	}
+
+	var handlers []classfile.ExceptionEntry
+	for _, h := range m.Handlers {
+		nh := classfile.ExceptionEntry{
+			StartPC:   newOff[int(h.StartPC)],
+			HandlerPC: newOff[int(h.HandlerPC)],
+		}
+		if int(h.EndPC) >= len(m.Code) {
+			nh.EndPC = a.Offset()
+		} else {
+			nh.EndPC = newOff[int(h.EndPC)]
+		}
+		handlers = append(handlers, nh)
+	}
+
+	out, err := a.FinishMethod(m.Name, m.Desc, m.Flags, m.MaxLocals, handlers)
+	if err != nil {
+		return nil, fmt.Errorf("bytecode: rewrite %s: %w", m.Key(), err)
+	}
+	if err := Verify(out); err != nil {
+		return nil, fmt.Errorf("bytecode: rewrite %s: rewritten method invalid: %w", m.Key(), err)
+	}
+	return out, nil
+}
+
+// reEmit re-emits one decoded instruction through the assembler's public
+// API, resolving constant and reference indices against the original
+// method and branch targets against the label map.
+func reEmit(a *Assembler, m *classfile.Method, in Instruction, labels map[int]Label) error {
+	switch in.Op {
+	case OpNop:
+		a.Nop()
+	case OpConst:
+		a.Const(m.Consts[in.Operand])
+	case OpIconst0:
+		a.Const(0)
+	case OpIconst1:
+		a.Const(1)
+	case OpLoad:
+		a.Load(in.Operand)
+	case OpStore:
+		a.Store(in.Operand)
+	case OpInc:
+		a.Inc(in.Operand, in.Extra)
+	case OpAdd:
+		a.Add()
+	case OpSub:
+		a.Sub()
+	case OpMul:
+		a.Mul()
+	case OpDiv:
+		a.Div()
+	case OpRem:
+		a.Rem()
+	case OpNeg:
+		a.Neg()
+	case OpShl:
+		a.Shl()
+	case OpShr:
+		a.Shr()
+	case OpAnd:
+		a.And()
+	case OpOr:
+		a.Or()
+	case OpXor:
+		a.Xor()
+	case OpDup:
+		a.Dup()
+	case OpPop:
+		a.Pop()
+	case OpSwap:
+		a.Swap()
+	case OpGoto:
+		a.Goto(labels[in.Operand])
+	case OpIfeq:
+		a.Ifeq(labels[in.Operand])
+	case OpIfne:
+		a.Ifne(labels[in.Operand])
+	case OpIflt:
+		a.Iflt(labels[in.Operand])
+	case OpIfge:
+		a.Ifge(labels[in.Operand])
+	case OpIfgt:
+		a.Ifgt(labels[in.Operand])
+	case OpIfle:
+		a.Ifle(labels[in.Operand])
+	case OpIfcmpeq:
+		a.IfCmpeq(labels[in.Operand])
+	case OpIfcmpne:
+		a.IfCmpne(labels[in.Operand])
+	case OpIfcmplt:
+		a.IfCmplt(labels[in.Operand])
+	case OpIfcmpge:
+		a.IfCmpge(labels[in.Operand])
+	case OpInvokeStatic:
+		ref := m.Refs[in.Operand]
+		a.InvokeStatic(ref.Class, ref.Name, ref.Desc)
+	case OpInvokeVirtual:
+		ref := m.Refs[in.Operand]
+		a.InvokeVirtual(ref.Class, ref.Name, ref.Desc)
+	case OpReturn:
+		a.Return()
+	case OpIreturn:
+		a.IReturn()
+	case OpGetStatic:
+		ref := m.Refs[in.Operand]
+		a.GetStatic(ref.Class, ref.Name)
+	case OpPutStatic:
+		ref := m.Refs[in.Operand]
+		a.PutStatic(ref.Class, ref.Name)
+	case OpNewArray:
+		a.NewArray()
+	case OpALoad:
+		a.ALoad()
+	case OpAStore:
+		a.AStore()
+	case OpArrayLen:
+		a.ArrayLen()
+	case OpThrow:
+		a.Throw()
+	default:
+		return fmt.Errorf("cannot re-emit opcode %s", in.Op)
+	}
+	return a.Err()
+}

@@ -1,0 +1,138 @@
+package bytecode
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/classfile"
+)
+
+// Property: Decode never panics on arbitrary code bytes.
+func TestDecodeNeverPanicsProperty(t *testing.T) {
+	f := func(raw []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		_, _ = Decode(raw)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Verify never panics on arbitrary method shapes.
+func TestVerifyNeverPanicsProperty(t *testing.T) {
+	f := func(code []byte, maxStack, maxLocals uint8, nConsts uint8) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		m := &classfile.Method{
+			Name: "fz", Desc: "()V", Flags: classfile.AccStatic,
+			MaxStack: int(maxStack), MaxLocals: int(maxLocals),
+			Code:   code,
+			Consts: make([]int64, int(nConsts)%8),
+		}
+		_ = Verify(m)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpStringUnknown(t *testing.T) {
+	if got := Op(0xEE).String(); !strings.Contains(got, "0xee") {
+		t.Fatalf("unknown op string = %q", got)
+	}
+	if got := OpAdd.String(); got != "add" {
+		t.Fatalf("add string = %q", got)
+	}
+}
+
+func TestLookupOutOfRange(t *testing.T) {
+	if _, ok := Lookup(Op(200)); ok {
+		t.Fatal("Lookup accepted out-of-range opcode")
+	}
+}
+
+func TestIsInvoke(t *testing.T) {
+	if !OpInvokeStatic.IsInvoke() || !OpInvokeVirtual.IsInvoke() {
+		t.Fatal("invoke opcodes not recognized")
+	}
+	if OpAdd.IsInvoke() || OpGoto.IsInvoke() {
+		t.Fatal("non-invoke opcode recognized as invoke")
+	}
+}
+
+func TestDecodeEmpty(t *testing.T) {
+	ins, err := Decode(nil)
+	if err != nil || len(ins) != 0 {
+		t.Fatalf("Decode(nil) = %v, %v", ins, err)
+	}
+}
+
+func TestDisassembleBadIndicesAnnotated(t *testing.T) {
+	// Hand-built method with out-of-range const and ref indices: the
+	// disassembler must annotate rather than fail, since it is a
+	// debugging tool for possibly-broken classes.
+	m := &classfile.Method{
+		Name: "bad", Desc: "()V", Flags: classfile.AccStatic,
+		MaxStack: 1, MaxLocals: 0,
+		Code: []byte{
+			byte(OpConst), 0x00, 0x09,
+			byte(OpInvokeStatic), 0x00, 0x07,
+			byte(OpReturn),
+		},
+	}
+	text, err := Disassemble(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "<bad const index>") || !strings.Contains(text, "<bad ref index>") {
+		t.Fatalf("missing annotations:\n%s", text)
+	}
+}
+
+func TestEnterHandlerResetsDepth(t *testing.T) {
+	a := NewAssembler()
+	a.Const(1)
+	a.Pop()
+	a.Return()
+	a.EnterHandler() // stack = [thrown]
+	a.Pop()
+	a.Return()
+	code, _, _, maxStack, err := a.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(code) == 0 || maxStack != 1 {
+		t.Fatalf("code=%d bytes maxStack=%d", len(code), maxStack)
+	}
+}
+
+// Property: assembling N constant-pushes yields max stack N (no branch
+// merging involved).
+func TestMaxStackLinearProperty(t *testing.T) {
+	f := func(n uint8) bool {
+		count := int(n%32) + 1
+		a := NewAssembler()
+		for i := 0; i < count; i++ {
+			a.Const(int64(i) + 2)
+		}
+		for i := 0; i < count; i++ {
+			a.Pop()
+		}
+		a.Return()
+		_, _, _, maxStack, err := a.Finish()
+		return err == nil && maxStack == count
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

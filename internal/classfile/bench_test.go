@@ -1,0 +1,59 @@
+package classfile
+
+import (
+	"bytes"
+	"testing"
+)
+
+func benchClass() *Class {
+	c := &Class{Name: "bench/C", Super: "java/lang/Object"}
+	for i := 0; i < 16; i++ {
+		c.Methods = append(c.Methods, &Method{
+			Name: "m" + string(rune('a'+i)), Desc: "(IJ)J",
+			Flags: AccStatic, MaxStack: 4, MaxLocals: 2,
+			Code:   bytes.Repeat([]byte{0}, 64),
+			Consts: []int64{1, 2, 3, 4},
+			Refs: []Ref{
+				{Kind: RefMethod, Class: "bench/C", Name: "x", Desc: "()V"},
+			},
+		})
+	}
+	return c
+}
+
+// BenchmarkWriteClass measures class encoding throughput.
+func BenchmarkWriteClass(b *testing.B) {
+	c := benchClass()
+	var buf bytes.Buffer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := WriteClass(&buf, c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReadClass measures class decoding (including validation).
+func BenchmarkReadClass(b *testing.B) {
+	var buf bytes.Buffer
+	if err := WriteClass(&buf, benchClass()); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadClass(bytes.NewReader(raw)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParseDescriptor measures descriptor parsing.
+func BenchmarkParseDescriptor(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseDescriptor("(IJ[BLjava/lang/String;[[D)J"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,217 @@
+package classfile
+
+import (
+	"testing"
+)
+
+// testClass builds a small valid class used across the tests: one static
+// field, one bytecode method and one native method.
+func testClass() *Class {
+	return &Class{
+		Name:       "demo/Main",
+		Super:      "java/lang/Object",
+		Flags:      AccPublic,
+		SourceFile: "Main.java",
+		Fields: []*Field{
+			{Name: "counter", Flags: AccStatic, Init: 3},
+		},
+		Methods: []*Method{
+			{
+				Name:      "run",
+				Desc:      "(I)I",
+				Flags:     AccPublic | AccStatic,
+				MaxStack:  2,
+				MaxLocals: 1,
+				Code:      []byte{0x01, 0x02, 0x03, 0x04},
+				Refs: []Ref{
+					{Kind: RefMethod, Class: "demo/Main", Name: "nat", Desc: "(I)I"},
+				},
+				Consts:   []int64{42, -7},
+				Handlers: []ExceptionEntry{{StartPC: 0, EndPC: 3, HandlerPC: 3}},
+			},
+			{
+				Name:      "nat",
+				Desc:      "(I)I",
+				Flags:     AccPublic | AccStatic | AccNative,
+				MaxStack:  0,
+				MaxLocals: 1,
+			},
+		},
+	}
+}
+
+func TestAccessFlagsHas(t *testing.T) {
+	f := AccPublic | AccStatic | AccNative
+	if !f.Has(AccNative) || !f.Has(AccPublic|AccStatic) {
+		t.Fatal("Has failed for set flags")
+	}
+	if f.Has(AccFinal) {
+		t.Fatal("Has reported unset flag")
+	}
+}
+
+func TestMethodPredicates(t *testing.T) {
+	c := testClass()
+	run := c.Method("run", "(I)I")
+	nat := c.Method("nat", "(I)I")
+	if run == nil || nat == nil {
+		t.Fatal("methods not found")
+	}
+	if run.IsNative() || !nat.IsNative() {
+		t.Fatal("IsNative wrong")
+	}
+	if !run.IsStatic() || !nat.IsStatic() {
+		t.Fatal("IsStatic wrong")
+	}
+}
+
+func TestMethodArgWordsStatic(t *testing.T) {
+	m := &Method{Name: "f", Desc: "(IJ[B)V", Flags: AccStatic}
+	n, err := m.ArgWords()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("ArgWords = %d, want 3", n)
+	}
+}
+
+func TestMethodArgWordsInstanceAddsReceiver(t *testing.T) {
+	m := &Method{Name: "f", Desc: "(I)V"}
+	n, err := m.ArgWords()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("ArgWords = %d, want 2 (receiver + 1 param)", n)
+	}
+}
+
+func TestMethodReturnsValue(t *testing.T) {
+	m := &Method{Name: "f", Desc: "()I", Flags: AccStatic}
+	v, err := m.ReturnsValue()
+	if err != nil || !v {
+		t.Fatalf("ReturnsValue = %v, %v", v, err)
+	}
+	m.Desc = "()V"
+	v, err = m.ReturnsValue()
+	if err != nil || v {
+		t.Fatalf("ReturnsValue = %v, %v", v, err)
+	}
+}
+
+func TestClassMethodLookup(t *testing.T) {
+	c := testClass()
+	if c.Method("run", "(I)I") == nil {
+		t.Fatal("Method lookup failed")
+	}
+	if c.Method("run", "()V") != nil {
+		t.Fatal("Method lookup ignored descriptor")
+	}
+	if c.Method("missing", "(I)I") != nil {
+		t.Fatal("Method lookup found missing method")
+	}
+	if got := len(c.MethodsNamed("nat")); got != 1 {
+		t.Fatalf("MethodsNamed = %d entries, want 1", got)
+	}
+}
+
+func TestHasNativeMethod(t *testing.T) {
+	c := testClass()
+	if !c.HasNativeMethod() {
+		t.Fatal("HasNativeMethod = false, want true")
+	}
+	c.Methods = c.Methods[:1]
+	if c.HasNativeMethod() {
+		t.Fatal("HasNativeMethod = true, want false")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	c := testClass()
+	n := c.Clone()
+	n.Methods[0].Code[0] = 0xFF
+	n.Methods[0].Refs[0].Name = "other"
+	n.Methods[0].Consts[0] = 99
+	n.Fields[0].Init = 99
+	if c.Methods[0].Code[0] == 0xFF {
+		t.Fatal("Clone shared code")
+	}
+	if c.Methods[0].Refs[0].Name == "other" {
+		t.Fatal("Clone shared refs")
+	}
+	if c.Methods[0].Consts[0] == 99 {
+		t.Fatal("Clone shared consts")
+	}
+	if c.Fields[0].Init == 99 {
+		t.Fatal("Clone shared fields")
+	}
+}
+
+func TestValidateAcceptsGoodClass(t *testing.T) {
+	if err := testClass().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Class)
+	}{
+		{"empty class name", func(c *Class) { c.Name = "" }},
+		{"empty field name", func(c *Class) { c.Fields[0].Name = "" }},
+		{"duplicate field", func(c *Class) {
+			c.Fields = append(c.Fields, &Field{Name: "counter"})
+		}},
+		{"empty method name", func(c *Class) { c.Methods[0].Name = "" }},
+		{"bad descriptor", func(c *Class) { c.Methods[0].Desc = "nope" }},
+		{"duplicate method", func(c *Class) {
+			c.Methods = append(c.Methods, c.Methods[0].Clone())
+		}},
+		{"native with code", func(c *Class) { c.Methods[1].Code = []byte{1} }},
+		{"native and abstract", func(c *Class) { c.Methods[1].Flags |= AccAbstract }},
+		{"concrete without code", func(c *Class) { c.Methods[0].Code = nil }},
+		{"locals below args", func(c *Class) { c.Methods[0].MaxLocals = 0 }},
+		{"handler range inverted", func(c *Class) {
+			c.Methods[0].Handlers[0] = ExceptionEntry{StartPC: 3, EndPC: 1, HandlerPC: 0}
+		}},
+		{"handler end past code", func(c *Class) {
+			c.Methods[0].Handlers[0] = ExceptionEntry{StartPC: 0, EndPC: 99, HandlerPC: 0}
+		}},
+		{"handler target past code", func(c *Class) {
+			c.Methods[0].Handlers[0] = ExceptionEntry{StartPC: 0, EndPC: 3, HandlerPC: 99}
+		}},
+	}
+	for _, tc := range cases {
+		c := testClass()
+		tc.mutate(c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid class", tc.name)
+		}
+	}
+}
+
+func TestRefString(t *testing.T) {
+	m := Ref{Kind: RefMethod, Class: "a/B", Name: "f", Desc: "(I)V"}
+	if m.String() != "a/B.f(I)V" {
+		t.Fatalf("method ref = %q", m.String())
+	}
+	f := Ref{Kind: RefField, Class: "a/B", Name: "x"}
+	if f.String() != "a/B.x" {
+		t.Fatalf("field ref = %q", f.String())
+	}
+}
+
+func TestRefKindString(t *testing.T) {
+	if RefMethod.String() != "method" || RefField.String() != "field" || RefInvalid.String() != "invalid" {
+		t.Fatal("RefKind.String wrong")
+	}
+}
+
+func TestMethodKey(t *testing.T) {
+	m := &Method{Name: "f", Desc: "(I)V"}
+	if m.Key() != "f(I)V" {
+		t.Fatalf("Key = %q", m.Key())
+	}
+}

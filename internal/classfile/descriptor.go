@@ -1,0 +1,111 @@
+package classfile
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Descriptor is a parsed method descriptor. The syntax follows the JVM
+// specification — "(" parameter types ")" return type — with every value
+// occupying one 64-bit word in the simulator (long and double included, so
+// there are no two-word slots to manage).
+type Descriptor struct {
+	Raw          string
+	Params       []string // one type string per parameter, e.g. "I", "[I", "Ljava/lang/String;"
+	ParamWords   int
+	Return       string // "V" for void
+	ReturnsValue bool
+}
+
+// ErrBadDescriptor reports a malformed method descriptor.
+var ErrBadDescriptor = errors.New("classfile: malformed descriptor")
+
+// ParseDescriptor parses a JVM-style method descriptor such as "(II)I",
+// "([BI)V" or "(Ljava/lang/String;)J".
+func ParseDescriptor(desc string) (*Descriptor, error) {
+	if len(desc) < 3 || desc[0] != '(' {
+		return nil, fmt.Errorf("%w: %q", ErrBadDescriptor, desc)
+	}
+	close := strings.IndexByte(desc, ')')
+	if close < 0 {
+		return nil, fmt.Errorf("%w: %q missing ')'", ErrBadDescriptor, desc)
+	}
+	params, err := parseTypeList(desc[1:close])
+	if err != nil {
+		return nil, fmt.Errorf("%w: %q: %v", ErrBadDescriptor, desc, err)
+	}
+	ret := desc[close+1:]
+	if err := checkType(ret, true); err != nil {
+		return nil, fmt.Errorf("%w: %q: bad return type: %v", ErrBadDescriptor, desc, err)
+	}
+	return &Descriptor{
+		Raw:          desc,
+		Params:       params,
+		ParamWords:   len(params),
+		Return:       ret,
+		ReturnsValue: ret != "V",
+	}, nil
+}
+
+func parseTypeList(s string) ([]string, error) {
+	var out []string
+	for i := 0; i < len(s); {
+		start := i
+		// Array dimensions.
+		for i < len(s) && s[i] == '[' {
+			i++
+		}
+		if i >= len(s) {
+			return nil, errors.New("trailing '['")
+		}
+		switch s[i] {
+		case 'B', 'C', 'D', 'F', 'I', 'J', 'S', 'Z':
+			i++
+		case 'L':
+			semi := strings.IndexByte(s[i:], ';')
+			if semi < 0 {
+				return nil, errors.New("unterminated class type")
+			}
+			i += semi + 1
+		default:
+			return nil, fmt.Errorf("unknown type char %q", s[i])
+		}
+		out = append(out, s[start:i])
+	}
+	return out, nil
+}
+
+func checkType(t string, allowVoid bool) error {
+	if t == "" {
+		return errors.New("empty type")
+	}
+	if t == "V" {
+		if allowVoid {
+			return nil
+		}
+		return errors.New("void not allowed here")
+	}
+	list, err := parseTypeList(t)
+	if err != nil {
+		return err
+	}
+	if len(list) != 1 {
+		return fmt.Errorf("expected a single type, got %d", len(list))
+	}
+	return nil
+}
+
+// BuildDescriptor assembles a descriptor from parameter type strings and a
+// return type. It is the inverse of ParseDescriptor and is used by workload
+// generators when synthesizing classes.
+func BuildDescriptor(params []string, ret string) string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for _, p := range params {
+		b.WriteString(p)
+	}
+	b.WriteByte(')')
+	b.WriteString(ret)
+	return b.String()
+}

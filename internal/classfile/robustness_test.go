@@ -1,0 +1,96 @@
+package classfile
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+// Property: ReadClass never panics on arbitrary input; it either decodes a
+// valid class or returns an error.
+func TestReadClassNeverPanicsProperty(t *testing.T) {
+	f := func(raw []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		_, _ = ReadClass(bytes.NewReader(raw))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ReadArchive never panics on arbitrary input.
+func TestReadArchiveNeverPanicsProperty(t *testing.T) {
+	f := func(raw []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		_, _ = ReadArchive(bytes.NewReader(raw))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: flipping any single byte of a valid encoding either still
+// decodes (to some valid class) or errors — never panics.
+func TestReadClassBitflipProperty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteClass(&buf, testClass()); err != nil {
+		t.Fatal(err)
+	}
+	base := buf.Bytes()
+	f := func(pos uint16, val byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		mut := append([]byte(nil), base...)
+		mut[int(pos)%len(mut)] ^= val | 1
+		_, _ = ReadClass(bytes.NewReader(mut))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A decoded-then-reencoded class must be byte-identical: the encoding is
+// canonical.
+func TestEncodingCanonical(t *testing.T) {
+	var first bytes.Buffer
+	if err := WriteClass(&first, testClass()); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := ReadClass(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var second bytes.Buffer
+	if err := WriteClass(&second, decoded); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatal("re-encoding is not canonical")
+	}
+}
+
+// Archives with a huge declared class count must be rejected before
+// allocation.
+func TestReadArchiveHugeCountRejected(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0x47, 0x4A, 0x41, 0x52}) // ArchiveMagic
+	buf.Write([]byte{0x00, 0x02})             // version
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF}) // count
+	if _, err := ReadArchive(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("huge archive count accepted")
+	}
+}

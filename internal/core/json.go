@@ -1,0 +1,95 @@
+package core
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// jsonReport is the serialized form of a RunResult, stable across
+// releases for downstream tooling (dashboards, regression trackers).
+type jsonReport struct {
+	Program     string           `json:"program"`
+	Agent       string           `json:"agent,omitempty"`
+	MainResult  int64            `json:"mainResult"`
+	TotalCycles uint64           `json:"totalCycles"`
+	Ops         uint64           `json:"ops,omitempty"`
+	Throughput  float64          `json:"throughputOpsPerMcycle,omitempty"`
+	JITCompiled int              `json:"jitCompiled"`
+	Threads     int              `json:"threads"`
+	Truth       jsonTruth        `json:"groundTruth"`
+	Report      *jsonAgentReport `json:"report,omitempty"`
+}
+
+type jsonTruth struct {
+	BytecodeCycles    uint64  `json:"bytecodeCycles"`
+	NativeCycles      uint64  `json:"nativeCycles"`
+	OverheadCycles    uint64  `json:"overheadCycles"`
+	NativeFractionPct float64 `json:"nativeFractionPct"`
+	NativeMethodCalls uint64  `json:"nativeMethodCalls"`
+	JNICalls          uint64  `json:"jniCalls"`
+}
+
+type jsonAgentReport struct {
+	Agent             string            `json:"agent"`
+	BytecodeCycles    uint64            `json:"bytecodeCycles"`
+	NativeCycles      uint64            `json:"nativeCycles"`
+	NativeFractionPct float64           `json:"nativeFractionPct"`
+	JNICalls          uint64            `json:"jniCalls"`
+	NativeMethodCalls uint64            `json:"nativeMethodCalls"`
+	PerThread         []jsonThreadStats `json:"perThread,omitempty"`
+}
+
+type jsonThreadStats struct {
+	ThreadID          int32  `json:"threadId"`
+	Name              string `json:"name"`
+	BytecodeCycles    uint64 `json:"bytecodeCycles"`
+	NativeCycles      uint64 `json:"nativeCycles"`
+	JNICalls          uint64 `json:"jniCalls,omitempty"`
+	NativeMethodCalls uint64 `json:"nativeMethodCalls,omitempty"`
+}
+
+// WriteJSON serializes the run result as indented JSON.
+func (r *RunResult) WriteJSON(w io.Writer) error {
+	out := jsonReport{
+		Program:     r.Program,
+		Agent:       r.Agent,
+		MainResult:  r.MainResult,
+		TotalCycles: r.TotalCycles,
+		Ops:         r.Ops,
+		Throughput:  r.Throughput(),
+		JITCompiled: r.JITCompiled,
+		Threads:     r.Threads,
+		Truth: jsonTruth{
+			BytecodeCycles:    r.Truth.BytecodeCycles,
+			NativeCycles:      r.Truth.NativeCycles,
+			OverheadCycles:    r.Truth.OverheadCycles,
+			NativeFractionPct: r.Truth.NativeFraction() * 100,
+			NativeMethodCalls: r.Truth.NativeMethodCalls,
+			JNICalls:          r.Truth.JNICalls,
+		},
+	}
+	if r.Report != nil {
+		ar := &jsonAgentReport{
+			Agent:             r.Report.AgentName,
+			BytecodeCycles:    r.Report.TotalBytecodeCycles,
+			NativeCycles:      r.Report.TotalNativeCycles,
+			NativeFractionPct: r.Report.NativeFraction() * 100,
+			JNICalls:          r.Report.JNICalls,
+			NativeMethodCalls: r.Report.NativeMethodCalls,
+		}
+		for _, ts := range r.Report.PerThread {
+			ar.PerThread = append(ar.PerThread, jsonThreadStats{
+				ThreadID:          int32(ts.ThreadID),
+				Name:              ts.Name,
+				BytecodeCycles:    ts.BytecodeCycles,
+				NativeCycles:      ts.NativeCycles,
+				JNICalls:          ts.JNICalls,
+				NativeMethodCalls: ts.NativeMethodCalls,
+			})
+		}
+		out.Report = ar
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/vm"
+)
+
+func TestWriteJSONWithoutAgent(t *testing.T) {
+	res, err := Run(miniProgram(t), nil, vm.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if decoded["program"] != "mini" {
+		t.Fatalf("program = %v", decoded["program"])
+	}
+	if _, hasReport := decoded["report"]; hasReport {
+		t.Fatal("report present without agent")
+	}
+	truth, ok := decoded["groundTruth"].(map[string]any)
+	if !ok {
+		t.Fatalf("groundTruth missing: %v", decoded)
+	}
+	if truth["nativeMethodCalls"].(float64) != 1 {
+		t.Fatalf("nativeMethodCalls = %v", truth["nativeMethodCalls"])
+	}
+}
+
+func TestWriteJSONWithAgentReport(t *testing.T) {
+	res, err := Run(miniProgram(t), nil, vm.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Attach a synthetic report to exercise the agent branch without
+	// importing an agent package (core must not depend on agents).
+	res.Agent = "FAKE"
+	res.Report = &Report{
+		AgentName:           "FAKE",
+		TotalBytecodeCycles: 750,
+		TotalNativeCycles:   250,
+		JNICalls:            3,
+		NativeMethodCalls:   9,
+		PerThread: []ThreadStats{
+			{ThreadID: 1, Name: "main", BytecodeCycles: 750, NativeCycles: 250, JNICalls: 3, NativeMethodCalls: 9},
+		},
+	}
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Report struct {
+			Agent             string  `json:"agent"`
+			NativeFractionPct float64 `json:"nativeFractionPct"`
+			PerThread         []struct {
+				Name string `json:"name"`
+			} `json:"perThread"`
+		} `json:"report"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Report.Agent != "FAKE" {
+		t.Fatalf("agent = %q", decoded.Report.Agent)
+	}
+	if decoded.Report.NativeFractionPct != 25 {
+		t.Fatalf("fraction = %v, want 25", decoded.Report.NativeFractionPct)
+	}
+	if len(decoded.Report.PerThread) != 1 || decoded.Report.PerThread[0].Name != "main" {
+		t.Fatalf("perThread = %+v", decoded.Report.PerThread)
+	}
+}

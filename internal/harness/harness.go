@@ -1,0 +1,364 @@
+// Package harness drives the Section V evaluation: it runs every suite
+// benchmark uninstrumented, under SPA, and under IPA; aggregates repeated
+// runs with the paper's median-of-N rule; computes the overhead formulas;
+// and renders Table I (execution time and profiling overhead) and Table II
+// (profiling statistics) in the paper's layout.
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/agents/ipa"
+	"repro/internal/agents/spa"
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+// AgentKind selects the profiling configuration of a run.
+type AgentKind int
+
+// The three Table I configurations.
+const (
+	// AgentNone runs without any profiling agent.
+	AgentNone AgentKind = iota
+	// AgentSPA runs under the Simple Profiling Agent.
+	AgentSPA
+	// AgentIPA runs under the Improved Profiling Agent.
+	AgentIPA
+)
+
+// String names the configuration.
+func (k AgentKind) String() string {
+	switch k {
+	case AgentSPA:
+		return "SPA"
+	case AgentIPA:
+		return "IPA"
+	default:
+		return "original"
+	}
+}
+
+// newAgent builds a fresh agent for one run; agents are single-use.
+func newAgent(k AgentKind) core.Agent {
+	switch k {
+	case AgentSPA:
+		return spa.New()
+	case AgentIPA:
+		return ipa.New()
+	default:
+		return nil
+	}
+}
+
+// Config parameterizes an evaluation campaign.
+type Config struct {
+	// Runs is the number of repetitions whose median is reported. The
+	// paper uses 15; the simulator is deterministic, so the median
+	// machinery matters only when options vary, but it is preserved for
+	// methodological fidelity.
+	Runs int
+	// Scale divides every benchmark's outer iteration count (1 = the
+	// full calibrated size).
+	Scale int
+	// Opts is the VM cost model.
+	Opts vm.Options
+}
+
+// DefaultConfig returns the configuration used to regenerate the tables.
+func DefaultConfig() Config {
+	return Config{Runs: 3, Scale: 1, Opts: vm.DefaultOptions()}
+}
+
+func (c Config) normalized() Config {
+	if c.Runs < 1 {
+		c.Runs = 1
+	}
+	if c.Scale < 1 {
+		c.Scale = 1
+	}
+	return c
+}
+
+// Measurement is the median outcome of repeated runs of one benchmark
+// under one agent configuration.
+type Measurement struct {
+	Benchmark string
+	Agent     AgentKind
+	// MedianCycles is the median execution time in cycles.
+	MedianCycles float64
+	// MedianThroughput is the median ops/Mcycles (JBB-style benchmarks).
+	MedianThroughput float64
+	// Report is the profiling report of the last run (nil for
+	// AgentNone).
+	Report *core.Report
+	// Truth is the ground truth of the last run.
+	Truth core.GroundTruth
+	// Runs is the number of repetitions aggregated.
+	Runs int
+}
+
+// Measure runs one benchmark under one agent configuration cfg.Runs times
+// and aggregates with the median. Benchmarks with a warehouse sequence
+// (SPEC JBB2005 style) run the whole sequence per repetition and
+// aggregate cycles, operations, reports and ground truth across it.
+func Measure(b workloads.Benchmark, kind AgentKind, cfg Config) (*Measurement, error) {
+	cfg = cfg.normalized()
+	spec := b.Spec.Scale(cfg.Scale)
+	sequence := b.WarehouseSequence
+	if len(sequence) == 0 {
+		sequence = []int{spec.Threads}
+	}
+	var cyclesSamples, throughputSamples []float64
+	m := &Measurement{Benchmark: spec.Name, Agent: kind, Runs: cfg.Runs}
+	for i := 0; i < cfg.Runs; i++ {
+		var totalCycles, totalOps uint64
+		var report *core.Report
+		var truth core.GroundTruth
+		for _, warehouses := range sequence {
+			s := spec
+			s.Threads = warehouses
+			prog, err := workloads.Build(s)
+			if err != nil {
+				return nil, fmt.Errorf("harness: %s: %w", s.Name, err)
+			}
+			res, err := core.Run(prog, newAgent(kind), cfg.Opts)
+			if err != nil {
+				return nil, fmt.Errorf("harness: %s under %s: %w", s.Name, kind, err)
+			}
+			totalCycles += res.TotalCycles
+			totalOps += res.Ops
+			truth.BytecodeCycles += res.Truth.BytecodeCycles
+			truth.NativeCycles += res.Truth.NativeCycles
+			truth.OverheadCycles += res.Truth.OverheadCycles
+			truth.NativeMethodCalls += res.Truth.NativeMethodCalls
+			truth.JNICalls += res.Truth.JNICalls
+			report = mergeReports(report, res.Report)
+		}
+		cyclesSamples = append(cyclesSamples, float64(totalCycles))
+		if totalCycles > 0 {
+			throughputSamples = append(throughputSamples,
+				float64(totalOps)/(float64(totalCycles)/1e6))
+		} else {
+			throughputSamples = append(throughputSamples, 0)
+		}
+		m.Report = report
+		m.Truth = truth
+	}
+	var err error
+	if m.MedianCycles, err = stats.Median(cyclesSamples); err != nil {
+		return nil, err
+	}
+	if m.MedianThroughput, err = stats.Median(throughputSamples); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// mergeReports sums two agent reports (for warehouse sequences).
+func mergeReports(into, add *core.Report) *core.Report {
+	if add == nil {
+		return into
+	}
+	if into == nil {
+		c := *add
+		c.PerThread = append([]core.ThreadStats(nil), add.PerThread...)
+		return &c
+	}
+	into.TotalBytecodeCycles += add.TotalBytecodeCycles
+	into.TotalNativeCycles += add.TotalNativeCycles
+	into.JNICalls += add.JNICalls
+	into.NativeMethodCalls += add.NativeMethodCalls
+	into.PerThread = append(into.PerThread, add.PerThread...)
+	return into
+}
+
+// TableIRow is one benchmark's row of Table I.
+type TableIRow struct {
+	Benchmark string
+	// Throughput is true for JBB-style rows, where the metric is
+	// operations per Mcycles and the overhead formula inverts.
+	Throughput bool
+
+	TimeOriginal float64
+	TimeSPA      float64
+	TimeIPA      float64
+
+	ThroughputOriginal float64
+	ThroughputSPA      float64
+	ThroughputIPA      float64
+
+	OverheadSPA float64 // percent
+	OverheadIPA float64 // percent
+
+	// Paper columns for side-by-side comparison.
+	PaperOverheadSPA float64
+	PaperOverheadIPA float64
+}
+
+// TableI runs the full Table I campaign: every suite benchmark under the
+// three configurations. The returned rows preserve suite order (JVM98
+// rows first, then JBB2005).
+func TableI(cfg Config) ([]TableIRow, error) {
+	cfg = cfg.normalized()
+	var rows []TableIRow
+	for _, b := range workloads.Suite() {
+		row := TableIRow{
+			Benchmark:        b.Spec.Name,
+			Throughput:       b.Expected.PaperThroughput > 0,
+			PaperOverheadSPA: b.Expected.PaperSPAOverheadPct,
+			PaperOverheadIPA: b.Expected.PaperIPAOverheadPct,
+		}
+		var ms [3]*Measurement
+		for _, kind := range []AgentKind{AgentNone, AgentSPA, AgentIPA} {
+			m, err := Measure(b, kind, cfg)
+			if err != nil {
+				return nil, err
+			}
+			ms[kind] = m
+		}
+		row.TimeOriginal = ms[AgentNone].MedianCycles
+		row.TimeSPA = ms[AgentSPA].MedianCycles
+		row.TimeIPA = ms[AgentIPA].MedianCycles
+		row.ThroughputOriginal = ms[AgentNone].MedianThroughput
+		row.ThroughputSPA = ms[AgentSPA].MedianThroughput
+		row.ThroughputIPA = ms[AgentIPA].MedianThroughput
+		var err error
+		if row.Throughput {
+			if row.OverheadSPA, err = stats.OverheadThroughput(row.ThroughputOriginal, row.ThroughputSPA); err != nil {
+				return nil, err
+			}
+			if row.OverheadIPA, err = stats.OverheadThroughput(row.ThroughputOriginal, row.ThroughputIPA); err != nil {
+				return nil, err
+			}
+		} else {
+			if row.OverheadSPA, err = stats.OverheadTime(row.TimeOriginal, row.TimeSPA); err != nil {
+				return nil, err
+			}
+			if row.OverheadIPA, err = stats.OverheadTime(row.TimeOriginal, row.TimeIPA); err != nil {
+				return nil, err
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// GeoMeanRow aggregates the JVM98 rows (time-metric rows) of Table I with
+// the geometric mean, as the paper does.
+func GeoMeanRow(rows []TableIRow) (TableIRow, error) {
+	var times, spas, ipas []float64
+	for _, r := range rows {
+		if r.Throughput {
+			continue
+		}
+		times = append(times, r.TimeOriginal)
+		spas = append(spas, r.TimeSPA)
+		ipas = append(ipas, r.TimeIPA)
+	}
+	g := TableIRow{Benchmark: "geom. mean"}
+	var err error
+	if g.TimeOriginal, err = stats.GeoMean(times); err != nil {
+		return g, err
+	}
+	if g.TimeSPA, err = stats.GeoMean(spas); err != nil {
+		return g, err
+	}
+	if g.TimeIPA, err = stats.GeoMean(ipas); err != nil {
+		return g, err
+	}
+	if g.OverheadSPA, err = stats.OverheadTime(g.TimeOriginal, g.TimeSPA); err != nil {
+		return g, err
+	}
+	if g.OverheadIPA, err = stats.OverheadTime(g.TimeOriginal, g.TimeIPA); err != nil {
+		return g, err
+	}
+	return g, nil
+}
+
+// TableIIRow is one benchmark's row of Table II.
+type TableIIRow struct {
+	Benchmark         string
+	NativePct         float64
+	JNICalls          uint64
+	NativeMethodCalls uint64
+	// Ground-truth and paper columns for comparison.
+	TruthNativePct float64
+	PaperNativePct float64
+}
+
+// TableII runs the Table II campaign: every benchmark under IPA, reporting
+// the percentage of native execution and the transition counts. The
+// ground-truth column comes from a separate uninstrumented run of the same
+// workload: the oracle for agent accuracy must not itself be perturbed by
+// the agent's machinery.
+func TableII(cfg Config) ([]TableIIRow, error) {
+	cfg = cfg.normalized()
+	var rows []TableIIRow
+	for _, b := range workloads.Suite() {
+		m, err := Measure(b, AgentIPA, cfg)
+		if err != nil {
+			return nil, err
+		}
+		plain, err := Measure(b, AgentNone, cfg)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, TableIIRow{
+			Benchmark:         b.Spec.Name,
+			NativePct:         m.Report.NativeFraction() * 100,
+			JNICalls:          m.Report.JNICalls,
+			NativeMethodCalls: m.Report.NativeMethodCalls,
+			TruthNativePct:    plain.Truth.NativeFraction() * 100,
+			PaperNativePct:    b.Expected.PaperNativePct,
+		})
+	}
+	return rows, nil
+}
+
+// RenderTableI formats Table I like the paper, with cycle counts standing
+// in for seconds and a throughput row for JBB2005.
+func RenderTableI(rows []TableIRow, geo TableIRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "TABLE I: EXECUTION TIME AND PROFILING OVERHEAD FOR SPA AND IPA\n")
+	fmt.Fprintf(&b, "%-11s %14s %14s %14s %14s %13s\n",
+		"benchmark", "cycles orig", "cycles SPA", "cycles IPA", "overhead SPA", "overhead IPA")
+	for _, r := range rows {
+		if r.Throughput {
+			continue
+		}
+		fmt.Fprintf(&b, "%-11s %14.0f %14.0f %14.0f %13.2f%% %12.2f%%\n",
+			r.Benchmark, r.TimeOriginal, r.TimeSPA, r.TimeIPA, r.OverheadSPA, r.OverheadIPA)
+	}
+	fmt.Fprintf(&b, "%-11s %14.0f %14.0f %14.0f %13.2f%% %12.2f%%\n",
+		geo.Benchmark, geo.TimeOriginal, geo.TimeSPA, geo.TimeIPA, geo.OverheadSPA, geo.OverheadIPA)
+	fmt.Fprintf(&b, "\n%-11s %14s %14s %14s %14s %13s\n",
+		"benchmark", "thpt orig", "thpt SPA", "thpt IPA", "overhead SPA", "overhead IPA")
+	for _, r := range rows {
+		if !r.Throughput {
+			continue
+		}
+		fmt.Fprintf(&b, "%-11s %14.1f %14.1f %14.1f %13.2f%% %12.2f%%\n",
+			r.Benchmark, r.ThroughputOriginal, r.ThroughputSPA, r.ThroughputIPA,
+			r.OverheadSPA, r.OverheadIPA)
+	}
+	return b.String()
+}
+
+// RenderTableII formats Table II like the paper, adding the ground-truth
+// and paper columns the simulator makes available.
+func RenderTableII(rows []TableIIRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "TABLE II: PROFILING STATISTICS\n")
+	fmt.Fprintf(&b, "%-11s %18s %12s %20s %12s %11s\n",
+		"benchmark", "% native execution", "JNI calls", "native method calls", "truth %", "paper %")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-11s %17.2f%% %12d %20d %11.2f%% %10.2f%%\n",
+			r.Benchmark, r.NativePct, r.JNICalls, r.NativeMethodCalls,
+			r.TruthNativePct, r.PaperNativePct)
+	}
+	return b.String()
+}

@@ -1,0 +1,231 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/workloads"
+)
+
+// testConfig scales the suite down so the full campaign stays fast.
+func testConfig() Config {
+	c := DefaultConfig()
+	c.Runs = 1
+	c.Scale = 25
+	return c
+}
+
+func TestAgentKindString(t *testing.T) {
+	if AgentNone.String() != "original" || AgentSPA.String() != "SPA" || AgentIPA.String() != "IPA" {
+		t.Fatal("AgentKind names wrong")
+	}
+}
+
+func TestMeasureSingleBenchmark(t *testing.T) {
+	b, err := workloads.ByName("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Measure(b, AgentIPA, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.MedianCycles <= 0 {
+		t.Fatalf("median cycles = %f", m.MedianCycles)
+	}
+	if m.Report == nil || m.Report.AgentName != "IPA" {
+		t.Fatalf("report = %+v", m.Report)
+	}
+}
+
+func TestMeasureMedianOfRuns(t *testing.T) {
+	b, err := workloads.ByName("mtrt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig()
+	cfg.Runs = 3
+	m, err := Measure(b, AgentNone, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Runs != 3 {
+		t.Fatalf("runs = %d", m.Runs)
+	}
+	// Deterministic simulator: the median equals a single run.
+	single, err := Measure(b, AgentNone, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.MedianCycles != single.MedianCycles {
+		t.Fatalf("median over 3 deterministic runs %f != single %f",
+			m.MedianCycles, single.MedianCycles)
+	}
+}
+
+// TestTableIShape verifies the central claims of Table I hold in the
+// reproduction: SPA overhead is orders of magnitude above IPA's for every
+// benchmark, and both are positive.
+func TestTableIShape(t *testing.T) {
+	rows, err := TableI(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d, want 8", len(rows))
+	}
+	for _, r := range rows {
+		// The paper's smallest SPA overhead is db's 1,527%; scaled-down
+		// test runs land somewhat lower because JIT warmup occupies a
+		// larger share of the shorter baseline.
+		if r.OverheadSPA < 800 {
+			t.Errorf("%s: SPA overhead %.0f%% below 800%%", r.Benchmark, r.OverheadSPA)
+		}
+		if r.OverheadIPA < 0 || r.OverheadIPA > 60 {
+			t.Errorf("%s: IPA overhead %.2f%% outside [0,60]", r.Benchmark, r.OverheadIPA)
+		}
+		if r.OverheadSPA < 20*r.OverheadIPA {
+			t.Errorf("%s: SPA/IPA overhead ratio too small (%.0f vs %.2f)",
+				r.Benchmark, r.OverheadSPA, r.OverheadIPA)
+		}
+	}
+	// JBB row uses the throughput metric.
+	last := rows[len(rows)-1]
+	if !last.Throughput || last.Benchmark != "jbb2005" {
+		t.Fatalf("last row = %+v, want jbb2005 throughput row", last)
+	}
+	if last.ThroughputOriginal <= last.ThroughputSPA {
+		t.Error("jbb2005: SPA throughput not below original")
+	}
+}
+
+// TestTableIOrderingShape: the paper's extremes — mtrt has the largest SPA
+// overhead and db the smallest; jack has the largest IPA overhead among
+// JVM98.
+func TestTableIOrderingShape(t *testing.T) {
+	rows, err := TableI(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]TableIRow{}
+	for _, r := range rows {
+		byName[r.Benchmark] = r
+	}
+	for _, name := range []string{"jess", "db", "javac", "compress", "jack"} {
+		if byName["mtrt"].OverheadSPA <= byName[name].OverheadSPA {
+			t.Errorf("SPA overhead: mtrt (%.0f%%) not above %s (%.0f%%)",
+				byName["mtrt"].OverheadSPA, name, byName[name].OverheadSPA)
+		}
+		if name != "db" && byName["db"].OverheadSPA >= byName[name].OverheadSPA {
+			t.Errorf("SPA overhead: db (%.0f%%) not below %s (%.0f%%)",
+				byName["db"].OverheadSPA, name, byName[name].OverheadSPA)
+		}
+	}
+	for _, name := range []string{"jess", "db", "mtrt", "mpegaudio"} {
+		if byName["jack"].OverheadIPA <= byName[name].OverheadIPA {
+			t.Errorf("IPA overhead: jack (%.2f%%) not above %s (%.2f%%)",
+				byName["jack"].OverheadIPA, name, byName[name].OverheadIPA)
+		}
+	}
+}
+
+func TestGeoMeanRow(t *testing.T) {
+	rows, err := TableI(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	geo, err := GeoMeanRow(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if geo.Benchmark != "geom. mean" {
+		t.Fatalf("geo row = %+v", geo)
+	}
+	if geo.OverheadSPA < 1000 || geo.OverheadIPA > 60 {
+		t.Fatalf("geo overheads SPA=%.0f%% IPA=%.2f%% out of shape",
+			geo.OverheadSPA, geo.OverheadIPA)
+	}
+}
+
+// TestTableIIShape verifies the Table II reproduction: native execution
+// stays within the paper's 20%-ish ceiling, measured fractions track the
+// ground truth, and the call-count orderings match the paper.
+func TestTableIIShape(t *testing.T) {
+	rows, err := TableII(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d, want 8", len(rows))
+	}
+	byName := map[string]TableIIRow{}
+	for _, r := range rows {
+		byName[r.Benchmark] = r
+		// Scaled-down runs shift JIT warmup shares upward, so the test
+		// ceiling is looser than the paper's 20%; the full-scale tables
+		// land at the paper's levels.
+		if r.NativePct < 0 || r.NativePct > 32 {
+			t.Errorf("%s: native%% = %.2f outside [0,32]", r.Benchmark, r.NativePct)
+		}
+		diff := r.NativePct - r.TruthNativePct
+		if diff < -4 || diff > 4 {
+			t.Errorf("%s: measured %.2f%% vs truth %.2f%% (|diff|>4pp)",
+				r.Benchmark, r.NativePct, r.TruthNativePct)
+		}
+	}
+	// Orderings from the paper: javac and jack are the native-heavy pair;
+	// db, mpegaudio and mtrt the light group.
+	for _, heavy := range []string{"javac", "jack"} {
+		for _, light := range []string{"db", "mpegaudio", "mtrt", "compress", "jess"} {
+			if byName[heavy].NativePct <= byName[light].NativePct {
+				t.Errorf("native%%: %s (%.2f) not above %s (%.2f)",
+					heavy, byName[heavy].NativePct, light, byName[light].NativePct)
+			}
+		}
+	}
+	// JBB2005 makes more JNI calls than native method calls; JVM98 rows
+	// are the other way around.
+	if byName["jbb2005"].JNICalls <= byName["jbb2005"].NativeMethodCalls {
+		t.Error("jbb2005: JNI calls not above native method calls")
+	}
+	for _, n := range []string{"compress", "jess", "db", "javac", "mpegaudio", "mtrt", "jack"} {
+		if byName[n].JNICalls >= byName[n].NativeMethodCalls {
+			t.Errorf("%s: JNI calls (%d) not below native calls (%d)",
+				n, byName[n].JNICalls, byName[n].NativeMethodCalls)
+		}
+	}
+}
+
+func TestRenderTables(t *testing.T) {
+	rows, err := TableI(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	geo, err := GeoMeanRow(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1 := RenderTableI(rows, geo)
+	for _, want := range []string{"TABLE I", "compress", "geom. mean", "jbb2005", "overhead SPA"} {
+		if !strings.Contains(t1, want) {
+			t.Errorf("Table I render missing %q", want)
+		}
+	}
+	rows2, err := TableII(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2 := RenderTableII(rows2)
+	for _, want := range []string{"TABLE II", "% native execution", "JNI calls", "jack"} {
+		if !strings.Contains(t2, want) {
+			t.Errorf("Table II render missing %q", want)
+		}
+	}
+}
+
+func TestConfigNormalization(t *testing.T) {
+	c := Config{Runs: 0, Scale: -2}.normalized()
+	if c.Runs != 1 || c.Scale != 1 {
+		t.Fatalf("normalized = %+v", c)
+	}
+}

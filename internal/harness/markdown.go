@@ -1,0 +1,51 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteMarkdown renders a full evaluation campaign as a Markdown report:
+// Table I (with the paper's overhead columns alongside), the geometric
+// mean row, and Table II with ground-truth and paper columns. cmd/tables
+// consumers and CI dashboards ingest this form.
+func WriteMarkdown(w io.Writer, rows1 []TableIRow, geo TableIRow, rows2 []TableIIRow) error {
+	if _, err := fmt.Fprintf(w, "# Evaluation report\n\n## Table I — execution time and profiling overhead\n\n"); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "| benchmark | cycles orig | cycles SPA | cycles IPA | SPA overhead | IPA overhead | paper SPA | paper IPA |\n")
+	fmt.Fprintf(w, "|---|---|---|---|---|---|---|---|\n")
+	for _, r := range rows1 {
+		if r.Throughput {
+			continue
+		}
+		fmt.Fprintf(w, "| %s | %.0f | %.0f | %.0f | %.2f%% | %.2f%% | %.2f%% | %.2f%% |\n",
+			r.Benchmark, r.TimeOriginal, r.TimeSPA, r.TimeIPA,
+			r.OverheadSPA, r.OverheadIPA, r.PaperOverheadSPA, r.PaperOverheadIPA)
+	}
+	fmt.Fprintf(w, "| %s | %.0f | %.0f | %.0f | %.2f%% | %.2f%% | | |\n\n",
+		geo.Benchmark, geo.TimeOriginal, geo.TimeSPA, geo.TimeIPA,
+		geo.OverheadSPA, geo.OverheadIPA)
+
+	fmt.Fprintf(w, "### Throughput rows\n\n")
+	fmt.Fprintf(w, "| benchmark | thpt orig | thpt SPA | thpt IPA | SPA overhead | IPA overhead |\n")
+	fmt.Fprintf(w, "|---|---|---|---|---|---|\n")
+	for _, r := range rows1 {
+		if !r.Throughput {
+			continue
+		}
+		fmt.Fprintf(w, "| %s | %.1f | %.1f | %.1f | %.2f%% | %.2f%% |\n",
+			r.Benchmark, r.ThroughputOriginal, r.ThroughputSPA, r.ThroughputIPA,
+			r.OverheadSPA, r.OverheadIPA)
+	}
+
+	fmt.Fprintf(w, "\n## Table II — profiling statistics (IPA)\n\n")
+	fmt.Fprintf(w, "| benchmark | %% native | JNI calls | native method calls | ground truth %% | paper %% |\n")
+	fmt.Fprintf(w, "|---|---|---|---|---|---|\n")
+	for _, r := range rows2 {
+		fmt.Fprintf(w, "| %s | %.2f%% | %d | %d | %.2f%% | %.2f%% |\n",
+			r.Benchmark, r.NativePct, r.JNICalls, r.NativeMethodCalls,
+			r.TruthNativePct, r.PaperNativePct)
+	}
+	return nil
+}

@@ -1,0 +1,49 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteMarkdown(t *testing.T) {
+	cfg := testConfig()
+	cfg.Scale = 50
+	rows1, err := TableI(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	geo, err := GeoMeanRow(rows1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows2, err := TableII(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteMarkdown(&buf, rows1, geo, rows2); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# Evaluation report",
+		"## Table I",
+		"## Table II",
+		"| compress |",
+		"| geom. mean |",
+		"| jbb2005 |",
+		"paper SPA",
+		"ground truth %",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q", want)
+		}
+	}
+	// Every JVM98 benchmark appears in Table I's time section.
+	for _, name := range []string{"jess", "db", "javac", "mpegaudio", "mtrt", "jack"} {
+		if !strings.Contains(out, "| "+name+" |") {
+			t.Errorf("markdown missing row for %s", name)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ShapeReport is the outcome of verifying the paper's qualitative claims
+// against a measured campaign — the reproduction's certificate. Each check
+// is one sentence from Section V turned into a predicate.
+type ShapeReport struct {
+	Checks []ShapeCheck
+}
+
+// ShapeCheck is one verified claim.
+type ShapeCheck struct {
+	Claim string
+	OK    bool
+	Note  string
+}
+
+// OK reports whether every check passed.
+func (r *ShapeReport) OK() bool {
+	for _, c := range r.Checks {
+		if !c.OK {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the certificate.
+func (r *ShapeReport) String() string {
+	var b strings.Builder
+	for _, c := range r.Checks {
+		mark := "PASS"
+		if !c.OK {
+			mark = "FAIL"
+		}
+		fmt.Fprintf(&b, "[%s] %s", mark, c.Claim)
+		if c.Note != "" {
+			fmt.Fprintf(&b, " — %s", c.Note)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func (r *ShapeReport) add(claim string, ok bool, note string) {
+	r.Checks = append(r.Checks, ShapeCheck{Claim: claim, OK: ok, Note: note})
+}
+
+// VerifyShape runs the full campaign and checks every qualitative claim of
+// the paper's evaluation against it:
+//
+//  1. SPA overhead is excessive (>800%) on every benchmark (Table I).
+//  2. IPA overhead is moderate (0-25%) on every benchmark (Table I).
+//  3. SPA overhead exceeds IPA's by at least 20x everywhere.
+//  4. mtrt has the largest and db the smallest SPA overhead (call-density
+//     ordering, Section V-A).
+//  5. jack has the largest IPA overhead among JVM98 (transition-frequency
+//     ordering).
+//  6. Native execution stays within the paper's ~20% ceiling (Table II;
+//     allow 25% for scaled runs).
+//  7. compress, db, mpegaudio and mtrt spend <7% in native code
+//     (the paper: "several benchmarks ... spend less than 5%").
+//  8. jbb2005 makes more JNI calls than native method calls; all JVM98
+//     benchmarks the reverse.
+//  9. IPA's measurement tracks the uninstrumented ground truth within
+//     4 percentage points on every benchmark.
+func VerifyShape(cfg Config) (*ShapeReport, error) {
+	cfg = cfg.normalized()
+	rows1, err := TableI(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rows2, err := TableII(cfg)
+	if err != nil {
+		return nil, err
+	}
+	r := &ShapeReport{}
+	by1 := map[string]TableIRow{}
+	for _, row := range rows1 {
+		by1[row.Benchmark] = row
+	}
+	by2 := map[string]TableIIRow{}
+	for _, row := range rows2 {
+		by2[row.Benchmark] = row
+	}
+
+	// 1 + 2 + 3.
+	ok1, ok2, ok3 := true, true, true
+	var n1, n2, n3 []string
+	for _, row := range rows1 {
+		if row.OverheadSPA < 800 {
+			ok1 = false
+			n1 = append(n1, fmt.Sprintf("%s=%.0f%%", row.Benchmark, row.OverheadSPA))
+		}
+		if row.OverheadIPA < 0 || row.OverheadIPA > 25 {
+			ok2 = false
+			n2 = append(n2, fmt.Sprintf("%s=%.2f%%", row.Benchmark, row.OverheadIPA))
+		}
+		if row.OverheadIPA > 0 && row.OverheadSPA < 20*row.OverheadIPA {
+			ok3 = false
+			n3 = append(n3, row.Benchmark)
+		}
+	}
+	r.add("SPA overhead excessive (>800%) everywhere", ok1, strings.Join(n1, ", "))
+	r.add("IPA overhead moderate (0-25%) everywhere", ok2, strings.Join(n2, ", "))
+	r.add("SPA overhead at least 20x IPA's everywhere", ok3, strings.Join(n3, ", "))
+
+	// 4.
+	okMax, okMin := true, true
+	for name, row := range by1 {
+		if name != "mtrt" && row.OverheadSPA >= by1["mtrt"].OverheadSPA {
+			okMax = false
+		}
+		if name != "db" && row.OverheadSPA <= by1["db"].OverheadSPA {
+			okMin = false
+		}
+	}
+	r.add("mtrt worst / db best under SPA (call-density ordering)", okMax && okMin, "")
+
+	// 5.
+	okJack := true
+	for _, name := range []string{"compress", "jess", "db", "javac", "mpegaudio", "mtrt"} {
+		if by1["jack"].OverheadIPA <= by1[name].OverheadIPA {
+			okJack = false
+		}
+	}
+	r.add("jack largest IPA overhead among JVM98", okJack, "")
+
+	// 6 + 7.
+	okCeil, okLight := true, true
+	var n6, n7 []string
+	for _, row := range rows2 {
+		if row.NativePct > 25 {
+			okCeil = false
+			n6 = append(n6, fmt.Sprintf("%s=%.1f%%", row.Benchmark, row.NativePct))
+		}
+	}
+	for _, name := range []string{"compress", "db", "mpegaudio", "mtrt"} {
+		if by2[name].NativePct >= 7 {
+			okLight = false
+			n7 = append(n7, fmt.Sprintf("%s=%.1f%%", name, by2[name].NativePct))
+		}
+	}
+	r.add("native execution within the ~20% ceiling", okCeil, strings.Join(n6, ", "))
+	r.add("light group (compress, db, mpegaudio, mtrt) under 7%", okLight, strings.Join(n7, ", "))
+
+	// 8.
+	okJBB := by2["jbb2005"].JNICalls > by2["jbb2005"].NativeMethodCalls
+	okJVM98 := true
+	for _, name := range []string{"compress", "jess", "db", "javac", "mpegaudio", "mtrt", "jack"} {
+		if by2[name].JNICalls >= by2[name].NativeMethodCalls {
+			okJVM98 = false
+		}
+	}
+	r.add("jbb2005 JNI>native calls; JVM98 the reverse", okJBB && okJVM98, "")
+
+	// 9.
+	okAcc := true
+	var n9 []string
+	for _, row := range rows2 {
+		d := row.NativePct - row.TruthNativePct
+		if d < -4 || d > 4 {
+			okAcc = false
+			n9 = append(n9, fmt.Sprintf("%s=%+.1fpp", row.Benchmark, d))
+		}
+	}
+	r.add("IPA tracks ground truth within 4pp", okAcc, strings.Join(n9, ", "))
+
+	return r, nil
+}

@@ -1,0 +1,36 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestVerifyShapePasses(t *testing.T) {
+	rep, err := VerifyShape(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("shape verification failed:\n%s", rep.String())
+	}
+	if len(rep.Checks) != 9 {
+		t.Fatalf("checks = %d, want 9", len(rep.Checks))
+	}
+	out := rep.String()
+	if !strings.Contains(out, "PASS") || strings.Contains(out, "FAIL") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestShapeReportRendersFailures(t *testing.T) {
+	r := &ShapeReport{}
+	r.add("claim A", true, "")
+	r.add("claim B", false, "detail")
+	if r.OK() {
+		t.Fatal("OK with a failing check")
+	}
+	out := r.String()
+	if !strings.Contains(out, "[FAIL] claim B — detail") {
+		t.Fatalf("render:\n%s", out)
+	}
+}

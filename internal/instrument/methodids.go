@@ -1,0 +1,78 @@
+package instrument
+
+import (
+	"sort"
+	"sync"
+)
+
+// Method-identified transition signals. When a Registry is configured, the
+// generated wrappers call these variants with the wrapped method's numeric
+// id, enabling per-native-method time attribution in the agent — the
+// refinement of Figure 2 that answers "which native method costs the
+// time", not just "how much time is native".
+const (
+	J2NBeginM = "J2N_BeginM"
+	J2NEndM   = "J2N_EndM"
+)
+
+// Registry assigns stable numeric ids to fully qualified native method
+// names ("Class.name(Desc)") at instrumentation time and resolves them
+// back at reporting time. It is safe for concurrent use.
+type Registry struct {
+	mu    sync.Mutex
+	ids   map[string]int64
+	names []string
+}
+
+// NewRegistry returns an empty method-id registry.
+func NewRegistry() *Registry {
+	return &Registry{ids: make(map[string]int64)}
+}
+
+// IDFor returns the id for the given fully qualified method name,
+// assigning the next id on first use. IDs start at 1; 0 is reserved for
+// "unknown".
+func (r *Registry) IDFor(fullName string) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if id, ok := r.ids[fullName]; ok {
+		return id
+	}
+	r.names = append(r.names, fullName)
+	id := int64(len(r.names))
+	r.ids[fullName] = id
+	return id
+}
+
+// Name resolves an id back to the method name, or "" for unknown ids.
+func (r *Registry) Name(id int64) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if id < 1 || int(id) > len(r.names) {
+		return ""
+	}
+	return r.names[id-1]
+}
+
+// Len returns the number of registered methods.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.names)
+}
+
+// Names returns all registered names in id order.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := append([]string(nil), r.names...)
+	return out
+}
+
+// SortedNames returns the names sorted lexicographically (for stable
+// report output independent of registration order).
+func (r *Registry) SortedNames() []string {
+	out := r.Names()
+	sort.Strings(out)
+	return out
+}

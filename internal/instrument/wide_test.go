@@ -1,0 +1,125 @@
+package instrument
+
+import (
+	"testing"
+
+	"repro/internal/bytecode"
+	"repro/internal/classfile"
+	"repro/internal/vm"
+)
+
+// TestWideSignatureWrapper exercises wrapper generation for a native
+// method with many parameters of mixed types, both static and instance,
+// and runs them end to end.
+func TestWideSignatureWrapper(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	cls := &classfile.Class{
+		Name: "w/Wide",
+		Methods: []*classfile.Method{
+			{Name: "sum6", Desc: "(IJIJIJ)J",
+				Flags: classfile.AccStatic | classfile.AccNative},
+			{Name: "isum4", Desc: "(IIII)I",
+				Flags: classfile.AccPublic | classfile.AccNative}, // instance
+		},
+	}
+	out, wrapped, err := Class(cls, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wrapped != 2 {
+		t.Fatalf("wrapped = %d", wrapped)
+	}
+	if err := bytecode.VerifyClass(out); err != nil {
+		t.Fatal(err)
+	}
+	w6 := out.Method("sum6", "(IJIJIJ)J")
+	if w6.MaxLocals != 6 {
+		t.Fatalf("static wrapper MaxLocals = %d, want 6", w6.MaxLocals)
+	}
+	wi := out.Method("isum4", "(IIII)I")
+	if wi.MaxLocals != 5 { // receiver + 4
+		t.Fatalf("instance wrapper MaxLocals = %d, want 5", wi.MaxLocals)
+	}
+
+	v := vm.New(vm.DefaultOptions())
+	if err := v.SetNativeMethodPrefix(cfg.Prefix); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.LoadClasses([]*classfile.Class{out, RuntimeClassDef(cfg)}); err != nil {
+		t.Fatal(err)
+	}
+	noop := func(env vm.Env, args []int64) (int64, error) { return 0, nil }
+	v.RegisterNative(cfg.RuntimeClass, J2NBegin, "()V", noop)
+	v.RegisterNative(cfg.RuntimeClass, J2NEnd, "()V", noop)
+	v.RegisterNative("w/Wide", "sum6", "(IJIJIJ)J", func(env vm.Env, args []int64) (int64, error) {
+		var s int64
+		for _, a := range args {
+			s += a
+		}
+		return s, nil
+	})
+	v.RegisterNative("w/Wide", "isum4", "(IIII)I", func(env vm.Env, args []int64) (int64, error) {
+		// args[0] is the receiver handle.
+		return args[0]*1000 + args[1] + args[2] + args[3] + args[4], nil
+	})
+
+	got, err := v.Run("w/Wide", "sum6", "(IJIJIJ)J", 1, 2, 3, 4, 5, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 21 {
+		t.Fatalf("sum6 = %d, want 21", got)
+	}
+
+	th := v.NewDetachedThread("t")
+	got, err = th.InvokeVirtual("w/Wide", "isum4", "(IIII)I", 7, 1, 2, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 7010 {
+		t.Fatalf("isum4 = %d, want 7010", got)
+	}
+}
+
+// TestZeroArgVoidWrapper covers the smallest possible wrapper.
+func TestZeroArgVoidWrapper(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	cls := &classfile.Class{
+		Name: "w/Tiny",
+		Methods: []*classfile.Method{
+			{Name: "ping", Desc: "()V", Flags: classfile.AccStatic | classfile.AccNative},
+		},
+	}
+	out, wrapped, err := Class(cls, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wrapped != 1 {
+		t.Fatalf("wrapped = %d", wrapped)
+	}
+	w := out.Method("ping", "()V")
+	if w == nil || w.MaxLocals != 0 {
+		t.Fatalf("wrapper = %+v", w)
+	}
+	v := vm.New(vm.DefaultOptions())
+	if err := v.SetNativeMethodPrefix(cfg.Prefix); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.LoadClasses([]*classfile.Class{out, RuntimeClassDef(cfg)}); err != nil {
+		t.Fatal(err)
+	}
+	var pinged bool
+	noop := func(env vm.Env, args []int64) (int64, error) { return 0, nil }
+	v.RegisterNative(cfg.RuntimeClass, J2NBegin, "()V", noop)
+	v.RegisterNative(cfg.RuntimeClass, J2NEnd, "()V", noop)
+	v.RegisterNative("w/Tiny", "ping", "()V", func(env vm.Env, args []int64) (int64, error) {
+		pinged = true
+		return 0, nil
+	})
+	if _, err := v.Run("w/Tiny", "ping", "()V"); err != nil {
+		t.Fatal(err)
+	}
+	if !pinged {
+		t.Fatal("native not reached through wrapper")
+	}
+}

@@ -1,0 +1,534 @@
+// Package jasm implements a textual assembly language for the simulator's
+// class files — the Jasmin analogue of this toolchain. It lets tests,
+// examples and users author classes without the programmatic Assembler:
+//
+//	class demo/Main {
+//	    field static counter = 0
+//
+//	    method static main(I)J {
+//	        const 0
+//	        store 1
+//	    loop:
+//	        load 0
+//	        ifle end
+//	        load 1
+//	        load 0
+//	        add
+//	        store 1
+//	        inc 0 -1
+//	        goto loop
+//	    end:
+//	        load 1
+//	        ireturn
+//	    }
+//
+//	    method static native nwork(J)J
+//	}
+//
+// Lines are instructions, labels ("name:"), or directives. '#' and '//'
+// start comments. Exception handlers use the in-method directive
+//
+//	catch <startLabel> <endLabel> <handlerLabel>
+//
+// MaxStack is computed by the assembler; MaxLocals is inferred from the
+// descriptor and the highest local slot used (override with "locals=N" on
+// the method line).
+package jasm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/bytecode"
+	"repro/internal/classfile"
+)
+
+// ParseError reports a syntax or semantic error with its line number.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("jasm: line %d: %s", e.Line, e.Msg)
+}
+
+func errf(line int, format string, args ...any) error {
+	return &ParseError{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Parse assembles jasm source into classes.
+func Parse(src string) ([]*classfile.Class, error) {
+	p := &parser{lines: strings.Split(src, "\n")}
+	return p.parse()
+}
+
+type parser struct {
+	lines []string
+	pos   int // current line index
+}
+
+// next returns the next significant line (trimmed, comments stripped),
+// or "" at EOF. lineNo is 1-based.
+func (p *parser) next() (text string, lineNo int, ok bool) {
+	for p.pos < len(p.lines) {
+		raw := p.lines[p.pos]
+		p.pos++
+		t := stripComment(raw)
+		if t != "" {
+			return t, p.pos, true
+		}
+	}
+	return "", p.pos, false
+}
+
+func stripComment(s string) string {
+	if i := strings.Index(s, "#"); i >= 0 {
+		s = s[:i]
+	}
+	if i := strings.Index(s, "//"); i >= 0 {
+		s = s[:i]
+	}
+	return strings.TrimSpace(s)
+}
+
+func (p *parser) parse() ([]*classfile.Class, error) {
+	var classes []*classfile.Class
+	for {
+		line, n, ok := p.next()
+		if !ok {
+			break
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 || fields[0] != "class" {
+			return nil, errf(n, "expected 'class <name> {', got %q", line)
+		}
+		if fields[len(fields)-1] != "{" {
+			return nil, errf(n, "class line must end with '{'")
+		}
+		name := strings.Join(fields[1:len(fields)-1], "")
+		cls, err := p.parseClassBody(name)
+		if err != nil {
+			return nil, err
+		}
+		classes = append(classes, cls)
+	}
+	if len(classes) == 0 {
+		return nil, fmt.Errorf("jasm: no classes in input")
+	}
+	return classes, nil
+}
+
+func (p *parser) parseClassBody(name string) (*classfile.Class, error) {
+	cls := &classfile.Class{Name: name, SourceFile: name + ".jasm"}
+	for {
+		line, n, ok := p.next()
+		if !ok {
+			return nil, errf(n, "unexpected EOF in class %s", name)
+		}
+		switch {
+		case line == "}":
+			if err := cls.Validate(); err != nil {
+				return nil, fmt.Errorf("jasm: class %s: %w", name, err)
+			}
+			if err := bytecode.VerifyClass(cls); err != nil {
+				return nil, fmt.Errorf("jasm: class %s: %w", name, err)
+			}
+			return cls, nil
+		case strings.HasPrefix(line, "field "):
+			f, err := parseField(line, n)
+			if err != nil {
+				return nil, err
+			}
+			cls.Fields = append(cls.Fields, f)
+		case strings.HasPrefix(line, "method "):
+			m, err := p.parseMethod(cls.Name, line, n)
+			if err != nil {
+				return nil, err
+			}
+			cls.Methods = append(cls.Methods, m)
+		default:
+			return nil, errf(n, "expected field, method or '}', got %q", line)
+		}
+	}
+}
+
+// parseField handles: field [static] <name> [= <init>]
+func parseField(line string, n int) (*classfile.Field, error) {
+	fields := strings.Fields(line)[1:]
+	f := &classfile.Field{}
+	i := 0
+	if i < len(fields) && fields[i] == "static" {
+		f.Flags |= classfile.AccStatic
+		i++
+	}
+	if i >= len(fields) {
+		return nil, errf(n, "field needs a name")
+	}
+	f.Name = fields[i]
+	i++
+	if i < len(fields) {
+		if fields[i] != "=" || i+1 >= len(fields) {
+			return nil, errf(n, "field initializer must be '= <value>'")
+		}
+		v, err := strconv.ParseInt(fields[i+1], 0, 64)
+		if err != nil {
+			return nil, errf(n, "bad field initializer %q", fields[i+1])
+		}
+		f.Init = v
+	}
+	return f, nil
+}
+
+// parseMethod handles the header
+//
+//	method [static] [native] <name><desc> [locals=N] [{]
+//
+// and, for non-native methods, the body until '}'.
+func (p *parser) parseMethod(className, line string, n int) (*classfile.Method, error) {
+	fields := strings.Fields(line)[1:]
+	var flags classfile.AccessFlags = classfile.AccPublic
+	i := 0
+	for i < len(fields) {
+		switch fields[i] {
+		case "static":
+			flags |= classfile.AccStatic
+			i++
+			continue
+		case "native":
+			flags |= classfile.AccNative
+			i++
+			continue
+		}
+		break
+	}
+	if i >= len(fields) {
+		return nil, errf(n, "method needs a signature")
+	}
+	sig := fields[i]
+	i++
+	open := strings.IndexByte(sig, '(')
+	if open <= 0 {
+		return nil, errf(n, "method signature %q must be name(desc)", sig)
+	}
+	name, desc := sig[:open], sig[open:]
+	if _, err := classfile.ParseDescriptor(desc); err != nil {
+		return nil, errf(n, "bad descriptor in %q: %v", sig, err)
+	}
+
+	localsOverride := -1
+	hasBrace := false
+	for ; i < len(fields); i++ {
+		switch {
+		case fields[i] == "{":
+			hasBrace = true
+		case strings.HasPrefix(fields[i], "locals="):
+			v, err := strconv.Atoi(strings.TrimPrefix(fields[i], "locals="))
+			if err != nil || v < 0 {
+				return nil, errf(n, "bad locals= value %q", fields[i])
+			}
+			localsOverride = v
+		default:
+			return nil, errf(n, "unexpected token %q in method header", fields[i])
+		}
+	}
+
+	if flags.Has(classfile.AccNative) {
+		if hasBrace {
+			return nil, errf(n, "native method cannot have a body")
+		}
+		return &classfile.Method{Name: name, Desc: desc, Flags: flags}, nil
+	}
+	if !hasBrace {
+		return nil, errf(n, "non-native method needs a body '{'")
+	}
+	return p.parseBody(className, name, desc, flags, localsOverride)
+}
+
+// catchDirective is a deferred handler registration.
+type catchDirective struct {
+	start, end, handler string
+	line                int
+}
+
+func (p *parser) parseBody(className, name, desc string, flags classfile.AccessFlags, localsOverride int) (*classfile.Method, error) {
+	a := bytecode.NewAssembler()
+	labels := make(map[string]bytecode.Label)
+	labelOffsets := make(map[string]uint16)
+	labelOf := func(s string) bytecode.Label {
+		if l, ok := labels[s]; ok {
+			return l
+		}
+		l := a.NewLabel()
+		labels[s] = l
+		return l
+	}
+	var catches []catchDirective
+	maxSlot := -1
+	noteSlot := func(s int) {
+		if s > maxSlot {
+			maxSlot = s
+		}
+	}
+
+	for {
+		line, n, ok := p.next()
+		if !ok {
+			return nil, errf(n, "unexpected EOF in method %s", name)
+		}
+		if line == "}" {
+			break
+		}
+		// Label?
+		if strings.HasSuffix(line, ":") && len(strings.Fields(line)) == 1 {
+			lbl := strings.TrimSuffix(line, ":")
+			if _, dup := labelOffsets[lbl]; dup {
+				return nil, errf(n, "label %q defined twice", lbl)
+			}
+			a.Bind(labelOf(lbl))
+			labelOffsets[lbl] = a.Offset()
+			continue
+		}
+		toks := strings.Fields(line)
+		op, args := toks[0], toks[1:]
+		if err := p.emit(a, className, op, args, n, labelOf, noteSlot, &catches); err != nil {
+			return nil, err
+		}
+	}
+
+	// Resolve catch directives against bound labels.
+	var handlers []classfile.ExceptionEntry
+	for _, c := range catches {
+		s, ok1 := labelOffsets[c.start]
+		e, ok2 := labelOffsets[c.end]
+		h, ok3 := labelOffsets[c.handler]
+		if !ok1 || !ok2 || !ok3 {
+			return nil, errf(c.line, "catch references undefined label(s)")
+		}
+		handlers = append(handlers, classfile.ExceptionEntry{StartPC: s, EndPC: e, HandlerPC: h})
+	}
+
+	m := &classfile.Method{Name: name, Desc: desc, Flags: flags}
+	argWords, err := m.ArgWords()
+	if err != nil {
+		return nil, err
+	}
+	maxLocals := argWords
+	if maxSlot+1 > maxLocals {
+		maxLocals = maxSlot + 1
+	}
+	if localsOverride >= 0 {
+		maxLocals = localsOverride
+	}
+	out, err := a.FinishMethod(name, desc, flags, maxLocals, handlers)
+	if err != nil {
+		return nil, fmt.Errorf("jasm: method %s: %w", name, err)
+	}
+	return out, nil
+}
+
+// emit assembles one instruction line.
+func (p *parser) emit(a *bytecode.Assembler, className, op string, args []string,
+	n int, labelOf func(string) bytecode.Label, noteSlot func(int),
+	catches *[]catchDirective) error {
+
+	needArgs := func(k int) error {
+		if len(args) != k {
+			return errf(n, "%s expects %d operand(s), got %d", op, k, len(args))
+		}
+		return nil
+	}
+	intArg := func(idx int) (int64, error) {
+		v, err := strconv.ParseInt(args[idx], 0, 64)
+		if err != nil {
+			return 0, errf(n, "%s: bad integer %q", op, args[idx])
+		}
+		return v, nil
+	}
+	memberArg := func(idx int, needDesc bool) (class, name, desc string, err error) {
+		sym := args[idx]
+		dot := strings.LastIndexByte(symClassPart(sym), '.')
+		if dot < 0 {
+			return "", "", "", errf(n, "%s: member %q must be Class.name", op, sym)
+		}
+		class = sym[:dot]
+		rest := sym[dot+1:]
+		if open := strings.IndexByte(rest, '('); open >= 0 {
+			name, desc = rest[:open], rest[open:]
+		} else {
+			name = rest
+		}
+		if needDesc && desc == "" {
+			return "", "", "", errf(n, "%s: member %q needs a descriptor", op, sym)
+		}
+		return class, name, desc, nil
+	}
+
+	switch op {
+	case "nop":
+		a.Nop()
+	case "const":
+		if err := needArgs(1); err != nil {
+			return err
+		}
+		v, err := intArg(0)
+		if err != nil {
+			return err
+		}
+		a.Const(v)
+	case "load", "store":
+		if err := needArgs(1); err != nil {
+			return err
+		}
+		v, err := intArg(0)
+		if err != nil {
+			return err
+		}
+		noteSlot(int(v))
+		if op == "load" {
+			a.Load(int(v))
+		} else {
+			a.Store(int(v))
+		}
+	case "inc":
+		if err := needArgs(2); err != nil {
+			return err
+		}
+		slot, err := intArg(0)
+		if err != nil {
+			return err
+		}
+		delta, err := intArg(1)
+		if err != nil {
+			return err
+		}
+		noteSlot(int(slot))
+		a.Inc(int(slot), int(delta))
+	case "add":
+		a.Add()
+	case "sub":
+		a.Sub()
+	case "mul":
+		a.Mul()
+	case "div":
+		a.Div()
+	case "rem":
+		a.Rem()
+	case "neg":
+		a.Neg()
+	case "shl":
+		a.Shl()
+	case "shr":
+		a.Shr()
+	case "and":
+		a.And()
+	case "or":
+		a.Or()
+	case "xor":
+		a.Xor()
+	case "dup":
+		a.Dup()
+	case "pop":
+		a.Pop()
+	case "swap":
+		a.Swap()
+	case "goto", "ifeq", "ifne", "iflt", "ifge", "ifgt", "ifle",
+		"if_cmpeq", "if_cmpne", "if_cmplt", "if_cmpge":
+		if err := needArgs(1); err != nil {
+			return err
+		}
+		l := labelOf(args[0])
+		switch op {
+		case "goto":
+			a.Goto(l)
+		case "ifeq":
+			a.Ifeq(l)
+		case "ifne":
+			a.Ifne(l)
+		case "iflt":
+			a.Iflt(l)
+		case "ifge":
+			a.Ifge(l)
+		case "ifgt":
+			a.Ifgt(l)
+		case "ifle":
+			a.Ifle(l)
+		case "if_cmpeq":
+			a.IfCmpeq(l)
+		case "if_cmpne":
+			a.IfCmpne(l)
+		case "if_cmplt":
+			a.IfCmplt(l)
+		case "if_cmpge":
+			a.IfCmpge(l)
+		}
+	case "invokestatic", "invokevirtual":
+		if err := needArgs(1); err != nil {
+			return err
+		}
+		class, name, desc, err := memberArg(0, true)
+		if err != nil {
+			return err
+		}
+		if op == "invokestatic" {
+			a.InvokeStatic(class, name, desc)
+		} else {
+			a.InvokeVirtual(class, name, desc)
+		}
+	case "getstatic", "putstatic":
+		if err := needArgs(1); err != nil {
+			return err
+		}
+		class, name, _, err := memberArg(0, false)
+		if err != nil {
+			return err
+		}
+		if op == "getstatic" {
+			a.GetStatic(class, name)
+		} else {
+			a.PutStatic(class, name)
+		}
+	case "newarray":
+		a.NewArray()
+	case "aload":
+		a.ALoad()
+	case "astore":
+		a.AStore()
+	case "arraylength":
+		a.ArrayLen()
+	case "throw":
+		a.Throw()
+	case "return":
+		a.Return()
+	case "ireturn":
+		a.IReturn()
+	case "handler":
+		// Synonym kept for symmetry with 'catch'.
+		fallthrough
+	case "catch":
+		if err := needArgs(3); err != nil {
+			return err
+		}
+		*catches = append(*catches, catchDirective{
+			start: args[0], end: args[1], handler: args[2], line: n,
+		})
+	case "enterhandler":
+		a.EnterHandler()
+	default:
+		return errf(n, "unknown instruction %q", op)
+	}
+	_ = className
+	return a.Err()
+}
+
+// symClassPart returns the portion of a member symbol before any
+// descriptor, so the class/name split ignores dots inside descriptors
+// (e.g. class types are written with '/').
+func symClassPart(sym string) string {
+	if open := strings.IndexByte(sym, '('); open >= 0 {
+		return sym[:open]
+	}
+	return sym
+}

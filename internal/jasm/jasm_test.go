@@ -1,0 +1,319 @@
+package jasm
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/vm"
+)
+
+const sumSource = `
+# Sum 1..n, written in jasm.
+class demo/Sum {
+    method static main(I)J {
+        const 0
+        store 1
+    loop:
+        load 0
+        ifle end
+        load 1
+        load 0
+        add
+        store 1
+        inc 0 -1
+        goto loop
+    end:
+        load 1
+        ireturn
+    }
+}
+`
+
+func runJasm(t *testing.T, src, class, method, desc string, args ...int64) (int64, error) {
+	t.Helper()
+	classes, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := vm.New(vm.DefaultOptions())
+	if err := v.LoadClasses(classes); err != nil {
+		t.Fatal(err)
+	}
+	return v.Run(class, method, desc, args...)
+}
+
+func TestParseAndRunSum(t *testing.T) {
+	got, err := runJasm(t, sumSource, "demo/Sum", "main", "(I)J", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 55 {
+		t.Fatalf("main(10) = %d, want 55", got)
+	}
+}
+
+func TestFieldsAndStatics(t *testing.T) {
+	src := `
+class demo/Counter {
+    field static count = 40
+
+    method static bump(I)J {
+        getstatic demo/Counter.count
+        load 0
+        add
+        putstatic demo/Counter.count
+        getstatic demo/Counter.count
+        ireturn
+    }
+}
+`
+	got, err := runJasm(t, src, "demo/Counter", "bump", "(I)J", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 42 {
+		t.Fatalf("bump(2) = %d, want 42", got)
+	}
+}
+
+func TestNativeMethodDeclaration(t *testing.T) {
+	src := `
+class demo/Nat {
+    method static native work(J)J
+    method static main(J)J {
+        load 0
+        invokestatic demo/Nat.work(J)J
+        ireturn
+    }
+}
+`
+	classes, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := vm.New(vm.DefaultOptions())
+	if err := v.LoadClasses(classes); err != nil {
+		t.Fatal(err)
+	}
+	v.RegisterNative("demo/Nat", "work", "(J)J", func(env vm.Env, args []int64) (int64, error) {
+		env.Work(10)
+		return args[0] * 3, nil
+	})
+	got, err := v.Run("demo/Nat", "main", "(J)J", 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 42 {
+		t.Fatalf("main(14) = %d, want 42", got)
+	}
+}
+
+func TestCatchDirective(t *testing.T) {
+	src := `
+class demo/Catch {
+    method static main(J)J {
+    try_start:
+        load 0
+        ifgt ok
+        load 0
+        throw
+    ok:
+        load 0
+        ireturn
+    try_end:
+        enterhandler
+    handler:
+        pop
+        const -1
+        ireturn
+        catch try_start try_end handler
+    }
+}
+`
+	got, err := runJasm(t, src, "demo/Catch", "main", "(J)J", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 9 {
+		t.Fatalf("main(9) = %d, want 9", got)
+	}
+	got, err = runJasm(t, src, "demo/Catch", "main", "(J)J", -3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != -1 {
+		t.Fatalf("main(-3) = %d, want -1 (handler)", got)
+	}
+}
+
+func TestArraysAndCalls(t *testing.T) {
+	src := `
+class demo/Arr {
+    method static fillsum(I)J {
+        // arr = new [n]; arr[i] = i*2; return sum
+        load 0
+        newarray
+        store 1
+        const 0
+        store 2
+    fill:
+        load 2
+        load 0
+        if_cmpge fold
+        load 1
+        load 2
+        load 2
+        const 2
+        mul
+        astore
+        inc 2 1
+        goto fill
+    fold:
+        const 0
+        store 3
+        const 0
+        store 2
+    loop:
+        load 2
+        load 0
+        if_cmpge done
+        load 3
+        load 1
+        load 2
+        aload
+        add
+        store 3
+        inc 2 1
+        goto loop
+    done:
+        load 3
+        ireturn
+    }
+
+    method static main(I)J {
+        load 0
+        invokestatic demo/Arr.fillsum(I)J
+        ireturn
+    }
+}
+`
+	got, err := runJasm(t, src, "demo/Arr", "main", "(I)J", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 20 { // 0+2+4+6+8
+		t.Fatalf("main(5) = %d, want 20", got)
+	}
+}
+
+func TestMultipleClasses(t *testing.T) {
+	src := `
+class a/A {
+    method static f()J {
+        const 30
+        invokestatic b/B.g(J)J
+        ireturn
+    }
+}
+class b/B {
+    method static g(J)J {
+        load 0
+        const 12
+        add
+        ireturn
+    }
+}
+`
+	got, err := runJasm(t, src, "a/A", "f", "()J")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 42 {
+		t.Fatalf("f() = %d, want 42", got)
+	}
+}
+
+func TestLocalsOverride(t *testing.T) {
+	src := `
+class demo/L {
+    method static m()J locals=6 {
+        const 7
+        store 5
+        load 5
+        ireturn
+    }
+}
+`
+	classes, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if classes[0].Methods[0].MaxLocals != 6 {
+		t.Fatalf("MaxLocals = %d", classes[0].Methods[0].MaxLocals)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"not a class", "bogus x {", "expected 'class"},
+		{"missing brace", "class a/A\n}", "must end with '{'"},
+		{"bad field init", "class a/A {\nfield static x = zap\n}", "bad field initializer"},
+		{"bad descriptor", "class a/A {\nmethod static f(Q)V {\nreturn\n}\n}", "bad descriptor"},
+		{"native with body", "class a/A {\nmethod static native f()V {\n}\n}", "cannot have a body"},
+		{"unknown op", "class a/A {\nmethod static f()V {\nfly\n}\n}", "unknown instruction"},
+		{"operand count", "class a/A {\nmethod static f()V {\nconst\n}\n}", "expects 1 operand"},
+		{"dup label", "class a/A {\nmethod static f()V {\nx:\nx:\nreturn\n}\n}", "defined twice"},
+		{"undefined catch label", "class a/A {\nmethod static f()V {\nreturn\ncatch p q r\n}\n}", "undefined label"},
+		{"eof in method", "class a/A {\nmethod static f()V {\nreturn\n", "unexpected EOF"},
+		{"member without class", "class a/A {\nmethod static f()V {\ninvokestatic g()V\nreturn\n}\n}", "must be Class.name"},
+		{"unverifiable", "class a/A {\nmethod static f()V {\nadd\nreturn\n}\n}", "underflow"},
+		{"empty input", "   \n# just a comment\n", "no classes"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(c.src)
+			if err == nil {
+				t.Fatalf("accepted invalid input")
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("err = %v, want substring %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestParseErrorType(t *testing.T) {
+	_, err := Parse("class a/A {\nzap\n}")
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %T, want *ParseError", err)
+	}
+	if pe.Line != 2 {
+		t.Fatalf("line = %d, want 2", pe.Line)
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	src := `
+# leading comment
+class demo/C { // trailing comment
+
+    method static f()J {
+        const 5   # five
+        ireturn
+    }
+}
+`
+	got, err := runJasm(t, src, "demo/C", "f", "()J")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 5 {
+		t.Fatalf("f() = %d, want 5", got)
+	}
+}

@@ -1,0 +1,164 @@
+package jasm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/bytecode"
+	"repro/internal/classfile"
+)
+
+// Print renders classes back into jasm source. The output re-parses to
+// structurally identical classes (modulo recomputed MaxStack), giving the
+// toolchain a full text round trip: jasm.Parse and jasm.Print are inverses
+// up to label naming and formatting.
+func Print(classes []*classfile.Class) (string, error) {
+	var b strings.Builder
+	for i, c := range classes {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		if err := printClass(&b, c); err != nil {
+			return "", err
+		}
+	}
+	return b.String(), nil
+}
+
+func printClass(b *strings.Builder, c *classfile.Class) error {
+	fmt.Fprintf(b, "class %s {\n", c.Name)
+	for _, f := range c.Fields {
+		b.WriteString("    field")
+		if f.Flags.Has(classfile.AccStatic) {
+			b.WriteString(" static")
+		}
+		fmt.Fprintf(b, " %s", f.Name)
+		if f.Init != 0 {
+			fmt.Fprintf(b, " = %d", f.Init)
+		}
+		b.WriteByte('\n')
+	}
+	if len(c.Fields) > 0 && len(c.Methods) > 0 {
+		b.WriteByte('\n')
+	}
+	for mi, m := range c.Methods {
+		if mi > 0 {
+			b.WriteByte('\n')
+		}
+		if err := printMethod(b, m); err != nil {
+			return fmt.Errorf("jasm: print %s.%s: %w", c.Name, m.Name, err)
+		}
+	}
+	b.WriteString("}\n")
+	return nil
+}
+
+func printMethod(b *strings.Builder, m *classfile.Method) error {
+	b.WriteString("    method")
+	if m.Flags.Has(classfile.AccStatic) {
+		b.WriteString(" static")
+	}
+	if m.IsNative() {
+		fmt.Fprintf(b, " native %s%s\n", m.Name, m.Desc)
+		return nil
+	}
+	fmt.Fprintf(b, " %s%s locals=%d {\n", m.Name, m.Desc, m.MaxLocals)
+
+	ins, err := bytecode.Decode(m.Code)
+	if err != nil {
+		return err
+	}
+	// Label every branch target and handler boundary.
+	labelAt := make(map[int]string)
+	ensureLabel := func(off int) string {
+		if l, ok := labelAt[off]; ok {
+			return l
+		}
+		l := fmt.Sprintf("L%d", off)
+		labelAt[off] = l
+		return l
+	}
+	for _, in := range ins {
+		info, _ := bytecode.Lookup(in.Op)
+		if info.Branch {
+			ensureLabel(in.Operand)
+		}
+	}
+	type catchLine struct{ s, e, h string }
+	var catches []catchLine
+	for _, h := range m.Handlers {
+		end := int(h.EndPC)
+		if end >= len(m.Code) {
+			// Synthesize a label at the very end of the code.
+			end = len(m.Code)
+		}
+		catches = append(catches, catchLine{
+			s: ensureLabel(int(h.StartPC)),
+			e: ensureLabel(end),
+			h: ensureLabel(int(h.HandlerPC)),
+		})
+	}
+	// Handler entries need the stack-depth directive before their label.
+	handlerEntry := make(map[int]bool)
+	for _, h := range m.Handlers {
+		handlerEntry[int(h.HandlerPC)] = true
+	}
+
+	for _, in := range ins {
+		if l, ok := labelAt[in.Offset]; ok {
+			if handlerEntry[in.Offset] {
+				b.WriteString("        enterhandler\n")
+			}
+			fmt.Fprintf(b, "    %s:\n", l)
+		}
+		line, err := renderInstruction(m, in, labelAt)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(b, "        %s\n", line)
+	}
+	if l, ok := labelAt[len(m.Code)]; ok {
+		fmt.Fprintf(b, "    %s:\n", l)
+	}
+	// Emit catches sorted for stable output.
+	sort.Slice(catches, func(i, j int) bool {
+		return catches[i].s+catches[i].e < catches[j].s+catches[j].e
+	})
+	for _, c := range catches {
+		fmt.Fprintf(b, "        catch %s %s %s\n", c.s, c.e, c.h)
+	}
+	b.WriteString("    }\n")
+	return nil
+}
+
+func renderInstruction(m *classfile.Method, in bytecode.Instruction, labelAt map[int]string) (string, error) {
+	info, ok := bytecode.Lookup(in.Op)
+	if !ok {
+		return "", fmt.Errorf("unknown opcode %#x at %d", byte(in.Op), in.Offset)
+	}
+	switch {
+	case in.Op == bytecode.OpIconst0:
+		return "const 0", nil
+	case in.Op == bytecode.OpIconst1:
+		return "const 1", nil
+	case info.ConstIndex:
+		return fmt.Sprintf("const %d", m.Consts[in.Operand]), nil
+	case in.Op == bytecode.OpInc:
+		return fmt.Sprintf("inc %d %d", in.Operand, in.Extra), nil
+	case in.Op == bytecode.OpLoad:
+		return fmt.Sprintf("load %d", in.Operand), nil
+	case in.Op == bytecode.OpStore:
+		return fmt.Sprintf("store %d", in.Operand), nil
+	case info.Branch:
+		return fmt.Sprintf("%s %s", info.Name, labelAt[in.Operand]), nil
+	case info.RefIndex:
+		ref := m.Refs[in.Operand]
+		if in.Op.IsInvoke() {
+			return fmt.Sprintf("%s %s.%s%s", info.Name, ref.Class, ref.Name, ref.Desc), nil
+		}
+		return fmt.Sprintf("%s %s.%s", info.Name, ref.Class, ref.Name), nil
+	default:
+		return info.Name, nil
+	}
+}

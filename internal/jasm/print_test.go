@@ -1,0 +1,165 @@
+package jasm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+func TestPrintRoundTripSum(t *testing.T) {
+	classes, err := Parse(sumSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := Print(classes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reparsed, err := Parse(text)
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\n%s", err, text)
+	}
+	v := vm.New(vm.DefaultOptions())
+	if err := v.LoadClasses(reparsed); err != nil {
+		t.Fatal(err)
+	}
+	got, err := v.Run("demo/Sum", "main", "(I)J", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 55 {
+		t.Fatalf("round-tripped main(10) = %d, want 55", got)
+	}
+}
+
+func TestPrintNativeAndFields(t *testing.T) {
+	src := `
+class demo/N {
+    field static x = 7
+    method static native work(J)J
+}
+`
+	classes, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := Print(classes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"field static x = 7", "method static native work(J)J"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("print missing %q:\n%s", want, text)
+		}
+	}
+	if _, err := Parse(text); err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+}
+
+func TestPrintHandlersRoundTrip(t *testing.T) {
+	src := `
+class demo/H {
+    method static main(J)J {
+    s:
+        load 0
+        ifgt ok
+        load 0
+        throw
+    ok:
+        load 0
+        ireturn
+    e:
+        enterhandler
+    h:
+        pop
+        const -5
+        ireturn
+        catch s e h
+    }
+}
+`
+	classes, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := Print(classes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reparsed, err := Parse(text)
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\n%s", err, text)
+	}
+	v := vm.New(vm.DefaultOptions())
+	if err := v.LoadClasses(reparsed); err != nil {
+		t.Fatal(err)
+	}
+	got, err := v.Run("demo/H", "main", "(J)J", -2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != -5 {
+		t.Fatalf("handler path = %d, want -5", got)
+	}
+}
+
+// TestPrintRoundTripWorkloads round-trips every generated suite class
+// through text and re-runs it, checking results match the direct build —
+// the strongest exerciser of both printer and parser.
+func TestPrintRoundTripWorkloads(t *testing.T) {
+	for _, b := range workloads.Suite() {
+		spec := b.Spec.Scale(100)
+		if spec.Threads > 1 {
+			spec.Threads = 0 // keep it single-threaded: text has no spawn lib
+		}
+		prog, err := workloads.Build(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		text, err := Print(prog.Classes)
+		if err != nil {
+			t.Fatalf("%s: print: %v", spec.Name, err)
+		}
+		reparsed, err := Parse(text)
+		if err != nil {
+			t.Fatalf("%s: re-parse: %v\n%s", spec.Name, err, text)
+		}
+		direct := vm.New(vm.DefaultOptions())
+		if err := direct.LoadClasses(prog.Classes); err != nil {
+			t.Fatal(err)
+		}
+		for _, lib := range prog.Libraries {
+			if err := direct.LoadLibrary(lib); err != nil {
+				t.Fatal(err)
+			}
+		}
+		wantRes, err := direct.Run(prog.MainClass, prog.MainName, prog.MainDesc, prog.Args...)
+		if err != nil {
+			t.Fatalf("%s: direct run: %v", spec.Name, err)
+		}
+
+		rt := vm.New(vm.DefaultOptions())
+		if err := rt.LoadClasses(reparsed); err != nil {
+			t.Fatalf("%s: load reparsed: %v", spec.Name, err)
+		}
+		prog2, err := workloads.Build(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, lib := range prog2.Libraries {
+			if err := rt.LoadLibrary(lib); err != nil {
+				t.Fatal(err)
+			}
+		}
+		gotRes, err := rt.Run(prog.MainClass, prog.MainName, prog.MainDesc, prog.Args...)
+		if err != nil {
+			t.Fatalf("%s: round-trip run: %v", spec.Name, err)
+		}
+		if gotRes != wantRes {
+			t.Fatalf("%s: round trip result %d != direct %d", spec.Name, gotRes, wantRes)
+		}
+	}
+}

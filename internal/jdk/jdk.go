@@ -1,0 +1,503 @@
+// Package jdk is the reproduction's miniature Java class library — the
+// stand-in for the parts of rt.jar that matter to the paper: "many
+// functions of the JDK are implemented in native code, sometimes in order
+// to increase performance, but more often in order to get access to
+// otherwise unavailable lower-level functionality" (Section I).
+//
+// The library ships a handful of classes in the simulator's class-file
+// format plus their native library:
+//
+//	java/lang/System   — arraycopy (native), currentTimeMillis (native),
+//	                     nanoTime (native)
+//	java/lang/Math     — isqrt (native), ilog2 (native), abs/max/min (Java)
+//	java/util/Arrays   — fill, sum (Java), sort (Java, insertion sort),
+//	                     hashCode (native)
+//	java/io/Stream     — read (native, models blocking I/O), checksum (Java)
+//	java/util/Random   — linear congruential generator (pure Java)
+//	java/util/zip/Zip  — deflate/inflate/crc (native run-length kernels,
+//	                     the compress benchmark's kind of natives)
+//
+// Applications target these classes like any other; the static
+// instrumenter processes the archive exactly as the paper processes
+// rt.jar, wrapping the native methods and loading the result in place of
+// the original (the -Xbootclasspath/p: workflow).
+package jdk
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/bytecode"
+	"repro/internal/classfile"
+	"repro/internal/vm"
+)
+
+// Class names.
+const (
+	SystemClass = "java/lang/System"
+	MathClass   = "java/lang/Math"
+	ArraysClass = "java/util/Arrays"
+	StreamClass = "java/io/Stream"
+	RandomClass = "java/util/Random"
+)
+
+// Cost model for the JDK natives, in cycles. Chosen to be plausible
+// relative to the interpreter cost model: arraycopy is proportional to
+// length, I/O has high fixed latency.
+const (
+	costArraycopyPerWord = 2
+	costArraycopyFixed   = 40
+	costTimeRead         = 60
+	costIsqrt            = 90
+	costIlog2            = 25
+	costHashPerWord      = 3
+	costHashFixed        = 30
+	costReadFixed        = 900
+	costReadPerWord      = 4
+)
+
+// Classes builds the library's class set. Each call returns fresh
+// structures safe for independent mutation (e.g. instrumentation).
+func Classes() ([]*classfile.Class, error) {
+	system, err := systemClass()
+	if err != nil {
+		return nil, err
+	}
+	math, err := mathClass()
+	if err != nil {
+		return nil, err
+	}
+	arrays, err := arraysClass()
+	if err != nil {
+		return nil, err
+	}
+	stream, err := streamClass()
+	if err != nil {
+		return nil, err
+	}
+	random, err := randomClass()
+	if err != nil {
+		return nil, err
+	}
+	zip, err := zipClass()
+	if err != nil {
+		return nil, err
+	}
+	return []*classfile.Class{system, math, arrays, stream, random, zip}, nil
+}
+
+func nativeMethod(name, desc string) *classfile.Method {
+	return &classfile.Method{
+		Name: name, Desc: desc,
+		Flags: classfile.AccPublic | classfile.AccStatic | classfile.AccNative,
+	}
+}
+
+// systemClass: all-native lowest-level services.
+func systemClass() (*classfile.Class, error) {
+	return &classfile.Class{
+		Name:       SystemClass,
+		SourceFile: "System.java",
+		Methods: []*classfile.Method{
+			// arraycopy(src, srcPos, dst, dstPos, length)
+			nativeMethod("arraycopy", "(JIJII)V"),
+			nativeMethod("currentTimeMillis", "()J"),
+			nativeMethod("nanoTime", "()J"),
+		},
+	}, nil
+}
+
+// mathClass: a native core with pure-Java conveniences on top, mirroring
+// how the real JDK mixes intrinsics and library code.
+func mathClass() (*classfile.Class, error) {
+	// abs(J)J — pure Java.
+	ab := bytecode.NewAssembler()
+	neg := ab.NewLabel()
+	ab.Load(0)
+	ab.Iflt(neg)
+	ab.Load(0)
+	ab.IReturn()
+	ab.Bind(neg)
+	ab.Load(0)
+	ab.Neg()
+	ab.IReturn()
+	absM, err := ab.FinishMethod("abs", "(J)J", classfile.AccPublic|classfile.AccStatic, 1, nil)
+	if err != nil {
+		return nil, err
+	}
+	// max(JJ)J
+	mb := bytecode.NewAssembler()
+	second := mb.NewLabel()
+	mb.Load(0)
+	mb.Load(1)
+	mb.IfCmplt(second)
+	mb.Load(0)
+	mb.IReturn()
+	mb.Bind(second)
+	mb.Load(1)
+	mb.IReturn()
+	maxM, err := mb.FinishMethod("max", "(JJ)J", classfile.AccPublic|classfile.AccStatic, 2, nil)
+	if err != nil {
+		return nil, err
+	}
+	// min(JJ)J
+	nb := bytecode.NewAssembler()
+	first := nb.NewLabel()
+	nb.Load(0)
+	nb.Load(1)
+	nb.IfCmplt(first)
+	nb.Load(1)
+	nb.IReturn()
+	nb.Bind(first)
+	nb.Load(0)
+	nb.IReturn()
+	minM, err := nb.FinishMethod("min", "(JJ)J", classfile.AccPublic|classfile.AccStatic, 2, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &classfile.Class{
+		Name:       MathClass,
+		SourceFile: "Math.java",
+		Methods: []*classfile.Method{
+			absM, maxM, minM,
+			nativeMethod("isqrt", "(J)J"),
+			nativeMethod("ilog2", "(J)J"),
+		},
+	}, nil
+}
+
+// arraysClass: bulk operations over word arrays; sort is a pure-Java
+// insertion sort, hashCode is native (like the real JDK's vectorized
+// intrinsic).
+func arraysClass() (*classfile.Class, error) {
+	// fill(arr, value): for k in 0..len: arr[k] = value
+	fb := bytecode.NewAssembler()
+	// locals: 0=arr 1=value 2=k 3=len
+	fb.Load(0)
+	fb.ArrayLen()
+	fb.Store(3)
+	fb.Const(0)
+	fb.Store(2)
+	fTop := fb.NewLabel()
+	fEnd := fb.NewLabel()
+	fb.Bind(fTop)
+	fb.Load(2)
+	fb.Load(3)
+	fb.IfCmpge(fEnd)
+	fb.Load(0)
+	fb.Load(2)
+	fb.Load(1)
+	fb.AStore()
+	fb.Inc(2, 1)
+	fb.Goto(fTop)
+	fb.Bind(fEnd)
+	fb.Return()
+	fillM, err := fb.FinishMethod("fill", "(JJ)V", classfile.AccPublic|classfile.AccStatic, 4, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	// sum(arr): s=0; for k: s += arr[k]; return s
+	sb := bytecode.NewAssembler()
+	// locals: 0=arr 1=k 2=s 3=len
+	sb.Load(0)
+	sb.ArrayLen()
+	sb.Store(3)
+	sb.Const(0)
+	sb.Store(2)
+	sb.Const(0)
+	sb.Store(1)
+	sTop := sb.NewLabel()
+	sEnd := sb.NewLabel()
+	sb.Bind(sTop)
+	sb.Load(1)
+	sb.Load(3)
+	sb.IfCmpge(sEnd)
+	sb.Load(2)
+	sb.Load(0)
+	sb.Load(1)
+	sb.ALoad()
+	sb.Add()
+	sb.Store(2)
+	sb.Inc(1, 1)
+	sb.Goto(sTop)
+	sb.Bind(sEnd)
+	sb.Load(2)
+	sb.IReturn()
+	sumM, err := sb.FinishMethod("sum", "(J)J", classfile.AccPublic|classfile.AccStatic, 4, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	// sort(arr): insertion sort.
+	// locals: 0=arr 1=i 2=j 3=key 4=len 5=tmp
+	ob := bytecode.NewAssembler()
+	ob.Load(0)
+	ob.ArrayLen()
+	ob.Store(4)
+	ob.Const(1)
+	ob.Store(1)
+	outerTop := ob.NewLabel()
+	outerEnd := ob.NewLabel()
+	innerTop := ob.NewLabel()
+	innerEnd := ob.NewLabel()
+	ob.Bind(outerTop)
+	ob.Load(1)
+	ob.Load(4)
+	ob.IfCmpge(outerEnd)
+	// key = arr[i]; j = i-1
+	ob.Load(0)
+	ob.Load(1)
+	ob.ALoad()
+	ob.Store(3)
+	ob.Load(1)
+	ob.Const(1)
+	ob.Sub()
+	ob.Store(2)
+	// while j >= 0 && arr[j] > key: arr[j+1] = arr[j]; j--
+	ob.Bind(innerTop)
+	ob.Load(2)
+	ob.Iflt(innerEnd)
+	ob.Load(0)
+	ob.Load(2)
+	ob.ALoad()
+	ob.Store(5)
+	ob.Load(5)
+	ob.Load(3)
+	ob.IfCmplt(innerEnd) // arr[j] < key -> done
+	ob.Load(5)
+	ob.Load(3)
+	ob.IfCmpeq(innerEnd) // arr[j] == key -> done (stable enough)
+	// arr[j+1] = arr[j]
+	ob.Load(0)
+	ob.Load(2)
+	ob.Const(1)
+	ob.Add()
+	ob.Load(5)
+	ob.AStore()
+	ob.Inc(2, -1)
+	ob.Goto(innerTop)
+	ob.Bind(innerEnd)
+	// arr[j+1] = key
+	ob.Load(0)
+	ob.Load(2)
+	ob.Const(1)
+	ob.Add()
+	ob.Load(3)
+	ob.AStore()
+	ob.Inc(1, 1)
+	ob.Goto(outerTop)
+	ob.Bind(outerEnd)
+	ob.Return()
+	sortM, err := ob.FinishMethod("sort", "(J)V", classfile.AccPublic|classfile.AccStatic, 6, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	return &classfile.Class{
+		Name:       ArraysClass,
+		SourceFile: "Arrays.java",
+		Methods: []*classfile.Method{
+			fillM, sumM, sortM,
+			nativeMethod("hashCode", "(J)J"),
+		},
+	}, nil
+}
+
+// streamClass: read is native (blocking I/O into an array); checksum is a
+// pure-Java fold over the buffer.
+func streamClass() (*classfile.Class, error) {
+	cb := bytecode.NewAssembler()
+	// checksum(arr): h=1469598103; for k: h = (h^arr[k])*31
+	// locals: 0=arr 1=k 2=h 3=len
+	cb.Load(0)
+	cb.ArrayLen()
+	cb.Store(3)
+	cb.Const(1469598103)
+	cb.Store(2)
+	cb.Const(0)
+	cb.Store(1)
+	top := cb.NewLabel()
+	end := cb.NewLabel()
+	cb.Bind(top)
+	cb.Load(1)
+	cb.Load(3)
+	cb.IfCmpge(end)
+	cb.Load(2)
+	cb.Load(0)
+	cb.Load(1)
+	cb.ALoad()
+	cb.Xor()
+	cb.Const(31)
+	cb.Mul()
+	cb.Store(2)
+	cb.Inc(1, 1)
+	cb.Goto(top)
+	cb.Bind(end)
+	cb.Load(2)
+	cb.IReturn()
+	checksumM, err := cb.FinishMethod("checksum", "(J)J", classfile.AccPublic|classfile.AccStatic, 4, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &classfile.Class{
+		Name:       StreamClass,
+		SourceFile: "Stream.java",
+		Methods: []*classfile.Method{
+			checksumM,
+			// read(arr) -> words read
+			nativeMethod("read", "(J)I"),
+		},
+	}, nil
+}
+
+// randomClass: a pure-Java linear congruential generator, exercising
+// 64-bit arithmetic without any native involvement.
+func randomClass() (*classfile.Class, error) {
+	rb := bytecode.NewAssembler()
+	// next(seed) = seed*6364136223846793005 + 1442695040888963407
+	rb.Load(0)
+	rb.Const(6364136223846793005)
+	rb.Mul()
+	rb.Const(1442695040888963407)
+	rb.Add()
+	rb.IReturn()
+	nextM, err := rb.FinishMethod("next", "(J)J", classfile.AccPublic|classfile.AccStatic, 1, nil)
+	if err != nil {
+		return nil, err
+	}
+	// bounded(seed, n) = abs(next(seed)) % n
+	bb := bytecode.NewAssembler()
+	bb.Load(0)
+	bb.InvokeStatic(RandomClass, "next", "(J)J")
+	bb.InvokeStatic(MathClass, "abs", "(J)J")
+	bb.Load(1)
+	bb.Rem()
+	bb.IReturn()
+	boundedM, err := bb.FinishMethod("bounded", "(JJ)J", classfile.AccPublic|classfile.AccStatic, 2, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &classfile.Class{
+		Name:       RandomClass,
+		SourceFile: "Random.java",
+		Methods:    []*classfile.Method{nextM, boundedM},
+	}, nil
+}
+
+// Library builds the native library backing the JDK classes. millis is a
+// monotonically advancing pseudo-clock derived from the calling thread's
+// cycle counter, so time observed by programs is deterministic.
+func Library() vm.NativeLibrary {
+	funcs := map[string]vm.NativeFunc{
+		SystemClass + ".arraycopy(JIJII)V": func(env vm.Env, args []int64) (int64, error) {
+			src, srcPos, dst, dstPos, length := args[0], args[1], args[2], args[3], args[4]
+			if length < 0 {
+				return 0, vm.Throw(length, "ArrayIndexOutOfBoundsException")
+			}
+			env.Work(uint64(length)*costArraycopyPerWord + costArraycopyFixed)
+			for k := int64(0); k < length; k++ {
+				v, err := env.ArrayLoad(src, srcPos+k)
+				if err != nil {
+					return 0, err
+				}
+				if err := env.ArrayStore(dst, dstPos+k, v); err != nil {
+					return 0, err
+				}
+			}
+			return 0, nil
+		},
+		SystemClass + ".currentTimeMillis()J": func(env vm.Env, args []int64) (int64, error) {
+			env.Work(costTimeRead)
+			// 1 "millisecond" per 2,500 cycles of thread time.
+			return int64(env.Thread().Cycles() / 2500), nil
+		},
+		SystemClass + ".nanoTime()J": func(env vm.Env, args []int64) (int64, error) {
+			env.Work(costTimeRead)
+			return int64(env.Thread().Cycles()), nil
+		},
+		MathClass + ".isqrt(J)J": func(env vm.Env, args []int64) (int64, error) {
+			env.Work(costIsqrt)
+			x := args[0]
+			if x < 0 {
+				return 0, vm.Throw(x, "ArithmeticException: isqrt of negative")
+			}
+			// Integer Newton iteration.
+			if x < 2 {
+				return x, nil
+			}
+			r := int64(1) << ((bits.Len64(uint64(x)) + 1) / 2)
+			for {
+				nr := (r + x/r) / 2
+				if nr >= r {
+					return r, nil
+				}
+				r = nr
+			}
+		},
+		MathClass + ".ilog2(J)J": func(env vm.Env, args []int64) (int64, error) {
+			env.Work(costIlog2)
+			x := args[0]
+			if x <= 0 {
+				return 0, vm.Throw(x, "ArithmeticException: ilog2 of non-positive")
+			}
+			return int64(bits.Len64(uint64(x)) - 1), nil
+		},
+		ArraysClass + ".hashCode(J)J": func(env vm.Env, args []int64) (int64, error) {
+			arr := args[0]
+			length, err := arrayLength(env, arr)
+			if err != nil {
+				return 0, err
+			}
+			env.Work(uint64(length)*costHashPerWord + costHashFixed)
+			h := int64(1)
+			for k := int64(0); k < length; k++ {
+				v, err := env.ArrayLoad(arr, k)
+				if err != nil {
+					return 0, err
+				}
+				h = 31*h + v
+			}
+			return h, nil
+		},
+		StreamClass + ".read(J)I": func(env vm.Env, args []int64) (int64, error) {
+			arr := args[0]
+			length, err := arrayLength(env, arr)
+			if err != nil {
+				return 0, err
+			}
+			env.Work(costReadFixed + uint64(length)*costReadPerWord)
+			// Deterministic pseudo-data derived from the thread clock.
+			seed := int64(env.Thread().Cycles())
+			for k := int64(0); k < length; k++ {
+				seed = seed*6364136223846793005 + 1442695040888963407
+				if err := env.ArrayStore(arr, k, seed>>33); err != nil {
+					return 0, err
+				}
+			}
+			return length, nil
+		},
+	}
+	for sym, fn := range zipFuncs() {
+		funcs[sym] = fn
+	}
+	return vm.NativeLibrary{Name: "jdk-native", Funcs: funcs}
+}
+
+// arrayLength reads an array's length through the Env surface (which has
+// no direct length call) by binary-searching valid indices. The VM heap
+// does expose lengths, but only through the thread's VM pointer; going
+// through it keeps natives to the Env contract.
+func arrayLength(env vm.Env, handle int64) (int64, error) {
+	return env.VM().Heap.Length(handle)
+}
+
+// Program bundles the JDK classes and native library into loadable form
+// and returns them; callers append their application classes.
+func Program() ([]*classfile.Class, vm.NativeLibrary, error) {
+	classes, err := Classes()
+	if err != nil {
+		return nil, vm.NativeLibrary{}, fmt.Errorf("jdk: %w", err)
+	}
+	return classes, Library(), nil
+}

@@ -1,0 +1,529 @@
+package jdk
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bytecode"
+	"repro/internal/classfile"
+	"repro/internal/instrument"
+	"repro/internal/vm"
+)
+
+// newJDKVM builds a VM with the JDK loaded plus an application class
+// assembled by build.
+func newJDKVM(t *testing.T, app *classfile.Class) *vm.VM {
+	t.Helper()
+	classes, lib, err := Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := vm.New(vm.DefaultOptions())
+	if app != nil {
+		classes = append(classes, app)
+	}
+	if err := v.LoadClasses(classes); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.LoadLibrary(lib); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestClassesVerify(t *testing.T) {
+	classes, err := Classes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(classes) != 6 {
+		t.Fatalf("classes = %d, want 6", len(classes))
+	}
+	for _, c := range classes {
+		if err := bytecode.VerifyClass(c); err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+		}
+	}
+}
+
+func TestMathAbsMaxMin(t *testing.T) {
+	v := newJDKVM(t, nil)
+	th := v.NewDetachedThread("t")
+	cases := []struct {
+		method string
+		desc   string
+		args   []int64
+		want   int64
+	}{
+		{"abs", "(J)J", []int64{-5}, 5},
+		{"abs", "(J)J", []int64{7}, 7},
+		{"abs", "(J)J", []int64{0}, 0},
+		{"max", "(JJ)J", []int64{3, 9}, 9},
+		{"max", "(JJ)J", []int64{9, 3}, 9},
+		{"min", "(JJ)J", []int64{3, 9}, 3},
+		{"min", "(JJ)J", []int64{-4, -9}, -9},
+	}
+	for _, c := range cases {
+		got, err := th.InvokeStatic(MathClass, c.method, c.desc, c.args...)
+		if err != nil {
+			t.Fatalf("%s%v: %v", c.method, c.args, err)
+		}
+		if got != c.want {
+			t.Errorf("%s%v = %d, want %d", c.method, c.args, got, c.want)
+		}
+	}
+}
+
+func TestMathIsqrt(t *testing.T) {
+	v := newJDKVM(t, nil)
+	th := v.NewDetachedThread("t")
+	for _, x := range []int64{0, 1, 2, 3, 4, 15, 16, 17, 99, 100, 1 << 40} {
+		got, err := th.InvokeStatic(MathClass, "isqrt", "(J)J", x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := int64(math.Sqrt(float64(x)))
+		// Integer sqrt: want^2 <= x < (want+1)^2.
+		if got*got > x || (got+1)*(got+1) <= x {
+			t.Errorf("isqrt(%d) = %d (float says %d)", x, got, want)
+		}
+	}
+	if _, err := th.InvokeStatic(MathClass, "isqrt", "(J)J", -1); err == nil {
+		t.Fatal("isqrt(-1) accepted")
+	}
+}
+
+func TestMathIsqrtProperty(t *testing.T) {
+	v := newJDKVM(t, nil)
+	th := v.NewDetachedThread("t")
+	f := func(raw uint32) bool {
+		x := int64(raw)
+		got, err := th.InvokeStatic(MathClass, "isqrt", "(J)J", x)
+		if err != nil {
+			return false
+		}
+		return got*got <= x && (got+1)*(got+1) > x
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMathIlog2(t *testing.T) {
+	v := newJDKVM(t, nil)
+	th := v.NewDetachedThread("t")
+	for x, want := range map[int64]int64{1: 0, 2: 1, 3: 1, 4: 2, 1023: 9, 1024: 10} {
+		got, err := th.InvokeStatic(MathClass, "ilog2", "(J)J", x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("ilog2(%d) = %d, want %d", x, got, want)
+		}
+	}
+	if _, err := th.InvokeStatic(MathClass, "ilog2", "(J)J", 0); err == nil {
+		t.Fatal("ilog2(0) accepted")
+	}
+}
+
+func TestSystemArraycopy(t *testing.T) {
+	v := newJDKVM(t, nil)
+	th := v.NewDetachedThread("t")
+	src, err := v.Heap.NewArray(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 6; i++ {
+		v.Heap.Store(src, i, 10+i)
+	}
+	dst, err := v.Heap.NewArray(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := th.InvokeStatic(SystemClass, "arraycopy", "(JIJII)V", src, 1, dst, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []int64{0, 0, 11, 12, 13, 0} {
+		got, _ := v.Heap.Load(dst, int64(i))
+		if got != want {
+			t.Errorf("dst[%d] = %d, want %d", i, got, want)
+		}
+	}
+	// Out-of-range copy throws.
+	if _, err := th.InvokeStatic(SystemClass, "arraycopy", "(JIJII)V", src, 4, dst, 0, 5); err == nil {
+		t.Fatal("overlong copy accepted")
+	}
+}
+
+func TestSystemClocksMonotonic(t *testing.T) {
+	v := newJDKVM(t, nil)
+	th := v.NewDetachedThread("t")
+	t1, err := th.InvokeStatic(SystemClass, "nanoTime", "()J")
+	if err != nil {
+		t.Fatal(err)
+	}
+	th.NativeWork(10000)
+	t2, err := th.InvokeStatic(SystemClass, "nanoTime", "()J")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t2 <= t1 {
+		t.Fatalf("nanoTime not monotonic: %d then %d", t1, t2)
+	}
+	ms, err := th.InvokeStatic(SystemClass, "currentTimeMillis", "()J")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms < 0 {
+		t.Fatalf("millis = %d", ms)
+	}
+}
+
+func TestArraysFillSum(t *testing.T) {
+	v := newJDKVM(t, nil)
+	th := v.NewDetachedThread("t")
+	arr, err := v.Heap.NewArray(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := th.InvokeStatic(ArraysClass, "fill", "(JJ)V", arr, 7); err != nil {
+		t.Fatal(err)
+	}
+	got, err := th.InvokeStatic(ArraysClass, "sum", "(J)J", arr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 70 {
+		t.Fatalf("sum = %d, want 70", got)
+	}
+}
+
+func TestArraysSort(t *testing.T) {
+	v := newJDKVM(t, nil)
+	th := v.NewDetachedThread("t")
+	vals := []int64{5, -3, 9, 0, 9, 2, -7, 1}
+	arr, err := v.Heap.NewArray(int64(len(vals)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range vals {
+		v.Heap.Store(arr, int64(i), x)
+	}
+	if _, err := th.InvokeStatic(ArraysClass, "sort", "(J)V", arr); err != nil {
+		t.Fatal(err)
+	}
+	want := append([]int64(nil), vals...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	for i := range want {
+		got, _ := v.Heap.Load(arr, int64(i))
+		if got != want[i] {
+			t.Fatalf("sorted[%d] = %d, want %d", i, got, want[i])
+		}
+	}
+}
+
+// Property: the bytecode insertion sort agrees with Go's sort on random
+// small arrays.
+func TestArraysSortProperty(t *testing.T) {
+	v := newJDKVM(t, nil)
+	th := v.NewDetachedThread("t")
+	f := func(raw []int16) bool {
+		if len(raw) > 24 {
+			raw = raw[:24]
+		}
+		arr, err := v.Heap.NewArray(int64(len(raw)))
+		if err != nil {
+			return false
+		}
+		for i, x := range raw {
+			v.Heap.Store(arr, int64(i), int64(x))
+		}
+		if _, err := th.InvokeStatic(ArraysClass, "sort", "(J)V", arr); err != nil {
+			return false
+		}
+		want := make([]int64, len(raw))
+		for i, x := range raw {
+			want[i] = int64(x)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range want {
+			got, err := v.Heap.Load(arr, int64(i))
+			if err != nil || got != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArraysHashCode(t *testing.T) {
+	v := newJDKVM(t, nil)
+	th := v.NewDetachedThread("t")
+	arr, err := v.Heap.NewArray(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range []int64{1, 2, 3} {
+		v.Heap.Store(arr, int64(i), x)
+	}
+	got, err := th.InvokeStatic(ArraysClass, "hashCode", "(J)J", arr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(1)
+	for _, x := range []int64{1, 2, 3} {
+		want = 31*want + x
+	}
+	if got != want {
+		t.Fatalf("hashCode = %d, want %d", got, want)
+	}
+	if _, err := th.InvokeStatic(ArraysClass, "hashCode", "(J)J", 0); err == nil {
+		t.Fatal("hashCode(null) accepted")
+	}
+}
+
+func TestStreamReadAndChecksum(t *testing.T) {
+	v := newJDKVM(t, nil)
+	th := v.NewDetachedThread("t")
+	arr, err := v.Heap.NewArray(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := th.InvokeStatic(StreamClass, "read", "(J)I", arr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 16 {
+		t.Fatalf("read = %d, want 16", n)
+	}
+	// The buffer must hold pseudo-data (not all zeros).
+	var nonZero bool
+	for i := int64(0); i < 16; i++ {
+		if x, _ := v.Heap.Load(arr, i); x != 0 {
+			nonZero = true
+		}
+	}
+	if !nonZero {
+		t.Fatal("read produced all-zero data")
+	}
+	if _, err := th.InvokeStatic(StreamClass, "checksum", "(J)J", arr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	v := newJDKVM(t, nil)
+	th := v.NewDetachedThread("t")
+	a, err := th.InvokeStatic(RandomClass, "next", "(J)J", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := th.InvokeStatic(RandomClass, "next", "(J)J", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("LCG not deterministic")
+	}
+	bounded, err := th.InvokeStatic(RandomClass, "bounded", "(JJ)J", 42, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bounded < 0 || bounded >= 10 {
+		t.Fatalf("bounded = %d, want [0,10)", bounded)
+	}
+}
+
+// TestInstrumentJDKArchive reproduces the paper's rt.jar workflow: the
+// static instrumenter processes the whole library, wrapping exactly the
+// native methods.
+func TestInstrumentJDKArchive(t *testing.T) {
+	classes, err := Classes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, st, err := instrument.Classes(classes, instrument.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Native methods: System 3, Math 2, Arrays 1, Stream 1, Zip 3 = 10.
+	if st.MethodsWrapped != 10 {
+		t.Fatalf("wrapped = %d, want 10", st.MethodsWrapped)
+	}
+	// Random has no natives: unchanged.
+	if st.ClassesChanged != 5 {
+		t.Fatalf("changed = %d, want 5", st.ClassesChanged)
+	}
+	for _, c := range out {
+		if err := bytecode.VerifyClass(c); err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+		}
+	}
+}
+
+// TestJDKGroundTruthNativeShare runs a small app that leans on JDK
+// natives and confirms the engine sees native time — the paper's Section I
+// motivation made concrete.
+func TestJDKGroundTruthNativeShare(t *testing.T) {
+	a := bytecode.NewAssembler()
+	// main: arr = new[64]; read(arr); sort(arr); return isqrt(sum(arr)^2 clip)
+	a.Const(64)
+	a.NewArray()
+	a.Store(0)
+	a.Load(0)
+	a.InvokeStatic(StreamClass, "read", "(J)I")
+	a.Pop()
+	a.Load(0)
+	a.InvokeStatic(ArraysClass, "sort", "(J)V")
+	a.Load(0)
+	a.InvokeStatic(ArraysClass, "hashCode", "(J)J")
+	a.InvokeStatic(MathClass, "abs", "(J)J")
+	a.InvokeStatic(MathClass, "isqrt", "(J)J")
+	a.IReturn()
+	mainM, err := a.FinishMethod("main", "()J", classfile.AccPublic|classfile.AccStatic, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := &classfile.Class{Name: "app/Main", Methods: []*classfile.Method{mainM}}
+	v := newJDKVM(t, app)
+	if _, err := v.Run("app/Main", "main", "()J"); err != nil {
+		t.Fatal(err)
+	}
+	main := v.Threads()[0]
+	bc, nat, _ := main.GroundTruth()
+	if nat == 0 || bc == 0 {
+		t.Fatalf("ground truth bc=%d nat=%d", bc, nat)
+	}
+	if v.NativeCallCount() != 3 { // read, hashCode, isqrt
+		t.Fatalf("native calls = %d, want 3", v.NativeCallCount())
+	}
+}
+
+func TestZipRoundTrip(t *testing.T) {
+	v := newJDKVM(t, nil)
+	th := v.NewDetachedThread("t")
+	data := []int64{5, 5, 5, 9, 9, 0, 0, 0, 0, 7}
+	src, err := v.Heap.NewArray(int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range data {
+		v.Heap.Store(src, int64(i), x)
+	}
+	packed, err := v.Heap.NewArray(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := th.InvokeStatic(ZipClass, "deflate", "(JJ)J", src, packed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 8 { // 4 runs x 2 words
+		t.Fatalf("deflate = %d words, want 8", n)
+	}
+	out, err := v.Heap.NewArray(int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := th.InvokeStatic(ZipClass, "inflate", "(JIJ)J", packed, n, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != int64(len(data)) {
+		t.Fatalf("inflate = %d words, want %d", m, len(data))
+	}
+	for i, want := range data {
+		got, _ := v.Heap.Load(out, int64(i))
+		if got != want {
+			t.Fatalf("out[%d] = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestZipRoundTripProperty(t *testing.T) {
+	v := newJDKVM(t, nil)
+	th := v.NewDetachedThread("t")
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 || len(raw) > 64 {
+			return true
+		}
+		src, err := v.Heap.NewArray(int64(len(raw)))
+		if err != nil {
+			return false
+		}
+		for i, x := range raw {
+			// Small alphabet to create runs.
+			v.Heap.Store(src, int64(i), int64(x%4))
+		}
+		packed, err := v.Heap.NewArray(int64(len(raw) * 2))
+		if err != nil {
+			return false
+		}
+		n, err := th.InvokeStatic(ZipClass, "deflate", "(JJ)J", src, packed)
+		if err != nil {
+			return false
+		}
+		out, err := v.Heap.NewArray(int64(len(raw)))
+		if err != nil {
+			return false
+		}
+		m, err := th.InvokeStatic(ZipClass, "inflate", "(JIJ)J", packed, n, out)
+		if err != nil || m != int64(len(raw)) {
+			return false
+		}
+		for i, x := range raw {
+			got, err := v.Heap.Load(out, int64(i))
+			if err != nil || got != int64(x%4) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZipErrors(t *testing.T) {
+	v := newJDKVM(t, nil)
+	th := v.NewDetachedThread("t")
+	src, _ := v.Heap.NewArray(10)
+	tiny, _ := v.Heap.NewArray(1)
+	// Destination too small for even one (value, run) pair.
+	if _, err := th.InvokeStatic(ZipClass, "deflate", "(JJ)J", src, tiny); err == nil {
+		t.Fatal("overflow deflate accepted")
+	}
+	// Odd-length packed stream is malformed.
+	out, _ := v.Heap.NewArray(10)
+	packed, _ := v.Heap.NewArray(4)
+	if _, err := th.InvokeStatic(ZipClass, "inflate", "(JIJ)J", packed, 3, out); err == nil {
+		t.Fatal("odd-length inflate accepted")
+	}
+}
+
+func TestZipCRCDeterministicAndSensitive(t *testing.T) {
+	v := newJDKVM(t, nil)
+	th := v.NewDetachedThread("t")
+	arr, _ := v.Heap.NewArray(4)
+	for i := int64(0); i < 4; i++ {
+		v.Heap.Store(arr, i, i+1)
+	}
+	h1, err := th.InvokeStatic(ZipClass, "crc", "(J)J", arr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, _ := th.InvokeStatic(ZipClass, "crc", "(J)J", arr)
+	if h1 != h2 {
+		t.Fatal("crc not deterministic")
+	}
+	v.Heap.Store(arr, 0, 99)
+	h3, _ := th.InvokeStatic(ZipClass, "crc", "(J)J", arr)
+	if h3 == h1 {
+		t.Fatal("crc insensitive to data change")
+	}
+}

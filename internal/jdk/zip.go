@@ -1,0 +1,137 @@
+package jdk
+
+import (
+	"repro/internal/classfile"
+	"repro/internal/vm"
+)
+
+// ZipClass is the compression class of the mini-JDK — the stand-in for
+// java/util/zip, whose Deflater/Inflater natives are exactly what makes
+// the real 'compress' benchmark spend time in native code.
+const ZipClass = "java/util/zip/Zip"
+
+// Zip native cost model, cycles.
+const (
+	costZipPerWord = 6
+	costZipFixed   = 120
+	costCRCPerWord = 2
+	costCRCFixed   = 40
+)
+
+// zipClass declares the native compression kernels.
+func zipClass() (*classfile.Class, error) {
+	return &classfile.Class{
+		Name:       ZipClass,
+		SourceFile: "Zip.java",
+		Methods: []*classfile.Method{
+			// deflate(src, dst) -> words written to dst
+			nativeMethod("deflate", "(JJ)J"),
+			// inflate(src, srcLen, dst) -> words written to dst
+			nativeMethod("inflate", "(JIJ)J"),
+			// crc(arr) -> checksum
+			nativeMethod("crc", "(J)J"),
+		},
+	}, nil
+}
+
+// zipFuncs returns the native implementations: a run-length coder over
+// word arrays, with costs proportional to the data touched.
+func zipFuncs() map[string]vm.NativeFunc {
+	return map[string]vm.NativeFunc{
+		ZipClass + ".deflate(JJ)J": func(env vm.Env, args []int64) (int64, error) {
+			src, dst := args[0], args[1]
+			n, err := env.VM().Heap.Length(src)
+			if err != nil {
+				return 0, err
+			}
+			dstLen, err := env.VM().Heap.Length(dst)
+			if err != nil {
+				return 0, err
+			}
+			env.Work(costZipFixed + uint64(n)*costZipPerWord)
+			// Run-length encode as (value, count) pairs.
+			out := int64(0)
+			for i := int64(0); i < n; {
+				v, err := env.ArrayLoad(src, i)
+				if err != nil {
+					return 0, err
+				}
+				run := int64(1)
+				for i+run < n {
+					w, err := env.ArrayLoad(src, i+run)
+					if err != nil {
+						return 0, err
+					}
+					if w != v {
+						break
+					}
+					run++
+				}
+				if out+2 > dstLen {
+					return 0, vm.Throw(out, "BufferOverflowException")
+				}
+				if err := env.ArrayStore(dst, out, v); err != nil {
+					return 0, err
+				}
+				if err := env.ArrayStore(dst, out+1, run); err != nil {
+					return 0, err
+				}
+				out += 2
+				i += run
+			}
+			return out, nil
+		},
+		ZipClass + ".inflate(JIJ)J": func(env vm.Env, args []int64) (int64, error) {
+			src, srcLen, dst := args[0], args[1], args[2]
+			dstLen, err := env.VM().Heap.Length(dst)
+			if err != nil {
+				return 0, err
+			}
+			env.Work(costZipFixed + uint64(srcLen)*costZipPerWord)
+			if srcLen%2 != 0 {
+				return 0, vm.Throw(srcLen, "DataFormatException")
+			}
+			out := int64(0)
+			for i := int64(0); i < srcLen; i += 2 {
+				v, err := env.ArrayLoad(src, i)
+				if err != nil {
+					return 0, err
+				}
+				run, err := env.ArrayLoad(src, i+1)
+				if err != nil {
+					return 0, err
+				}
+				if run <= 0 {
+					return 0, vm.Throw(run, "DataFormatException")
+				}
+				if out+run > dstLen {
+					return 0, vm.Throw(out, "BufferOverflowException")
+				}
+				for k := int64(0); k < run; k++ {
+					if err := env.ArrayStore(dst, out+k, v); err != nil {
+						return 0, err
+					}
+				}
+				out += run
+			}
+			return out, nil
+		},
+		ZipClass + ".crc(J)J": func(env vm.Env, args []int64) (int64, error) {
+			arr := args[0]
+			n, err := env.VM().Heap.Length(arr)
+			if err != nil {
+				return 0, err
+			}
+			env.Work(costCRCFixed + uint64(n)*costCRCPerWord)
+			h := int64(-2128831035) // FNV-ish over words
+			for i := int64(0); i < n; i++ {
+				v, err := env.ArrayLoad(arr, i)
+				if err != nil {
+					return 0, err
+				}
+				h = (h ^ v) * 16777619
+			}
+			return h, nil
+		},
+	}
+}

@@ -1,0 +1,125 @@
+package jni
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bytecode"
+	"repro/internal/classfile"
+	"repro/internal/vm"
+)
+
+// descForType returns a method descriptor whose return type matches the
+// given JNI function-name type component.
+func descForType(ty string) string {
+	switch ty {
+	case "Object":
+		return "()Ljava/lang/Object;"
+	case "Boolean":
+		return "()Z"
+	case "Byte":
+		return "()B"
+	case "Char":
+		return "()C"
+	case "Short":
+		return "()S"
+	case "Int":
+		return "()I"
+	case "Long":
+		return "()J"
+	case "Float":
+		return "()F"
+	case "Double":
+		return "()D"
+	case "Void":
+		return "()V"
+	}
+	return ""
+}
+
+// typeOfFunction extracts the type component from a function name.
+func typeOfFunction(name string) string {
+	rest := strings.TrimPrefix(name, "Call")
+	rest = strings.TrimPrefix(rest, "Static")
+	rest = strings.TrimPrefix(rest, "Nonvirtual")
+	for _, ty := range []string{
+		"Object", "Boolean", "Byte", "Char", "Short",
+		"Int", "Long", "Float", "Double", "Void",
+	} {
+		if strings.HasPrefix(rest, ty) {
+			return ty
+		}
+	}
+	return ""
+}
+
+// TestAllNinetyFunctionsDispatch builds one Java method per return type
+// (static and instance forms) and invokes it through every one of the 90
+// JNI functions, confirming that each entry dispatches and type-checks.
+func TestAllNinetyFunctionsDispatch(t *testing.T) {
+	types := []string{"Object", "Boolean", "Byte", "Char", "Short", "Int", "Long", "Float", "Double", "Void"}
+	var methods []*classfile.Method
+	for _, ty := range types {
+		desc := descForType(ty)
+		// Static form.
+		as := bytecode.NewAssembler()
+		if strings.HasSuffix(desc, "V") {
+			as.Return()
+		} else {
+			as.Const(7)
+			as.IReturn()
+		}
+		sm, err := as.FinishMethod("s"+ty, desc, classfile.AccStatic, 0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Instance form (receiver slot 0).
+		ai := bytecode.NewAssembler()
+		if strings.HasSuffix(desc, "V") {
+			ai.Return()
+		} else {
+			ai.Const(7)
+			ai.IReturn()
+		}
+		im, err := ai.FinishMethod("i"+ty, desc, classfile.AccPublic, 1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		methods = append(methods, sm, im)
+	}
+	v := vm.New(vm.DefaultOptions())
+	cls := &classfile.Class{Name: "d/All", Methods: methods}
+	if err := v.LoadClasses([]*classfile.Class{cls}); err != nil {
+		t.Fatal(err)
+	}
+	j := Attach(v)
+	th := v.NewDetachedThread("t")
+	env := th.Env().(*Env)
+
+	var dispatched int
+	for _, name := range FunctionNames() {
+		ty := typeOfFunction(name)
+		desc := descForType(ty)
+		call := &Call{Class: "d/All", Desc: desc}
+		if strings.HasPrefix(name, "CallStatic") {
+			call.Method = "s" + ty
+		} else {
+			call.Method = "i" + ty
+			call.Recv = 1
+		}
+		got, err := env.CallByName(name, call)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if desc[len(desc)-1] != 'V' && desc[len(desc)-1] != ';' && got != 7 {
+			t.Fatalf("%s = %d, want 7", name, got)
+		}
+		dispatched++
+	}
+	if dispatched != 90 {
+		t.Fatalf("dispatched %d functions, want 90", dispatched)
+	}
+	if j.CallCount() != 90 {
+		t.Fatalf("CallCount = %d, want 90", j.CallCount())
+	}
+}

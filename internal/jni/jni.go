@@ -1,0 +1,335 @@
+// Package jni reproduces the Java Native Interface layer of the paper's
+// substrate: the per-thread JNIEnv through which native code calls back
+// into Java, and — crucially for the Improved Profiling Agent — the JNI
+// function table whose method-invocation entries can be intercepted.
+//
+// Section IV of the paper: "IPA registers wrappers for all JNI functions
+// that are used to invoke methods: Call<Type>Method(), CallStatic<Type>
+// Method(), as well as CallNonvirtual<Type>Method() ... in total 90
+// wrappers have to be registered." This package enumerates exactly those 90
+// functions (3 families x 10 return types x 3 parameter-passing styles) and
+// routes every native-to-Java invocation through the current table, so an
+// installed wrapper observes every N2J transition.
+package jni
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/vm"
+)
+
+// Families of method-invocation functions.
+var families = []string{"", "Static", "Nonvirtual"}
+
+// Return-type components of the function names.
+var types = []string{
+	"Object", "Boolean", "Byte", "Char", "Short",
+	"Int", "Long", "Float", "Double", "Void",
+}
+
+// Parameter-passing style suffixes: varargs, va_list, jvalue array.
+var styles = []string{"", "V", "A"}
+
+// typeToDesc maps a function-name type component to the descriptor return
+// characters it accepts.
+var typeToDesc = map[string]string{
+	"Object":  "L[", // any reference return
+	"Boolean": "Z",
+	"Byte":    "B",
+	"Char":    "C",
+	"Short":   "S",
+	"Int":     "I",
+	"Long":    "J",
+	"Float":   "F",
+	"Double":  "D",
+	"Void":    "V",
+}
+
+// FunctionNames returns the names of all 90 JNI method-invocation
+// functions, in deterministic order.
+func FunctionNames() []string {
+	out := make([]string, 0, len(families)*len(types)*len(styles))
+	for _, f := range families {
+		for _, ty := range types {
+			for _, s := range styles {
+				out = append(out, "Call"+f+ty+"Method"+s)
+			}
+		}
+	}
+	return out
+}
+
+// Call carries the arguments of one JNI method-invocation function call.
+type Call struct {
+	// Function is the JNI function name used, e.g. "CallStaticIntMethodA".
+	Function string
+	// Class, Method, Desc identify the Java method being invoked.
+	Class, Method, Desc string
+	// Recv is the receiver handle for instance invocations (ignored for
+	// the Static family).
+	Recv int64
+	// Args are the argument words (without the receiver).
+	Args []int64
+}
+
+// Func is one entry of the JNI function table.
+type Func func(env *Env, call *Call) (int64, error)
+
+// Table is the JNI function table. JVMTI's JNI-function-interception
+// feature swaps entries; every dispatch reads the current entry under a
+// read lock.
+type Table struct {
+	mu    sync.RWMutex
+	funcs map[string]Func
+}
+
+// Get returns the current entry for name.
+func (t *Table) Get(name string) (Func, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	f, ok := t.funcs[name]
+	return f, ok
+}
+
+// Snapshot returns a copy of the table contents, the analogue of JVMTI's
+// GetJNIFunctionTable.
+func (t *Table) Snapshot() map[string]Func {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make(map[string]Func, len(t.funcs))
+	for k, v := range t.funcs {
+		out[k] = v
+	}
+	return out
+}
+
+// Replace installs new entries for the given names, the analogue of
+// SetJNIFunctionTable. Unknown function names are rejected.
+func (t *Table) Replace(entries map[string]Func) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for name := range entries {
+		if _, ok := t.funcs[name]; !ok {
+			return fmt.Errorf("jni: unknown function %q", name)
+		}
+	}
+	for name, f := range entries {
+		if f == nil {
+			return fmt.Errorf("jni: nil entry for %q", name)
+		}
+		t.funcs[name] = f
+	}
+	return nil
+}
+
+// JNI binds a function table to a VM and manufactures Env values for its
+// threads.
+type JNI struct {
+	vm    *vm.VM
+	table *Table
+	// calls is the ground-truth count of dispatched JNI method
+	// invocations (N2J transitions), kept independently of any agent.
+	calls atomic.Uint64
+}
+
+// Attach builds the default function table for v and installs this JNI
+// layer as the VM's Env factory. It returns the JNI instance for use by
+// the JVMTI layer.
+func Attach(v *vm.VM) *JNI {
+	j := &JNI{vm: v, table: &Table{funcs: make(map[string]Func)}}
+	for _, name := range FunctionNames() {
+		j.table.funcs[name] = defaultImpl(name)
+	}
+	v.EnvFactory = func(t *vm.Thread) vm.Env { return &Env{jni: j, thread: t} }
+	return j
+}
+
+// Table returns the JNI function table.
+func (j *JNI) Table() *Table { return j.table }
+
+// VM returns the attached VM.
+func (j *JNI) VM() *vm.VM { return j.vm }
+
+// CallCount returns the ground-truth number of JNI method invocations
+// dispatched through the table.
+func (j *JNI) CallCount() uint64 { return j.calls.Load() }
+
+// defaultImpl builds the standard implementation of one JNI invocation
+// function: validate the descriptor's return type against the function
+// name, then enter the interpreter.
+func defaultImpl(name string) Func {
+	family, retChars := parseFunctionName(name)
+	return func(env *Env, call *Call) (int64, error) {
+		if err := checkReturn(call.Desc, retChars); err != nil {
+			return 0, fmt.Errorf("jni: %s: %w", name, err)
+		}
+		t := env.thread
+		if family == "Static" {
+			return t.InvokeStatic(call.Class, call.Method, call.Desc, call.Args...)
+		}
+		// Virtual and Nonvirtual both resolve through the declared class
+		// in the simulator (no subclassing), but remain distinct table
+		// entries exactly as in JNI.
+		return t.InvokeVirtual(call.Class, call.Method, call.Desc, call.Recv, call.Args...)
+	}
+}
+
+// parseFunctionName splits "Call<family><type>Method<style>".
+func parseFunctionName(name string) (family, retChars string) {
+	rest := name[len("Call"):]
+	for _, f := range []string{"Static", "Nonvirtual"} {
+		if len(rest) > len(f) && rest[:len(f)] == f {
+			family = f
+			rest = rest[len(f):]
+			break
+		}
+	}
+	for _, ty := range types {
+		if len(rest) >= len(ty) && rest[:len(ty)] == ty {
+			return family, typeToDesc[ty]
+		}
+	}
+	return family, ""
+}
+
+// checkReturn validates that the descriptor's return type is invocable via
+// a function accepting retChars.
+func checkReturn(desc, retChars string) error {
+	if desc == "" {
+		return fmt.Errorf("empty descriptor")
+	}
+	ret := desc[len(desc)-1]
+	// Reference returns end in ';' (class) or are arrays; map both to the
+	// Object function characters.
+	if ret == ';' {
+		ret = 'L'
+	}
+	for i := 0; i < len(retChars); i++ {
+		if retChars[i] == ret {
+			return nil
+		}
+		if retChars[i] == '[' && containsArrayReturn(desc) {
+			return nil
+		}
+	}
+	return fmt.Errorf("descriptor %q not invocable via return type %q", desc, retChars)
+}
+
+func containsArrayReturn(desc string) bool {
+	for i := len(desc) - 1; i >= 0; i-- {
+		if desc[i] == ')' {
+			return i+1 < len(desc) && desc[i+1] == '['
+		}
+	}
+	return false
+}
+
+// Env is the JNIEnv of one thread. It satisfies vm.Env, so native code
+// receives it transparently; its Call* methods route through the function
+// table, making every N2J transition observable to interception wrappers.
+type Env struct {
+	jni    *JNI
+	thread *vm.Thread
+}
+
+var _ vm.Env = (*Env)(nil)
+
+// Thread returns the owning thread.
+func (e *Env) Thread() *vm.Thread { return e.thread }
+
+// VM returns the attached VM.
+func (e *Env) VM() *vm.VM { return e.jni.vm }
+
+// JNI returns the JNI layer, giving native code access to explicit
+// function-variant dispatch.
+func (e *Env) JNI() *JNI { return e.jni }
+
+// Work models native computation of n cycles.
+func (e *Env) Work(n uint64) { e.thread.NativeWork(n) }
+
+// CallStatic invokes a static Java method using the array-style function
+// of the appropriate return type (e.g. CallStaticIntMethodA for "...)I").
+func (e *Env) CallStatic(class, method, desc string, args ...int64) (int64, error) {
+	name, err := functionFor("Static", desc, "A")
+	if err != nil {
+		return 0, err
+	}
+	return e.CallByName(name, &Call{
+		Function: name, Class: class, Method: method, Desc: desc, Args: args,
+	})
+}
+
+// CallVirtual invokes an instance Java method via the array-style function.
+func (e *Env) CallVirtual(class, method, desc string, recv int64, args ...int64) (int64, error) {
+	name, err := functionFor("", desc, "A")
+	if err != nil {
+		return 0, err
+	}
+	return e.CallByName(name, &Call{
+		Function: name, Class: class, Method: method, Desc: desc, Recv: recv, Args: args,
+	})
+}
+
+// CallByName dispatches an invocation through the named function-table
+// entry, exercising any installed interception wrapper.
+func (e *Env) CallByName(name string, call *Call) (int64, error) {
+	f, ok := e.jni.table.Get(name)
+	if !ok {
+		return 0, fmt.Errorf("jni: no such function %q", name)
+	}
+	e.jni.calls.Add(1)
+	call.Function = name
+	return f(e, call)
+}
+
+// NewArray allocates an array on the simulated heap.
+func (e *Env) NewArray(length int64) (int64, error) {
+	return e.jni.vm.Heap.NewArray(length)
+}
+
+// ArrayLoad reads an element of a heap array.
+func (e *Env) ArrayLoad(handle, index int64) (int64, error) {
+	return e.jni.vm.Heap.Load(handle, index)
+}
+
+// ArrayStore writes an element of a heap array.
+func (e *Env) ArrayStore(handle, index, value int64) error {
+	return e.jni.vm.Heap.Store(handle, index, value)
+}
+
+// functionFor picks the JNI function name for a family, descriptor return
+// type and style.
+func functionFor(family, desc, style string) (string, error) {
+	if desc == "" {
+		return "", fmt.Errorf("jni: empty descriptor")
+	}
+	ret := desc[len(desc)-1]
+	var ty string
+	switch {
+	case ret == ';' || containsArrayReturn(desc):
+		ty = "Object"
+	case ret == 'Z':
+		ty = "Boolean"
+	case ret == 'B':
+		ty = "Byte"
+	case ret == 'C':
+		ty = "Char"
+	case ret == 'S':
+		ty = "Short"
+	case ret == 'I':
+		ty = "Int"
+	case ret == 'J':
+		ty = "Long"
+	case ret == 'F':
+		ty = "Float"
+	case ret == 'D':
+		ty = "Double"
+	case ret == 'V':
+		ty = "Void"
+	default:
+		return "", fmt.Errorf("jni: cannot infer function for descriptor %q", desc)
+	}
+	return "Call" + family + ty + "Method" + style, nil
+}

@@ -1,0 +1,293 @@
+package jni
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bytecode"
+	"repro/internal/classfile"
+	"repro/internal/vm"
+)
+
+func TestFunctionNamesCountAndShape(t *testing.T) {
+	names := FunctionNames()
+	// 3 families x 10 return types x 3 styles = 90, the figure the paper
+	// derives in Section IV.
+	if len(names) != 90 {
+		t.Fatalf("len = %d, want 90", len(names))
+	}
+	seen := make(map[string]bool)
+	for _, n := range names {
+		if seen[n] {
+			t.Fatalf("duplicate name %q", n)
+		}
+		seen[n] = true
+		if !strings.HasPrefix(n, "Call") || !strings.Contains(n, "Method") {
+			t.Fatalf("malformed name %q", n)
+		}
+	}
+	for _, want := range []string{
+		"CallIntMethod", "CallIntMethodV", "CallIntMethodA",
+		"CallStaticVoidMethodA", "CallNonvirtualObjectMethodV",
+		"CallStaticLongMethod", "CallNonvirtualDoubleMethodA",
+	} {
+		if !seen[want] {
+			t.Fatalf("missing %q", want)
+		}
+	}
+}
+
+// buildTestVM wires a VM with one Java class:
+//
+//	static int add(int a, int b) { return a+b; }
+//	int mul(int k) { return recv * k; }   // instance; recv is the handle word
+//	static native long viaJNI(long x);
+func buildTestVM(t *testing.T) (*vm.VM, *JNI) {
+	t.Helper()
+	aa := bytecode.NewAssembler()
+	aa.Load(0)
+	aa.Load(1)
+	aa.Add()
+	aa.IReturn()
+	add, err := aa.FinishMethod("add", "(II)I", classfile.AccStatic, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	am := bytecode.NewAssembler()
+	am.Load(0)
+	am.Load(1)
+	am.Mul()
+	am.IReturn()
+	mul, err := am.FinishMethod("mul", "(I)I", classfile.AccPublic, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nat := &classfile.Method{
+		Name: "viaJNI", Desc: "(J)J",
+		Flags: classfile.AccStatic | classfile.AccNative,
+	}
+	cls := &classfile.Class{Name: "t/C", Methods: []*classfile.Method{add, mul, nat}}
+	v := vm.New(vm.DefaultOptions())
+	if err := v.LoadClasses([]*classfile.Class{cls}); err != nil {
+		t.Fatal(err)
+	}
+	j := Attach(v)
+	return v, j
+}
+
+func TestEnvCallStaticRoutesThroughTable(t *testing.T) {
+	v, j := buildTestVM(t)
+	th := v.NewDetachedThread("t")
+	env, ok := th.Env().(*Env)
+	if !ok {
+		t.Fatalf("Env factory returned %T, want *jni.Env", th.Env())
+	}
+	got, err := env.CallStatic("t/C", "add", "(II)I", 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 5 {
+		t.Fatalf("add = %d, want 5", got)
+	}
+	if j.CallCount() != 1 {
+		t.Fatalf("CallCount = %d, want 1", j.CallCount())
+	}
+}
+
+func TestEnvCallVirtual(t *testing.T) {
+	v, _ := buildTestVM(t)
+	th := v.NewDetachedThread("t")
+	env := th.Env().(*Env)
+	got, err := env.CallVirtual("t/C", "mul", "(I)I", 6, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 42 {
+		t.Fatalf("mul = %d, want 42", got)
+	}
+}
+
+func TestCallByNameAllStylesAndFamilies(t *testing.T) {
+	v, j := buildTestVM(t)
+	th := v.NewDetachedThread("t")
+	env := th.Env().(*Env)
+	for _, name := range []string{"CallStaticIntMethod", "CallStaticIntMethodV", "CallStaticIntMethodA"} {
+		got, err := env.CallByName(name, &Call{
+			Class: "t/C", Method: "add", Desc: "(II)I", Args: []int64{10, 20},
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got != 30 {
+			t.Fatalf("%s = %d, want 30", name, got)
+		}
+	}
+	for _, name := range []string{"CallIntMethodA", "CallNonvirtualIntMethodA"} {
+		got, err := env.CallByName(name, &Call{
+			Class: "t/C", Method: "mul", Desc: "(I)I", Recv: 3, Args: []int64{9},
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got != 27 {
+			t.Fatalf("%s = %d, want 27", name, got)
+		}
+	}
+	if j.CallCount() != 5 {
+		t.Fatalf("CallCount = %d, want 5", j.CallCount())
+	}
+}
+
+func TestCallByNameReturnTypeMismatch(t *testing.T) {
+	v, _ := buildTestVM(t)
+	th := v.NewDetachedThread("t")
+	env := th.Env().(*Env)
+	// add returns int; calling through a Long function must fail.
+	_, err := env.CallByName("CallStaticLongMethodA", &Call{
+		Class: "t/C", Method: "add", Desc: "(II)I", Args: []int64{1, 2},
+	})
+	if err == nil {
+		t.Fatal("return-type mismatch accepted")
+	}
+}
+
+func TestCallByNameUnknownFunction(t *testing.T) {
+	v, _ := buildTestVM(t)
+	th := v.NewDetachedThread("t")
+	env := th.Env().(*Env)
+	if _, err := env.CallByName("CallFancyMethodX", &Call{}); err == nil {
+		t.Fatal("unknown function accepted")
+	}
+}
+
+func TestTableInterception(t *testing.T) {
+	v, j := buildTestVM(t)
+	var began, ended int
+	orig := j.Table().Snapshot()
+	entries := make(map[string]Func)
+	for _, name := range FunctionNames() {
+		o := orig[name]
+		entries[name] = func(env *Env, call *Call) (int64, error) {
+			began++
+			r, err := o(env, call)
+			ended++
+			return r, err
+		}
+	}
+	if err := j.Table().Replace(entries); err != nil {
+		t.Fatal(err)
+	}
+	th := v.NewDetachedThread("t")
+	env := th.Env().(*Env)
+	if _, err := env.CallStatic("t/C", "add", "(II)I", 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if began != 1 || ended != 1 {
+		t.Fatalf("wrapper fired %d/%d times, want 1/1", began, ended)
+	}
+}
+
+func TestTableReplaceRejectsUnknownOrNil(t *testing.T) {
+	_, j := buildTestVM(t)
+	if err := j.Table().Replace(map[string]Func{"Nope": nil}); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+	if err := j.Table().Replace(map[string]Func{"CallIntMethodA": nil}); err == nil {
+		t.Fatal("nil entry accepted")
+	}
+}
+
+func TestNativeCodeCallsBackThroughJNI(t *testing.T) {
+	// Full round trip: bytecode -> native viaJNI -> JNI CallStatic ->
+	// bytecode add. The JNI call count must reflect the N2J transition.
+	v, j := buildTestVM(t)
+	err := v.RegisterNative("t/C", "viaJNI", "(J)J", func(env vm.Env, args []int64) (int64, error) {
+		env.Work(50)
+		r, err := env.CallStatic("t/C", "add", "(II)I", args[0], 100)
+		return r, err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := v.Run("t/C", "viaJNI", "(J)J", 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 111 {
+		t.Fatalf("viaJNI = %d, want 111", got)
+	}
+	// Two JNI calls: the thread launcher's initial invocation of viaJNI
+	// (mirroring the JVM launcher calling main via JNI) plus the
+	// callback from native code into add.
+	if j.CallCount() != 2 {
+		t.Fatalf("CallCount = %d, want 2", j.CallCount())
+	}
+	if v.NativeCallCount() != 1 {
+		t.Fatalf("NativeCallCount = %d, want 1", v.NativeCallCount())
+	}
+}
+
+func TestEnvHeapHelpers(t *testing.T) {
+	v, _ := buildTestVM(t)
+	th := v.NewDetachedThread("t")
+	env := th.Env().(*Env)
+	h, err := env.NewArray(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := env.ArrayStore(h, 0, 9); err != nil {
+		t.Fatal(err)
+	}
+	got, err := env.ArrayLoad(h, 0)
+	if err != nil || got != 9 {
+		t.Fatalf("ArrayLoad = %d, %v", got, err)
+	}
+}
+
+func TestEnvWorkAttributedToNative(t *testing.T) {
+	v, _ := buildTestVM(t)
+	th := v.NewDetachedThread("t")
+	env := th.Env().(*Env)
+	env.Work(777)
+	_, nat, _ := th.GroundTruth()
+	if nat != 777 {
+		t.Fatalf("native ground truth = %d, want 777", nat)
+	}
+}
+
+func TestFunctionForSelection(t *testing.T) {
+	cases := []struct {
+		family, desc, style, want string
+	}{
+		{"Static", "()V", "A", "CallStaticVoidMethodA"},
+		{"", "(I)I", "", "CallIntMethod"},
+		{"Nonvirtual", "()J", "V", "CallNonvirtualLongMethodV"},
+		{"Static", "()Ljava/lang/String;", "A", "CallStaticObjectMethodA"},
+		{"Static", "()[I", "A", "CallStaticObjectMethodA"},
+		{"", "()D", "A", "CallDoubleMethodA"},
+	}
+	for _, c := range cases {
+		got, err := functionFor(c.family, c.desc, c.style)
+		if err != nil {
+			t.Fatalf("functionFor(%q,%q,%q): %v", c.family, c.desc, c.style, err)
+		}
+		if got != c.want {
+			t.Fatalf("functionFor(%q,%q,%q) = %q, want %q", c.family, c.desc, c.style, got, c.want)
+		}
+	}
+}
+
+func TestParseFunctionName(t *testing.T) {
+	fam, ret := parseFunctionName("CallStaticIntMethodA")
+	if fam != "Static" || ret != "I" {
+		t.Fatalf("got %q %q", fam, ret)
+	}
+	fam, ret = parseFunctionName("CallObjectMethod")
+	if fam != "" || ret != "L[" {
+		t.Fatalf("got %q %q", fam, ret)
+	}
+	fam, ret = parseFunctionName("CallNonvirtualVoidMethodV")
+	if fam != "Nonvirtual" || ret != "V" {
+		t.Fatalf("got %q %q", fam, ret)
+	}
+}

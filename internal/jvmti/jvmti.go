@@ -1,0 +1,325 @@
+// Package jvmti reproduces the JVM Tool Interface surface the paper's
+// profiling agents are written against (Section II-B): profiling events
+// (ThreadStart, ThreadEnd, VMDeath, MethodEntry, MethodExit, and the
+// ClassFileLoadHook), thread-local storage, raw monitors, JNI function
+// interception, and native method prefixing (JVMTI 1.1).
+//
+// The two agents — SPA in internal/agents/spa and IPA in
+// internal/agents/ipa — use only this interface plus the cycle counters,
+// exactly mirroring the portability claim of the paper: nothing in the
+// agents touches VM internals.
+package jvmti
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/classfile"
+	"repro/internal/cycles"
+	"repro/internal/jni"
+	"repro/internal/vm"
+)
+
+// Event identifies a JVMTI event kind.
+type Event int
+
+// The events used by the paper's agents.
+const (
+	// EventThreadStart fires before a new thread's initial method runs.
+	EventThreadStart Event = iota
+	// EventThreadEnd fires after a terminating thread's initial method.
+	EventThreadEnd
+	// EventVMDeath fires when the VM terminates; no events follow it.
+	EventVMDeath
+	// EventMethodEntry fires on every method entry, native included.
+	EventMethodEntry
+	// EventMethodExit fires on every method exit, by return or exception.
+	EventMethodExit
+	// EventClassFileLoadHook fires before a class is linked, allowing
+	// bytecode transformation (dynamic instrumentation).
+	EventClassFileLoadHook
+	// EventSample is not part of JVMTI: it models the SIGPROF-style
+	// timer interrupt that system-specific sampling profilers (IBM
+	// tprof, Section VI) build on. It is exposed through the same event
+	// plumbing so the sampling comparator agent stays portable in this
+	// substrate, while the paper's point — samplers cannot count JNI
+	// calls or expose mixed call chains — remains observable.
+	EventSample
+	numEvents
+)
+
+// String returns the JVMTI-style event name.
+func (e Event) String() string {
+	switch e {
+	case EventThreadStart:
+		return "ThreadStart"
+	case EventThreadEnd:
+		return "ThreadEnd"
+	case EventVMDeath:
+		return "VMDeath"
+	case EventMethodEntry:
+		return "MethodEntry"
+	case EventMethodExit:
+		return "MethodExit"
+	case EventClassFileLoadHook:
+		return "ClassFileLoadHook"
+	case EventSample:
+		return "Sample"
+	default:
+		return fmt.Sprintf("Event(%d)", int(e))
+	}
+}
+
+// Capabilities gates the expensive or intrusive JVMTI features, as in the
+// real interface where an agent must request capabilities up front.
+type Capabilities struct {
+	// CanGenerateMethodEntryEvents permits EventMethodEntry delivery.
+	CanGenerateMethodEntryEvents bool
+	// CanGenerateMethodExitEvents permits EventMethodExit delivery.
+	CanGenerateMethodExitEvents bool
+	// CanSetNativeMethodPrefix permits the prefix-based wrapper scheme
+	// (JVMTI 1.1, required by IPA).
+	CanSetNativeMethodPrefix bool
+	// CanGenerateAllClassHookEvents permits EventClassFileLoadHook.
+	CanGenerateAllClassHookEvents bool
+}
+
+// Callbacks is the agent-provided event callback table.
+type Callbacks struct {
+	ThreadStart func(env *Env, t *vm.Thread)
+	ThreadEnd   func(env *Env, t *vm.Thread)
+	VMDeath     func(env *Env)
+	MethodEntry func(env *Env, t *vm.Thread, m *vm.Method)
+	MethodExit  func(env *Env, t *vm.Thread, m *vm.Method)
+	// ClassFileLoadHook may return a transformed class, or nil to keep
+	// the original.
+	ClassFileLoadHook func(env *Env, c *classfile.Class) *classfile.Class
+	// Sample receives PC-sampling ticks when EventSample is enabled and
+	// the VM was built with a non-zero Options.SampleInterval.
+	Sample func(env *Env, t *vm.Thread, inNative bool)
+}
+
+// Errors returned by the environment.
+var (
+	// ErrMissingCapability reports use of a feature whose capability was
+	// not added.
+	ErrMissingCapability = errors.New("jvmti: missing capability")
+	// ErrUnknownEvent reports an out-of-range event.
+	ErrUnknownEvent = errors.New("jvmti: unknown event")
+)
+
+// Env is a JVMTI environment bound to one VM. It owns the VM's hook
+// surface; create it before loading classes so the ClassFileLoadHook can
+// observe every class.
+type Env struct {
+	vm  *vm.VM
+	jni *jni.JNI
+
+	mu        sync.Mutex
+	caps      Capabilities
+	callbacks Callbacks
+	enabled   [numEvents]bool
+
+	tlsMu sync.RWMutex
+	tls   map[cycles.ThreadID]any
+}
+
+// NewEnv creates the JVMTI environment for v, wiring its event dispatchers
+// into the VM hooks. j may be nil if the agent does not intercept JNI
+// functions.
+func NewEnv(v *vm.VM, j *jni.JNI) *Env {
+	e := &Env{
+		vm:  v,
+		jni: j,
+		tls: make(map[cycles.ThreadID]any),
+	}
+	v.SetHooks(vm.Hooks{
+		ThreadStart: func(t *vm.Thread) {
+			if e.isEnabled(EventThreadStart) && e.callbacks.ThreadStart != nil {
+				e.callbacks.ThreadStart(e, t)
+			}
+		},
+		ThreadEnd: func(t *vm.Thread) {
+			if e.isEnabled(EventThreadEnd) && e.callbacks.ThreadEnd != nil {
+				e.callbacks.ThreadEnd(e, t)
+			}
+		},
+		VMDeath: func() {
+			if e.isEnabled(EventVMDeath) && e.callbacks.VMDeath != nil {
+				e.callbacks.VMDeath(e)
+			}
+		},
+		MethodEntry: func(t *vm.Thread, m *vm.Method) {
+			if e.isEnabled(EventMethodEntry) && e.callbacks.MethodEntry != nil {
+				e.callbacks.MethodEntry(e, t, m)
+			}
+		},
+		MethodExit: func(t *vm.Thread, m *vm.Method) {
+			if e.isEnabled(EventMethodExit) && e.callbacks.MethodExit != nil {
+				e.callbacks.MethodExit(e, t, m)
+			}
+		},
+		ClassFileLoad: func(c *classfile.Class) *classfile.Class {
+			if e.isEnabled(EventClassFileLoadHook) && e.callbacks.ClassFileLoadHook != nil {
+				return e.callbacks.ClassFileLoadHook(e, c)
+			}
+			return nil
+		},
+		Sample: func(t *vm.Thread, inNative bool) {
+			if e.isEnabled(EventSample) && e.callbacks.Sample != nil {
+				e.callbacks.Sample(e, t, inNative)
+			}
+		},
+	})
+	return e
+}
+
+// VM returns the bound VM.
+func (e *Env) VM() *vm.VM { return e.vm }
+
+// JNI returns the bound JNI layer, or nil.
+func (e *Env) JNI() *jni.JNI { return e.jni }
+
+func (e *Env) isEnabled(ev Event) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.enabled[ev]
+}
+
+// AddCapabilities requests capabilities; it must precede the features they
+// gate.
+func (e *Env) AddCapabilities(c Capabilities) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.caps.CanGenerateMethodEntryEvents = e.caps.CanGenerateMethodEntryEvents || c.CanGenerateMethodEntryEvents
+	e.caps.CanGenerateMethodExitEvents = e.caps.CanGenerateMethodExitEvents || c.CanGenerateMethodExitEvents
+	e.caps.CanSetNativeMethodPrefix = e.caps.CanSetNativeMethodPrefix || c.CanSetNativeMethodPrefix
+	e.caps.CanGenerateAllClassHookEvents = e.caps.CanGenerateAllClassHookEvents || c.CanGenerateAllClassHookEvents
+}
+
+// Capabilities returns the currently granted capability set.
+func (e *Env) Capabilities() Capabilities {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.caps
+}
+
+// SetEventCallbacks installs the callback table.
+func (e *Env) SetEventCallbacks(cb Callbacks) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.callbacks = cb
+}
+
+// SetEventNotificationMode enables or disables delivery of one event.
+// Enabling MethodEntry or MethodExit requires the corresponding capability
+// and — reproducing the central performance effect of Section III —
+// disables JIT compilation in the VM for the rest of the run.
+func (e *Env) SetEventNotificationMode(enable bool, ev Event) error {
+	if ev < 0 || ev >= numEvents {
+		return fmt.Errorf("%w: %d", ErrUnknownEvent, int(ev))
+	}
+	e.mu.Lock()
+	switch ev {
+	case EventMethodEntry:
+		if enable && !e.caps.CanGenerateMethodEntryEvents {
+			e.mu.Unlock()
+			return fmt.Errorf("%w: CanGenerateMethodEntryEvents", ErrMissingCapability)
+		}
+	case EventMethodExit:
+		if enable && !e.caps.CanGenerateMethodExitEvents {
+			e.mu.Unlock()
+			return fmt.Errorf("%w: CanGenerateMethodExitEvents", ErrMissingCapability)
+		}
+	case EventClassFileLoadHook:
+		if enable && !e.caps.CanGenerateAllClassHookEvents {
+			e.mu.Unlock()
+			return fmt.Errorf("%w: CanGenerateAllClassHookEvents", ErrMissingCapability)
+		}
+	}
+	e.enabled[ev] = enable
+	methodEvents := e.enabled[EventMethodEntry] || e.enabled[EventMethodExit]
+	e.mu.Unlock()
+	if ev == EventMethodEntry || ev == EventMethodExit {
+		e.vm.EnableMethodEvents(methodEvents)
+	}
+	return nil
+}
+
+// EventEnabled reports whether ev is currently delivered.
+func (e *Env) EventEnabled(ev Event) bool { return e.isEnabled(ev) }
+
+// SetNativeMethodPrefix announces a native-method prefix, gated by the
+// CanSetNativeMethodPrefix capability (JVMTI 1.1 / JDK 1.6, Section II-B-e).
+func (e *Env) SetNativeMethodPrefix(prefix string) error {
+	e.mu.Lock()
+	ok := e.caps.CanSetNativeMethodPrefix
+	e.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: CanSetNativeMethodPrefix", ErrMissingCapability)
+	}
+	return e.vm.SetNativeMethodPrefix(prefix)
+}
+
+// GetJNIFunctionTable returns a snapshot of the JNI function table, for
+// building interception wrappers around the original entries.
+func (e *Env) GetJNIFunctionTable() (map[string]jni.Func, error) {
+	if e.jni == nil {
+		return nil, errors.New("jvmti: no JNI layer attached")
+	}
+	return e.jni.Table().Snapshot(), nil
+}
+
+// SetJNIFunctionTable installs replacement entries, the JNI function
+// interception feature of Section II-B-d.
+func (e *Env) SetJNIFunctionTable(entries map[string]jni.Func) error {
+	if e.jni == nil {
+		return errors.New("jvmti: no JNI layer attached")
+	}
+	return e.jni.Table().Replace(entries)
+}
+
+// SetThreadLocalStorage associates data with a thread, the analogue of the
+// paper's ThreadLocalStorage.put(Thread, Object).
+func (e *Env) SetThreadLocalStorage(t *vm.Thread, data any) {
+	e.tlsMu.Lock()
+	defer e.tlsMu.Unlock()
+	e.tls[t.ID()] = data
+}
+
+// GetThreadLocalStorage returns the data associated with a thread, or nil.
+func (e *Env) GetThreadLocalStorage(t *vm.Thread) any {
+	e.tlsMu.RLock()
+	defer e.tlsMu.RUnlock()
+	return e.tls[t.ID()]
+}
+
+// RawMonitor is the JVMTI synchronization aid the agents use to guard the
+// global profiling statistics updated at thread termination.
+type RawMonitor struct {
+	name string
+	mu   sync.Mutex
+}
+
+// CreateRawMonitor allocates a named raw monitor.
+func (e *Env) CreateRawMonitor(name string) *RawMonitor {
+	return &RawMonitor{name: name}
+}
+
+// Name returns the monitor's name.
+func (m *RawMonitor) Name() string { return m.name }
+
+// Enter acquires the monitor.
+func (m *RawMonitor) Enter() { m.mu.Lock() }
+
+// Exit releases the monitor.
+func (m *RawMonitor) Exit() { m.mu.Unlock() }
+
+// Timestamp reads the per-thread cycle counter, the PCL.getTimestamp(t) of
+// the pseudo-code. It is exposed on the JVMTI Env for the agents'
+// convenience; the underlying counters come from the PCL substitute in
+// internal/cycles.
+func (e *Env) Timestamp(t *vm.Thread) uint64 {
+	return e.vm.Clock.Timestamp(t.ID())
+}

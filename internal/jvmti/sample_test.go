@@ -1,0 +1,96 @@
+package jvmti
+
+import (
+	"testing"
+
+	"repro/internal/bytecode"
+	"repro/internal/classfile"
+	"repro/internal/jni"
+	"repro/internal/vm"
+)
+
+// newSamplingVM builds a VM with sampling enabled and a spin loop plus a
+// native burst.
+func newSamplingVM(t *testing.T, interval uint64) (*vm.VM, *Env) {
+	t.Helper()
+	opts := vm.DefaultOptions()
+	opts.SampleInterval = interval
+	opts.SampleCost = 10
+	v := vm.New(opts)
+	j := jni.Attach(v)
+	e := NewEnv(v, j)
+	a := bytecode.NewAssembler()
+	a.Const(500)
+	a.Store(0)
+	top := a.NewLabel()
+	end := a.NewLabel()
+	a.Bind(top)
+	a.Load(0)
+	a.Ifle(end)
+	a.Inc(0, -1)
+	a.Goto(top)
+	a.Bind(end)
+	a.InvokeStatic("s/Main", "burn", "()V")
+	a.Return()
+	m, err := a.FinishMethod("main", "()V", classfile.AccStatic, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nat := &classfile.Method{
+		Name: "burn", Desc: "()V",
+		Flags: classfile.AccStatic | classfile.AccNative,
+	}
+	cls := &classfile.Class{Name: "s/Main", Methods: []*classfile.Method{m, nat}}
+	if err := v.LoadClasses([]*classfile.Class{cls}); err != nil {
+		t.Fatal(err)
+	}
+	v.RegisterNative("s/Main", "burn", "()V", func(env vm.Env, args []int64) (int64, error) {
+		env.Work(3000)
+		return 0, nil
+	})
+	return v, e
+}
+
+func TestSampleEventDelivery(t *testing.T) {
+	v, e := newSamplingVM(t, 200)
+	var bc, nat int
+	e.SetEventCallbacks(Callbacks{
+		Sample: func(env *Env, th *vm.Thread, inNative bool) {
+			if inNative {
+				nat++
+			} else {
+				bc++
+			}
+		},
+	})
+	if err := e.SetEventNotificationMode(true, EventSample); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Run("s/Main", "main", "()V"); err != nil {
+		t.Fatal(err)
+	}
+	if bc == 0 || nat == 0 {
+		t.Fatalf("samples bytecode=%d native=%d, want both > 0", bc, nat)
+	}
+}
+
+func TestSampleEventDisabledByDefault(t *testing.T) {
+	v, e := newSamplingVM(t, 200)
+	var fired int
+	e.SetEventCallbacks(Callbacks{
+		Sample: func(env *Env, th *vm.Thread, inNative bool) { fired++ },
+	})
+	// Notification mode not enabled.
+	if _, err := v.Run("s/Main", "main", "()V"); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 0 {
+		t.Fatalf("sample delivered %d times while disabled", fired)
+	}
+}
+
+func TestSampleEventName(t *testing.T) {
+	if EventSample.String() != "Sample" {
+		t.Fatalf("name = %q", EventSample.String())
+	}
+}

@@ -1,0 +1,113 @@
+// Package stats provides the small statistical toolkit used by the
+// evaluation harness: medians over repeated runs, geometric means across
+// benchmarks, and the overhead formulas defined in Section V of the paper.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by aggregations that require at least one sample.
+var ErrEmpty = errors.New("stats: empty sample set")
+
+// Median returns the median of xs. For an even number of samples it returns
+// the mean of the two middle values, matching the paper's "median of 15 runs"
+// aggregation (which is odd, but the harness allows any run count).
+func Median(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2], nil
+	}
+	return (s[n/2-1] + s[n/2]) / 2, nil
+}
+
+// GeoMean returns the geometric mean of xs. All samples must be positive;
+// the paper uses it across the seven JVM98 benchmarks.
+func GeoMean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0, fmt.Errorf("stats: geometric mean requires positive samples, got %g", x)
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs))), nil
+}
+
+// OverheadTime computes the Section V overhead formula for time-metric
+// benchmarks (SPEC JVM98): (profiled/original - 1) * 100, in percent.
+func OverheadTime(original, profiled float64) (float64, error) {
+	if original <= 0 {
+		return 0, fmt.Errorf("stats: original time must be positive, got %g", original)
+	}
+	return (profiled/original - 1) * 100, nil
+}
+
+// OverheadThroughput computes the Section V overhead formula for
+// throughput-metric benchmarks (SPEC JBB2005):
+// (original/profiled - 1) * 100, in percent. Higher original throughput
+// relative to profiled throughput means more overhead.
+func OverheadThroughput(original, profiled float64) (float64, error) {
+	if profiled <= 0 {
+		return 0, fmt.Errorf("stats: profiled throughput must be positive, got %g", profiled)
+	}
+	return (original/profiled - 1) * 100, nil
+}
+
+// Mean returns the arithmetic mean of xs.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs)), nil
+}
+
+// Min returns the smallest element of xs.
+func Min(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// Max returns the largest element of xs.
+func Max(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// Percent formats a ratio in [0,1] as a percentage string with two decimals,
+// e.g. 0.0454 -> "4.54%".
+func Percent(ratio float64) string {
+	return fmt.Sprintf("%.2f%%", ratio*100)
+}

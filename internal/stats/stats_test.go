@@ -1,0 +1,281 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool {
+	return math.Abs(a-b) < 1e-9
+}
+
+func TestMedianOdd(t *testing.T) {
+	m, err := Median([]float64{3, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != 2 {
+		t.Fatalf("median = %g, want 2", m)
+	}
+}
+
+func TestMedianEven(t *testing.T) {
+	m, err := Median([]float64{4, 1, 3, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != 2.5 {
+		t.Fatalf("median = %g, want 2.5", m)
+	}
+}
+
+func TestMedianSingle(t *testing.T) {
+	m, err := Median([]float64{7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != 7 {
+		t.Fatalf("median = %g, want 7", m)
+	}
+}
+
+func TestMedianEmpty(t *testing.T) {
+	if _, err := Median(nil); err != ErrEmpty {
+		t.Fatalf("err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestMedianDoesNotMutateInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	if _, err := Median(in); err != nil {
+		t.Fatal(err)
+	}
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatalf("input mutated: %v", in)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	g, err := GeoMean([]float64{2, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(g, 4) {
+		t.Fatalf("geomean = %g, want 4", g)
+	}
+}
+
+func TestGeoMeanIdentity(t *testing.T) {
+	g, err := GeoMean([]float64{5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(g, 5) {
+		t.Fatalf("geomean = %g, want 5", g)
+	}
+}
+
+func TestGeoMeanRejectsNonPositive(t *testing.T) {
+	if _, err := GeoMean([]float64{1, 0}); err == nil {
+		t.Fatal("expected error for zero sample")
+	}
+	if _, err := GeoMean([]float64{1, -2}); err == nil {
+		t.Fatal("expected error for negative sample")
+	}
+}
+
+func TestGeoMeanEmpty(t *testing.T) {
+	if _, err := GeoMean(nil); err != ErrEmpty {
+		t.Fatalf("err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestOverheadTimePaperRow(t *testing.T) {
+	// Table I 'compress' row: 5.74s original, 6.38s IPA -> 11.15%.
+	o, err := OverheadTime(5.74, 6.38)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(o-11.1498) > 0.01 {
+		t.Fatalf("overhead = %g, want about 11.15", o)
+	}
+}
+
+func TestOverheadTimeZeroProfiledDelta(t *testing.T) {
+	// Table I 'mtrt' row with IPA: identical times -> 0.00%.
+	o, err := OverheadTime(1.16, 1.16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(o, 0) {
+		t.Fatalf("overhead = %g, want 0", o)
+	}
+}
+
+func TestOverheadTimeRejectsZeroOriginal(t *testing.T) {
+	if _, err := OverheadTime(0, 1); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestOverheadThroughputPaperRow(t *testing.T) {
+	// Table I JBB2005 row: 7251 ops/s original, 6021 with IPA -> 20.43%.
+	o, err := OverheadThroughput(7251, 6021)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(o-20.4285) > 0.01 {
+		t.Fatalf("overhead = %g, want about 20.43", o)
+	}
+}
+
+func TestOverheadThroughputSPARow(t *testing.T) {
+	// Table I JBB2005 SPA row: 7251 vs 66.4 -> about 10820%.
+	o, err := OverheadThroughput(7251, 66.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(o-10820.18) > 0.5 {
+		t.Fatalf("overhead = %g, want about 10820.18", o)
+	}
+}
+
+func TestOverheadThroughputRejectsZero(t *testing.T) {
+	if _, err := OverheadThroughput(1, 0); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestMeanMinMax(t *testing.T) {
+	xs := []float64{2, 4, 6}
+	m, err := Mean(xs)
+	if err != nil || m != 4 {
+		t.Fatalf("mean = %g err=%v, want 4", m, err)
+	}
+	lo, err := Min(xs)
+	if err != nil || lo != 2 {
+		t.Fatalf("min = %g err=%v, want 2", lo, err)
+	}
+	hi, err := Max(xs)
+	if err != nil || hi != 6 {
+		t.Fatalf("max = %g err=%v, want 6", hi, err)
+	}
+}
+
+func TestMeanMinMaxEmpty(t *testing.T) {
+	if _, err := Mean(nil); err != ErrEmpty {
+		t.Fatal("mean: want ErrEmpty")
+	}
+	if _, err := Min(nil); err != ErrEmpty {
+		t.Fatal("min: want ErrEmpty")
+	}
+	if _, err := Max(nil); err != ErrEmpty {
+		t.Fatal("max: want ErrEmpty")
+	}
+}
+
+func TestPercent(t *testing.T) {
+	if got := Percent(0.0454); got != "4.54%" {
+		t.Fatalf("Percent = %q, want 4.54%%", got)
+	}
+	if got := Percent(0); got != "0.00%" {
+		t.Fatalf("Percent = %q, want 0.00%%", got)
+	}
+	if got := Percent(1); got != "100.00%" {
+		t.Fatalf("Percent = %q, want 100.00%%", got)
+	}
+}
+
+// Property: the median always lies between min and max of the sample.
+func TestMedianBoundsProperty(t *testing.T) {
+	f := func(raw []int32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, x := range raw {
+			xs[i] = float64(x)
+		}
+		m, err := Median(xs)
+		if err != nil {
+			return false
+		}
+		lo, _ := Min(xs)
+		hi, _ := Max(xs)
+		return m >= lo && m <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the median is invariant under permutation of the input.
+func TestMedianPermutationProperty(t *testing.T) {
+	f := func(raw []int32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, x := range raw {
+			xs[i] = float64(x)
+		}
+		m1, err := Median(xs)
+		if err != nil {
+			return false
+		}
+		rev := make([]float64, len(xs))
+		copy(rev, xs)
+		sort.Sort(sort.Reverse(sort.Float64Slice(rev)))
+		m2, err := Median(rev)
+		if err != nil {
+			return false
+		}
+		return m1 == m2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: geomean of n copies of x is x.
+func TestGeoMeanConstantProperty(t *testing.T) {
+	f := func(v uint16, n uint8) bool {
+		x := float64(v%1000) + 1
+		count := int(n%16) + 1
+		xs := make([]float64, count)
+		for i := range xs {
+			xs[i] = x
+		}
+		g, err := GeoMean(xs)
+		if err != nil {
+			return false
+		}
+		return math.Abs(g-x) < 1e-6*x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: time overhead is monotone in the profiled time.
+func TestOverheadMonotoneProperty(t *testing.T) {
+	f := func(a, b uint16) bool {
+		orig := 10.0
+		pa := float64(a%10000) + 1
+		pb := float64(b%10000) + 1
+		oa, err1 := OverheadTime(orig, pa)
+		ob, err2 := OverheadTime(orig, pb)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if pa < pb {
+			return oa < ob
+		}
+		return oa >= ob
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

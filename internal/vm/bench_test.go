@@ -1,0 +1,116 @@
+package vm
+
+import (
+	"testing"
+
+	"repro/internal/bytecode"
+	"repro/internal/classfile"
+)
+
+// benchVM builds a VM with a hot arithmetic loop for interpreter-speed
+// measurements.
+func benchVM(b *testing.B, jit bool) *VM {
+	b.Helper()
+	a := bytecode.NewAssembler()
+	a.Const(0)
+	a.Store(1)
+	top := a.NewLabel()
+	end := a.NewLabel()
+	a.Bind(top)
+	a.Load(0)
+	a.Ifle(end)
+	a.Load(1)
+	a.Load(0)
+	a.Add()
+	a.Store(1)
+	a.Inc(0, -1)
+	a.Goto(top)
+	a.Bind(end)
+	a.Load(1)
+	a.IReturn()
+	m, err := a.FinishMethod("loop", "(I)I", classfile.AccStatic, 2, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := DefaultOptions()
+	if !jit {
+		opts.JITThreshold = 1 << 62
+	}
+	v := New(opts)
+	cls := &classfile.Class{Name: "b/B", Methods: []*classfile.Method{m}}
+	if err := v.LoadClasses([]*classfile.Class{cls}); err != nil {
+		b.Fatal(err)
+	}
+	return v
+}
+
+// BenchmarkInterpreterLoop measures raw interpreter dispatch speed.
+func BenchmarkInterpreterLoop(b *testing.B) {
+	v := benchVM(b, false)
+	t := v.NewDetachedThread("bench")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := t.InvokeStatic("b/B", "loop", "(I)I", 1000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInvokeOverhead measures per-invocation cost of the method call
+// machinery.
+func BenchmarkInvokeOverhead(b *testing.B) {
+	v := benchVM(b, false)
+	t := v.NewDetachedThread("bench")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := t.InvokeStatic("b/B", "loop", "(I)I", 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNativeCall measures the J2N dispatch path.
+func BenchmarkNativeCall(b *testing.B) {
+	v := New(DefaultOptions())
+	cls := &classfile.Class{
+		Name: "b/N",
+		Methods: []*classfile.Method{{
+			Name: "nat", Desc: "()I",
+			Flags: classfile.AccStatic | classfile.AccNative,
+		}},
+	}
+	if err := v.LoadClasses([]*classfile.Class{cls}); err != nil {
+		b.Fatal(err)
+	}
+	if err := v.RegisterNative("b/N", "nat", "()I", func(env Env, args []int64) (int64, error) {
+		return 1, nil
+	}); err != nil {
+		b.Fatal(err)
+	}
+	t := v.NewDetachedThread("bench")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := t.InvokeStatic("b/N", "nat", "()I"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHeapArrayOps measures heap array access.
+func BenchmarkHeapArrayOps(b *testing.B) {
+	h := NewHeap()
+	handle, err := h.NewArray(64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx := int64(i & 63)
+		if err := h.Store(handle, idx, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := h.Load(handle, idx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package vm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Thrown is the exception value propagating through the simulated JVM. The
+// simulator's exceptions carry a single 64-bit word (the thrown value) and a
+// reason string for diagnostics. Bytecode exception handlers are catch-all,
+// which is what the instrumenter's try/finally wrappers need.
+type Thrown struct {
+	Value  int64
+	Reason string
+}
+
+// Error implements the error interface.
+func (t *Thrown) Error() string {
+	if t.Reason != "" {
+		return fmt.Sprintf("vm: exception (%s, value=%d)", t.Reason, t.Value)
+	}
+	return fmt.Sprintf("vm: exception (value=%d)", t.Value)
+}
+
+// Throw builds a Thrown carrying value v.
+func Throw(v int64, reason string) *Thrown {
+	return &Thrown{Value: v, Reason: reason}
+}
+
+// AsThrown extracts a *Thrown from err, if it is one.
+func AsThrown(err error) (*Thrown, bool) {
+	var t *Thrown
+	if errors.As(err, &t) {
+		return t, true
+	}
+	return nil, false
+}
+
+// Internal error values reported by the VM for conditions that have no
+// in-simulation representation.
+var (
+	// ErrNoSuchClass reports resolution of an unknown class.
+	ErrNoSuchClass = errors.New("vm: no such class")
+	// ErrNoSuchMethod reports resolution of an unknown method.
+	ErrNoSuchMethod = errors.New("vm: no such method")
+	// ErrNoSuchField reports resolution of an unknown static field.
+	ErrNoSuchField = errors.New("vm: no such field")
+	// ErrUnsatisfiedLink reports a native method with no registered
+	// implementation, after prefix-resolution retries.
+	ErrUnsatisfiedLink = errors.New("vm: unsatisfied link")
+	// ErrStackOverflow reports exceeding the configured frame depth.
+	ErrStackOverflow = errors.New("vm: stack overflow")
+	// ErrHalted reports execution attempted on a VM that already ran.
+	ErrHalted = errors.New("vm: already halted")
+)

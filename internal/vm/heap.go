@@ -1,0 +1,86 @@
+package vm
+
+import "sync"
+
+// Heap manages the simulated object store. The workloads need only arrays
+// of 64-bit words; handles are opaque non-zero int64 values, with 0 playing
+// the role of null.
+type Heap struct {
+	mu     sync.Mutex
+	arrays [][]int64
+}
+
+// NewHeap returns an empty heap.
+func NewHeap() *Heap {
+	return &Heap{}
+}
+
+// NewArray allocates a zeroed array of the given length and returns its
+// handle. A negative length throws.
+func (h *Heap) NewArray(length int64) (int64, error) {
+	if length < 0 {
+		return 0, Throw(length, "NegativeArraySizeException")
+	}
+	const maxLen = 1 << 26
+	if length > maxLen {
+		return 0, Throw(length, "OutOfMemoryError")
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.arrays = append(h.arrays, make([]int64, length))
+	return int64(len(h.arrays)), nil // handle = index + 1
+}
+
+func (h *Heap) array(handle int64) ([]int64, error) {
+	if handle == 0 {
+		return nil, Throw(0, "NullPointerException")
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	idx := handle - 1
+	if idx < 0 || idx >= int64(len(h.arrays)) {
+		return nil, Throw(handle, "InvalidHandle")
+	}
+	return h.arrays[idx], nil
+}
+
+// Load returns element i of the array behind handle.
+func (h *Heap) Load(handle, i int64) (int64, error) {
+	a, err := h.array(handle)
+	if err != nil {
+		return 0, err
+	}
+	if i < 0 || i >= int64(len(a)) {
+		return 0, Throw(i, "ArrayIndexOutOfBoundsException")
+	}
+	return a[i], nil
+}
+
+// Store writes element i of the array behind handle.
+func (h *Heap) Store(handle, i, v int64) error {
+	a, err := h.array(handle)
+	if err != nil {
+		return err
+	}
+	if i < 0 || i >= int64(len(a)) {
+		return Throw(i, "ArrayIndexOutOfBoundsException")
+	}
+	a[i] = v
+	return nil
+}
+
+// Length returns the length of the array behind handle.
+func (h *Heap) Length(handle int64) (int64, error) {
+	a, err := h.array(handle)
+	if err != nil {
+		return 0, err
+	}
+	return int64(len(a)), nil
+}
+
+// Count returns the number of live arrays, for tests and diagnostics.
+func (h *Heap) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.arrays)
+}

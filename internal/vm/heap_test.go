@@ -1,0 +1,137 @@
+package vm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHeapNewArrayAndAccess(t *testing.T) {
+	h := NewHeap()
+	handle, err := h.NewArray(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if handle == 0 {
+		t.Fatal("handle is null")
+	}
+	if err := h.Store(handle, 2, 99); err != nil {
+		t.Fatal(err)
+	}
+	v, err := h.Load(handle, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 99 {
+		t.Fatalf("Load = %d, want 99", v)
+	}
+	n, err := h.Length(handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Fatalf("Length = %d, want 4", n)
+	}
+}
+
+func TestHeapZeroInitialized(t *testing.T) {
+	h := NewHeap()
+	handle, _ := h.NewArray(3)
+	for i := int64(0); i < 3; i++ {
+		v, err := h.Load(handle, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != 0 {
+			t.Fatalf("element %d = %d, want 0", i, v)
+		}
+	}
+}
+
+func TestHeapNegativeLengthThrows(t *testing.T) {
+	h := NewHeap()
+	_, err := h.NewArray(-1)
+	th, ok := AsThrown(err)
+	if !ok {
+		t.Fatalf("err = %v, want Thrown", err)
+	}
+	if th.Reason != "NegativeArraySizeException" {
+		t.Fatalf("reason = %q", th.Reason)
+	}
+}
+
+func TestHeapNullHandleThrows(t *testing.T) {
+	h := NewHeap()
+	if _, err := h.Load(0, 0); err == nil {
+		t.Fatal("null load accepted")
+	}
+	if err := h.Store(0, 0, 1); err == nil {
+		t.Fatal("null store accepted")
+	}
+	if _, err := h.Length(0); err == nil {
+		t.Fatal("null length accepted")
+	}
+}
+
+func TestHeapBoundsThrow(t *testing.T) {
+	h := NewHeap()
+	handle, _ := h.NewArray(2)
+	for _, i := range []int64{-1, 2, 100} {
+		if _, err := h.Load(handle, i); err == nil {
+			t.Fatalf("load index %d accepted", i)
+		}
+		if err := h.Store(handle, i, 0); err == nil {
+			t.Fatalf("store index %d accepted", i)
+		}
+	}
+}
+
+func TestHeapBadHandleThrows(t *testing.T) {
+	h := NewHeap()
+	if _, err := h.Load(42, 0); err == nil {
+		t.Fatal("dangling handle accepted")
+	}
+}
+
+func TestHeapCount(t *testing.T) {
+	h := NewHeap()
+	if h.Count() != 0 {
+		t.Fatal("fresh heap not empty")
+	}
+	h.NewArray(1)
+	h.NewArray(1)
+	if h.Count() != 2 {
+		t.Fatalf("Count = %d, want 2", h.Count())
+	}
+}
+
+// Property: values stored are the values loaded, across many arrays.
+func TestHeapStoreLoadProperty(t *testing.T) {
+	f := func(vals []int64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		if len(vals) > 512 {
+			vals = vals[:512]
+		}
+		h := NewHeap()
+		handle, err := h.NewArray(int64(len(vals)))
+		if err != nil {
+			return false
+		}
+		for i, v := range vals {
+			if err := h.Store(handle, int64(i), v); err != nil {
+				return false
+			}
+		}
+		for i, v := range vals {
+			got, err := h.Load(handle, int64(i))
+			if err != nil || got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,369 @@
+package vm
+
+import (
+	"fmt"
+
+	"repro/internal/bytecode"
+)
+
+// InvokeStatic resolves and invokes a static method on this thread. It is
+// the entry point used by native code (through the JNI layer) and by the
+// harness.
+func (t *Thread) InvokeStatic(class, method, desc string, args ...int64) (int64, error) {
+	m, err := t.vm.lookupStatic(class, method, desc)
+	if err != nil {
+		return 0, err
+	}
+	return t.invoke(m, args)
+}
+
+// InvokeVirtual resolves and invokes an instance method on this thread.
+// Dynamic dispatch resolves through the declared class only (the simulator
+// has no subclass hierarchies); the receiver word travels as args[0].
+func (t *Thread) InvokeVirtual(class, method, desc string, recv int64, args ...int64) (int64, error) {
+	c, err := t.vm.Class(class)
+	if err != nil {
+		return 0, err
+	}
+	m := c.Method(method, desc)
+	if m == nil {
+		return 0, fmt.Errorf("%w: %s.%s%s", ErrNoSuchMethod, class, method, desc)
+	}
+	if m.Def.IsStatic() {
+		return 0, fmt.Errorf("vm: %s is static, expected instance method", m.FullName())
+	}
+	full := append([]int64{recv}, args...)
+	return t.invoke(m, full)
+}
+
+// invoke runs one method on this thread: JIT bookkeeping, method events,
+// native linking and dispatch, and exceptional-exit event delivery.
+func (t *Thread) invoke(m *Method, args []int64) (ret int64, err error) {
+	if t.depth >= t.vm.opts.MaxFrames {
+		return 0, Throw(int64(t.depth), "StackOverflowError")
+	}
+	if m.Def.IsAbstract() {
+		return 0, fmt.Errorf("vm: invoke of abstract method %s", m.FullName())
+	}
+	if len(args) != m.argWords {
+		return 0, fmt.Errorf("vm: %s expects %d argument words, got %d",
+			m.FullName(), m.argWords, len(args))
+	}
+	t.depth++
+	defer func() { t.depth-- }()
+
+	t.vm.maybeCompile(m)
+	// Invocation overhead belongs to the caller's side: a call made from
+	// native code (JNI invocation) spends its marshalling cycles in
+	// native code, which is also where a transition-based profiler
+	// attributes them.
+	if t.nativeDepth > 0 {
+		t.chargeNative(t.vm.opts.CostInvoke)
+	} else {
+		t.chargeInterp(t.vm.opts.CostInvoke)
+	}
+
+	if tr := t.vm.tracer; tr != nil {
+		tr.enter(t, m)
+	}
+	hooks := t.vm.hooks
+	events := t.vm.methodEvents
+	if events && hooks.MethodEntry != nil {
+		t.AdvanceCycles(t.vm.opts.CostEventDispatch)
+		hooks.MethodEntry(t, m)
+	}
+
+	if m.Def.IsNative() {
+		ret, err = t.invokeNative(m, args)
+	} else {
+		ret, err = t.interpret(m, args)
+	}
+
+	// MethodExit fires on both normal and exceptional exit (Section II).
+	if events && hooks.MethodExit != nil {
+		t.AdvanceCycles(t.vm.opts.CostEventDispatch)
+		hooks.MethodExit(t, m)
+	}
+	if tr := t.vm.tracer; tr != nil {
+		tr.exit(t, m, err)
+	}
+	return ret, err
+}
+
+// invokeNative links (with prefix retry) and runs a native method.
+func (t *Thread) invokeNative(m *Method, args []int64) (int64, error) {
+	if err := t.vm.linkNative(m); err != nil {
+		return 0, err
+	}
+	t.vm.countNativeCall()
+	t.chargeNative(t.vm.opts.CostNativeCall)
+	t.nativeDepth++
+	defer func() { t.nativeDepth-- }()
+	return m.native(t.Env(), args)
+}
+
+// interpret executes a bytecode method body.
+func (t *Thread) interpret(m *Method, args []int64) (int64, error) {
+	opts := &t.vm.opts
+	locals := make([]int64, m.Def.MaxLocals)
+	copy(locals, args)
+	stack := make([]int64, 0, m.Def.MaxStack)
+	heap := t.vm.Heap
+	instrs := m.instrs
+
+	cost := opts.CostInterp
+	if m.compiled {
+		cost = opts.CostCompiled
+	}
+
+	push := func(v int64) { stack = append(stack, v) }
+	pop := func() int64 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		return v
+	}
+
+	idx := 0
+	for {
+		if idx >= len(instrs) {
+			return 0, fmt.Errorf("vm: %s: fell off end of code", m.FullName())
+		}
+		in := instrs[idx]
+		if tr := t.vm.tracer; tr != nil {
+			tr.instruction(t, m, in)
+		}
+		t.instrExec++
+		t.chargeInterp(cost)
+		t.maybeYield()
+
+		var thrown *Thrown
+		branched := false
+
+		switch in.Op {
+		case bytecode.OpNop:
+		case bytecode.OpConst:
+			push(m.Def.Consts[in.Operand])
+		case bytecode.OpIconst0:
+			push(0)
+		case bytecode.OpIconst1:
+			push(1)
+		case bytecode.OpLoad:
+			push(locals[in.Operand])
+		case bytecode.OpStore:
+			locals[in.Operand] = pop()
+		case bytecode.OpInc:
+			locals[in.Operand] += int64(in.Extra)
+		case bytecode.OpAdd:
+			b, a := pop(), pop()
+			push(a + b)
+		case bytecode.OpSub:
+			b, a := pop(), pop()
+			push(a - b)
+		case bytecode.OpMul:
+			b, a := pop(), pop()
+			push(a * b)
+		case bytecode.OpDiv:
+			b, a := pop(), pop()
+			if b == 0 {
+				thrown = Throw(a, "ArithmeticException: / by zero")
+			} else {
+				push(a / b)
+			}
+		case bytecode.OpRem:
+			b, a := pop(), pop()
+			if b == 0 {
+				thrown = Throw(a, "ArithmeticException: % by zero")
+			} else {
+				push(a % b)
+			}
+		case bytecode.OpNeg:
+			push(-pop())
+		case bytecode.OpShl:
+			b, a := pop(), pop()
+			push(a << (uint64(b) & 63))
+		case bytecode.OpShr:
+			b, a := pop(), pop()
+			push(a >> (uint64(b) & 63))
+		case bytecode.OpAnd:
+			b, a := pop(), pop()
+			push(a & b)
+		case bytecode.OpOr:
+			b, a := pop(), pop()
+			push(a | b)
+		case bytecode.OpXor:
+			b, a := pop(), pop()
+			push(a ^ b)
+		case bytecode.OpDup:
+			v := pop()
+			push(v)
+			push(v)
+		case bytecode.OpPop:
+			pop()
+		case bytecode.OpSwap:
+			b, a := pop(), pop()
+			push(b)
+			push(a)
+		case bytecode.OpGoto:
+			idx = m.startIdx[in.Operand]
+			branched = true
+		case bytecode.OpIfeq, bytecode.OpIfne, bytecode.OpIflt,
+			bytecode.OpIfge, bytecode.OpIfgt, bytecode.OpIfle:
+			a := pop()
+			if cond1(in.Op, a) {
+				idx = m.startIdx[in.Operand]
+				branched = true
+			}
+		case bytecode.OpIfcmpeq, bytecode.OpIfcmpne,
+			bytecode.OpIfcmplt, bytecode.OpIfcmpge:
+			b, a := pop(), pop()
+			if cond2(in.Op, a, b) {
+				idx = m.startIdx[in.Operand]
+				branched = true
+			}
+		case bytecode.OpInvokeStatic, bytecode.OpInvokeVirtual:
+			callee, err := t.vm.resolveMethod(m.Def.Refs[in.Operand])
+			if err != nil {
+				return 0, fmt.Errorf("vm: %s at %d: %w", m.FullName(), in.Offset, err)
+			}
+			nargs := callee.argWords
+			callArgs := make([]int64, nargs)
+			for i := nargs - 1; i >= 0; i-- {
+				callArgs[i] = pop()
+			}
+			r, err := t.invoke(callee, callArgs)
+			if err != nil {
+				if th, ok := AsThrown(err); ok {
+					thrown = th
+				} else {
+					return 0, err
+				}
+			} else if callee.returns {
+				push(r)
+			}
+		case bytecode.OpReturn:
+			return 0, nil
+		case bytecode.OpIreturn:
+			return pop(), nil
+		case bytecode.OpGetStatic:
+			p, err := t.vm.resolveStatic(m.Def.Refs[in.Operand])
+			if err != nil {
+				return 0, fmt.Errorf("vm: %s at %d: %w", m.FullName(), in.Offset, err)
+			}
+			push(*p)
+		case bytecode.OpPutStatic:
+			p, err := t.vm.resolveStatic(m.Def.Refs[in.Operand])
+			if err != nil {
+				return 0, fmt.Errorf("vm: %s at %d: %w", m.FullName(), in.Offset, err)
+			}
+			*p = pop()
+		case bytecode.OpNewArray:
+			n := pop()
+			h, err := heap.NewArray(n)
+			if err != nil {
+				if th, ok := AsThrown(err); ok {
+					thrown = th
+				} else {
+					return 0, err
+				}
+			} else {
+				push(h)
+			}
+		case bytecode.OpALoad:
+			i, h := pop(), pop()
+			v, err := heap.Load(h, i)
+			if err != nil {
+				if th, ok := AsThrown(err); ok {
+					thrown = th
+				} else {
+					return 0, err
+				}
+			} else {
+				push(v)
+			}
+		case bytecode.OpAStore:
+			v, i, h := pop(), pop(), pop()
+			if err := heap.Store(h, i, v); err != nil {
+				if th, ok := AsThrown(err); ok {
+					thrown = th
+				} else {
+					return 0, err
+				}
+			}
+		case bytecode.OpArrayLen:
+			h := pop()
+			n, err := heap.Length(h)
+			if err != nil {
+				if th, ok := AsThrown(err); ok {
+					thrown = th
+				} else {
+					return 0, err
+				}
+			} else {
+				push(n)
+			}
+		case bytecode.OpThrow:
+			thrown = Throw(pop(), "")
+		default:
+			return 0, fmt.Errorf("vm: %s: unexpected opcode %s at %d",
+				m.FullName(), in.Op, in.Offset)
+		}
+
+		if thrown != nil {
+			hidx, ok := findHandler(m, in.Offset)
+			if !ok {
+				return 0, thrown
+			}
+			stack = stack[:0]
+			stack = append(stack, thrown.Value)
+			idx = m.startIdx[hidx]
+			continue
+		}
+		if !branched {
+			idx++
+		}
+	}
+}
+
+// cond1 evaluates single-operand comparisons against zero.
+func cond1(op bytecode.Op, a int64) bool {
+	switch op {
+	case bytecode.OpIfeq:
+		return a == 0
+	case bytecode.OpIfne:
+		return a != 0
+	case bytecode.OpIflt:
+		return a < 0
+	case bytecode.OpIfge:
+		return a >= 0
+	case bytecode.OpIfgt:
+		return a > 0
+	case bytecode.OpIfle:
+		return a <= 0
+	}
+	return false
+}
+
+// cond2 evaluates two-operand comparisons.
+func cond2(op bytecode.Op, a, b int64) bool {
+	switch op {
+	case bytecode.OpIfcmpeq:
+		return a == b
+	case bytecode.OpIfcmpne:
+		return a != b
+	case bytecode.OpIfcmplt:
+		return a < b
+	case bytecode.OpIfcmpge:
+		return a >= b
+	}
+	return false
+}
+
+// findHandler locates the first exception handler covering offset.
+func findHandler(m *Method, offset int) (handlerPC int, ok bool) {
+	for _, h := range m.Def.Handlers {
+		if offset >= int(h.StartPC) && offset < int(h.EndPC) {
+			return int(h.HandlerPC), true
+		}
+	}
+	return 0, false
+}

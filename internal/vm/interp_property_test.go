@@ -1,0 +1,318 @@
+package vm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bytecode"
+	"repro/internal/classfile"
+)
+
+// genProgram builds a random straight-line arithmetic program from the
+// seed and returns both the assembled method and the expected result
+// computed by direct Go evaluation. The generator maintains a model of
+// the operand stack so every emitted instruction is well-formed.
+func genProgram(seed int64) (*classfile.Method, int64, error) {
+	rng := rand.New(rand.NewSource(seed))
+	a := bytecode.NewAssembler()
+	var model []int64
+
+	push := func(v int64) {
+		a.Const(v)
+		model = append(model, v)
+	}
+	pop := func() int64 {
+		v := model[len(model)-1]
+		model = model[:len(model)-1]
+		return v
+	}
+
+	// Seed the stack.
+	push(rng.Int63n(1000) - 500)
+	push(rng.Int63n(1000) - 500)
+
+	ops := 5 + rng.Intn(60)
+	for i := 0; i < ops; i++ {
+		if len(model) < 2 {
+			push(rng.Int63n(2000) - 1000)
+			continue
+		}
+		switch rng.Intn(12) {
+		case 0:
+			a.Add()
+			b, x := pop(), pop()
+			model = append(model, x+b)
+		case 1:
+			a.Sub()
+			b, x := pop(), pop()
+			model = append(model, x-b)
+		case 2:
+			a.Mul()
+			b, x := pop(), pop()
+			model = append(model, x*b)
+		case 3:
+			a.Neg()
+			x := pop()
+			model = append(model, -x)
+		case 4:
+			a.Shl()
+			b, x := pop(), pop()
+			model = append(model, x<<(uint64(b)&63))
+		case 5:
+			a.Shr()
+			b, x := pop(), pop()
+			model = append(model, x>>(uint64(b)&63))
+		case 6:
+			a.And()
+			b, x := pop(), pop()
+			model = append(model, x&b)
+		case 7:
+			a.Or()
+			b, x := pop(), pop()
+			model = append(model, x|b)
+		case 8:
+			a.Xor()
+			b, x := pop(), pop()
+			model = append(model, x^b)
+		case 9:
+			a.Dup()
+			x := pop()
+			model = append(model, x, x)
+		case 10:
+			a.Swap()
+			b, x := pop(), pop()
+			model = append(model, b, x)
+		case 11:
+			// Division guarded against zero: push a non-zero divisor.
+			d := rng.Int63n(99) + 1
+			if rng.Intn(2) == 0 {
+				d = -d
+			}
+			push(d)
+			a.Div()
+			b, x := pop(), pop()
+			model = append(model, x/b)
+		}
+	}
+	// Collapse to one value.
+	for len(model) > 1 {
+		a.Add()
+		b, x := pop(), pop()
+		model = append(model, x+b)
+	}
+	a.IReturn()
+	want := model[0]
+	m, err := a.FinishMethod("gen", "()J", classfile.AccStatic, 0, nil)
+	return m, want, err
+}
+
+// TestInterpreterDifferential checks the interpreter against direct Go
+// evaluation on randomly generated programs, in both interpreted and
+// JIT-compiled mode, including the invariant that compilation never
+// changes results.
+func TestInterpreterDifferential(t *testing.T) {
+	f := func(seed int64) bool {
+		m, want, err := genProgram(seed)
+		if err != nil {
+			t.Logf("seed %d: assembly failed: %v", seed, err)
+			return false
+		}
+		if err := bytecode.Verify(m); err != nil {
+			t.Logf("seed %d: verification failed: %v", seed, err)
+			return false
+		}
+		opts := DefaultOptions()
+		opts.JITThreshold = 5
+		v := New(opts)
+		cls := &classfile.Class{Name: "p/Gen", Methods: []*classfile.Method{m}}
+		if err := v.LoadClasses([]*classfile.Class{cls}); err != nil {
+			t.Logf("seed %d: load failed: %v", seed, err)
+			return false
+		}
+		th := v.NewDetachedThread("diff")
+		for i := 0; i < 10; i++ { // crosses the JIT threshold mid-loop
+			got, err := th.InvokeStatic("p/Gen", "gen", "()J")
+			if err != nil {
+				t.Logf("seed %d: run %d failed: %v", seed, i, err)
+				return false
+			}
+			if got != want {
+				t.Logf("seed %d run %d: got %d, want %d", seed, i, got, want)
+				return false
+			}
+		}
+		c, _ := v.Class("p/Gen")
+		if !c.Method("gen", "()J").IsCompiled() {
+			t.Logf("seed %d: method not compiled after 10 runs", seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestArithmeticEdgeCases pins JVM-defined corner semantics the random
+// generator is unlikely to hit.
+func TestArithmeticEdgeCases(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(a *bytecode.Assembler)
+		want  int64
+	}{
+		{"min-int-neg", func(a *bytecode.Assembler) {
+			a.Const(math.MinInt64)
+			a.Neg()
+		}, math.MinInt64}, // two's complement: -MinInt64 == MinInt64
+		{"min-int-div-minus-one", func(a *bytecode.Assembler) {
+			a.Const(math.MinInt64)
+			a.Const(-1)
+			a.Div()
+		}, math.MinInt64}, // JVM idiv overflow case
+		{"min-int-rem-minus-one", func(a *bytecode.Assembler) {
+			a.Const(math.MinInt64)
+			a.Const(-1)
+			a.Rem()
+		}, 0},
+		{"shift-count-masked", func(a *bytecode.Assembler) {
+			a.Const(1)
+			a.Const(65) // 65 & 63 == 1
+			a.Shl()
+		}, 2},
+		{"negative-shift-count", func(a *bytecode.Assembler) {
+			a.Const(4)
+			a.Const(-63) // & 63 == 1
+			a.Shr()
+		}, 2},
+		{"arithmetic-shift-right", func(a *bytecode.Assembler) {
+			a.Const(-8)
+			a.Const(1)
+			a.Shr()
+		}, -4},
+		{"truncating-division", func(a *bytecode.Assembler) {
+			a.Const(-7)
+			a.Const(2)
+			a.Div()
+		}, -3},
+		{"remainder-sign", func(a *bytecode.Assembler) {
+			a.Const(-7)
+			a.Const(2)
+			a.Rem()
+		}, -1},
+		{"mul-overflow-wraps", func(a *bytecode.Assembler) {
+			a.Const(math.MaxInt64)
+			a.Const(2)
+			a.Mul()
+		}, -2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := bytecode.NewAssembler()
+			tc.build(a)
+			a.IReturn()
+			m, err := a.FinishMethod("edge", "()J", classfile.AccStatic, 0, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v := New(DefaultOptions())
+			cls := &classfile.Class{Name: "p/Edge", Methods: []*classfile.Method{m}}
+			if err := v.LoadClasses([]*classfile.Class{cls}); err != nil {
+				t.Fatal(err)
+			}
+			got, err := v.Run("p/Edge", "edge", "()J")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tc.want {
+				t.Fatalf("got %d, want %d", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestRemByZeroThrows covers the remaining arithmetic exception path.
+func TestRemByZeroThrows(t *testing.T) {
+	a := bytecode.NewAssembler()
+	a.Const(5)
+	a.Const(0)
+	a.Rem()
+	a.IReturn()
+	m, err := a.FinishMethod("boom", "()J", classfile.AccStatic, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := New(DefaultOptions())
+	cls := &classfile.Class{Name: "p/R", Methods: []*classfile.Method{m}}
+	if err := v.LoadClasses([]*classfile.Class{cls}); err != nil {
+		t.Fatal(err)
+	}
+	_, err = v.Run("p/R", "boom", "()J")
+	if _, ok := AsThrown(err); !ok {
+		t.Fatalf("err = %v, want Thrown", err)
+	}
+}
+
+// TestSamplingHookAtVMLevel exercises the PC-sampling substrate directly.
+func TestSamplingHookAtVMLevel(t *testing.T) {
+	opts := DefaultOptions()
+	opts.SampleInterval = 100
+	opts.SampleCost = 5
+	v := New(opts)
+	var bcTicks, natTicks int
+	v.SetHooks(Hooks{
+		Sample: func(th *Thread, inNative bool) {
+			if inNative {
+				natTicks++
+			} else {
+				bcTicks++
+			}
+		},
+	})
+	natDef := &classfile.Method{
+		Name: "work", Desc: "()V",
+		Flags: classfile.AccStatic | classfile.AccNative,
+	}
+	a := bytecode.NewAssembler()
+	a.Const(200)
+	a.Store(0)
+	top := a.NewLabel()
+	end := a.NewLabel()
+	a.Bind(top)
+	a.Load(0)
+	a.Ifle(end)
+	a.Inc(0, -1)
+	a.Goto(top)
+	a.Bind(end)
+	a.InvokeStatic("p/S", "work", "()V")
+	a.Return()
+	m, err := a.FinishMethod("main", "()V", classfile.AccStatic, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cls := &classfile.Class{Name: "p/S", Methods: []*classfile.Method{m, natDef}}
+	if err := v.LoadClasses([]*classfile.Class{cls}); err != nil {
+		t.Fatal(err)
+	}
+	v.RegisterNative("p/S", "work", "()V", func(env Env, args []int64) (int64, error) {
+		env.Work(5000)
+		return 0, nil
+	})
+	if _, err := v.Run("p/S", "main", "()V"); err != nil {
+		t.Fatal(err)
+	}
+	if bcTicks == 0 || natTicks == 0 {
+		t.Fatalf("ticks bytecode=%d native=%d, want both > 0", bcTicks, natTicks)
+	}
+	// The single 5000-cycle native burst must yield about 50 native ticks.
+	if natTicks < 40 || natTicks > 60 {
+		t.Fatalf("native ticks = %d, want about 50", natTicks)
+	}
+	// Sample cost is attributed to overhead ground truth.
+	_, _, ovh := v.Threads()[0].GroundTruth()
+	if ovh == 0 {
+		t.Fatal("sample interrupt cost not recorded as overhead")
+	}
+}

@@ -1,0 +1,381 @@
+package vm
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/cycles"
+)
+
+// parkKind tells the scheduler why a thread handed back the baton.
+type parkKind int
+
+const (
+	parkYield parkKind = iota
+	parkDone
+)
+
+// Thread is a simulated JVM thread. Threads execute cooperatively: a
+// deterministic round-robin scheduler grants the "baton" to one thread at a
+// time, and the interpreter yields it back every Options.Quantum
+// instructions. Because only one thread runs at any instant and yield
+// points are deterministic, whole-VM runs are exactly reproducible.
+type Thread struct {
+	id      cycles.ThreadID
+	name    string
+	vm      *VM
+	counter *cycles.Counter
+
+	entry     *Method
+	entryArgs []int64
+	isMain    bool
+	detached  bool
+
+	resume chan struct{}
+	parked chan parkKind
+
+	budget      int
+	depth       int
+	nativeDepth int
+	nextSample  uint64
+
+	// Ground-truth cycle attribution, maintained by the execution engine
+	// independently of any profiling agent. Used by tests and the harness
+	// to validate agent accuracy — the paper had no such oracle.
+	gtBytecode uint64
+	gtNative   uint64
+	gtOverhead uint64
+	// instrExec counts executed bytecode instructions (interpreted or
+	// compiled), the oracle for instruction-counting profilers.
+	instrExec uint64
+
+	result int64
+	err    error
+
+	env Env
+}
+
+// ID returns the thread's identifier.
+func (t *Thread) ID() cycles.ThreadID { return t.id }
+
+// Name returns the thread's name.
+func (t *Thread) Name() string { return t.name }
+
+// VM returns the owning VM.
+func (t *Thread) VM() *VM { return t.vm }
+
+// IsMain reports whether this is the bootstrapping thread, for which JVMTI
+// signals no ThreadStart event.
+func (t *Thread) IsMain() bool { return t.isMain }
+
+// Cycles returns the thread's current virtual cycle count.
+func (t *Thread) Cycles() uint64 { return t.counter.Read() }
+
+// Result returns the value produced by the thread's entry method.
+func (t *Thread) Result() int64 { return t.result }
+
+// Err returns the error with which the thread terminated, if any.
+func (t *Thread) Err() error { return t.err }
+
+// AdvanceCycles adds n cycles to the thread's counter, attributed to
+// profiling overhead. Agents use it to model the cost of their own handler
+// code, which perturbs the measurement exactly as real agent code does.
+func (t *Thread) AdvanceCycles(n uint64) {
+	t.counter.Advance(n)
+	t.gtOverhead += n
+	t.maybeSample(t.nativeDepth > 0)
+}
+
+// maybeSample delivers PC-sampling hook events for every sampling-interval
+// boundary the thread's counter has crossed, charging the interrupt cost.
+func (t *Thread) maybeSample(inNative bool) {
+	iv := t.vm.opts.SampleInterval
+	if iv == 0 || t.vm.hooks.Sample == nil {
+		return
+	}
+	now := t.counter.Read()
+	crossings := 0
+	for now >= t.nextSample {
+		crossings++
+		t.nextSample += iv
+	}
+	if crossings == 0 {
+		return
+	}
+	if cost := uint64(crossings) * t.vm.opts.SampleCost; cost > 0 {
+		t.counter.Advance(cost)
+		t.gtOverhead += cost
+		// Skip any boundaries the interrupt cost itself crossed; they
+		// would otherwise re-trigger immediately.
+		now = t.counter.Read()
+		for now >= t.nextSample {
+			t.nextSample += iv
+		}
+	}
+	for i := 0; i < crossings; i++ {
+		t.vm.hooks.Sample(t, inNative)
+	}
+}
+
+// NativeWork advances the thread's counter by n cycles attributed to
+// native-code execution. JNI environments use it to model native work.
+func (t *Thread) NativeWork(n uint64) {
+	t.chargeNative(n)
+}
+
+func (t *Thread) chargeInterp(n uint64) {
+	t.counter.Advance(n)
+	t.gtBytecode += n
+	t.maybeSample(false)
+}
+
+func (t *Thread) chargeNative(n uint64) {
+	t.counter.Advance(n)
+	t.gtNative += n
+	t.maybeSample(true)
+}
+
+// InstructionsExecuted returns how many bytecode instructions the thread
+// has executed.
+func (t *Thread) InstructionsExecuted() uint64 { return t.instrExec }
+
+// GroundTruth returns the engine-maintained cycle attribution:
+// cycles spent executing bytecode (interpreted or compiled), cycles spent
+// in native code, and cycles added by profiling machinery (event dispatch
+// and agent handler work).
+func (t *Thread) GroundTruth() (bytecodeCycles, nativeCycles, overheadCycles uint64) {
+	return t.gtBytecode, t.gtNative, t.gtOverhead
+}
+
+// Env returns the thread's JNI environment, creating it on first use via
+// the VM's EnvFactory.
+func (t *Thread) Env() Env {
+	if t.env == nil {
+		t.env = t.vm.EnvFactory(t)
+	}
+	return t.env
+}
+
+// yield hands the baton back to the scheduler. Detached threads (unit-test
+// helpers outside the scheduler) never block.
+func (t *Thread) yield() {
+	if t.detached {
+		return
+	}
+	t.parked <- parkYield
+	<-t.resume
+}
+
+// maybeYield decrements the instruction budget and rotates the scheduler
+// when it is exhausted.
+func (t *Thread) maybeYield() {
+	t.budget--
+	if t.budget <= 0 {
+		t.budget = t.vm.opts.Quantum
+		t.yield()
+	}
+}
+
+// scheduler implements deterministic cooperative round-robin scheduling.
+type scheduler struct {
+	v  *VM
+	mu sync.Mutex
+	// queue holds live scheduler-managed threads in creation order.
+	queue []*Thread
+	// next is the rotation cursor.
+	next int
+}
+
+func newScheduler(v *VM) *scheduler {
+	return &scheduler{v: v}
+}
+
+// add registers a thread and starts its goroutine parked on the baton.
+func (s *scheduler) add(t *Thread) {
+	s.mu.Lock()
+	s.queue = append(s.queue, t)
+	s.mu.Unlock()
+	go t.run()
+}
+
+// pick returns the next runnable thread, rotating fairly, or nil when no
+// threads remain.
+func (s *scheduler) pick() *Thread {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.queue) == 0 {
+		return nil
+	}
+	if s.next >= len(s.queue) {
+		s.next = 0
+	}
+	t := s.queue[s.next]
+	s.next++
+	return t
+}
+
+// remove drops a finished thread from the queue.
+func (s *scheduler) remove(t *Thread) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, q := range s.queue {
+		if q == t {
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			if s.next > i {
+				s.next--
+			}
+			return
+		}
+	}
+}
+
+// loop drives all threads to completion.
+func (s *scheduler) loop() {
+	for {
+		t := s.pick()
+		if t == nil {
+			return
+		}
+		t.resume <- struct{}{}
+		if k := <-t.parked; k == parkDone {
+			s.remove(t)
+		}
+	}
+}
+
+// run is the body of a scheduler-managed thread goroutine.
+func (t *Thread) run() {
+	<-t.resume
+	if !t.isMain && t.vm.hooks.ThreadStart != nil {
+		t.AdvanceCycles(t.vm.opts.CostEventDispatch)
+		t.vm.hooks.ThreadStart(t)
+	}
+	// Launch the entry method through the JNI environment, as the real
+	// JVM launcher invokes main via CallStaticVoidMethod: every thread's
+	// first bytecode frame is entered from native code, so a JNI
+	// interception agent observes an initial N2J transition.
+	t.result, t.err = t.Env().CallStatic(
+		t.entry.Class.Name(), t.entry.Name(), t.entry.Desc(), t.entryArgs...)
+	if t.vm.hooks.ThreadEnd != nil {
+		t.AdvanceCycles(t.vm.opts.CostEventDispatch)
+		t.vm.hooks.ThreadEnd(t)
+	}
+	t.vm.Clock.Unregister(t.id)
+	t.parked <- parkDone
+}
+
+// newThread allocates a thread and registers its cycle counter.
+func (v *VM) newThread(name string, entry *Method, args []int64, main bool) *Thread {
+	v.mu.Lock()
+	id := cycles.ThreadID(len(v.threadsEver) + 1)
+	v.mu.Unlock()
+	t := &Thread{
+		id:        id,
+		name:      name,
+		vm:        v,
+		entry:     entry,
+		entryArgs: args,
+		isMain:    main,
+		resume:    make(chan struct{}),
+		parked:    make(chan parkKind),
+		budget:    v.opts.Quantum,
+	}
+	if v.opts.SampleInterval > 0 {
+		t.nextSample = v.opts.SampleInterval
+	}
+	t.counter = v.Clock.Register(id)
+	v.mu.Lock()
+	v.threadsEver = append(v.threadsEver, t)
+	v.mu.Unlock()
+	return t
+}
+
+// SpawnThread creates and schedules a new thread whose entry point is the
+// given static method. It may be called from native code while the VM runs
+// (the workloads' warehouse threads are created this way) or before Run.
+func (v *VM) SpawnThread(name, class, method, desc string, args ...int64) (*Thread, error) {
+	m, err := v.lookupStatic(class, method, desc)
+	if err != nil {
+		return nil, err
+	}
+	t := v.newThread(name, m, args, false)
+	v.sched.add(t)
+	return t, nil
+}
+
+// NewDetachedThread creates a thread that is not scheduler-managed: it
+// never yields and fires no thread events. It exists for unit tests and
+// for harness code that needs to execute a method synchronously.
+func (v *VM) NewDetachedThread(name string) *Thread {
+	t := v.newThread(name, nil, nil, false)
+	t.detached = true
+	return t
+}
+
+// lookupStatic resolves a static method by name.
+func (v *VM) lookupStatic(class, method, desc string) (*Method, error) {
+	c, err := v.Class(class)
+	if err != nil {
+		return nil, err
+	}
+	m := c.Method(method, desc)
+	if m == nil {
+		return nil, fmt.Errorf("%w: %s.%s%s", ErrNoSuchMethod, class, method, desc)
+	}
+	if !m.Def.IsStatic() {
+		return nil, fmt.Errorf("vm: %s is not static", m.FullName())
+	}
+	return m, nil
+}
+
+// Run executes the static main method of the given class on the
+// bootstrapping thread, drives every spawned thread to completion, fires
+// VMDeath, and returns the main thread's result. A VM instance runs once.
+func (v *VM) Run(class, method, desc string, args ...int64) (int64, error) {
+	v.mu.Lock()
+	if v.halted {
+		v.mu.Unlock()
+		return 0, ErrHalted
+	}
+	v.halted = true
+	v.mu.Unlock()
+
+	m, err := v.lookupStatic(class, method, desc)
+	if err != nil {
+		return 0, err
+	}
+	main := v.newThread("main", m, args, true)
+	v.sched.add(main)
+	v.sched.loop()
+	if v.hooks.VMDeath != nil {
+		v.hooks.VMDeath()
+	}
+	return main.result, main.err
+}
+
+// Threads returns every thread ever created on this VM, in creation order.
+func (v *VM) Threads() []*Thread {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return append([]*Thread(nil), v.threadsEver...)
+}
+
+// InstructionsExecuted sums executed bytecode instructions across all
+// threads.
+func (v *VM) InstructionsExecuted() uint64 {
+	var sum uint64
+	for _, t := range v.Threads() {
+		sum += t.instrExec
+	}
+	return sum
+}
+
+// TotalCycles sums the final cycle counts of all threads. With a single
+// CPU, this is the run's execution-time metric.
+func (v *VM) TotalCycles() uint64 {
+	var sum uint64
+	for _, t := range v.Threads() {
+		sum += t.counter.Read()
+	}
+	return sum
+}

@@ -1,0 +1,70 @@
+package vm
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/bytecode"
+)
+
+// Tracer emits a line-oriented execution trace: method entries and exits
+// with thread and depth context, and optionally every interpreted
+// instruction. It is a debugging aid for workload authors and for
+// diagnosing agent behaviour; tracing has no effect on virtual time.
+//
+// Install with VM.SetTracer before Run. Output is serialized internally,
+// so multi-threaded runs interleave whole lines.
+type Tracer struct {
+	mu sync.Mutex
+	w  io.Writer
+	// Instructions enables per-instruction tracing (very verbose).
+	Instructions bool
+}
+
+// NewTracer returns a tracer writing to w.
+func NewTracer(w io.Writer) *Tracer {
+	return &Tracer{w: w}
+}
+
+func (tr *Tracer) printf(format string, args ...any) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	fmt.Fprintf(tr.w, format, args...)
+}
+
+func (tr *Tracer) enter(t *Thread, m *Method) {
+	kind := "java"
+	if m.IsNative() {
+		kind = "native"
+	} else if m.IsCompiled() {
+		kind = "jit"
+	}
+	tr.printf("[t%d d%d] > %s (%s) @%d\n", t.id, t.depth, m.FullName(), kind, t.Cycles())
+}
+
+func (tr *Tracer) exit(t *Thread, m *Method, err error) {
+	status := "return"
+	if err != nil {
+		status = "throw"
+	}
+	tr.printf("[t%d d%d] < %s (%s) @%d\n", t.id, t.depth, m.FullName(), status, t.Cycles())
+}
+
+func (tr *Tracer) instruction(t *Thread, m *Method, in bytecode.Instruction) {
+	if !tr.Instructions {
+		return
+	}
+	tr.printf("[t%d] %s+%d: %s\n", t.id, m.Def.Name, in.Offset, in.Op)
+}
+
+// SetTracer installs (or clears, with nil) the VM's execution tracer. It
+// must be called before Run.
+func (v *VM) SetTracer(tr *Tracer) {
+	v.tracer = tr
+}
+
+// Tracer returns the installed tracer, or nil.
+func (v *VM) Tracer() *Tracer {
+	return v.tracer
+}

@@ -1,0 +1,142 @@
+package vm
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/bytecode"
+	"repro/internal/classfile"
+)
+
+func traceProgram(t *testing.T) *VM {
+	t.Helper()
+	a := bytecode.NewAssembler()
+	a.Const(2)
+	a.InvokeStatic("tr/C", "twice", "(I)I")
+	a.Pop()
+	a.InvokeStatic("tr/C", "nat", "()V")
+	a.Return()
+	mainM, err := a.FinishMethod("main", "()V", classfile.AccStatic, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := bytecode.NewAssembler()
+	at.Load(0)
+	at.Const(2)
+	at.Mul()
+	at.IReturn()
+	twice, err := at.FinishMethod("twice", "(I)I", classfile.AccStatic, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nat := &classfile.Method{
+		Name: "nat", Desc: "()V",
+		Flags: classfile.AccStatic | classfile.AccNative,
+	}
+	v := New(DefaultOptions())
+	cls := &classfile.Class{Name: "tr/C", Methods: []*classfile.Method{mainM, twice, nat}}
+	if err := v.LoadClasses([]*classfile.Class{cls}); err != nil {
+		t.Fatal(err)
+	}
+	v.RegisterNative("tr/C", "nat", "()V", func(env Env, args []int64) (int64, error) {
+		return 0, nil
+	})
+	return v
+}
+
+func TestTracerMethodEvents(t *testing.T) {
+	v := traceProgram(t)
+	var buf bytes.Buffer
+	v.SetTracer(NewTracer(&buf))
+	if _, err := v.Run("tr/C", "main", "()V"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"> tr/C.main()V (java)",
+		"> tr/C.twice(I)I (java)",
+		"< tr/C.twice(I)I (return)",
+		"> tr/C.nat()V (native)",
+		"< tr/C.main()V (return)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace missing %q:\n%s", want, out)
+		}
+	}
+	// Instruction tracing was off.
+	if strings.Contains(out, "main+0:") {
+		t.Fatal("instruction lines present without Instructions mode")
+	}
+}
+
+func TestTracerInstructionMode(t *testing.T) {
+	v := traceProgram(t)
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	tr.Instructions = true
+	v.SetTracer(tr)
+	if _, err := v.Run("tr/C", "main", "()V"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"main+0:", "mul", "ireturn"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("instruction trace missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTracerThrowStatus(t *testing.T) {
+	a := bytecode.NewAssembler()
+	a.Const(3)
+	a.Throw()
+	m, err := a.FinishMethod("boom", "()V", classfile.AccStatic, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := New(DefaultOptions())
+	cls := &classfile.Class{Name: "tr/T", Methods: []*classfile.Method{m}}
+	if err := v.LoadClasses([]*classfile.Class{cls}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	v.SetTracer(NewTracer(&buf))
+	if _, err := v.Run("tr/T", "boom", "()V"); err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(buf.String(), "< tr/T.boom()V (throw)") {
+		t.Fatalf("throw exit not traced:\n%s", buf.String())
+	}
+}
+
+func TestTracerDoesNotAffectCycles(t *testing.T) {
+	run := func(trace bool) uint64 {
+		v := traceProgram(t)
+		if trace {
+			var buf bytes.Buffer
+			tr := NewTracer(&buf)
+			tr.Instructions = true
+			v.SetTracer(tr)
+		}
+		if _, err := v.Run("tr/C", "main", "()V"); err != nil {
+			t.Fatal(err)
+		}
+		return v.TotalCycles()
+	}
+	if run(false) != run(true) {
+		t.Fatal("tracing changed virtual time")
+	}
+}
+
+func TestTracerAccessor(t *testing.T) {
+	v := traceProgram(t)
+	if v.Tracer() != nil {
+		t.Fatal("fresh VM has a tracer")
+	}
+	tr := NewTracer(&bytes.Buffer{})
+	v.SetTracer(tr)
+	if v.Tracer() != tr {
+		t.Fatal("Tracer accessor mismatch")
+	}
+}

@@ -1,0 +1,552 @@
+// Package vm implements the simulated Java Virtual Machine that serves as
+// the substrate for the reproduction: class loading and linking, a bytecode
+// interpreter with a JIT-compilation model, native-method resolution with
+// the JVMTI prefix-retry strategy, cooperative deterministic threads, and
+// per-thread virtual cycle accounting.
+//
+// The profiling layers (internal/jvmti, internal/jni) attach to this VM via
+// the Hooks and EnvFactory extension points; they never reach into the
+// interpreter itself, mirroring how the paper's agents interact with a real
+// JVM only through standard interfaces.
+package vm
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/bytecode"
+	"repro/internal/classfile"
+	"repro/internal/cycles"
+)
+
+// Options configures the cost model and JIT behaviour of a VM. All costs
+// are in virtual cycles.
+type Options struct {
+	// CostInterp is the cost of one interpreted bytecode instruction.
+	CostInterp uint64
+	// CostCompiled is the cost of one instruction in a JIT-compiled
+	// method.
+	CostCompiled uint64
+	// CostInvoke is the fixed overhead of a method invocation.
+	CostInvoke uint64
+	// CostNativeCall is the fixed overhead of crossing into native code
+	// (argument marshalling, stack setup), charged per native invocation.
+	CostNativeCall uint64
+	// CostEventDispatch is charged to a thread for every JVMTI event
+	// delivered on it. Real JVMTI event dispatch is expensive; this
+	// constant is the dominant term in SPA's overhead.
+	CostEventDispatch uint64
+	// JITThreshold is the invocation count after which a bytecode method
+	// is compiled, provided JIT compilation is not disabled.
+	JITThreshold uint64
+	// SampleInterval, when non-zero, delivers a Sample hook event each
+	// time a thread's cycle counter crosses a multiple of the interval —
+	// the substrate for PC-sampling profilers (IBM tprof style), which
+	// the paper's related-work section contrasts with IPA.
+	SampleInterval uint64
+	// SampleCost is charged to the thread per delivered sample, modelling
+	// the sampling interrupt.
+	SampleCost uint64
+	// MaxFrames bounds the simulated call depth.
+	MaxFrames int
+	// Quantum is the number of instructions a thread executes before the
+	// cooperative scheduler rotates to the next runnable thread.
+	Quantum int
+}
+
+// DefaultOptions returns the calibrated cost model used throughout the
+// evaluation. The interpreted/compiled ratio (10:1) and the event dispatch
+// cost (2000 cycles) are chosen so the SPA/IPA overhead split of Table I
+// emerges from the mechanism, not from hard-coded results.
+func DefaultOptions() Options {
+	return Options{
+		CostInterp:        10,
+		CostCompiled:      1,
+		CostInvoke:        4,
+		CostNativeCall:    8,
+		CostEventDispatch: 2000,
+		JITThreshold:      10,
+		MaxFrames:         2048,
+		Quantum:           4096,
+	}
+}
+
+// Hooks is the VM-side event surface the JVMTI layer installs into. Nil
+// members are skipped. The VM charges CostEventDispatch to the current
+// thread for each non-nil hook it fires (except ClassFileLoad, which runs
+// at load time, and VMDeath, which runs after all threads stopped).
+type Hooks struct {
+	// ThreadStart fires on a new thread before its entry method runs.
+	// Per the JVMTI specification (and Section III of the paper), it is
+	// NOT fired for the bootstrapping main thread.
+	ThreadStart func(t *Thread)
+	// ThreadEnd fires on a terminating thread after its entry method.
+	ThreadEnd func(t *Thread)
+	// VMDeath fires once after all threads have terminated.
+	VMDeath func()
+	// MethodEntry fires on entry of every method, including native
+	// methods, when method events are enabled.
+	MethodEntry func(t *Thread, m *Method)
+	// MethodExit fires on exit of every method, by return or exception,
+	// when method events are enabled.
+	MethodExit func(t *Thread, m *Method)
+	// ClassFileLoad may transform a class before linking; returning nil
+	// keeps the original. It is the ClassFileLoadHook of JVMTI.
+	ClassFileLoad func(c *classfile.Class) *classfile.Class
+	// Sample fires when Options.SampleInterval is set and a thread's
+	// cycle counter crosses a sampling boundary. inNative reports which
+	// side of the bytecode/native divide consumed the sampled cycles —
+	// what a PC sampler learns by comparing the PC against the loaded
+	// native code modules.
+	Sample func(t *Thread, inNative bool)
+}
+
+// NativeFunc is the implementation of a native method. It receives the JNI
+// environment of the current thread and the argument words (receiver first
+// for instance methods), and returns the result word.
+//
+// Native implementations model their execution cost by calling env.Work.
+type NativeFunc func(env Env, args []int64) (int64, error)
+
+// NativeLibrary is a named set of native functions, keyed by
+// "Class.name(Desc)" — the resolved symbol the VM links a native method
+// against. It stands in for a .so loaded via System.loadLibrary.
+type NativeLibrary struct {
+	Name  string
+	Funcs map[string]NativeFunc
+}
+
+// Env is the view of the JNI environment handed to native code. The
+// concrete implementation lives in internal/jni so the function table can
+// be intercepted (Section IV); the VM provides a plain fallback.
+type Env interface {
+	// Thread returns the current thread.
+	Thread() *Thread
+	// VM returns the owning VM.
+	VM() *VM
+	// Work advances the current thread's cycle counter by n cycles,
+	// modelling native computation.
+	Work(n uint64)
+	// CallStatic invokes a static Java method from native code — an N2J
+	// transition. name is the JNI invocation function variant used (e.g.
+	// "CallStaticLongMethodA"); the jni layer dispatches through the
+	// (possibly intercepted) function table.
+	CallStatic(class, method, desc string, args ...int64) (int64, error)
+	// CallVirtual invokes an instance Java method from native code.
+	CallVirtual(class, method, desc string, recv int64, args ...int64) (int64, error)
+	// NewArray allocates an array on the simulated heap.
+	NewArray(length int64) (int64, error)
+	// ArrayLoad reads an array element.
+	ArrayLoad(handle, index int64) (int64, error)
+	// ArrayStore writes an array element.
+	ArrayStore(handle, index, value int64) error
+}
+
+// Method is a linked (runtime) method.
+type Method struct {
+	Class *Class
+	Def   *classfile.Method
+
+	native     NativeFunc
+	nativeName string // symbol the method actually linked against
+
+	invocations uint64
+	compiled    bool
+
+	argWords int
+	returns  bool
+	instrs   []bytecode.Instruction
+	startIdx map[int]int // code offset -> instruction index
+}
+
+// Name returns the method name.
+func (m *Method) Name() string { return m.Def.Name }
+
+// Desc returns the method descriptor.
+func (m *Method) Desc() string { return m.Def.Desc }
+
+// IsNative reports whether the method is declared native. It is the
+// predicate the paper's pseudo-code calls m.isNative().
+func (m *Method) IsNative() bool { return m.Def.IsNative() }
+
+// IsCompiled reports whether the JIT model has compiled the method.
+func (m *Method) IsCompiled() bool { return m.compiled }
+
+// Invocations returns how many times the method has been invoked.
+func (m *Method) Invocations() uint64 { return m.invocations }
+
+// FullName returns Class.name(desc).
+func (m *Method) FullName() string {
+	return m.Class.Name() + "." + m.Def.Name + m.Def.Desc
+}
+
+// Class is a linked (runtime) class.
+type Class struct {
+	def     *classfile.Class
+	methods map[string]*Method
+	statics map[string]*int64
+}
+
+// Name returns the class name.
+func (c *Class) Name() string { return c.def.Name }
+
+// Def returns the underlying class file structure.
+func (c *Class) Def() *classfile.Class { return c.def }
+
+// Method resolves name+desc in this class, or nil.
+func (c *Class) Method(name, desc string) *Method {
+	return c.methods[name+desc]
+}
+
+// Static returns a pointer to the named static field storage, or nil.
+func (c *Class) Static(name string) *int64 {
+	return c.statics[name]
+}
+
+// VM is a simulated Java Virtual Machine instance.
+type VM struct {
+	opts  Options
+	Heap  *Heap
+	Clock *cycles.Registry
+
+	mu      sync.Mutex
+	classes map[string]*Class
+	natives map[string]NativeFunc
+	// prefixes is the ordered list of native-method prefixes announced
+	// via the JVMTI SetNativeMethodPrefix feature.
+	prefixes []string
+
+	hooks Hooks
+	// methodEvents tracks whether MethodEntry/MethodExit delivery is on.
+	methodEvents bool
+	// jitDisabled is set while method events are enabled: the paper's
+	// central observation is that enabling these events prevents JIT
+	// compilation (Section III).
+	jitDisabled bool
+
+	// EnvFactory builds the JNI environment for a thread. internal/jni
+	// replaces it to route native calls through the interceptable
+	// function table.
+	EnvFactory func(*Thread) Env
+
+	sched       *scheduler
+	halted      bool
+	threadsEver []*Thread
+	tracer      *Tracer
+
+	// counters for diagnostics
+	classesLoaded int
+	jitCompiled   int
+	nativeCalls   uint64
+}
+
+// NativeCallCount returns the engine's ground-truth count of native method
+// invocations (J2N transitions), independent of any profiling agent.
+func (v *VM) NativeCallCount() uint64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.nativeCalls
+}
+
+func (v *VM) countNativeCall() {
+	v.mu.Lock()
+	v.nativeCalls++
+	v.mu.Unlock()
+}
+
+// New creates a VM with the given options.
+func New(opts Options) *VM {
+	v := &VM{
+		opts:    opts,
+		Heap:    NewHeap(),
+		Clock:   cycles.NewRegistry(),
+		classes: make(map[string]*Class),
+		natives: make(map[string]NativeFunc),
+	}
+	v.EnvFactory = func(t *Thread) Env { return &plainEnv{t: t} }
+	v.sched = newScheduler(v)
+	return v
+}
+
+// Options returns the VM's option set.
+func (v *VM) Options() Options { return v.opts }
+
+// SetHooks installs the event hook set. It must be called before Run.
+func (v *VM) SetHooks(h Hooks) { v.hooks = h }
+
+// Hooks returns the currently installed hooks.
+func (v *VM) Hooks() Hooks { return v.hooks }
+
+// EnableMethodEvents turns MethodEntry/MethodExit delivery on or off.
+// Enabling them disables JIT compilation and de-optimizes already compiled
+// methods, reproducing the behaviour that makes SPA's overhead excessive.
+func (v *VM) EnableMethodEvents(on bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.methodEvents = on
+	v.jitDisabled = on
+	if on {
+		for _, c := range v.classes {
+			for _, m := range c.methods {
+				m.compiled = false
+			}
+		}
+	}
+}
+
+// MethodEventsEnabled reports whether method events are being delivered.
+func (v *VM) MethodEventsEnabled() bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.methodEvents
+}
+
+// JITDisabled reports whether JIT compilation is currently suppressed.
+func (v *VM) JITDisabled() bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.jitDisabled
+}
+
+// JITCompiledCount returns how many methods the JIT model has compiled.
+func (v *VM) JITCompiledCount() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.jitCompiled
+}
+
+// SetNativeMethodPrefix announces a native-method prefix (JVMTI 1.1,
+// Section II-B-e of the paper). Prefixes apply in registration order when
+// resolving native methods whose plain symbol lookup fails.
+func (v *VM) SetNativeMethodPrefix(prefix string) error {
+	if prefix == "" {
+		return fmt.Errorf("vm: empty native method prefix")
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.prefixes = append(v.prefixes, prefix)
+	return nil
+}
+
+// NativeMethodPrefixes returns the announced prefixes.
+func (v *VM) NativeMethodPrefixes() []string {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return append([]string(nil), v.prefixes...)
+}
+
+// LoadLibrary registers a native library, the analogue of
+// System.loadLibrary(String). Conflicting symbols are rejected.
+func (v *VM) LoadLibrary(lib NativeLibrary) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for sym := range lib.Funcs {
+		if _, dup := v.natives[sym]; dup {
+			return fmt.Errorf("vm: native symbol %s already registered", sym)
+		}
+	}
+	for sym, fn := range lib.Funcs {
+		if fn == nil {
+			return fmt.Errorf("vm: native symbol %s has nil implementation", sym)
+		}
+		v.natives[sym] = fn
+	}
+	return nil
+}
+
+// RegisterNative registers a single native function under the symbol
+// "Class.name(Desc)". It is the analogue of the JNI RegisterNatives call.
+func (v *VM) RegisterNative(class, name, desc string, fn NativeFunc) error {
+	return v.LoadLibrary(NativeLibrary{
+		Name:  "registered",
+		Funcs: map[string]NativeFunc{class + "." + name + desc: fn},
+	})
+}
+
+// LoadClass links one class into the VM after running the ClassFileLoad
+// hook and the bytecode verifier.
+func (v *VM) LoadClass(def *classfile.Class) (*Class, error) {
+	if v.hooks.ClassFileLoad != nil {
+		if replaced := v.hooks.ClassFileLoad(def); replaced != nil {
+			def = replaced
+		}
+	}
+	if err := bytecode.VerifyClass(def); err != nil {
+		return nil, err
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if _, dup := v.classes[def.Name]; dup {
+		return nil, fmt.Errorf("vm: class %s already loaded", def.Name)
+	}
+	c := &Class{
+		def:     def,
+		methods: make(map[string]*Method, len(def.Methods)),
+		statics: make(map[string]*int64),
+	}
+	for _, f := range def.Fields {
+		if f.Flags.Has(classfile.AccStatic) {
+			val := f.Init
+			c.statics[f.Name] = &val
+		}
+	}
+	for _, md := range def.Methods {
+		m := &Method{Class: c, Def: md}
+		args, err := md.ArgWords()
+		if err != nil {
+			return nil, err
+		}
+		m.argWords = args
+		m.returns, _ = md.ReturnsValue()
+		if !md.IsNative() && !md.IsAbstract() {
+			ins, err := bytecode.Decode(md.Code)
+			if err != nil {
+				return nil, err
+			}
+			m.instrs = ins
+			m.startIdx = make(map[int]int, len(ins))
+			for i, in := range ins {
+				m.startIdx[in.Offset] = i
+			}
+		}
+		c.methods[md.Key()] = m
+	}
+	v.classes[def.Name] = c
+	v.classesLoaded++
+	return c, nil
+}
+
+// LoadClasses links a set of classes in order.
+func (v *VM) LoadClasses(defs []*classfile.Class) error {
+	for _, d := range defs {
+		if _, err := v.LoadClass(d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Class returns the loaded class by name, or an error.
+func (v *VM) Class(name string) (*Class, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c, ok := v.classes[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchClass, name)
+	}
+	return c, nil
+}
+
+// ClassesLoaded returns the number of classes linked so far.
+func (v *VM) ClassesLoaded() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.classesLoaded
+}
+
+// resolveMethod resolves a method reference.
+func (v *VM) resolveMethod(ref classfile.Ref) (*Method, error) {
+	c, err := v.Class(ref.Class)
+	if err != nil {
+		return nil, err
+	}
+	m := c.Method(ref.Name, ref.Desc)
+	if m == nil {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchMethod, ref.String())
+	}
+	return m, nil
+}
+
+// resolveStatic resolves a static field reference to its storage.
+func (v *VM) resolveStatic(ref classfile.Ref) (*int64, error) {
+	c, err := v.Class(ref.Class)
+	if err != nil {
+		return nil, err
+	}
+	p := c.Static(ref.Name)
+	if p == nil {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchField, ref.String())
+	}
+	return p, nil
+}
+
+// linkNative resolves the implementation of a native method, following the
+// JNI resolution strategy extended with the JVMTI prefix retry: the plain
+// symbol "Class.name(Desc)" is tried first; if it is missing and the method
+// name starts with an announced prefix, the prefix is stripped and the
+// lookup retried. This reproduces the mechanism that lets the instrumenter
+// rename native methods (Figure 2) while the unchanged native library still
+// links.
+func (v *VM) linkNative(m *Method) error {
+	if m.native != nil {
+		return nil
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	tryNames := []string{m.Def.Name}
+	name := m.Def.Name
+	for _, p := range v.prefixes {
+		if strings.HasPrefix(name, p) {
+			name = strings.TrimPrefix(name, p)
+			tryNames = append(tryNames, name)
+		}
+	}
+	for _, n := range tryNames {
+		sym := m.Class.Name() + "." + n + m.Def.Desc
+		if fn, ok := v.natives[sym]; ok {
+			m.native = fn
+			m.nativeName = sym
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: %s (tried %v)", ErrUnsatisfiedLink, m.FullName(), tryNames)
+}
+
+// maybeCompile applies the JIT model on method entry.
+func (v *VM) maybeCompile(m *Method) {
+	if m.Def.IsNative() {
+		return
+	}
+	m.invocations++
+	if m.compiled || v.jitDisabled {
+		return
+	}
+	if m.invocations >= v.opts.JITThreshold {
+		m.compiled = true
+		v.mu.Lock()
+		v.jitCompiled++
+		v.mu.Unlock()
+	}
+}
+
+// plainEnv is the fallback JNI environment used when internal/jni has not
+// installed an interceptable function table. Native-to-Java calls go
+// straight into the interpreter.
+type plainEnv struct {
+	t *Thread
+}
+
+func (e *plainEnv) Thread() *Thread { return e.t }
+func (e *plainEnv) VM() *VM         { return e.t.vm }
+func (e *plainEnv) Work(n uint64)   { e.t.chargeNative(n) }
+
+func (e *plainEnv) CallStatic(class, method, desc string, args ...int64) (int64, error) {
+	return e.t.InvokeStatic(class, method, desc, args...)
+}
+
+func (e *plainEnv) CallVirtual(class, method, desc string, recv int64, args ...int64) (int64, error) {
+	return e.t.InvokeVirtual(class, method, desc, recv, args...)
+}
+
+func (e *plainEnv) NewArray(length int64) (int64, error) {
+	return e.t.vm.Heap.NewArray(length)
+}
+
+func (e *plainEnv) ArrayLoad(handle, index int64) (int64, error) {
+	return e.t.vm.Heap.Load(handle, index)
+}
+
+func (e *plainEnv) ArrayStore(handle, index, value int64) error {
+	return e.t.vm.Heap.Store(handle, index, value)
+}

@@ -1,0 +1,28 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/vm"
+)
+
+// TestCalibrationReport runs every suite benchmark uninstrumented (scaled
+// down) and logs ground-truth native fractions and call counts next to the
+// paper targets. Run with -v to inspect calibration.
+func TestCalibrationReport(t *testing.T) {
+	for _, b := range Suite() {
+		spec := b.Spec.Scale(10)
+		prog, err := Build(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		res, err := core.Run(prog, nil, vm.DefaultOptions())
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		t.Logf("%-10s native%%=%6.2f (paper %5.2f)  cycles=%9d  natCalls=%7d  jni=%6d  jit=%d",
+			spec.Name, res.Truth.NativeFraction()*100, b.Expected.PaperNativePct,
+			res.TotalCycles, res.Truth.NativeMethodCalls, res.Truth.JNICalls, res.JITCompiled)
+	}
+}

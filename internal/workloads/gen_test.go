@@ -1,0 +1,284 @@
+package workloads
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/vm"
+)
+
+func smallSpec() Spec {
+	return Spec{
+		Name: "small", ClassName: "t/Small",
+		OuterIters: 20, CallsPerIter: 2, WorkPerCall: 5,
+		ArrayWork: 8, NativeCallsPerIter: 3, NativeWork: 40,
+		JNIEvery: 4, CallbackWork: 3, OpsPerIter: 2,
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	if err := smallSpec().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*Spec){
+		func(s *Spec) { s.Name = "" },
+		func(s *Spec) { s.ClassName = "" },
+		func(s *Spec) { s.OuterIters = 0 },
+		func(s *Spec) { s.CallsPerIter = -1 },
+		func(s *Spec) { s.CallsPerIter = 500 },
+		func(s *Spec) { s.NativeCallsPerIter = 500 },
+		func(s *Spec) { s.WorkPerCall = -1 },
+		func(s *Spec) { s.Threads = 100 },
+	}
+	for i, mutate := range bad {
+		s := smallSpec()
+		mutate(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: invalid spec accepted", i)
+		}
+	}
+}
+
+func TestScale(t *testing.T) {
+	s := smallSpec()
+	s.OuterIters = 100
+	if got := s.Scale(10).OuterIters; got != 10 {
+		t.Fatalf("Scale(10) iters = %d, want 10", got)
+	}
+	if got := s.Scale(1000).OuterIters; got != 1 {
+		t.Fatalf("Scale(1000) iters = %d, want 1 (floor)", got)
+	}
+	if got := s.Scale(0).OuterIters; got != 100 {
+		t.Fatalf("Scale(0) iters = %d, want unchanged", got)
+	}
+}
+
+func TestExpectedCounts(t *testing.T) {
+	s := smallSpec()
+	if got := s.ExpectedNativeCalls(); got != 60 {
+		t.Fatalf("ExpectedNativeCalls = %d, want 60", got)
+	}
+	if got := s.ExpectedJNICallbacks(); got != 15 {
+		t.Fatalf("ExpectedJNICallbacks = %d, want 15", got)
+	}
+	s.CallbacksPerNative = 3
+	if got := s.ExpectedJNICallbacks(); got != 45 {
+		t.Fatalf("ExpectedJNICallbacks = %d, want 45", got)
+	}
+	s.JNIEvery = 0
+	if got := s.ExpectedJNICallbacks(); got != 0 {
+		t.Fatalf("ExpectedJNICallbacks = %d, want 0", got)
+	}
+	s.Threads = 4
+	if got := s.ExpectedNativeCalls(); got != 240 {
+		t.Fatalf("ExpectedNativeCalls with 4 threads = %d, want 240", got)
+	}
+}
+
+func TestBuildRunAndGroundTruthCounts(t *testing.T) {
+	s := smallSpec()
+	prog, err := Build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Run(prog, nil, vm.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Native method call count is exact by construction.
+	if res.Truth.NativeMethodCalls != s.ExpectedNativeCalls() {
+		t.Fatalf("native calls = %d, want %d", res.Truth.NativeMethodCalls, s.ExpectedNativeCalls())
+	}
+	// JNI calls: callbacks + one launcher call per thread.
+	want := s.ExpectedJNICallbacks() + 1
+	if res.Truth.JNICalls != want {
+		t.Fatalf("JNI calls = %d, want %d", res.Truth.JNICalls, want)
+	}
+	if res.Ops != uint64(s.OuterIters)*s.OpsPerIter {
+		t.Fatalf("Ops = %d", res.Ops)
+	}
+	if res.Truth.NativeCycles == 0 || res.Truth.BytecodeCycles == 0 {
+		t.Fatal("ground truth has zero components")
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	run := func() *core.RunResult {
+		prog, err := Build(smallSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.Run(prog, nil, vm.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.TotalCycles != b.TotalCycles || a.MainResult != b.MainResult {
+		t.Fatalf("non-deterministic: %d/%d vs %d/%d",
+			a.TotalCycles, a.MainResult, b.TotalCycles, b.MainResult)
+	}
+}
+
+func TestBuildFreshLibraryState(t *testing.T) {
+	// Two programs built from the same spec must not share the JNI
+	// callback counter.
+	s := smallSpec()
+	p1, err := Build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := core.Run(p1, nil, vm.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := core.Run(p2, nil, vm.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Truth.JNICalls != r2.Truth.JNICalls {
+		t.Fatalf("library state leaked between builds: %d vs %d",
+			r1.Truth.JNICalls, r2.Truth.JNICalls)
+	}
+}
+
+func TestMultiThreadedWorkload(t *testing.T) {
+	s := smallSpec()
+	s.Threads = 4
+	prog, err := Build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Run(prog, nil, vm.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Threads != 4 {
+		t.Fatalf("threads = %d, want 4 (main + 3 warehouses)", res.Threads)
+	}
+	// The engine also counts the spawn(I)V native helper invocation.
+	if res.Truth.NativeMethodCalls != s.ExpectedNativeCalls()+1 {
+		t.Fatalf("native calls = %d, want %d", res.Truth.NativeMethodCalls, s.ExpectedNativeCalls()+1)
+	}
+	// JNI: callbacks + launcher per thread (4).
+	want := s.ExpectedJNICallbacks() + 4
+	if res.Truth.JNICalls != want {
+		t.Fatalf("JNI calls = %d, want %d", res.Truth.JNICalls, want)
+	}
+}
+
+func TestNoNativeCallsWorkload(t *testing.T) {
+	s := smallSpec()
+	s.NativeCallsPerIter = 0
+	s.JNIEvery = 0
+	prog, err := Build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Run(prog, nil, vm.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Truth.NativeMethodCalls != 0 {
+		t.Fatalf("native calls = %d, want 0", res.Truth.NativeMethodCalls)
+	}
+	if res.Truth.NativeFraction() != 0 {
+		t.Fatalf("native fraction = %f, want 0", res.Truth.NativeFraction())
+	}
+}
+
+// Property: for random small specs, engine-counted native calls always
+// equal the spec's expectation.
+func TestNativeCallCountProperty(t *testing.T) {
+	f := func(iters, ncpi, calls uint8) bool {
+		s := Spec{
+			Name: "prop", ClassName: "t/Prop",
+			OuterIters:         int(iters%16) + 1,
+			CallsPerIter:       int(calls % 4),
+			WorkPerCall:        3,
+			NativeCallsPerIter: int(ncpi % 4),
+			NativeWork:         5,
+		}
+		prog, err := Build(s)
+		if err != nil {
+			return false
+		}
+		res, err := core.Run(prog, nil, vm.DefaultOptions())
+		if err != nil {
+			return false
+		}
+		return res.Truth.NativeMethodCalls == s.ExpectedNativeCalls()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSuiteIntegrity(t *testing.T) {
+	suite := Suite()
+	if len(suite) != 8 {
+		t.Fatalf("suite has %d benchmarks, want 8", len(suite))
+	}
+	seen := make(map[string]bool)
+	for _, b := range suite {
+		if err := b.Spec.Validate(); err != nil {
+			t.Errorf("%s: %v", b.Spec.Name, err)
+		}
+		if seen[b.Spec.Name] {
+			t.Errorf("duplicate benchmark %s", b.Spec.Name)
+		}
+		seen[b.Spec.Name] = true
+		if b.Expected.PaperNativePct <= 0 {
+			t.Errorf("%s: missing paper native%%", b.Spec.Name)
+		}
+	}
+	if !seen["jbb2005"] || !seen["compress"] {
+		t.Fatal("suite missing required members")
+	}
+	jbb, err := ByName("jbb2005")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jbb.Spec.Threads != 4 {
+		t.Fatalf("jbb2005 threads = %d, want 4", jbb.Spec.Threads)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("ByName accepted unknown benchmark")
+	}
+	if len(Names()) != 8 {
+		t.Fatal("Names() length mismatch")
+	}
+}
+
+// TestSuiteNativeFractionsMatchPaper asserts that each benchmark's ground-
+// truth native fraction lands near Table II (generous tolerance: the test
+// runs scaled-down specs, which shifts JIT warmup shares slightly).
+func TestSuiteNativeFractionsMatchPaper(t *testing.T) {
+	for _, b := range Suite() {
+		prog, err := Build(b.Spec.Scale(20))
+		if err != nil {
+			t.Fatalf("%s: %v", b.Spec.Name, err)
+		}
+		res, err := core.Run(prog, nil, vm.DefaultOptions())
+		if err != nil {
+			t.Fatalf("%s: %v", b.Spec.Name, err)
+		}
+		got := res.Truth.NativeFraction() * 100
+		want := b.Expected.PaperNativePct
+		if got < want*0.5 || got > want*1.6 {
+			t.Errorf("%s: native%% = %.2f, paper %.2f (outside tolerance)",
+				b.Spec.Name, got, want)
+		}
+		// The paper's headline: every benchmark spends at most ~20% in
+		// native code.
+		if got > 25 {
+			t.Errorf("%s: native%% = %.2f exceeds the paper's 20%% ceiling", b.Spec.Name, got)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/vm"
+)
+
+// TestJITInvarianceOfResults: across JIT thresholds (always-interpret,
+// default, compile-immediately), every suite benchmark must produce the
+// same main result and the same ground-truth call counts; only cycle
+// counts may differ. This pins the correctness of the JIT model — it is a
+// pure cost-model switch, never a semantic one.
+func TestJITInvarianceOfResults(t *testing.T) {
+	thresholds := []uint64{1, 10, 1 << 62}
+	for _, b := range Suite() {
+		spec := b.Spec.Scale(40)
+		type outcome struct {
+			result   int64
+			natCalls uint64
+			jniCalls uint64
+		}
+		var outcomes []outcome
+		for _, th := range thresholds {
+			opts := vm.DefaultOptions()
+			opts.JITThreshold = th
+			prog, err := Build(spec)
+			if err != nil {
+				t.Fatalf("%s: %v", spec.Name, err)
+			}
+			res, err := core.Run(prog, nil, opts)
+			if err != nil {
+				t.Fatalf("%s (threshold %d): %v", spec.Name, th, err)
+			}
+			outcomes = append(outcomes, outcome{
+				result:   res.MainResult,
+				natCalls: res.Truth.NativeMethodCalls,
+				jniCalls: res.Truth.JNICalls,
+			})
+		}
+		for i := 1; i < len(outcomes); i++ {
+			if outcomes[i] != outcomes[0] {
+				t.Errorf("%s: outcome differs across JIT thresholds: %+v vs %+v",
+					spec.Name, outcomes[0], outcomes[i])
+			}
+		}
+	}
+}

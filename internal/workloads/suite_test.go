@@ -1,0 +1,121 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/vm"
+)
+
+// paperJNIPerRun is Table II's JNI-call column divided by 15 runs,
+// rounded — the per-run calibration target for each benchmark's JNI count.
+var paperJNIPerRun = map[string]uint64{
+	"compress":  103,
+	"jess":      61,
+	"db":        34,
+	"javac":     1709,
+	"mpegaudio": 38,
+	"mtrt":      34,
+	"jack":      87,
+}
+
+// TestSuiteJNICallCountsNearPaper verifies the static calibration: the
+// expected JNI callback count of every JVM98 spec lands within a couple of
+// calls of the paper's per-run value (counts are deterministic, so this is
+// arithmetic, not measurement).
+func TestSuiteJNICallCountsNearPaper(t *testing.T) {
+	for _, b := range Suite() {
+		want, ok := paperJNIPerRun[b.Spec.Name]
+		if !ok {
+			continue // jbb2005 is scaled differently
+		}
+		got := b.Spec.ExpectedJNICallbacks()
+		diff := int64(got) - int64(want)
+		if diff < -3 || diff > 30 {
+			t.Errorf("%s: expected JNI callbacks %d, paper per-run %d",
+				b.Spec.Name, got, want)
+		}
+	}
+}
+
+// TestJBBMoreJNIThanNativeCalls pins the distinctive JBB2005 shape.
+func TestJBBMoreJNIThanNativeCalls(t *testing.T) {
+	b, err := ByName("jbb2005")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Spec.ExpectedJNICallbacks() <= b.Spec.ExpectedNativeCalls() {
+		t.Fatalf("jbb2005: JNI %d not above native calls %d",
+			b.Spec.ExpectedJNICallbacks(), b.Spec.ExpectedNativeCalls())
+	}
+	// Ratio near the paper's 770k/200k = 3.85.
+	ratio := float64(b.Spec.ExpectedJNICallbacks()) / float64(b.Spec.ExpectedNativeCalls())
+	if ratio < 3 || ratio > 5 {
+		t.Fatalf("jbb2005 JNI/native ratio = %.2f, paper 3.85", ratio)
+	}
+}
+
+// TestJBBWarehouseScaling runs the JBB spec at warehouse counts 1..4 (the
+// paper's warehouse sequence) and checks the throughput metric stays
+// within a band — JBB's defining scaling property on a single simulated
+// CPU (ops and cycles both scale with warehouses).
+func TestJBBWarehouseScaling(t *testing.T) {
+	base, err := ByName("jbb2005")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var thpt []float64
+	for _, wh := range []int{1, 2, 3, 4} {
+		spec := base.Spec.Scale(20)
+		spec.Threads = wh
+		prog, err := Build(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.Run(prog, nil, vm.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantThreads := wh
+		if wh < 2 {
+			wantThreads = 1
+		}
+		if res.Threads != wantThreads {
+			t.Fatalf("wh=%d: threads = %d", wh, res.Threads)
+		}
+		thpt = append(thpt, res.Throughput())
+	}
+	for i := 1; i < len(thpt); i++ {
+		ratio := thpt[i] / thpt[0]
+		if ratio < 0.7 || ratio > 1.3 {
+			t.Fatalf("throughput not stable across warehouses: %v", thpt)
+		}
+	}
+}
+
+// TestSuiteTotalCyclesOrdering: the simulated "execution times" must keep
+// the paper's coarse ordering — db is the longest benchmark and mtrt/jess
+// the shortest.
+func TestSuiteTotalCyclesOrdering(t *testing.T) {
+	cyclesOf := func(name string) uint64 {
+		b, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := Build(b.Spec.Scale(20))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.Run(prog, nil, vm.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.TotalCycles
+	}
+	db := cyclesOf("db")
+	for _, name := range []string{"compress", "jess", "javac", "mpegaudio", "mtrt", "jack"} {
+		if c := cyclesOf(name); c >= db {
+			t.Errorf("%s (%d cycles) not shorter than db (%d)", name, c, db)
+		}
+	}
+}
