@@ -1,38 +1,46 @@
-// Command jprof profiles a suite benchmark with one of the paper's agents
-// and prints the resulting report — the command-line face of the system,
+// Command jprof profiles suite benchmarks with one of the paper's agents
+// and prints the resulting reports — the command-line face of the system,
 // analogous to running a JVM with -agentlib:spa or -agentlib:ipa.
 //
 // Usage:
 //
-//	jprof [-agent spa|ipa|chains|sampler|bic|none] [-scale K] [-list] <benchmark>
+//	jprof [-agent spa|ipa|chains|sampler|bic|none] [-scale K] [-parallel N] [-list] <benchmark>...
 //
-// With -agent none the benchmark runs uninstrumented and only the
-// engine's ground-truth attribution is printed. The chains agent
-// additionally prints the hottest mixed Java/native call chains; the
-// sampler agent demonstrates the related-work PC-sampling baseline.
+// Several benchmarks (or the word "all") may be given; their cells run
+// concurrently on isolated VMs, -parallel at a time, and the reports are
+// printed in argument order. With -agent none the benchmark runs
+// uninstrumented and only the engine's ground-truth attribution is
+// printed. The chains agent additionally prints the hottest mixed
+// Java/native call chains; the sampler agent demonstrates the
+// related-work PC-sampling baseline.
 package main
 
 import (
+	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/agents/bic"
 	"repro/internal/agents/chains"
 	"repro/internal/agents/ipa"
-	"repro/internal/agents/sampler"
-	"repro/internal/agents/spa"
+	"repro/internal/agents/registry"
 	"repro/internal/core"
+	"repro/internal/runner"
 	"repro/internal/vm"
 	"repro/internal/workloads"
 )
 
 func main() {
-	agentName := flag.String("agent", "ipa", "profiling agent: spa, ipa, chains, sampler, bic or none")
+	agentName := flag.String("agent", "ipa",
+		"profiling agent: "+strings.Join(registry.Names(), ", "))
 	scale := flag.Int("scale", 1, "iteration divisor (1 = full calibrated size)")
 	list := flag.Bool("list", false, "list available benchmarks and exit")
-	asJSON := flag.Bool("json", false, "emit the result as JSON")
+	asJSON := flag.Bool("json", false, "emit the results as JSON")
 	perMethod := flag.Bool("permethod", false, "with -agent ipa: per-native-method breakdown")
+	parallel := runner.AddFlag(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -41,87 +49,104 @@ func main() {
 		}
 		return
 	}
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: jprof [-agent spa|ipa|none] [-scale K] <benchmark>")
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: jprof [-agent NAME] [-scale K] [-parallel N] <benchmark>... | all")
 		os.Exit(2)
 	}
-	b, err := workloads.ByName(flag.Arg(0))
-	if err != nil {
-		fatal(err)
+	names := flag.Args()
+	if len(names) == 1 && names[0] == "all" {
+		names = workloads.Names()
 	}
-	prog, err := workloads.Build(b.Spec.Scale(*scale))
-	if err != nil {
+	if _, err := registry.New(*agentName, registry.Config{}); err != nil {
 		fatal(err)
 	}
 
 	opts := vm.DefaultOptions()
-	var agent core.Agent
-	var chainAgent *chains.Agent
-	var ipaAgent *ipa.Agent
-	var bicAgent *bic.Agent
-	switch *agentName {
-	case "spa":
-		agent = spa.New()
-	case "ipa":
-		ipaAgent = ipa.NewWithConfig(ipa.Config{Compensate: true, PerMethod: *perMethod})
-		agent = ipaAgent
-	case "chains":
-		chainAgent = chains.New()
-		agent = chainAgent
-	case "sampler":
-		opts.SampleInterval = 2000
-		opts.SampleCost = 20
-		agent = sampler.New()
-	case "bic":
-		bicAgent = bic.New()
-		agent = bicAgent
-	case "none":
-	default:
-		fatal(fmt.Errorf("unknown agent %q", *agentName))
-	}
+	registry.TuneOptions(*agentName, &opts)
 
-	res, err := core.Run(prog, agent, opts)
+	results, err := runner.Map(context.Background(),
+		runner.Options{Parallelism: *parallel, FailFast: true}, names,
+		func(n string) string { return n + "/" + *agentName },
+		func(ctx context.Context, name string) (string, error) {
+			return profileOne(ctx, name, *agentName, *scale, opts, *asJSON, *perMethod)
+		})
 	if err != nil {
 		fatal(err)
 	}
-	if *asJSON {
-		if err := res.WriteJSON(os.Stdout); err != nil {
-			fatal(err)
+	for i, r := range results {
+		if i > 0 && !*asJSON {
+			fmt.Println()
 		}
-		return
+		fmt.Print(r.Value)
 	}
-	fmt.Printf("benchmark %s: %d cycles, %d threads, %d JIT-compiled methods\n",
+}
+
+// profileOne runs one benchmark under a fresh agent on its own VM and
+// renders the full report; rendering inside the cell keeps the output
+// deterministic regardless of scheduling.
+func profileOne(ctx context.Context, benchmark, agentName string, scale int,
+	opts vm.Options, asJSON, perMethod bool) (string, error) {
+	b, err := workloads.ByName(benchmark)
+	if err != nil {
+		return "", err
+	}
+	prog, err := workloads.Build(b.Spec.Scale(scale))
+	if err != nil {
+		return "", err
+	}
+	agent, err := registry.New(agentName, registry.Config{PerMethod: perMethod})
+	if err != nil {
+		return "", err
+	}
+	res, err := core.RunContext(ctx, prog, agent, opts)
+	if err != nil {
+		return "", err
+	}
+	if asJSON {
+		var buf bytes.Buffer
+		if err := res.WriteJSON(&buf); err != nil {
+			return "", err
+		}
+		return buf.String(), nil
+	}
+	return renderRun(res, agent, perMethod), nil
+}
+
+// renderRun formats one run the way jprof always has, including the
+// agent-specific extras for the chains, bic and per-method IPA agents.
+func renderRun(res *core.RunResult, agent core.Agent, perMethod bool) string {
+	var out strings.Builder
+	fmt.Fprintf(&out, "benchmark %s: %d cycles, %d threads, %d JIT-compiled methods\n",
 		res.Program, res.TotalCycles, res.Threads, res.JITCompiled)
 	if res.Ops > 0 {
-		fmt.Printf("throughput: %.1f ops/Mcycles\n", res.Throughput())
+		fmt.Fprintf(&out, "throughput: %.1f ops/Mcycles\n", res.Throughput())
 	}
-	fmt.Printf("ground truth: %.2f%% native (bytecode=%d native=%d overhead=%d cycles)\n",
+	fmt.Fprintf(&out, "ground truth: %.2f%% native (bytecode=%d native=%d overhead=%d cycles)\n",
 		res.Truth.NativeFraction()*100, res.Truth.BytecodeCycles,
 		res.Truth.NativeCycles, res.Truth.OverheadCycles)
-	fmt.Printf("ground truth counts: %d native method calls, %d JNI calls\n",
+	fmt.Fprintf(&out, "ground truth counts: %d native method calls, %d JNI calls\n",
 		res.Truth.NativeMethodCalls, res.Truth.JNICalls)
 	if res.Report != nil {
-		fmt.Println()
-		fmt.Print(res.Report.String())
+		out.WriteString("\n")
+		out.WriteString(res.Report.String())
 	}
-	if chainAgent != nil {
-		fmt.Println()
-		fmt.Println("hottest call chains:")
-		fmt.Print(chainAgent.RenderTop(10))
-	}
-	if bicAgent != nil {
-		fmt.Println()
-		fmt.Printf("bytecode instructions executed: %d (over %d basic-block entries)\n",
-			bicAgent.Instructions(), bicAgent.Blocks())
-		fmt.Println("note: an instruction counter reports nothing about native time.")
-	}
-	if ipaAgent != nil && *perMethod {
-		fmt.Println()
-		fmt.Println("per-native-method breakdown:")
-		for _, mt := range ipaAgent.MethodTimes() {
-			fmt.Printf("  %-40s %10d calls %14d cycles\n", mt.Name, mt.Calls, mt.Cycles)
+	switch a := agent.(type) {
+	case *chains.Agent:
+		out.WriteString("\nhottest call chains:\n")
+		out.WriteString(a.RenderTop(10))
+	case *bic.Agent:
+		fmt.Fprintf(&out, "\nbytecode instructions executed: %d (over %d basic-block entries)\n",
+			a.Instructions(), a.Blocks())
+		out.WriteString("note: an instruction counter reports nothing about native time.\n")
+	case *ipa.Agent:
+		if perMethod {
+			out.WriteString("\nper-native-method breakdown:\n")
+			for _, mt := range a.MethodTimes() {
+				fmt.Fprintf(&out, "  %-40s %10d calls %14d cycles\n", mt.Name, mt.Calls, mt.Cycles)
+			}
 		}
 	}
+	return out.String()
 }
 
 func fatal(err error) {

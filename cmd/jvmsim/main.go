@@ -1,19 +1,27 @@
-// Command jvmsim runs a suite benchmark on the bare simulated JVM — no
+// Command jvmsim runs suite benchmarks on the bare simulated JVM — no
 // profiling agent — and prints execution statistics, or disassembles the
 // generated classes with -dump.
 //
 // Usage:
 //
-//	jvmsim [-scale K] [-dump|-metrics] <benchmark>
+//	jvmsim [-scale K] [-parallel N] [-dump|-metrics] <benchmark>... | all
+//
+// Several benchmarks (or the word "all") may be given; runs execute
+// concurrently on isolated VMs, -parallel at a time, with output in
+// argument order. -dump and -metrics are static analyses and always run
+// sequentially.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/bytecode"
 	"repro/internal/core"
+	"repro/internal/runner"
 	"repro/internal/vm"
 	"repro/internal/workloads"
 )
@@ -22,71 +30,120 @@ func main() {
 	scale := flag.Int("scale", 1, "iteration divisor")
 	dump := flag.Bool("dump", false, "disassemble the generated classes instead of running")
 	metrics := flag.Bool("metrics", false, "print static instruction-mix metrics instead of running")
+	parallel := runner.AddFlag(flag.CommandLine)
 	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: jvmsim [-scale K] [-dump] <benchmark>")
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: jvmsim [-scale K] [-parallel N] [-dump|-metrics] <benchmark>... | all")
 		os.Exit(2)
 	}
-	b, err := workloads.ByName(flag.Arg(0))
-	if err != nil {
-		fatal(err)
-	}
-	prog, err := workloads.Build(b.Spec.Scale(*scale))
-	if err != nil {
-		fatal(err)
+	names := flag.Args()
+	if len(names) == 1 && names[0] == "all" {
+		names = workloads.Names()
 	}
 
-	if *metrics {
-		total := make(bytecode.Histogram)
-		for _, c := range prog.Classes {
-			cm, err := bytecode.AnalyzeClass(c)
+	if *metrics || *dump {
+		for _, name := range names {
+			prog, err := buildProg(name, *scale)
 			if err != nil {
 				fatal(err)
 			}
-			fmt.Printf("class %s: %d methods (%d native), %d instructions, %d basic blocks\n",
-				cm.Name, cm.Methods, cm.NativeMethods, cm.Instructions, cm.BasicBlocks)
-			h, err := bytecode.ClassHistogram(c)
-			if err != nil {
-				fatal(err)
-			}
-			total.Add(h)
-		}
-		fmt.Println("instruction mix:")
-		fmt.Print(total.String())
-		return
-	}
-
-	if *dump {
-		for _, c := range prog.Classes {
-			fmt.Printf("class %s (source %s)\n", c.Name, c.SourceFile)
-			for _, m := range c.Methods {
-				fmt.Printf(" method %s%s flags=%#x maxStack=%d maxLocals=%d\n",
-					m.Name, m.Desc, m.Flags, m.MaxStack, m.MaxLocals)
-				text, err := bytecode.Disassemble(m)
-				if err != nil {
+			if *metrics {
+				if err := printMetrics(prog); err != nil {
 					fatal(err)
 				}
-				fmt.Print(text)
+			} else {
+				if err := printDump(prog); err != nil {
+					fatal(err)
+				}
 			}
 		}
 		return
 	}
 
-	res, err := core.Run(prog, nil, vm.DefaultOptions())
+	results, err := runner.Map(context.Background(),
+		runner.Options{Parallelism: *parallel, FailFast: true}, names,
+		func(n string) string { return n },
+		func(ctx context.Context, name string) (string, error) {
+			return runOne(ctx, name, *scale)
+		})
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("benchmark %s\n", res.Program)
-	fmt.Printf("  main result:       %d\n", res.MainResult)
-	fmt.Printf("  total cycles:      %d\n", res.TotalCycles)
-	fmt.Printf("  threads:           %d\n", res.Threads)
-	fmt.Printf("  JIT compiled:      %d methods\n", res.JITCompiled)
-	fmt.Printf("  native fraction:   %.2f%%\n", res.Truth.NativeFraction()*100)
-	fmt.Printf("  native calls:      %d\n", res.Truth.NativeMethodCalls)
-	fmt.Printf("  JNI calls:         %d\n", res.Truth.JNICalls)
-	if res.Ops > 0 {
-		fmt.Printf("  throughput:        %.1f ops/Mcycles\n", res.Throughput())
+	for i, r := range results {
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Print(r.Value)
 	}
+}
+
+func buildProg(name string, scale int) (*core.Program, error) {
+	b, err := workloads.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return workloads.Build(b.Spec.Scale(scale))
+}
+
+// runOne executes one benchmark on its own VM and renders its statistics.
+func runOne(ctx context.Context, name string, scale int) (string, error) {
+	prog, err := buildProg(name, scale)
+	if err != nil {
+		return "", err
+	}
+	res, err := core.RunContext(ctx, prog, nil, vm.DefaultOptions())
+	if err != nil {
+		return "", err
+	}
+	var out strings.Builder
+	fmt.Fprintf(&out, "benchmark %s\n", res.Program)
+	fmt.Fprintf(&out, "  main result:       %d\n", res.MainResult)
+	fmt.Fprintf(&out, "  total cycles:      %d\n", res.TotalCycles)
+	fmt.Fprintf(&out, "  threads:           %d\n", res.Threads)
+	fmt.Fprintf(&out, "  JIT compiled:      %d methods\n", res.JITCompiled)
+	fmt.Fprintf(&out, "  native fraction:   %.2f%%\n", res.Truth.NativeFraction()*100)
+	fmt.Fprintf(&out, "  native calls:      %d\n", res.Truth.NativeMethodCalls)
+	fmt.Fprintf(&out, "  JNI calls:         %d\n", res.Truth.JNICalls)
+	if res.Ops > 0 {
+		fmt.Fprintf(&out, "  throughput:        %.1f ops/Mcycles\n", res.Throughput())
+	}
+	return out.String(), nil
+}
+
+func printMetrics(prog *core.Program) error {
+	total := make(bytecode.Histogram)
+	for _, c := range prog.Classes {
+		cm, err := bytecode.AnalyzeClass(c)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("class %s: %d methods (%d native), %d instructions, %d basic blocks\n",
+			cm.Name, cm.Methods, cm.NativeMethods, cm.Instructions, cm.BasicBlocks)
+		h, err := bytecode.ClassHistogram(c)
+		if err != nil {
+			return err
+		}
+		total.Add(h)
+	}
+	fmt.Println("instruction mix:")
+	fmt.Print(total.String())
+	return nil
+}
+
+func printDump(prog *core.Program) error {
+	for _, c := range prog.Classes {
+		fmt.Printf("class %s (source %s)\n", c.Name, c.SourceFile)
+		for _, m := range c.Methods {
+			fmt.Printf(" method %s%s flags=%#x maxStack=%d maxLocals=%d\n",
+				m.Name, m.Desc, m.Flags, m.MaxStack, m.MaxLocals)
+			text, err := bytecode.Disassemble(m)
+			if err != nil {
+				return err
+			}
+			fmt.Print(text)
+		}
+	}
+	return nil
 }
 
 func fatal(err error) {

@@ -4,12 +4,14 @@
 //
 // Usage:
 //
-//	tables [-table 1|2|all] [-runs N] [-scale K]
+//	tables [-table 1|2|all] [-runs N] [-scale K] [-parallel N]
 //
 // -runs is the median-of-N repetition count (the paper uses 15; the
 // simulator is deterministic, so 1 gives identical numbers faster).
 // -scale divides every benchmark's iteration count; 1 is the calibrated
-// full size.
+// full size. -parallel runs that many measurement cells concurrently on
+// isolated VMs; the tables are byte-identical at every parallelism level,
+// only wall-clock time changes.
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 	"os"
 
 	"repro/internal/harness"
+	"repro/internal/runner"
 )
 
 func main() {
@@ -26,11 +29,13 @@ func main() {
 	scale := flag.Int("scale", 1, "iteration divisor (1 = full calibrated size)")
 	markdown := flag.Bool("markdown", false, "emit the full campaign as a Markdown report")
 	verify := flag.Bool("verify", false, "verify the paper's qualitative claims and exit non-zero on failure")
+	parallel := runner.AddFlag(flag.CommandLine)
 	flag.Parse()
 
 	cfg := harness.DefaultConfig()
 	cfg.Runs = *runs
 	cfg.Scale = *scale
+	cfg.Parallelism = *parallel
 
 	if *verify {
 		rep, err := harness.VerifyShape(cfg)

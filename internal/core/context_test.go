@@ -1,0 +1,71 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/vm"
+)
+
+func TestRunContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	prog := miniProgram(t)
+	if _, err := RunContext(ctx, prog, nil, vm.DefaultOptions()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunContextBackground(t *testing.T) {
+	prog := miniProgram(t)
+	res, err := RunContext(context.Background(), prog, nil, vm.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalCycles == 0 {
+		t.Fatal("run produced no cycles")
+	}
+}
+
+// TestConcurrentRunsAreIsolated is the zero-shared-mutable-state
+// guarantee the parallel runner builds on: many simultaneous Runs of the
+// same program spec produce identical results, and under -race this
+// doubles as the cross-run data-race regression test for the VM, cycle
+// registry, JNI and JVMTI layers.
+func TestConcurrentRunsAreIsolated(t *testing.T) {
+	baseline, err := Run(miniProgram(t), nil, vm.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	// Each worker gets its own Program, built on the test goroutine
+	// (miniProgram may t.Fatal, which workers must not).
+	progs := make([]*Program, workers)
+	for w := range progs {
+		progs[w] = miniProgram(t)
+	}
+	results := make([]*RunResult, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[w], errs[w] = Run(progs[w], nil, vm.DefaultOptions())
+		}()
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			t.Fatalf("worker %d: %v", w, errs[w])
+		}
+		r := results[w]
+		if r.TotalCycles != baseline.TotalCycles ||
+			r.MainResult != baseline.MainResult ||
+			r.Truth != baseline.Truth {
+			t.Fatalf("worker %d diverged from baseline:\ngot  %+v\nwant %+v", w, r, baseline)
+		}
+	}
+}

@@ -10,6 +10,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -121,6 +122,16 @@ type GroundTruth struct {
 	JNICalls uint64
 }
 
+// Add accumulates another run's ground truth, the aggregation used when
+// one measurement spans several VM runs (warehouse sequences).
+func (g *GroundTruth) Add(o GroundTruth) {
+	g.BytecodeCycles += o.BytecodeCycles
+	g.NativeCycles += o.NativeCycles
+	g.OverheadCycles += o.OverheadCycles
+	g.NativeMethodCalls += o.NativeMethodCalls
+	g.JNICalls += o.JNICalls
+}
+
 // NativeFraction returns the ground-truth native share of bytecode+native
 // cycles (profiling overhead excluded).
 func (g GroundTruth) NativeFraction() float64 {
@@ -166,9 +177,25 @@ func (r *RunResult) Throughput() float64 {
 // a profiling agent, and collects the results. The sequence mirrors a real
 // deployment: agent OnLoad first (so its hooks observe class loading),
 // then static instrumentation and class loading, then the run.
+//
+// Every run is fully isolated: the VM, its cycle-counter registry, the
+// JNI and JVMTI layers and (by contract) the single-use agent are all
+// constructed fresh per call and share no mutable state with any other
+// run, so concurrent Runs on different goroutines are independent.
 func Run(prog *Program, agent Agent, opts vm.Options) (*RunResult, error) {
 	res, _, err := RunKeepVM(prog, agent, opts)
 	return res, err
+}
+
+// RunContext is Run with cooperative cancellation: a cancelled context
+// aborts before VM construction with ctx.Err(). The simulated program
+// itself is not interruptible — cells are short relative to a campaign,
+// so the parallel runner cancels between cells, not inside them.
+func RunContext(ctx context.Context, prog *Program, agent Agent, opts vm.Options) (*RunResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return Run(prog, agent, opts)
 }
 
 // RunOnVM is like Run but returns the VM instead of the result summary,

@@ -3,15 +3,23 @@
 // runs with the paper's median-of-N rule; computes the overhead formulas;
 // and renders Table I (execution time and profiling overhead) and Table II
 // (profiling statistics) in the paper's layout.
+//
+// The campaign is a matrix of measurement cells — benchmark × agent
+// configuration — and every cell is an independent VM invocation, so the
+// harness executes them on the internal/runner worker pool. Cell results
+// are deterministic and returned in submission order, which makes a
+// parallel campaign byte-identical to a sequential one (Config.Parallelism
+// = 1); only wall-clock time changes.
 package harness
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
-	"repro/internal/agents/ipa"
-	"repro/internal/agents/spa"
+	"repro/internal/agents/registry"
 	"repro/internal/core"
+	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/vm"
 	"repro/internal/workloads"
@@ -42,16 +50,27 @@ func (k AgentKind) String() string {
 	}
 }
 
-// newAgent builds a fresh agent for one run; agents are single-use.
-func newAgent(k AgentKind) core.Agent {
+// registryName maps the kind to its internal/agents/registry name.
+func (k AgentKind) registryName() string {
 	switch k {
 	case AgentSPA:
-		return spa.New()
+		return "spa"
 	case AgentIPA:
-		return ipa.New()
+		return "ipa"
 	default:
-		return nil
+		return "none"
 	}
+}
+
+// newAgent builds a fresh agent for one run; agents are single-use.
+func newAgent(k AgentKind) core.Agent {
+	agent, err := registry.New(k.registryName(), registry.Config{})
+	if err != nil {
+		// The three kinds are always registered; reaching this is a
+		// programming error, not a runtime condition.
+		panic(err)
+	}
+	return agent
 }
 
 // Config parameterizes an evaluation campaign.
@@ -64,13 +83,19 @@ type Config struct {
 	// Scale divides every benchmark's outer iteration count (1 = the
 	// full calibrated size).
 	Scale int
+	// Parallelism is the number of measurement cells run concurrently,
+	// each on its own isolated VM. 1 reproduces the sequential pipeline;
+	// values below 1 mean runner.DefaultParallelism(). Output is
+	// identical for every value — cells are deterministic and results
+	// are assembled in submission order.
+	Parallelism int
 	// Opts is the VM cost model.
 	Opts vm.Options
 }
 
 // DefaultConfig returns the configuration used to regenerate the tables.
 func DefaultConfig() Config {
-	return Config{Runs: 3, Scale: 1, Opts: vm.DefaultOptions()}
+	return Config{Runs: 3, Scale: 1, Parallelism: runner.DefaultParallelism(), Opts: vm.DefaultOptions()}
 }
 
 func (c Config) normalized() Config {
@@ -80,7 +105,17 @@ func (c Config) normalized() Config {
 	if c.Scale < 1 {
 		c.Scale = 1
 	}
+	if c.Parallelism < 1 {
+		c.Parallelism = runner.DefaultParallelism()
+	}
 	return c
+}
+
+// runnerOptions maps the campaign configuration onto the runner. The
+// harness fails fast: like the sequential loops it replaced, a cell error
+// aborts the rest of the campaign.
+func (c Config) runnerOptions() runner.Options {
+	return runner.Options{Parallelism: c.Parallelism, FailFast: true}
 }
 
 // Measurement is the median outcome of repeated runs of one benchmark
@@ -102,10 +137,16 @@ type Measurement struct {
 }
 
 // Measure runs one benchmark under one agent configuration cfg.Runs times
-// and aggregates with the median. Benchmarks with a warehouse sequence
-// (SPEC JBB2005 style) run the whole sequence per repetition and
-// aggregate cycles, operations, reports and ground truth across it.
+// and aggregates with the median. It is one cell of the campaign matrix.
 func Measure(b workloads.Benchmark, kind AgentKind, cfg Config) (*Measurement, error) {
+	return MeasureContext(context.Background(), b, kind, cfg)
+}
+
+// MeasureContext is Measure with cooperative cancellation between VM
+// runs. Benchmarks with a warehouse sequence (SPEC JBB2005 style) run the
+// whole sequence per repetition and aggregate cycles, operations, reports
+// and ground truth across it.
+func MeasureContext(ctx context.Context, b workloads.Benchmark, kind AgentKind, cfg Config) (*Measurement, error) {
 	cfg = cfg.normalized()
 	spec := b.Spec.Scale(cfg.Scale)
 	sequence := b.WarehouseSequence
@@ -125,18 +166,14 @@ func Measure(b workloads.Benchmark, kind AgentKind, cfg Config) (*Measurement, e
 			if err != nil {
 				return nil, fmt.Errorf("harness: %s: %w", s.Name, err)
 			}
-			res, err := core.Run(prog, newAgent(kind), cfg.Opts)
+			res, err := core.RunContext(ctx, prog, newAgent(kind), cfg.Opts)
 			if err != nil {
 				return nil, fmt.Errorf("harness: %s under %s: %w", s.Name, kind, err)
 			}
 			totalCycles += res.TotalCycles
 			totalOps += res.Ops
-			truth.BytecodeCycles += res.Truth.BytecodeCycles
-			truth.NativeCycles += res.Truth.NativeCycles
-			truth.OverheadCycles += res.Truth.OverheadCycles
-			truth.NativeMethodCalls += res.Truth.NativeMethodCalls
-			truth.JNICalls += res.Truth.JNICalls
-			report = mergeReports(report, res.Report)
+			truth.Add(res.Truth)
+			report = stats.MergeReports(report, res.Report)
 		}
 		cyclesSamples = append(cyclesSamples, float64(totalCycles))
 		if totalCycles > 0 {
@@ -158,22 +195,32 @@ func Measure(b workloads.Benchmark, kind AgentKind, cfg Config) (*Measurement, e
 	return m, nil
 }
 
-// mergeReports sums two agent reports (for warehouse sequences).
-func mergeReports(into, add *core.Report) *core.Report {
-	if add == nil {
-		return into
+// measureGrid runs one cell per suite benchmark × kind on the worker
+// pool and returns the measurements as grid[benchmark][kind-position],
+// in suite order.
+func measureGrid(ctx context.Context, cfg Config, kinds []AgentKind) ([][]*Measurement, error) {
+	suite := workloads.Suite()
+	var cells []runner.Cell[*Measurement]
+	for _, b := range suite {
+		for _, kind := range kinds {
+			cells = append(cells, runner.Cell[*Measurement]{
+				Key: b.Spec.Name + "/" + kind.String(),
+				Do: func(ctx context.Context) (*Measurement, error) {
+					return MeasureContext(ctx, b, kind, cfg)
+				},
+			})
+		}
 	}
-	if into == nil {
-		c := *add
-		c.PerThread = append([]core.ThreadStats(nil), add.PerThread...)
-		return &c
+	results, err := runner.Run(ctx, cfg.runnerOptions(), cells)
+	if err != nil {
+		return nil, err
 	}
-	into.TotalBytecodeCycles += add.TotalBytecodeCycles
-	into.TotalNativeCycles += add.TotalNativeCycles
-	into.JNICalls += add.JNICalls
-	into.NativeMethodCalls += add.NativeMethodCalls
-	into.PerThread = append(into.PerThread, add.PerThread...)
-	return into
+	ms := runner.Values(results)
+	grid := make([][]*Measurement, len(suite))
+	for i := range suite {
+		grid[i] = ms[i*len(kinds) : (i+1)*len(kinds)]
+	}
+	return grid, nil
 }
 
 // TableIRow is one benchmark's row of Table I.
@@ -201,32 +248,34 @@ type TableIRow struct {
 
 // TableI runs the full Table I campaign: every suite benchmark under the
 // three configurations. The returned rows preserve suite order (JVM98
-// rows first, then JBB2005).
+// rows first, then JBB2005) for every parallelism level.
 func TableI(cfg Config) ([]TableIRow, error) {
+	return TableIContext(context.Background(), cfg)
+}
+
+// TableIContext is TableI with cooperative cancellation of the cell pool.
+func TableIContext(ctx context.Context, cfg Config) ([]TableIRow, error) {
 	cfg = cfg.normalized()
+	kinds := []AgentKind{AgentNone, AgentSPA, AgentIPA}
+	grid, err := measureGrid(ctx, cfg, kinds)
+	if err != nil {
+		return nil, err
+	}
 	var rows []TableIRow
-	for _, b := range workloads.Suite() {
+	for i, b := range workloads.Suite() {
 		row := TableIRow{
 			Benchmark:        b.Spec.Name,
 			Throughput:       b.Expected.PaperThroughput > 0,
 			PaperOverheadSPA: b.Expected.PaperSPAOverheadPct,
 			PaperOverheadIPA: b.Expected.PaperIPAOverheadPct,
 		}
-		var ms [3]*Measurement
-		for _, kind := range []AgentKind{AgentNone, AgentSPA, AgentIPA} {
-			m, err := Measure(b, kind, cfg)
-			if err != nil {
-				return nil, err
-			}
-			ms[kind] = m
-		}
+		ms := grid[i]
 		row.TimeOriginal = ms[AgentNone].MedianCycles
 		row.TimeSPA = ms[AgentSPA].MedianCycles
 		row.TimeIPA = ms[AgentIPA].MedianCycles
 		row.ThroughputOriginal = ms[AgentNone].MedianThroughput
 		row.ThroughputSPA = ms[AgentSPA].MedianThroughput
 		row.ThroughputIPA = ms[AgentIPA].MedianThroughput
-		var err error
 		if row.Throughput {
 			if row.OverheadSPA, err = stats.OverheadThroughput(row.ThroughputOriginal, row.ThroughputSPA); err != nil {
 				return nil, err
@@ -248,28 +297,22 @@ func TableI(cfg Config) ([]TableIRow, error) {
 }
 
 // GeoMeanRow aggregates the JVM98 rows (time-metric rows) of Table I with
-// the geometric mean, as the paper does.
+// the geometric mean, as the paper does. The column math lives in
+// internal/stats.
 func GeoMeanRow(rows []TableIRow) (TableIRow, error) {
-	var times, spas, ipas []float64
+	var matrix [][]float64
 	for _, r := range rows {
 		if r.Throughput {
 			continue
 		}
-		times = append(times, r.TimeOriginal)
-		spas = append(spas, r.TimeSPA)
-		ipas = append(ipas, r.TimeIPA)
+		matrix = append(matrix, []float64{r.TimeOriginal, r.TimeSPA, r.TimeIPA})
 	}
 	g := TableIRow{Benchmark: "geom. mean"}
-	var err error
-	if g.TimeOriginal, err = stats.GeoMean(times); err != nil {
+	cols, err := stats.GeoMeanColumns(matrix)
+	if err != nil {
 		return g, err
 	}
-	if g.TimeSPA, err = stats.GeoMean(spas); err != nil {
-		return g, err
-	}
-	if g.TimeIPA, err = stats.GeoMean(ipas); err != nil {
-		return g, err
-	}
+	g.TimeOriginal, g.TimeSPA, g.TimeIPA = cols[0], cols[1], cols[2]
 	if g.OverheadSPA, err = stats.OverheadTime(g.TimeOriginal, g.TimeSPA); err != nil {
 		return g, err
 	}
@@ -296,17 +339,19 @@ type TableIIRow struct {
 // workload: the oracle for agent accuracy must not itself be perturbed by
 // the agent's machinery.
 func TableII(cfg Config) ([]TableIIRow, error) {
+	return TableIIContext(context.Background(), cfg)
+}
+
+// TableIIContext is TableII with cooperative cancellation of the cell pool.
+func TableIIContext(ctx context.Context, cfg Config) ([]TableIIRow, error) {
 	cfg = cfg.normalized()
+	grid, err := measureGrid(ctx, cfg, []AgentKind{AgentIPA, AgentNone})
+	if err != nil {
+		return nil, err
+	}
 	var rows []TableIIRow
-	for _, b := range workloads.Suite() {
-		m, err := Measure(b, AgentIPA, cfg)
-		if err != nil {
-			return nil, err
-		}
-		plain, err := Measure(b, AgentNone, cfg)
-		if err != nil {
-			return nil, err
-		}
+	for i, b := range workloads.Suite() {
+		m, plain := grid[i][0], grid[i][1]
 		rows = append(rows, TableIIRow{
 			Benchmark:         b.Spec.Name,
 			NativePct:         m.Report.NativeFraction() * 100,

@@ -1,11 +1,12 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
-	"repro/internal/agents/ipa"
 	"repro/internal/core"
+	"repro/internal/runner"
 	"repro/internal/workloads"
 )
 
@@ -30,46 +31,64 @@ type SweepPoint struct {
 // is no overhead", Section V-A). The sweep holds per-iteration bytecode
 // work constant and varies native calls per iteration.
 func SweepTransitionFrequency(callsPerIter []int, cfg Config) ([]SweepPoint, error) {
+	return SweepTransitionFrequencyContext(context.Background(), callsPerIter, cfg)
+}
+
+// SweepTransitionFrequencyContext is the sweep with cooperative
+// cancellation; sweep points are independent cells and run on the worker
+// pool like the table campaigns.
+func SweepTransitionFrequencyContext(ctx context.Context, callsPerIter []int, cfg Config) ([]SweepPoint, error) {
 	cfg = cfg.normalized()
-	var out []SweepPoint
-	for _, n := range callsPerIter {
-		spec := workloads.Spec{
-			Name: fmt.Sprintf("sweep-%d", n), ClassName: "sweep/W",
-			OuterIters: 4000 / cfg.Scale, CallsPerIter: 4, WorkPerCall: 25,
-			NativeCallsPerIter: n, NativeWork: 20,
-		}
-		if spec.OuterIters < 1 {
-			spec.OuterIters = 1
-		}
-		plainProg, err := workloads.Build(spec)
-		if err != nil {
-			return nil, err
-		}
-		plain, err := core.Run(plainProg, nil, cfg.Opts)
-		if err != nil {
-			return nil, err
-		}
-		profProg, err := workloads.Build(spec)
-		if err != nil {
-			return nil, err
-		}
-		prof, err := core.Run(profProg, ipa.New(), cfg.Opts)
-		if err != nil {
-			return nil, err
-		}
-		pt := SweepPoint{
-			NativeCallsPerIter: n,
-			IPAOverheadPct:     (float64(prof.TotalCycles)/float64(plain.TotalCycles) - 1) * 100,
-			MeasuredNativePct:  prof.Report.NativeFraction() * 100,
-			TruthNativePct:     plain.Truth.NativeFraction() * 100,
-		}
-		if plain.TotalCycles > 0 {
-			pt.TransitionsPerMcycle = float64(plain.Truth.NativeMethodCalls) /
-				(float64(plain.TotalCycles) / 1e6)
-		}
-		out = append(out, pt)
+	results, err := runner.Map(ctx, cfg.runnerOptions(), callsPerIter,
+		func(n int) string { return fmt.Sprintf("sweep-%d", n) },
+		func(ctx context.Context, n int) (SweepPoint, error) {
+			return sweepPoint(ctx, n, cfg)
+		})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return runner.Values(results), nil
+}
+
+// sweepPoint measures one point of the sweep: an uninstrumented run for
+// the baseline and ground truth, and an IPA run for overhead and the
+// measured native fraction.
+func sweepPoint(ctx context.Context, n int, cfg Config) (SweepPoint, error) {
+	spec := workloads.Spec{
+		Name: fmt.Sprintf("sweep-%d", n), ClassName: "sweep/W",
+		OuterIters: 4000 / cfg.Scale, CallsPerIter: 4, WorkPerCall: 25,
+		NativeCallsPerIter: n, NativeWork: 20,
+	}
+	if spec.OuterIters < 1 {
+		spec.OuterIters = 1
+	}
+	plainProg, err := workloads.Build(spec)
+	if err != nil {
+		return SweepPoint{}, err
+	}
+	plain, err := core.RunContext(ctx, plainProg, nil, cfg.Opts)
+	if err != nil {
+		return SweepPoint{}, err
+	}
+	profProg, err := workloads.Build(spec)
+	if err != nil {
+		return SweepPoint{}, err
+	}
+	prof, err := core.RunContext(ctx, profProg, newAgent(AgentIPA), cfg.Opts)
+	if err != nil {
+		return SweepPoint{}, err
+	}
+	pt := SweepPoint{
+		NativeCallsPerIter: n,
+		IPAOverheadPct:     (float64(prof.TotalCycles)/float64(plain.TotalCycles) - 1) * 100,
+		MeasuredNativePct:  prof.Report.NativeFraction() * 100,
+		TruthNativePct:     plain.Truth.NativeFraction() * 100,
+	}
+	if plain.TotalCycles > 0 {
+		pt.TransitionsPerMcycle = float64(plain.Truth.NativeMethodCalls) /
+			(float64(plain.TotalCycles) / 1e6)
+	}
+	return pt, nil
 }
 
 // RenderSweep formats the sweep as a small table with an ASCII bar per

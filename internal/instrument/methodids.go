@@ -18,8 +18,13 @@ const (
 // Registry assigns stable numeric ids to fully qualified native method
 // names ("Class.name(Desc)") at instrumentation time and resolves them
 // back at reporting time. It is safe for concurrent use.
+//
+// Registries are per-agent, never global: each IPA agent owns one, so
+// two agents instrumenting the same classes on different goroutines (the
+// parallel runner's cells) assign ids independently and deterministically
+// from their own instrumentation order.
 type Registry struct {
-	mu    sync.Mutex
+	mu    sync.RWMutex
 	ids   map[string]int64
 	names []string
 }
@@ -46,8 +51,8 @@ func (r *Registry) IDFor(fullName string) int64 {
 
 // Name resolves an id back to the method name, or "" for unknown ids.
 func (r *Registry) Name(id int64) string {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	if id < 1 || int(id) > len(r.names) {
 		return ""
 	}
@@ -56,15 +61,15 @@ func (r *Registry) Name(id int64) string {
 
 // Len returns the number of registered methods.
 func (r *Registry) Len() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	return len(r.names)
 }
 
 // Names returns all registered names in id order.
 func (r *Registry) Names() []string {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	out := append([]string(nil), r.names...)
 	return out
 }

@@ -1,0 +1,64 @@
+package instrument
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrentUse exercises the method-id registry from many
+// goroutines at once — the access pattern of parallel measurement cells
+// whose wrappers assign ids while reports resolve them. Run under
+// -race, this is the regression test for the registry's thread safety.
+func TestRegistryConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	const workers = 8
+	const perWorker = 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				name := fmt.Sprintf("C.m%d(J)J", i)
+				id := r.IDFor(name)
+				if got := r.Name(id); got != name {
+					t.Errorf("Name(IDFor(%q)) = %q", name, got)
+					return
+				}
+				_ = r.Len()
+				_ = r.SortedNames()
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Len() != perWorker {
+		t.Fatalf("Len = %d, want %d (ids must be stable across goroutines)", r.Len(), perWorker)
+	}
+	// Every name resolves to exactly one id regardless of which
+	// goroutine registered it first.
+	seen := map[int64]bool{}
+	for i := 0; i < perWorker; i++ {
+		id := r.IDFor(fmt.Sprintf("C.m%d(J)J", i))
+		if seen[id] {
+			t.Fatalf("id %d assigned twice", id)
+		}
+		seen[id] = true
+	}
+}
+
+// TestRegistriesAreIndependent: two registries (two agents in two
+// parallel cells) assign ids from their own instrumentation order and
+// never observe each other.
+func TestRegistriesAreIndependent(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	idA := a.IDFor("X.f()V")
+	b.IDFor("Y.g()V")
+	idB := b.IDFor("X.f()V")
+	if idA != 1 || idB != 2 {
+		t.Fatalf("ids = %d, %d; registries leaked state", idA, idB)
+	}
+	if a.Len() != 1 || b.Len() != 2 {
+		t.Fatalf("lens = %d, %d", a.Len(), b.Len())
+	}
+}

@@ -1,0 +1,11 @@
+package runner
+
+import "flag"
+
+// AddFlag registers the shared -parallel flag on fs with the project-wide
+// default and help text, so every binary exposes the same knob. The
+// returned pointer is valid after fs.Parse.
+func AddFlag(fs *flag.FlagSet) *int {
+	return fs.Int("parallel", DefaultParallelism(),
+		"measurement cells to run concurrently, each on its own isolated VM (1 = sequential)")
+}

@@ -1,0 +1,270 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRunOrdering: results come back in submission order even when cells
+// complete out of order.
+func TestRunOrdering(t *testing.T) {
+	const n = 64
+	cells := make([]Cell[int], n)
+	for i := 0; i < n; i++ {
+		cells[i] = Cell[int]{
+			Key: fmt.Sprintf("cell-%d", i),
+			Do: func(context.Context) (int, error) {
+				// Later cells sleep less, so completion order is roughly
+				// reversed relative to submission order.
+				time.Sleep(time.Duration(n-i) * 10 * time.Microsecond)
+				return i * i, nil
+			},
+		}
+	}
+	results, err := Run(context.Background(), Options{Parallelism: 8}, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != n {
+		t.Fatalf("results = %d, want %d", len(results), n)
+	}
+	for i, r := range results {
+		if r.Index != i || r.Value != i*i || r.Err != nil {
+			t.Fatalf("result %d = %+v", i, r)
+		}
+		if r.Key != fmt.Sprintf("cell-%d", i) {
+			t.Fatalf("result %d key = %q", i, r.Key)
+		}
+	}
+	for i, v := range Values(results) {
+		if v != i*i {
+			t.Fatalf("Values[%d] = %d", i, v)
+		}
+	}
+}
+
+// TestRunParallelismBound: never more than Parallelism cells in flight.
+func TestRunParallelismBound(t *testing.T) {
+	const limit = 3
+	var inFlight, peak atomic.Int64
+	cells := make([]Cell[struct{}], 32)
+	for i := range cells {
+		cells[i] = Cell[struct{}]{Do: func(context.Context) (struct{}, error) {
+			cur := inFlight.Add(1)
+			for {
+				p := peak.Load()
+				if cur <= p || peak.CompareAndSwap(p, cur) {
+					break
+				}
+			}
+			time.Sleep(200 * time.Microsecond)
+			inFlight.Add(-1)
+			return struct{}{}, nil
+		}}
+	}
+	if _, err := Run(context.Background(), Options{Parallelism: limit}, cells); err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > limit {
+		t.Fatalf("peak in-flight cells = %d, want <= %d", p, limit)
+	}
+}
+
+// TestRunPerCellErrors: each cell's error is captured individually and
+// the batch error is the lowest-index one.
+func TestRunPerCellErrors(t *testing.T) {
+	errA := errors.New("cell 2 failed")
+	errB := errors.New("cell 5 failed")
+	cells := make([]Cell[int], 8)
+	for i := range cells {
+		cells[i] = Cell[int]{Do: func(context.Context) (int, error) { return 1, nil }}
+	}
+	cells[5].Do = func(context.Context) (int, error) { return 0, errB }
+	cells[2].Do = func(context.Context) (int, error) { return 0, errA }
+	results, err := Run(context.Background(), Options{Parallelism: 1}, cells)
+	if !errors.Is(err, errA) {
+		t.Fatalf("batch error = %v, want lowest-index error %v", err, errA)
+	}
+	if !errors.Is(results[2].Err, errA) || !errors.Is(results[5].Err, errB) {
+		t.Fatalf("per-cell errors = %v, %v", results[2].Err, results[5].Err)
+	}
+	for _, i := range []int{0, 1, 3, 4, 6, 7} {
+		if results[i].Err != nil || results[i].Value != 1 {
+			t.Fatalf("healthy cell %d = %+v", i, results[i])
+		}
+	}
+}
+
+// TestRunFailFast: after a failure, unstarted cells are cancelled
+// instead of run.
+func TestRunFailFast(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int64
+	cells := make([]Cell[int], 64)
+	for i := range cells {
+		cells[i] = Cell[int]{Do: func(context.Context) (int, error) {
+			ran.Add(1)
+			time.Sleep(time.Millisecond)
+			return 0, nil
+		}}
+	}
+	cells[0].Do = func(context.Context) (int, error) { return 0, boom }
+	results, err := Run(context.Background(), Options{Parallelism: 2, FailFast: true}, cells)
+	if !errors.Is(err, boom) {
+		t.Fatalf("batch error = %v", err)
+	}
+	if n := ran.Load(); n >= int64(len(cells)) {
+		t.Fatalf("fail-fast still ran all %d cells", n)
+	}
+	var cancelled int
+	for _, r := range results[1:] {
+		if errors.Is(r.Err, context.Canceled) {
+			cancelled++
+		}
+	}
+	if cancelled == 0 {
+		t.Fatal("no cell carries the cancellation error")
+	}
+}
+
+// TestRunFailFastReportsRootCause: when the fail-fast cancellation leaks
+// into a lower-index in-flight cell (one that observes the context
+// mid-run), Run must still return the error that triggered the
+// cancellation, not the cancellation it caused itself.
+func TestRunFailFastReportsRootCause(t *testing.T) {
+	boom := errors.New("root cause")
+	cell1Started := make(chan struct{})
+	cells := []Cell[int]{
+		// Cell 0: in flight when cell 1 fails; returns the context error
+		// it observed, landing a cancellation at a lower index.
+		{Do: func(ctx context.Context) (int, error) {
+			<-cell1Started
+			<-ctx.Done()
+			return 0, ctx.Err()
+		}},
+		{Do: func(context.Context) (int, error) {
+			close(cell1Started)
+			return 0, boom
+		}},
+	}
+	_, err := Run(context.Background(), Options{Parallelism: 2, FailFast: true}, cells)
+	if !errors.Is(err, boom) {
+		t.Fatalf("batch error = %v, want the triggering error %v", err, boom)
+	}
+}
+
+// TestRunExternalCancelTakesPrecedence: when the caller's own context
+// is cancelled, the batch reports the cancellation — a concurrent cell
+// failure does not override the caller's intent.
+func TestRunExternalCancelTakesPrecedence(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	boom := errors.New("cell failure")
+	cell1Started := make(chan struct{})
+	cells := []Cell[int]{
+		// Cell 0: in flight, observes the external cancellation.
+		{Do: func(ctx context.Context) (int, error) {
+			<-cell1Started
+			<-ctx.Done()
+			return 0, ctx.Err()
+		}},
+		// Cell 1: cancels the caller's context, then fails for real.
+		{Do: func(context.Context) (int, error) {
+			close(cell1Started)
+			cancel()
+			return 0, boom
+		}},
+	}
+	_, err := Run(ctx, Options{Parallelism: 2, FailFast: true}, cells)
+	if !errors.Is(err, context.Canceled) || errors.Is(err, boom) {
+		t.Fatalf("batch error = %v, want the external cancellation", err)
+	}
+}
+
+// TestRunContextCancel: external cancellation marks unstarted cells with
+// ctx.Err() and Run returns promptly.
+func TestRunContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var once sync.Once
+	cells := make([]Cell[int], 32)
+	for i := range cells {
+		cells[i] = Cell[int]{Do: func(context.Context) (int, error) {
+			once.Do(cancel) // the first cell to run cancels the batch
+			return 7, nil
+		}}
+	}
+	results, err := Run(ctx, Options{Parallelism: 1}, cells)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("batch error = %v, want context.Canceled", err)
+	}
+	if !errors.Is(results[len(results)-1].Err, context.Canceled) {
+		t.Fatalf("last cell error = %v", results[len(results)-1].Err)
+	}
+}
+
+// TestRunSequentialEquivalence: parallelism 1 and parallelism N produce
+// identical result sets for deterministic cells.
+func TestRunSequentialEquivalence(t *testing.T) {
+	mk := func() []Cell[string] {
+		cells := make([]Cell[string], 20)
+		for i := range cells {
+			cells[i] = Cell[string]{Do: func(context.Context) (string, error) {
+				return fmt.Sprintf("v%d", i*3), nil
+			}}
+		}
+		return cells
+	}
+	seq, err := Run(context.Background(), Options{Parallelism: 1}, mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Run(context.Background(), Options{Parallelism: 8}, mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq {
+		if seq[i].Value != par[i].Value {
+			t.Fatalf("cell %d: sequential %q != parallel %q", i, seq[i].Value, par[i].Value)
+		}
+	}
+}
+
+func TestMap(t *testing.T) {
+	items := []int{4, 5, 6}
+	results, err := Map(context.Background(), Options{}, items,
+		func(i int) string { return fmt.Sprintf("k%d", i) },
+		func(_ context.Context, i int) (int, error) { return i * 10, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r.Value != items[i]*10 || r.Key != fmt.Sprintf("k%d", items[i]) {
+			t.Fatalf("result %d = %+v", i, r)
+		}
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	results, err := Run[int](context.Background(), Options{}, nil)
+	if err != nil || len(results) != 0 {
+		t.Fatalf("empty batch = %v, %v", results, err)
+	}
+}
+
+func TestDefaultParallelism(t *testing.T) {
+	if DefaultParallelism() < 1 {
+		t.Fatal("DefaultParallelism < 1")
+	}
+	if w := (Options{Parallelism: 0}).workers(100); w != DefaultParallelism() {
+		t.Fatalf("workers(100) = %d", w)
+	}
+	if w := (Options{Parallelism: 9}).workers(4); w != 4 {
+		t.Fatalf("workers capped = %d, want 4", w)
+	}
+}
