@@ -4,12 +4,18 @@
 //
 // Usage:
 //
-//	jvmsim [-scale K] [-parallel N] [-dump|-metrics] <benchmark>... | all
+//	jvmsim [-scale K] [-parallel N] [-cpuprofile F] [-memprofile F]
+//	       [-dump|-metrics] <benchmark>... | all
 //
 // Several benchmarks (or the word "all") may be given; runs execute
 // concurrently on isolated VMs, -parallel at a time, with output in
 // argument order. -dump and -metrics are static analyses and always run
 // sequentially.
+//
+// -cpuprofile and -memprofile write pprof profiles of the simulator
+// itself (not the simulated workload), the entry point for performance
+// work on the engine: `jvmsim -cpuprofile cpu.out all` then
+// `go tool pprof cpu.out`.
 package main
 
 import (
@@ -17,6 +23,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/bytecode"
@@ -30,11 +38,29 @@ func main() {
 	scale := flag.Int("scale", 1, "iteration divisor")
 	dump := flag.Bool("dump", false, "disassemble the generated classes instead of running")
 	metrics := flag.Bool("metrics", false, "print static instruction-mix metrics instead of running")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the simulator to `file`")
+	memprofile := flag.String("memprofile", "", "write a heap profile of the simulator to `file`")
 	parallel := runner.AddFlag(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: jvmsim [-scale K] [-parallel N] [-dump|-metrics] <benchmark>... | all")
+		// Before profile setup: os.Exit skips the deferred profile writers.
+		fmt.Fprintln(os.Stderr, "usage: jvmsim [-scale K] [-parallel N] [-cpuprofile F] [-memprofile F] [-dump|-metrics] <benchmark>... | all")
 		os.Exit(2)
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	memProfilePath = *memprofile
+	if *memprofile != "" {
+		defer writeMemProfile()
 	}
 	names := flag.Args()
 	if len(names) == 1 && names[0] == "all" {
@@ -146,7 +172,33 @@ func printDump(prog *core.Program) error {
 	return nil
 }
 
+// memProfilePath is the -memprofile destination, kept package-level so
+// fatal can write the profile despite os.Exit skipping main's defers.
+var memProfilePath string
+
+// writeMemProfile dumps the heap profile to -memprofile, if requested.
+func writeMemProfile() {
+	if memProfilePath == "" {
+		return
+	}
+	f, err := os.Create(memProfilePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jvmsim:", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, "jvmsim:", err)
+	}
+}
+
 func fatal(err error) {
+	// os.Exit skips deferred profile writers; flush both profiles here so
+	// -cpuprofile/-memprofile files are usable even when the run fails
+	// (no-ops when profiling is off).
+	pprof.StopCPUProfile()
+	writeMemProfile()
 	fmt.Fprintln(os.Stderr, "jvmsim:", err)
 	os.Exit(1)
 }

@@ -1,0 +1,46 @@
+package bytecode
+
+// Straight-line run metadata for the interpreter fast path.
+//
+// A "straight-line" instruction can neither branch, call, return, throw,
+// nor touch anything outside the current frame (no heap, no statics, no
+// method refs). A maximal sequence of such instructions executes as pure
+// register/stack arithmetic: once the interpreter commits to the first
+// instruction of a run it is guaranteed to execute every instruction of
+// the run, so per-instruction accounting (cycle charge, instruction
+// count, yield budget) can be applied for the whole run at once without
+// changing any observable value.
+
+// IsStraightLine reports whether op is a straight-line instruction:
+// no control transfer, no possibility of throwing, no method call, and
+// no access beyond the current frame's locals and operand stack.
+func (op Op) IsStraightLine() bool {
+	switch op {
+	case OpNop, OpConst, OpIconst0, OpIconst1, OpLoad, OpStore, OpInc,
+		OpAdd, OpSub, OpMul, OpNeg, OpShl, OpShr, OpAnd, OpOr, OpXor,
+		OpDup, OpPop, OpSwap:
+		return true
+	}
+	// OpDiv and OpRem are excluded: they throw on a zero divisor.
+	// Heap, static, branch, invoke, return and throw opcodes transfer
+	// control or observe state outside the frame.
+	return false
+}
+
+// StraightRuns computes, for every instruction index i, the length of the
+// maximal straight-line run starting at i (0 when instrs[i] itself is not
+// straight-line). Jumps into the middle of a run are harmless: the run
+// starting at the jump target has its own (shorter) length.
+func StraightRuns(instrs []Instruction) []int32 {
+	runs := make([]int32, len(instrs))
+	for i := len(instrs) - 1; i >= 0; i-- {
+		if !instrs[i].Op.IsStraightLine() {
+			continue
+		}
+		runs[i] = 1
+		if i+1 < len(instrs) {
+			runs[i] += runs[i+1]
+		}
+	}
+	return runs
+}

@@ -1,0 +1,56 @@
+package bytecode
+
+import "testing"
+
+func TestIsStraightLine(t *testing.T) {
+	straight := []Op{OpNop, OpConst, OpIconst0, OpIconst1, OpLoad, OpStore,
+		OpInc, OpAdd, OpSub, OpMul, OpNeg, OpShl, OpShr, OpAnd, OpOr,
+		OpXor, OpDup, OpPop, OpSwap}
+	for _, op := range straight {
+		if !op.IsStraightLine() {
+			t.Errorf("%s should be straight-line", op)
+		}
+	}
+	notStraight := []Op{OpDiv, OpRem, OpGoto, OpIfeq, OpIfcmpge,
+		OpInvokeStatic, OpInvokeVirtual, OpReturn, OpIreturn,
+		OpGetStatic, OpPutStatic, OpNewArray, OpALoad, OpAStore,
+		OpArrayLen, OpThrow}
+	for _, op := range notStraight {
+		if op.IsStraightLine() {
+			t.Errorf("%s must not be straight-line", op)
+		}
+	}
+}
+
+func TestStraightRuns(t *testing.T) {
+	// load, add, store | div | iconst_0, neg | ireturn
+	instrs := []Instruction{
+		{Op: OpLoad}, {Op: OpAdd}, {Op: OpStore},
+		{Op: OpDiv},
+		{Op: OpIconst0}, {Op: OpNeg},
+		{Op: OpIreturn},
+	}
+	got := StraightRuns(instrs)
+	want := []int32{3, 2, 1, 0, 2, 1, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("runs = %v, want %v", got, want)
+		}
+	}
+	if runs := StraightRuns(nil); len(runs) != 0 {
+		t.Fatalf("StraightRuns(nil) = %v", runs)
+	}
+}
+
+// TestStraightRunsTrailing: a run reaching the end of the code keeps its
+// length; the interpreter's fall-off-end check still fires after it.
+func TestStraightRunsTrailing(t *testing.T) {
+	instrs := []Instruction{{Op: OpIconst1}, {Op: OpDup}, {Op: OpAdd}}
+	got := StraightRuns(instrs)
+	want := []int32{3, 2, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("runs = %v, want %v", got, want)
+		}
+	}
+}

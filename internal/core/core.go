@@ -159,6 +159,9 @@ type RunResult struct {
 	Report *Report
 	// Truth is the engine's ground-truth attribution.
 	Truth GroundTruth
+	// Instructions is the engine count of executed bytecode instructions
+	// across all threads, the oracle for instruction-counting profilers.
+	Instructions uint64
 	// JITCompiled counts methods the JIT model compiled during the run.
 	JITCompiled int
 	// Threads is the number of threads the run created.
@@ -241,12 +244,13 @@ func RunKeepVM(prog *Program, agent Agent, opts vm.Options) (*RunResult, *vm.VM,
 	}
 
 	res := &RunResult{
-		Program:     prog.Name,
-		MainResult:  mainResult,
-		TotalCycles: v.TotalCycles(),
-		Ops:         prog.Ops,
-		JITCompiled: v.JITCompiledCount(),
-		Threads:     len(v.Threads()),
+		Program:      prog.Name,
+		MainResult:   mainResult,
+		TotalCycles:  v.TotalCycles(),
+		Ops:          prog.Ops,
+		Instructions: v.InstructionsExecuted(),
+		JITCompiled:  v.JITCompiledCount(),
+		Threads:      len(v.Threads()),
 	}
 	for _, t := range v.Threads() {
 		bc, nat, ovh := t.GroundTruth()

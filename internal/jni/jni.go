@@ -78,28 +78,33 @@ type Call struct {
 type Func func(env *Env, call *Call) (int64, error)
 
 // Table is the JNI function table. JVMTI's JNI-function-interception
-// feature swaps entries; every dispatch reads the current entry under a
-// read lock.
+// feature swaps entries. The table is copy-on-write: dispatch (Get) is a
+// single atomic pointer load plus a read of an immutable map — no lock on
+// the N2J hot path — while Replace builds a fresh map under a mutex and
+// publishes it atomically.
 type Table struct {
-	mu    sync.RWMutex
-	funcs map[string]Func
+	mu    sync.Mutex // serializes writers (Replace)
+	funcs atomic.Pointer[map[string]Func]
+}
+
+func newTable(funcs map[string]Func) *Table {
+	t := &Table{}
+	t.funcs.Store(&funcs)
+	return t
 }
 
 // Get returns the current entry for name.
 func (t *Table) Get(name string) (Func, bool) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	f, ok := t.funcs[name]
+	f, ok := (*t.funcs.Load())[name]
 	return f, ok
 }
 
 // Snapshot returns a copy of the table contents, the analogue of JVMTI's
 // GetJNIFunctionTable.
 func (t *Table) Snapshot() map[string]Func {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	out := make(map[string]Func, len(t.funcs))
-	for k, v := range t.funcs {
+	cur := *t.funcs.Load()
+	out := make(map[string]Func, len(cur))
+	for k, v := range cur {
 		out[k] = v
 	}
 	return out
@@ -110,17 +115,23 @@ func (t *Table) Snapshot() map[string]Func {
 func (t *Table) Replace(entries map[string]Func) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	cur := *t.funcs.Load()
 	for name := range entries {
-		if _, ok := t.funcs[name]; !ok {
+		if _, ok := cur[name]; !ok {
 			return fmt.Errorf("jni: unknown function %q", name)
 		}
+	}
+	next := make(map[string]Func, len(cur))
+	for k, v := range cur {
+		next[k] = v
 	}
 	for name, f := range entries {
 		if f == nil {
 			return fmt.Errorf("jni: nil entry for %q", name)
 		}
-		t.funcs[name] = f
+		next[name] = f
 	}
+	t.funcs.Store(&next)
 	return nil
 }
 
@@ -138,10 +149,11 @@ type JNI struct {
 // layer as the VM's Env factory. It returns the JNI instance for use by
 // the JVMTI layer.
 func Attach(v *vm.VM) *JNI {
-	j := &JNI{vm: v, table: &Table{funcs: make(map[string]Func)}}
+	funcs := make(map[string]Func)
 	for _, name := range FunctionNames() {
-		j.table.funcs[name] = defaultImpl(name)
+		funcs[name] = defaultImpl(name)
 	}
+	j := &JNI{vm: v, table: newTable(funcs)}
 	v.EnvFactory = func(t *vm.Thread) vm.Env { return &Env{jni: j, thread: t} }
 	return j
 }
@@ -331,5 +343,33 @@ func functionFor(family, desc, style string) (string, error) {
 	default:
 		return "", fmt.Errorf("jni: cannot infer function for descriptor %q", desc)
 	}
-	return "Call" + family + ty + "Method" + style, nil
+	return builtNames[familyIndex[family]][typeIndex[ty]][styleIndex[style]], nil
+}
+
+// builtNames holds every "Call<family><type>Method<style>" string, indexed
+// [family][type][style] in the order of the families/types/styles tables,
+// so the per-call dispatch path never concatenates strings. The index maps
+// are derived from the same tables, keeping a single source of truth.
+var (
+	builtNames = func() (out [3][10][3]string) {
+		for fi, f := range families {
+			for ti, ty := range types {
+				for si, s := range styles {
+					out[fi][ti][si] = "Call" + f + ty + "Method" + s
+				}
+			}
+		}
+		return out
+	}()
+	familyIndex = indexOf(families)
+	typeIndex   = indexOf(types)
+	styleIndex  = indexOf(styles)
+)
+
+func indexOf(ss []string) map[string]int {
+	m := make(map[string]int, len(ss))
+	for i, s := range ss {
+		m[s] = i
+	}
+	return m
 }

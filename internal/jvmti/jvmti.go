@@ -14,9 +14,9 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/classfile"
-	"repro/internal/cycles"
 	"repro/internal/jni"
 	"repro/internal/vm"
 )
@@ -119,20 +119,24 @@ type Env struct {
 	mu        sync.Mutex
 	caps      Capabilities
 	callbacks Callbacks
-	enabled   [numEvents]bool
-
-	tlsMu sync.RWMutex
-	tls   map[cycles.ThreadID]any
+	// enabled is read on hot event-dispatch paths (every method entry/
+	// exit under SPA); per-event atomics keep those reads lock-free
+	// while SetEventNotificationMode serializes writers under mu.
+	enabled [numEvents]atomic.Bool
 }
 
 // NewEnv creates the JVMTI environment for v, wiring its event dispatchers
-// into the VM hooks. j may be nil if the agent does not intercept JNI
+// into the VM hooks. A VM supports exactly one environment: hooks and the
+// per-thread local-storage slot (SetThreadLocalStorage) are singletons on
+// the VM/Thread, so a second NewEnv on the same VM would displace the
+// first's hooks and share its TLS. core.RunKeepVM constructs one Env per
+// run; multi-agent setups must multiplex behind a single Env (as the
+// agent registry does). j may be nil if the agent does not intercept JNI
 // functions.
 func NewEnv(v *vm.VM, j *jni.JNI) *Env {
 	e := &Env{
 		vm:  v,
 		jni: j,
-		tls: make(map[cycles.ThreadID]any),
 	}
 	v.SetHooks(vm.Hooks{
 		ThreadStart: func(t *vm.Thread) {
@@ -182,9 +186,7 @@ func (e *Env) VM() *vm.VM { return e.vm }
 func (e *Env) JNI() *jni.JNI { return e.jni }
 
 func (e *Env) isEnabled(ev Event) bool {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.enabled[ev]
+	return e.enabled[ev].Load()
 }
 
 // AddCapabilities requests capabilities; it must precede the features they
@@ -238,8 +240,8 @@ func (e *Env) SetEventNotificationMode(enable bool, ev Event) error {
 			return fmt.Errorf("%w: CanGenerateAllClassHookEvents", ErrMissingCapability)
 		}
 	}
-	e.enabled[ev] = enable
-	methodEvents := e.enabled[EventMethodEntry] || e.enabled[EventMethodExit]
+	e.enabled[ev].Store(enable)
+	methodEvents := e.enabled[EventMethodEntry].Load() || e.enabled[EventMethodExit].Load()
 	e.mu.Unlock()
 	if ev == EventMethodEntry || ev == EventMethodExit {
 		e.vm.EnableMethodEvents(methodEvents)
@@ -281,18 +283,17 @@ func (e *Env) SetJNIFunctionTable(entries map[string]jni.Func) error {
 }
 
 // SetThreadLocalStorage associates data with a thread, the analogue of the
-// paper's ThreadLocalStorage.put(Thread, Object).
+// paper's ThreadLocalStorage.put(Thread, Object). Storage lives directly
+// on the thread structure (as in a real JVM), so the get/set pair on
+// every agent event handler is a plain field access instead of a locked
+// map operation.
 func (e *Env) SetThreadLocalStorage(t *vm.Thread, data any) {
-	e.tlsMu.Lock()
-	defer e.tlsMu.Unlock()
-	e.tls[t.ID()] = data
+	t.SetJVMTILocal(data)
 }
 
 // GetThreadLocalStorage returns the data associated with a thread, or nil.
 func (e *Env) GetThreadLocalStorage(t *vm.Thread) any {
-	e.tlsMu.RLock()
-	defer e.tlsMu.RUnlock()
-	return e.tls[t.ID()]
+	return t.JVMTILocal()
 }
 
 // RawMonitor is the JVMTI synchronization aid the agents use to guard the
@@ -321,5 +322,9 @@ func (m *RawMonitor) Exit() { m.mu.Unlock() }
 // convenience; the underlying counters come from the PCL substitute in
 // internal/cycles.
 func (e *Env) Timestamp(t *vm.Thread) uint64 {
-	return e.vm.Clock.Timestamp(t.ID())
+	// Equivalent to e.vm.Clock.Timestamp(t.ID()) for live threads (the
+	// only threads agents may pass, since events fire on the thread
+	// itself), but reads the thread's counter directly instead of taking
+	// the registry lock — this sits on every SPA/IPA handler.
+	return t.Cycles()
 }

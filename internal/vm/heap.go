@@ -1,12 +1,16 @@
 package vm
 
-import "sync"
-
 // Heap manages the simulated object store. The workloads need only arrays
 // of 64-bit words; handles are opaque non-zero int64 values, with 0 playing
 // the role of null.
+//
+// The heap is intentionally unsynchronized: simulated threads execute one
+// at a time under the cooperative scheduler's baton, and the channel
+// handoffs between them establish happens-before edges, so all heap
+// accesses within a VM are totally ordered. Concurrent VMs (the parallel
+// harness) each own a private heap. This keeps the per-element Load/Store
+// path — one of the interpreter's hottest leaves — free of lock traffic.
 type Heap struct {
-	mu     sync.Mutex
 	arrays [][]int64
 }
 
@@ -25,8 +29,6 @@ func (h *Heap) NewArray(length int64) (int64, error) {
 	if length > maxLen {
 		return 0, Throw(length, "OutOfMemoryError")
 	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
 	h.arrays = append(h.arrays, make([]int64, length))
 	return int64(len(h.arrays)), nil // handle = index + 1
 }
@@ -35,8 +37,6 @@ func (h *Heap) array(handle int64) ([]int64, error) {
 	if handle == 0 {
 		return nil, Throw(0, "NullPointerException")
 	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
 	idx := handle - 1
 	if idx < 0 || idx >= int64(len(h.arrays)) {
 		return nil, Throw(handle, "InvalidHandle")
@@ -80,7 +80,5 @@ func (h *Heap) Length(handle int64) (int64, error) {
 
 // Count returns the number of live arrays, for tests and diagnostics.
 func (h *Heap) Count() int {
-	h.mu.Lock()
-	defer h.mu.Unlock()
 	return len(h.arrays)
 }

@@ -38,6 +38,10 @@ func (t *Thread) InvokeVirtual(class, method, desc string, recv int64, args ...i
 
 // invoke runs one method on this thread: JIT bookkeeping, method events,
 // native linking and dispatch, and exceptional-exit event delivery.
+//
+// args may be a window into the caller's operand stack (see the pooling
+// invariant on pushFrame); it is only read before the callee starts
+// executing, never retained.
 func (t *Thread) invoke(m *Method, args []int64) (ret int64, err error) {
 	if t.depth >= t.vm.opts.MaxFrames {
 		return 0, Throw(int64(t.depth), "StackOverflowError")
@@ -50,7 +54,6 @@ func (t *Thread) invoke(m *Method, args []int64) (ret int64, err error) {
 			m.FullName(), m.argWords, len(args))
 	}
 	t.depth++
-	defer func() { t.depth-- }()
 
 	t.vm.maybeCompile(m)
 	// Invocation overhead belongs to the caller's side: a call made from
@@ -87,6 +90,7 @@ func (t *Thread) invoke(m *Method, args []int64) (ret int64, err error) {
 	if tr := t.vm.tracer; tr != nil {
 		tr.exit(t, m, err)
 	}
+	t.depth--
 	return ret, err
 }
 
@@ -98,16 +102,441 @@ func (t *Thread) invokeNative(m *Method, args []int64) (int64, error) {
 	t.vm.countNativeCall()
 	t.chargeNative(t.vm.opts.CostNativeCall)
 	t.nativeDepth++
-	defer func() { t.nativeDepth-- }()
-	return m.native(t.Env(), args)
+	ret, err := m.native(t.Env(), args)
+	t.nativeDepth--
+	return ret, err
 }
 
 // interpret executes a bytecode method body.
+//
+// The frame (locals + operand stack) comes from the thread's arena rather
+// than two fresh allocations, and dispatch runs on one of two specialized
+// loops: interpretFast when no per-instruction observer is installed, or
+// interpretInstrumented when a tracer or the sampling hook must see every
+// instruction. Both loops produce identical observable state — cycle
+// counts, ground truth, instruction counts, yield points and results —
+// which the differential tests in this package and internal/harness pin
+// down.
 func (t *Thread) interpret(m *Method, args []int64) (int64, error) {
+	locals, stack, base := t.pushFrame(m.Def.MaxLocals, m.Def.MaxStack)
+	n := copy(locals, args)
+	clear(locals[n:])
+
+	var ret int64
+	var err error
+	v := t.vm
+	if v.tracer == nil && !v.opts.ForceInstrumentedLoop &&
+		(v.opts.SampleInterval == 0 || v.hooks.Sample == nil) {
+		ret, err = t.interpretFast(m, locals, stack)
+	} else {
+		ret, err = t.interpretInstrumented(m, locals, stack)
+	}
+	// Not deferred: the VM never recovers panics, so the only exits that
+	// matter are these returns, and skipping the defer keeps the per-call
+	// overhead down on this very hot path.
+	t.popFrame(base)
+	return ret, err
+}
+
+// flushInterp publishes the fast loop's deferred accounting: done
+// instructions at cost cycles each (cycle counter, ground truth,
+// instruction count) plus the shadowed yield budget. The fast loop calls
+// it at every point an external observer could read thread state —
+// before invokes, before yielding the baton, and on every exit.
+func (t *Thread) flushInterp(done, cost uint64, budget int) {
+	t.instrExec += done
+	t.counter.Advance(done * cost)
+	t.gtBytecode += done * cost
+	t.budget = budget
+}
+
+// interpretFast is the uninstrumented dispatch loop. Preconditions: no
+// tracer, and sampling inactive (so chargeInterp's sample delivery can
+// never fire). Under those preconditions per-instruction accounting
+// (cycle charge, ground truth, instruction count, yield budget) reduces
+// to pure arithmetic, so the loop accumulates it in locals and publishes
+// via flushInterp only where an observer could look: calls, yield points
+// and exits. Straight-line runs — instructions that cannot branch, call,
+// throw or touch state outside the frame — execute in a batched inner
+// loop with a single accounting update. The budget guard keeps every
+// yield on exactly the instruction boundary the per-instruction path
+// would use, and between flush points no other code runs on this VM (the
+// scheduler baton serializes threads), so deferral is unobservable.
+//
+// Dispatch reads the compact ops/operands arrays (one byte + one int32
+// per instruction, branch targets pre-resolved to instruction indexes);
+// the decoded Instruction slice is consulted only on error paths, for
+// code offsets in messages.
+func (t *Thread) interpretFast(m *Method, locals, stack []int64) (int64, error) {
 	opts := &t.vm.opts
-	locals := make([]int64, m.Def.MaxLocals)
-	copy(locals, args)
-	stack := make([]int64, 0, m.Def.MaxStack)
+	heap := t.vm.Heap
+	ops := m.ops
+	operands := m.operands
+	consts := m.Def.Consts
+	runLen := m.runLen
+	runTail := m.runTail
+	handlerIdx := m.handlerIdx
+	refMethods := m.refMethods
+	refStatics := m.refStatics
+
+	cost := opts.CostInterp
+	if m.compiled {
+		cost = opts.CostCompiled
+	}
+	quantum := opts.Quantum
+
+	var done uint64 // instructions executed since the last flush
+	budget := t.budget
+
+	idx := 0
+	sp := 0
+	for {
+		if idx >= len(ops) {
+			t.flushInterp(done, cost, budget)
+			return 0, fmt.Errorf("vm: %s: fell off end of code", m.FullName())
+		}
+
+		// Straight-line batch: account for the whole run — plus its
+		// terminating branch, when it has one — at once, then execute
+		// the run with a reduced switch and the branch inline.
+		if n := int(runLen[idx]); n > 0 {
+			tail := runTail[idx]
+			nb := n
+			if tail {
+				nb++
+			}
+			if budget <= nb {
+				goto perInstruction
+			}
+			done += uint64(nb)
+			budget -= nb
+			for end := idx + n; idx < end; idx++ {
+				switch ops[idx] {
+				case bytecode.OpNop:
+				case bytecode.OpConst:
+					stack[sp] = consts[operands[idx]]
+					sp++
+				case bytecode.OpIconst0:
+					stack[sp] = 0
+					sp++
+				case bytecode.OpIconst1:
+					stack[sp] = 1
+					sp++
+				case bytecode.OpLoad:
+					stack[sp] = locals[operands[idx]]
+					sp++
+				case bytecode.OpStore:
+					sp--
+					locals[operands[idx]] = stack[sp]
+				case bytecode.OpInc:
+					v := operands[idx]
+					locals[v&0xffff] += int64(v >> 16)
+				case bytecode.OpAdd:
+					stack[sp-2] += stack[sp-1]
+					sp--
+				case bytecode.OpSub:
+					stack[sp-2] -= stack[sp-1]
+					sp--
+				case bytecode.OpMul:
+					stack[sp-2] *= stack[sp-1]
+					sp--
+				case bytecode.OpNeg:
+					stack[sp-1] = -stack[sp-1]
+				case bytecode.OpShl:
+					stack[sp-2] <<= uint64(stack[sp-1]) & 63
+					sp--
+				case bytecode.OpShr:
+					stack[sp-2] >>= uint64(stack[sp-1]) & 63
+					sp--
+				case bytecode.OpAnd:
+					stack[sp-2] &= stack[sp-1]
+					sp--
+				case bytecode.OpOr:
+					stack[sp-2] |= stack[sp-1]
+					sp--
+				case bytecode.OpXor:
+					stack[sp-2] ^= stack[sp-1]
+					sp--
+				case bytecode.OpDup:
+					stack[sp] = stack[sp-1]
+					sp++
+				case bytecode.OpPop:
+					sp--
+				case bytecode.OpSwap:
+					stack[sp-1], stack[sp-2] = stack[sp-2], stack[sp-1]
+				default:
+					t.flushInterp(done, cost, budget)
+					return 0, fmt.Errorf("vm: %s: non-straight-line opcode %s in run at %d",
+						m.FullName(), ops[idx], m.instrs[idx].Offset)
+				}
+			}
+			if tail {
+				// The batched trailing branch, already accounted for.
+				op := ops[idx]
+				taken := false
+				switch {
+				case op == bytecode.OpGoto:
+					taken = true
+				case op <= bytecode.OpIfle:
+					sp--
+					taken = cond1(op, stack[sp])
+				default:
+					b, a := stack[sp-1], stack[sp-2]
+					sp -= 2
+					taken = cond2(op, a, b)
+				}
+				if taken {
+					idx = int(operands[idx])
+				} else {
+					idx++
+				}
+			}
+			continue
+		}
+
+	perInstruction:
+		done++
+		budget--
+		if budget <= 0 {
+			t.flushInterp(done, cost, quantum)
+			done = 0
+			budget = quantum
+			t.yield()
+		}
+
+		var thrown *Thrown
+		branched := false
+
+		switch ops[idx] {
+		case bytecode.OpNop:
+		case bytecode.OpConst:
+			stack[sp] = consts[operands[idx]]
+			sp++
+		case bytecode.OpIconst0:
+			stack[sp] = 0
+			sp++
+		case bytecode.OpIconst1:
+			stack[sp] = 1
+			sp++
+		case bytecode.OpLoad:
+			stack[sp] = locals[operands[idx]]
+			sp++
+		case bytecode.OpStore:
+			sp--
+			locals[operands[idx]] = stack[sp]
+		case bytecode.OpInc:
+			v := operands[idx]
+			locals[v&0xffff] += int64(v >> 16)
+		case bytecode.OpAdd:
+			stack[sp-2] += stack[sp-1]
+			sp--
+		case bytecode.OpSub:
+			stack[sp-2] -= stack[sp-1]
+			sp--
+		case bytecode.OpMul:
+			stack[sp-2] *= stack[sp-1]
+			sp--
+		case bytecode.OpDiv:
+			b, a := stack[sp-1], stack[sp-2]
+			sp -= 2
+			if b == 0 {
+				thrown = Throw(a, "ArithmeticException: / by zero")
+			} else {
+				stack[sp] = a / b
+				sp++
+			}
+		case bytecode.OpRem:
+			b, a := stack[sp-1], stack[sp-2]
+			sp -= 2
+			if b == 0 {
+				thrown = Throw(a, "ArithmeticException: % by zero")
+			} else {
+				stack[sp] = a % b
+				sp++
+			}
+		case bytecode.OpNeg:
+			stack[sp-1] = -stack[sp-1]
+		case bytecode.OpShl:
+			stack[sp-2] <<= uint64(stack[sp-1]) & 63
+			sp--
+		case bytecode.OpShr:
+			stack[sp-2] >>= uint64(stack[sp-1]) & 63
+			sp--
+		case bytecode.OpAnd:
+			stack[sp-2] &= stack[sp-1]
+			sp--
+		case bytecode.OpOr:
+			stack[sp-2] |= stack[sp-1]
+			sp--
+		case bytecode.OpXor:
+			stack[sp-2] ^= stack[sp-1]
+			sp--
+		case bytecode.OpDup:
+			stack[sp] = stack[sp-1]
+			sp++
+		case bytecode.OpPop:
+			sp--
+		case bytecode.OpSwap:
+			stack[sp-1], stack[sp-2] = stack[sp-2], stack[sp-1]
+		case bytecode.OpGoto:
+			idx = int(operands[idx])
+			branched = true
+		case bytecode.OpIfeq, bytecode.OpIfne, bytecode.OpIflt,
+			bytecode.OpIfge, bytecode.OpIfgt, bytecode.OpIfle:
+			sp--
+			if cond1(ops[idx], stack[sp]) {
+				idx = int(operands[idx])
+				branched = true
+			}
+		case bytecode.OpIfcmpeq, bytecode.OpIfcmpne,
+			bytecode.OpIfcmplt, bytecode.OpIfcmpge:
+			b, a := stack[sp-1], stack[sp-2]
+			sp -= 2
+			if cond2(ops[idx], a, b) {
+				idx = int(operands[idx])
+				branched = true
+			}
+		case bytecode.OpInvokeStatic, bytecode.OpInvokeVirtual:
+			// The charge for the invoke instruction itself lands before
+			// the call, exactly as the per-instruction loop orders it.
+			t.flushInterp(done, cost, budget)
+			done = 0
+			callee := refMethods[operands[idx]]
+			if callee == nil {
+				resolved, err := t.vm.resolveMethod(m.Def.Refs[operands[idx]])
+				if err != nil {
+					return 0, fmt.Errorf("vm: %s at %d: %w", m.FullName(), m.instrs[idx].Offset, err)
+				}
+				callee = resolved
+			}
+			sp -= callee.argWords
+			r, err := t.invoke(callee, stack[sp:sp+callee.argWords])
+			budget = t.budget // the callee shares the yield budget
+			if err != nil {
+				if th, ok := AsThrown(err); ok {
+					thrown = th
+				} else {
+					return 0, err
+				}
+			} else if callee.returns {
+				stack[sp] = r
+				sp++
+			}
+		case bytecode.OpReturn:
+			t.flushInterp(done, cost, budget)
+			return 0, nil
+		case bytecode.OpIreturn:
+			t.flushInterp(done, cost, budget)
+			return stack[sp-1], nil
+		case bytecode.OpGetStatic:
+			p := refStatics[operands[idx]]
+			if p == nil {
+				resolved, err := t.vm.resolveStatic(m.Def.Refs[operands[idx]])
+				if err != nil {
+					t.flushInterp(done, cost, budget)
+					return 0, fmt.Errorf("vm: %s at %d: %w", m.FullName(), m.instrs[idx].Offset, err)
+				}
+				p = resolved
+			}
+			stack[sp] = *p
+			sp++
+		case bytecode.OpPutStatic:
+			p := refStatics[operands[idx]]
+			if p == nil {
+				resolved, err := t.vm.resolveStatic(m.Def.Refs[operands[idx]])
+				if err != nil {
+					t.flushInterp(done, cost, budget)
+					return 0, fmt.Errorf("vm: %s at %d: %w", m.FullName(), m.instrs[idx].Offset, err)
+				}
+				p = resolved
+			}
+			sp--
+			*p = stack[sp]
+		case bytecode.OpNewArray:
+			sp--
+			h, err := heap.NewArray(stack[sp])
+			if err != nil {
+				if th, ok := AsThrown(err); ok {
+					thrown = th
+				} else {
+					t.flushInterp(done, cost, budget)
+					return 0, err
+				}
+			} else {
+				stack[sp] = h
+				sp++
+			}
+		case bytecode.OpALoad:
+			i, h := stack[sp-1], stack[sp-2]
+			sp -= 2
+			val, err := heap.Load(h, i)
+			if err != nil {
+				if th, ok := AsThrown(err); ok {
+					thrown = th
+				} else {
+					t.flushInterp(done, cost, budget)
+					return 0, err
+				}
+			} else {
+				stack[sp] = val
+				sp++
+			}
+		case bytecode.OpAStore:
+			val, i, h := stack[sp-1], stack[sp-2], stack[sp-3]
+			sp -= 3
+			if err := heap.Store(h, i, val); err != nil {
+				if th, ok := AsThrown(err); ok {
+					thrown = th
+				} else {
+					t.flushInterp(done, cost, budget)
+					return 0, err
+				}
+			}
+		case bytecode.OpArrayLen:
+			n, err := heap.Length(stack[sp-1])
+			if err != nil {
+				sp--
+				if th, ok := AsThrown(err); ok {
+					thrown = th
+				} else {
+					t.flushInterp(done, cost, budget)
+					return 0, err
+				}
+			} else {
+				stack[sp-1] = n
+			}
+		case bytecode.OpThrow:
+			sp--
+			thrown = Throw(stack[sp], "")
+		default:
+			t.flushInterp(done, cost, budget)
+			return 0, fmt.Errorf("vm: %s: unexpected opcode %s at %d",
+				m.FullName(), ops[idx], m.instrs[idx].Offset)
+		}
+
+		if thrown != nil {
+			h := handlerIdx[idx]
+			if h < 0 {
+				t.flushInterp(done, cost, budget)
+				return 0, thrown
+			}
+			stack[0] = thrown.Value
+			sp = 1
+			idx = int(h)
+			continue
+		}
+		if !branched {
+			idx++
+		}
+	}
+}
+
+// interpretInstrumented is the fully observable dispatch loop: it keeps
+// the historical per-instruction sequence — tracer callback, instruction
+// count, chargeInterp (which delivers samples) and maybeYield — for runs
+// with a tracer, an active sampling hook, or ForceInstrumentedLoop set.
+func (t *Thread) interpretInstrumented(m *Method, locals, stack []int64) (int64, error) {
+	opts := &t.vm.opts
 	heap := t.vm.Heap
 	instrs := m.instrs
 
@@ -116,21 +545,15 @@ func (t *Thread) interpret(m *Method, args []int64) (int64, error) {
 		cost = opts.CostCompiled
 	}
 
-	push := func(v int64) { stack = append(stack, v) }
-	pop := func() int64 {
-		v := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		return v
-	}
-
 	idx := 0
+	sp := 0
 	for {
 		if idx >= len(instrs) {
 			return 0, fmt.Errorf("vm: %s: fell off end of code", m.FullName())
 		}
-		in := instrs[idx]
+		in := &instrs[idx]
 		if tr := t.vm.tracer; tr != nil {
-			tr.instruction(t, m, in)
+			tr.instruction(t, m, *in)
 		}
 		t.instrExec++
 		t.chargeInterp(cost)
@@ -142,95 +565,102 @@ func (t *Thread) interpret(m *Method, args []int64) (int64, error) {
 		switch in.Op {
 		case bytecode.OpNop:
 		case bytecode.OpConst:
-			push(m.Def.Consts[in.Operand])
+			stack[sp] = m.Def.Consts[in.Operand]
+			sp++
 		case bytecode.OpIconst0:
-			push(0)
+			stack[sp] = 0
+			sp++
 		case bytecode.OpIconst1:
-			push(1)
+			stack[sp] = 1
+			sp++
 		case bytecode.OpLoad:
-			push(locals[in.Operand])
+			stack[sp] = locals[in.Operand]
+			sp++
 		case bytecode.OpStore:
-			locals[in.Operand] = pop()
+			sp--
+			locals[in.Operand] = stack[sp]
 		case bytecode.OpInc:
 			locals[in.Operand] += int64(in.Extra)
 		case bytecode.OpAdd:
-			b, a := pop(), pop()
-			push(a + b)
+			stack[sp-2] += stack[sp-1]
+			sp--
 		case bytecode.OpSub:
-			b, a := pop(), pop()
-			push(a - b)
+			stack[sp-2] -= stack[sp-1]
+			sp--
 		case bytecode.OpMul:
-			b, a := pop(), pop()
-			push(a * b)
+			stack[sp-2] *= stack[sp-1]
+			sp--
 		case bytecode.OpDiv:
-			b, a := pop(), pop()
+			b, a := stack[sp-1], stack[sp-2]
+			sp -= 2
 			if b == 0 {
 				thrown = Throw(a, "ArithmeticException: / by zero")
 			} else {
-				push(a / b)
+				stack[sp] = a / b
+				sp++
 			}
 		case bytecode.OpRem:
-			b, a := pop(), pop()
+			b, a := stack[sp-1], stack[sp-2]
+			sp -= 2
 			if b == 0 {
 				thrown = Throw(a, "ArithmeticException: % by zero")
 			} else {
-				push(a % b)
+				stack[sp] = a % b
+				sp++
 			}
 		case bytecode.OpNeg:
-			push(-pop())
+			stack[sp-1] = -stack[sp-1]
 		case bytecode.OpShl:
-			b, a := pop(), pop()
-			push(a << (uint64(b) & 63))
+			stack[sp-2] <<= uint64(stack[sp-1]) & 63
+			sp--
 		case bytecode.OpShr:
-			b, a := pop(), pop()
-			push(a >> (uint64(b) & 63))
+			stack[sp-2] >>= uint64(stack[sp-1]) & 63
+			sp--
 		case bytecode.OpAnd:
-			b, a := pop(), pop()
-			push(a & b)
+			stack[sp-2] &= stack[sp-1]
+			sp--
 		case bytecode.OpOr:
-			b, a := pop(), pop()
-			push(a | b)
+			stack[sp-2] |= stack[sp-1]
+			sp--
 		case bytecode.OpXor:
-			b, a := pop(), pop()
-			push(a ^ b)
+			stack[sp-2] ^= stack[sp-1]
+			sp--
 		case bytecode.OpDup:
-			v := pop()
-			push(v)
-			push(v)
+			stack[sp] = stack[sp-1]
+			sp++
 		case bytecode.OpPop:
-			pop()
+			sp--
 		case bytecode.OpSwap:
-			b, a := pop(), pop()
-			push(b)
-			push(a)
+			stack[sp-1], stack[sp-2] = stack[sp-2], stack[sp-1]
 		case bytecode.OpGoto:
-			idx = m.startIdx[in.Operand]
+			idx = int(m.operands[idx])
 			branched = true
 		case bytecode.OpIfeq, bytecode.OpIfne, bytecode.OpIflt,
 			bytecode.OpIfge, bytecode.OpIfgt, bytecode.OpIfle:
-			a := pop()
-			if cond1(in.Op, a) {
-				idx = m.startIdx[in.Operand]
+			sp--
+			if cond1(in.Op, stack[sp]) {
+				idx = int(m.operands[idx])
 				branched = true
 			}
 		case bytecode.OpIfcmpeq, bytecode.OpIfcmpne,
 			bytecode.OpIfcmplt, bytecode.OpIfcmpge:
-			b, a := pop(), pop()
+			b, a := stack[sp-1], stack[sp-2]
+			sp -= 2
 			if cond2(in.Op, a, b) {
-				idx = m.startIdx[in.Operand]
+				idx = int(m.operands[idx])
 				branched = true
 			}
 		case bytecode.OpInvokeStatic, bytecode.OpInvokeVirtual:
-			callee, err := t.vm.resolveMethod(m.Def.Refs[in.Operand])
-			if err != nil {
-				return 0, fmt.Errorf("vm: %s at %d: %w", m.FullName(), in.Offset, err)
+			callee := m.refMethods[in.Operand]
+			if callee == nil {
+				resolved, err := t.vm.resolveMethod(m.Def.Refs[in.Operand])
+				if err != nil {
+					return 0, fmt.Errorf("vm: %s at %d: %w", m.FullName(), in.Offset, err)
+				}
+				callee = resolved
 			}
-			nargs := callee.argWords
-			callArgs := make([]int64, nargs)
-			for i := nargs - 1; i >= 0; i-- {
-				callArgs[i] = pop()
-			}
-			r, err := t.invoke(callee, callArgs)
+			sp -= callee.argWords
+			r, err := t.invoke(callee, stack[sp:sp+callee.argWords])
 			if err != nil {
 				if th, ok := AsThrown(err); ok {
 					thrown = th
@@ -238,27 +668,38 @@ func (t *Thread) interpret(m *Method, args []int64) (int64, error) {
 					return 0, err
 				}
 			} else if callee.returns {
-				push(r)
+				stack[sp] = r
+				sp++
 			}
 		case bytecode.OpReturn:
 			return 0, nil
 		case bytecode.OpIreturn:
-			return pop(), nil
+			return stack[sp-1], nil
 		case bytecode.OpGetStatic:
-			p, err := t.vm.resolveStatic(m.Def.Refs[in.Operand])
-			if err != nil {
-				return 0, fmt.Errorf("vm: %s at %d: %w", m.FullName(), in.Offset, err)
+			p := m.refStatics[in.Operand]
+			if p == nil {
+				resolved, err := t.vm.resolveStatic(m.Def.Refs[in.Operand])
+				if err != nil {
+					return 0, fmt.Errorf("vm: %s at %d: %w", m.FullName(), in.Offset, err)
+				}
+				p = resolved
 			}
-			push(*p)
+			stack[sp] = *p
+			sp++
 		case bytecode.OpPutStatic:
-			p, err := t.vm.resolveStatic(m.Def.Refs[in.Operand])
-			if err != nil {
-				return 0, fmt.Errorf("vm: %s at %d: %w", m.FullName(), in.Offset, err)
+			p := m.refStatics[in.Operand]
+			if p == nil {
+				resolved, err := t.vm.resolveStatic(m.Def.Refs[in.Operand])
+				if err != nil {
+					return 0, fmt.Errorf("vm: %s at %d: %w", m.FullName(), in.Offset, err)
+				}
+				p = resolved
 			}
-			*p = pop()
+			sp--
+			*p = stack[sp]
 		case bytecode.OpNewArray:
-			n := pop()
-			h, err := heap.NewArray(n)
+			sp--
+			h, err := heap.NewArray(stack[sp])
 			if err != nil {
 				if th, ok := AsThrown(err); ok {
 					thrown = th
@@ -266,11 +707,13 @@ func (t *Thread) interpret(m *Method, args []int64) (int64, error) {
 					return 0, err
 				}
 			} else {
-				push(h)
+				stack[sp] = h
+				sp++
 			}
 		case bytecode.OpALoad:
-			i, h := pop(), pop()
-			v, err := heap.Load(h, i)
+			i, h := stack[sp-1], stack[sp-2]
+			sp -= 2
+			val, err := heap.Load(h, i)
 			if err != nil {
 				if th, ok := AsThrown(err); ok {
 					thrown = th
@@ -278,11 +721,13 @@ func (t *Thread) interpret(m *Method, args []int64) (int64, error) {
 					return 0, err
 				}
 			} else {
-				push(v)
+				stack[sp] = val
+				sp++
 			}
 		case bytecode.OpAStore:
-			v, i, h := pop(), pop(), pop()
-			if err := heap.Store(h, i, v); err != nil {
+			val, i, h := stack[sp-1], stack[sp-2], stack[sp-3]
+			sp -= 3
+			if err := heap.Store(h, i, val); err != nil {
 				if th, ok := AsThrown(err); ok {
 					thrown = th
 				} else {
@@ -290,32 +735,33 @@ func (t *Thread) interpret(m *Method, args []int64) (int64, error) {
 				}
 			}
 		case bytecode.OpArrayLen:
-			h := pop()
-			n, err := heap.Length(h)
+			n, err := heap.Length(stack[sp-1])
 			if err != nil {
+				sp--
 				if th, ok := AsThrown(err); ok {
 					thrown = th
 				} else {
 					return 0, err
 				}
 			} else {
-				push(n)
+				stack[sp-1] = n
 			}
 		case bytecode.OpThrow:
-			thrown = Throw(pop(), "")
+			sp--
+			thrown = Throw(stack[sp], "")
 		default:
 			return 0, fmt.Errorf("vm: %s: unexpected opcode %s at %d",
 				m.FullName(), in.Op, in.Offset)
 		}
 
 		if thrown != nil {
-			hidx, ok := findHandler(m, in.Offset)
-			if !ok {
+			h := m.handlerIdx[idx]
+			if h < 0 {
 				return 0, thrown
 			}
-			stack = stack[:0]
-			stack = append(stack, thrown.Value)
-			idx = m.startIdx[hidx]
+			stack[0] = thrown.Value
+			sp = 1
+			idx = int(h)
 			continue
 		}
 		if !branched {
@@ -356,14 +802,4 @@ func cond2(op bytecode.Op, a, b int64) bool {
 		return a >= b
 	}
 	return false
-}
-
-// findHandler locates the first exception handler covering offset.
-func findHandler(m *Method, offset int) (handlerPC int, ok bool) {
-	for _, h := range m.Def.Handlers {
-		if offset >= int(h.StartPC) && offset < int(h.EndPC) {
-			return int(h.HandlerPC), true
-		}
-	}
-	return 0, false
 }

@@ -1,0 +1,259 @@
+package vm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bytecode"
+	"repro/internal/classfile"
+)
+
+// The fast and instrumented dispatch loops must be observably identical.
+// These tests run the same programs under both (Options.
+// ForceInstrumentedLoop selects the instrumented loop even without a
+// tracer or sampler) and compare every piece of state the engine exposes.
+
+// runBoth executes method m (class cls) with the given args on two fresh
+// VMs, one per dispatch loop, and compares result, error, cycle counter,
+// ground truth and instruction count.
+func runBoth(t *testing.T, opts Options, cls *classfile.Class, method, desc string, args ...int64) (int64, error) {
+	t.Helper()
+	type outcome struct {
+		ret        int64
+		err        error
+		cycles     uint64
+		instrs     uint64
+		bc, nat, o uint64
+	}
+	run := func(force bool) outcome {
+		o := opts
+		o.ForceInstrumentedLoop = force
+		v := New(o)
+		if err := v.LoadClasses([]*classfile.Class{cls}); err != nil {
+			t.Fatal(err)
+		}
+		th := v.NewDetachedThread("diff")
+		ret, err := th.InvokeStatic(cls.Name, method, desc, args...)
+		bc, nat, ovh := th.GroundTruth()
+		return outcome{ret, err, th.Cycles(), th.InstructionsExecuted(), bc, nat, ovh}
+	}
+	fast := run(false)
+	slow := run(true)
+	if fast.ret != slow.ret ||
+		(fast.err == nil) != (slow.err == nil) ||
+		fast.cycles != slow.cycles ||
+		fast.instrs != slow.instrs ||
+		fast.bc != slow.bc || fast.nat != slow.nat || fast.o != slow.o {
+		t.Fatalf("fast loop diverged from instrumented loop:\nfast: %+v\nslow: %+v", fast, slow)
+	}
+	if fast.err != nil && slow.err != nil && fast.err.Error() != slow.err.Error() {
+		t.Fatalf("error text diverged: fast %q, slow %q", fast.err, slow.err)
+	}
+	return fast.ret, fast.err
+}
+
+// TestFastLoopMatchesInstrumentedRandom: random arithmetic programs
+// produce identical results, cycles and instruction counts on both loops.
+func TestFastLoopMatchesInstrumentedRandom(t *testing.T) {
+	f := func(seed int64) bool {
+		m, want, err := genProgram(seed)
+		if err != nil {
+			return false
+		}
+		cls := &classfile.Class{Name: "fp/Gen", Methods: []*classfile.Method{m}}
+		got, err := runBoth(t, DefaultOptions(), cls, "gen", "()J")
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFastLoopMatchesInstrumentedExceptions covers the throw/handler path
+// of both loops, including a divide-by-zero mid-run and an uncaught throw.
+func TestFastLoopMatchesInstrumentedExceptions(t *testing.T) {
+	// guard(x): try { return 100/x } catch (v) { return -7 }
+	a := bytecode.NewAssembler()
+	start := a.Offset()
+	a.Const(100)
+	a.Load(0)
+	a.Div()
+	a.IReturn()
+	end := a.Offset()
+	a.EnterHandler()
+	a.Pop()
+	a.Const(-7)
+	a.IReturn()
+	code, consts, refs, maxStack, err := a.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &classfile.Method{
+		Name: "guard", Desc: "(J)J", Flags: classfile.AccStatic,
+		MaxStack: maxStack + 1, MaxLocals: 1,
+		Code: code, Consts: consts, Refs: refs,
+		Handlers: []classfile.ExceptionEntry{{StartPC: start, EndPC: end, HandlerPC: end}},
+	}
+	if err := bytecode.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+
+	// boom(x): return x/0 — uncaught ArithmeticException.
+	b := bytecode.NewAssembler()
+	b.Load(0)
+	b.Const(0)
+	b.Div()
+	b.IReturn()
+	boom, err := b.FinishMethod("boom", "(J)J", classfile.AccStatic, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cls := &classfile.Class{Name: "fp/Exc", Methods: []*classfile.Method{m, boom}}
+	for _, x := range []int64{4, 1, 0, -5} {
+		got, err := runBoth(t, DefaultOptions(), cls, "guard", "(J)J", x)
+		if err != nil {
+			t.Fatalf("guard(%d): %v", x, err)
+		}
+		want := int64(-7)
+		if x != 0 {
+			want = 100 / x
+		}
+		if got != want {
+			t.Fatalf("guard(%d) = %d, want %d", x, got, want)
+		}
+	}
+	if _, err := runBoth(t, DefaultOptions(), cls, "boom", "(J)J", 9); err == nil {
+		t.Fatal("boom did not throw on either loop")
+	}
+}
+
+// TestFastLoopMatchesInstrumentedTightQuantum forces yield budgeting
+// through every batched-run edge case: quanta smaller than, equal to and
+// barely above typical run lengths.
+func TestFastLoopMatchesInstrumentedTightQuantum(t *testing.T) {
+	a := bytecode.NewAssembler()
+	a.Const(0)
+	a.Store(1)
+	top := a.NewLabel()
+	end := a.NewLabel()
+	a.Bind(top)
+	a.Load(0)
+	a.Ifle(end)
+	a.Load(1)
+	a.Load(0)
+	a.Add()
+	a.Store(1)
+	a.Inc(0, -1)
+	a.Goto(top)
+	a.Bind(end)
+	a.Load(1)
+	a.IReturn()
+	m, err := a.FinishMethod("sum", "(J)J", classfile.AccStatic, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cls := &classfile.Class{Name: "fp/Q", Methods: []*classfile.Method{m}}
+	for _, quantum := range []int{1, 2, 3, 5, 7, 4096} {
+		opts := DefaultOptions()
+		opts.Quantum = quantum
+		got, err := runBoth(t, opts, cls, "sum", "(J)J", 100)
+		if err != nil {
+			t.Fatalf("quantum %d: %v", quantum, err)
+		}
+		if got != 5050 {
+			t.Fatalf("quantum %d: sum = %d, want 5050", quantum, got)
+		}
+	}
+}
+
+// TestFrameArenaReuse pins the pooling behaviour: repeated calls reuse the
+// arena (offset returns to zero), and deep recursion grows it without
+// corrupting caller frames.
+func TestFrameArenaReuse(t *testing.T) {
+	// rec(n): if n <= 0 return 0; return n + rec(n-1)
+	a := bytecode.NewAssembler()
+	leaf := a.NewLabel()
+	a.Load(0)
+	a.Ifle(leaf)
+	a.Load(0)
+	a.Load(0)
+	a.Const(1)
+	a.Sub()
+	a.InvokeStatic("fp/R", "rec", "(J)J")
+	a.Add()
+	a.IReturn()
+	a.Bind(leaf)
+	a.Const(0)
+	a.IReturn()
+	m, err := a.FinishMethod("rec", "(J)J", classfile.AccStatic, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := New(DefaultOptions())
+	cls := &classfile.Class{Name: "fp/R", Methods: []*classfile.Method{m}}
+	if err := v.LoadClasses([]*classfile.Class{cls}); err != nil {
+		t.Fatal(err)
+	}
+	th := v.NewDetachedThread("rec")
+	for i := 0; i < 3; i++ {
+		got, err := th.InvokeStatic("fp/R", "rec", "(J)J", 500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != 500*501/2 {
+			t.Fatalf("rec(500) = %d", got)
+		}
+		if th.arenaOff != 0 {
+			t.Fatalf("arena offset %d after call %d, want 0", th.arenaOff, i)
+		}
+	}
+	if len(th.arena) < 500 {
+		t.Fatalf("arena did not grow for deep recursion: %d words", len(th.arena))
+	}
+}
+
+// TestRefCachesResolveAcrossLoadOrder: a call site whose target class
+// loads later must resolve through the relink pass, and an unresolvable
+// ref must keep producing the historical error.
+func TestRefCachesResolveAcrossLoadOrder(t *testing.T) {
+	caller := bytecode.NewAssembler()
+	caller.InvokeStatic("fp/Late", "answer", "()J")
+	caller.IReturn()
+	cm, err := caller.FinishMethod("call", "()J", classfile.AccStatic, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	callee := bytecode.NewAssembler()
+	callee.Const(42)
+	callee.IReturn()
+	lm, err := callee.FinishMethod("answer", "()J", classfile.AccStatic, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	v := New(DefaultOptions())
+	if err := v.LoadClasses([]*classfile.Class{
+		{Name: "fp/Early", Methods: []*classfile.Method{cm}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	th := v.NewDetachedThread("t")
+	if _, err := th.InvokeStatic("fp/Early", "call", "()J"); err == nil {
+		t.Fatal("call resolved before fp/Late was loaded")
+	}
+	if _, err := v.LoadClass(&classfile.Class{Name: "fp/Late", Methods: []*classfile.Method{lm}}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := th.InvokeStatic("fp/Early", "call", "()J")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 42 {
+		t.Fatalf("call = %d, want 42", got)
+	}
+}

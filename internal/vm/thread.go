@@ -39,6 +39,12 @@ type Thread struct {
 	nativeDepth int
 	nextSample  uint64
 
+	// arena backs the locals and operand stacks of this thread's
+	// interpreter frames (see pushFrame); arenaOff is the high-water
+	// offset of the active frame stack.
+	arena    []int64
+	arenaOff int
+
 	// Ground-truth cycle attribution, maintained by the execution engine
 	// independently of any profiling agent. Used by tests and the harness
 	// to validate agent accuracy — the paper had no such oracle.
@@ -53,7 +59,19 @@ type Thread struct {
 	err    error
 
 	env Env
+
+	// jvmtiLocal is the JVMTI thread-local storage slot, owned by the
+	// jvmti layer. It lives on the thread (as in a real JVM) so agent
+	// event handlers reach it without a lock: all accesses happen on the
+	// executing thread under the scheduler baton.
+	jvmtiLocal any
 }
+
+// SetJVMTILocal stores the JVMTI thread-local value for this thread.
+func (t *Thread) SetJVMTILocal(data any) { t.jvmtiLocal = data }
+
+// JVMTILocal returns the JVMTI thread-local value, or nil.
+func (t *Thread) JVMTILocal() any { return t.jvmtiLocal }
 
 // ID returns the thread's identifier.
 func (t *Thread) ID() cycles.ThreadID { return t.id }
@@ -155,6 +173,46 @@ func (t *Thread) Env() Env {
 	}
 	return t.env
 }
+
+// initialArenaWords sizes a thread's first frame arena. 4096 words cover
+// dozens of typical frames without growth.
+const initialArenaWords = 4096
+
+// pushFrame carves one interpreter frame (locals followed by the operand
+// stack) out of the thread's arena, replacing the two per-call slice
+// allocations the interpreter historically made. It returns the locals
+// and stack slices plus the previous arena offset, which the caller must
+// hand back to popFrame when the frame dies.
+//
+// Pooling invariant: frame slices must not escape the interpret call that
+// owns them. Callees receive argument windows into the caller's operand
+// stack and copy them into their own locals before executing; nothing
+// else may retain a frame slice.
+//
+// Growth allocates a fresh backing array without copying: suspended
+// frames keep referencing the old array through their own slices, and the
+// region below the current offset in the new array is never read before
+// being rewritten by a future frame.
+func (t *Thread) pushFrame(maxLocals, maxStack int) (locals, stack []int64, base int) {
+	base = t.arenaOff
+	need := maxLocals + maxStack
+	if base+need > len(t.arena) {
+		size := 2 * len(t.arena)
+		if size < base+need {
+			size = base + need
+		}
+		if size < initialArenaWords {
+			size = initialArenaWords
+		}
+		t.arena = make([]int64, size)
+	}
+	frame := t.arena[base : base+need : base+need]
+	t.arenaOff = base + need
+	return frame[:maxLocals:maxLocals], frame[maxLocals:], base
+}
+
+// popFrame releases every frame pushed after base.
+func (t *Thread) popFrame(base int) { t.arenaOff = base }
 
 // yield hands the baton back to the scheduler. Detached threads (unit-test
 // helpers outside the scheduler) never block.

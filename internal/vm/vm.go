@@ -53,6 +53,11 @@ type Options struct {
 	// Quantum is the number of instructions a thread executes before the
 	// cooperative scheduler rotates to the next runnable thread.
 	Quantum int
+	// ForceInstrumentedLoop forces the interpreter onto its fully
+	// instrumented dispatch loop even when no tracer or sampling hook is
+	// installed. The fast and instrumented loops are observably
+	// equivalent; this switch exists so differential tests can prove it.
+	ForceInstrumentedLoop bool
 }
 
 // DefaultOptions returns the calibrated cost model used throughout the
@@ -158,6 +163,35 @@ type Method struct {
 	returns  bool
 	instrs   []bytecode.Instruction
 	startIdx map[int]int // code offset -> instruction index
+
+	// Link-time dispatch metadata, computed once in LoadClass so the
+	// interpreter's hot loop never consults a map or scans a table, and
+	// reads one byte + one int32 per dispatch instead of a 32-byte
+	// Instruction.
+	//
+	// ops and operands mirror instrs index-for-index. A branch's operand
+	// is pre-resolved to the target *instruction index*; OpInc packs
+	// slot|delta<<16 (delta sign-extends); everything else keeps its
+	// decoded operand. handlerIdx is the instruction index of the
+	// innermost exception handler covering each instruction (-1 when
+	// uncovered), and runLen the straight-line run length starting at
+	// each instruction (bytecode.StraightRuns).
+	ops        []bytecode.Op
+	operands   []int32
+	handlerIdx []int32
+	runLen     []int32
+	// runTail marks runs whose terminating instruction is a plain branch
+	// (goto/if/if_cmp): branches cannot throw or observe thread state, so
+	// the fast loop batches their accounting with the run and executes
+	// them inline, covering a hot loop's entire body with one update.
+	runTail []bool
+
+	// Call-site and static-slot resolution caches, indexed like Def.Refs.
+	// Entries are filled by (*VM).relinkLocked under the VM lock whenever
+	// a class is loaded; a nil entry means the referenced class is not
+	// loaded (yet) and the slow resolve path reports the error.
+	refMethods []*Method
+	refStatics []*int64
 }
 
 // Name returns the method name.
@@ -243,16 +277,15 @@ type VM struct {
 
 // NativeCallCount returns the engine's ground-truth count of native method
 // invocations (J2N transitions), independent of any profiling agent.
+// Counting is unsynchronized for the same reason the heap is: only one
+// simulated thread executes at a time, and readers (the harness) run
+// after the scheduler loop has drained.
 func (v *VM) NativeCallCount() uint64 {
-	v.mu.Lock()
-	defer v.mu.Unlock()
 	return v.nativeCalls
 }
 
 func (v *VM) countNativeCall() {
-	v.mu.Lock()
 	v.nativeCalls++
-	v.mu.Unlock()
 }
 
 // New creates a VM with the given options.
@@ -409,12 +442,90 @@ func (v *VM) LoadClass(def *classfile.Class) (*Class, error) {
 			for i, in := range ins {
 				m.startIdx[in.Offset] = i
 			}
+			m.linkDispatch()
 		}
 		c.methods[md.Key()] = m
 	}
 	v.classes[def.Name] = c
 	v.classesLoaded++
+	v.relinkLocked(c)
 	return c, nil
+}
+
+// linkDispatch precomputes the interpreter's per-instruction dispatch
+// metadata: branch-target and exception-handler instruction indexes and
+// straight-line run lengths. Missing branch or handler offsets map to
+// instruction 0, matching the historical map-lookup behaviour; the
+// verifier rejects such code before it reaches the interpreter.
+func (m *Method) linkDispatch() {
+	ins := m.instrs
+	m.runLen = bytecode.StraightRuns(ins)
+	m.ops = make([]bytecode.Op, len(ins))
+	m.operands = make([]int32, len(ins))
+	m.handlerIdx = make([]int32, len(ins))
+	m.runTail = make([]bool, len(ins))
+	for i, n := range m.runLen {
+		if n > 0 && i+int(n) < len(ins) {
+			if info, ok := bytecode.Lookup(ins[i+int(n)].Op); ok && info.Branch {
+				m.runTail[i] = true
+			}
+		}
+	}
+	for i, in := range ins {
+		m.ops[i] = in.Op
+		switch info, _ := bytecode.Lookup(in.Op); {
+		case info.Branch:
+			m.operands[i] = int32(m.startIdx[in.Operand])
+		case in.Op == bytecode.OpInc:
+			m.operands[i] = int32(in.Operand) | int32(in.Extra)<<16
+		case in.Operand >= 0:
+			m.operands[i] = int32(in.Operand)
+		}
+		m.handlerIdx[i] = -1
+		for _, h := range m.Def.Handlers {
+			if in.Offset >= int(h.StartPC) && in.Offset < int(h.EndPC) {
+				m.handlerIdx[i] = int32(m.startIdx[int(h.HandlerPC)])
+				break
+			}
+		}
+	}
+	if n := len(m.Def.Refs); n > 0 {
+		m.refMethods = make([]*Method, n)
+		m.refStatics = make([]*int64, n)
+	}
+}
+
+// relinkLocked fills call-site and static-slot caches after a class is
+// linked into the VM: the new class's own refs resolve against everything
+// already present, and other classes' dangling refs that name the new
+// class resolve against it. It runs under v.mu on every class load, so a
+// ref resolves through the cache as soon as its target class is linked; a
+// nil cache entry at execution time therefore means the target is
+// genuinely absent. Caches are never written on the execution path, which
+// keeps the interpreter's reads race-free.
+func (v *VM) relinkLocked(loaded *Class) {
+	name := loaded.def.Name
+	for _, c := range v.classes {
+		for _, m := range c.methods {
+			for k := range m.refMethods {
+				// A ref names either a method or a field; once its class
+				// was seen, the other lookup has failed definitively.
+				if m.refMethods[k] != nil || m.refStatics[k] != nil {
+					continue
+				}
+				ref := m.Def.Refs[k]
+				if c != loaded && ref.Class != name {
+					continue
+				}
+				rc, ok := v.classes[ref.Class]
+				if !ok {
+					continue
+				}
+				m.refMethods[k] = rc.Method(ref.Name, ref.Desc)
+				m.refStatics[k] = rc.Static(ref.Name)
+			}
+		}
+	}
 }
 
 // LoadClasses links a set of classes in order.

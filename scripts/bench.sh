@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# bench.sh — run the interpreter micro-benchmarks and the Table I
+# campaign benchmarks, and record ns/op in the BENCH_PR2.json ledger so
+# the performance trajectory is tracked from PR 2 on.
+#
+# Usage:
+#   scripts/bench.sh [label]
+#
+#   label      ledger key to record under (default "current"; use e.g.
+#              "baseline_main" before an optimisation and "after" once it
+#              lands to keep both in the file)
+#
+# Environment:
+#   BENCHTIME  go test -benchtime value (default 2s)
+#   OUT        ledger file (default BENCH_PR2.json)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+LABEL=${1:-current}
+BENCHTIME=${BENCHTIME:-2s}
+OUT=${OUT:-BENCH_PR2.json}
+
+{
+  # Interpreter and call-machinery micro-benchmarks.
+  go test -run '^$' -bench 'BenchmarkInterpreterLoop|BenchmarkInvokeOverhead|BenchmarkNativeCall' \
+    -benchtime "$BENCHTIME" repro/internal/vm
+  # Fast-path subsystem micro-benchmarks (dual-loop delta, pooled frames,
+  # static caches, throw path).
+  go test -run '^$' -bench . -benchtime "$BENCHTIME" repro/internal/vm/bench
+  # Whole-campaign wall-clock: Table I sequential and parallel.
+  go test -run '^$' -bench 'BenchmarkTableISequential|BenchmarkTableIParallel' \
+    -benchtime "$BENCHTIME" repro/internal/harness
+} | go run scripts/benchjson.go -label "$LABEL" -out "$OUT"

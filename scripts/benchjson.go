@@ -1,0 +1,110 @@
+//go:build ignore
+
+// Command benchjson parses `go test -bench` output on stdin and merges
+// the results into a JSON benchmark ledger (BENCH_PR2.json by default).
+// Each invocation records its results under -label, preserving entries
+// recorded under other labels, so before/after comparisons accumulate in
+// one file:
+//
+//	go test -bench . ./... | go run scripts/benchjson.go -label after -out BENCH_PR2.json
+//
+// It is invoked by scripts/bench.sh; stdlib only.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Name       string  `json:"name"`
+	Package    string  `json:"package,omitempty"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+}
+
+// Ledger is the file layout: metadata plus results grouped by label.
+type Ledger struct {
+	GOOS      string              `json:"goos"`
+	GOARCH    string              `json:"goarch"`
+	GoVersion string              `json:"go_version"`
+	Updated   string              `json:"updated"`
+	GitRev    string              `json:"git_rev,omitempty"`
+	Results   map[string][]Result `json:"results"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op`)
+
+func main() {
+	label := flag.String("label", "current", "label to record results under")
+	out := flag.String("out", "BENCH_PR2.json", "ledger file to update")
+	flag.Parse()
+
+	ledger := &Ledger{Results: map[string][]Result{}}
+	if data, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(data, ledger); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s is not a valid ledger: %v\n", *out, err)
+			os.Exit(1)
+		}
+		if ledger.Results == nil {
+			ledger.Results = map[string][]Result{}
+		}
+	}
+
+	var results []Result
+	pkg := ""
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass through so the run stays visible
+		if strings.HasPrefix(line, "pkg: ") {
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg: "))
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		results = append(results, Result{Name: m[1], Package: pkg, Iterations: iters, NsPerOp: ns})
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	ledger.GOOS = runtime.GOOS
+	ledger.GOARCH = runtime.GOARCH
+	ledger.GoVersion = runtime.Version()
+	ledger.Updated = time.Now().UTC().Format(time.RFC3339)
+	if rev, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output(); err == nil {
+		ledger.GitRev = strings.TrimSpace(string(rev))
+	}
+	ledger.Results[*label] = results
+
+	data, err := json.MarshalIndent(ledger, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: recorded %d results under %q in %s\n", len(results), *label, *out)
+}
