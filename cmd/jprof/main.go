@@ -1,14 +1,18 @@
-// Command jprof profiles suite benchmarks with one of the paper's agents
-// and prints the resulting reports — the command-line face of the system,
+// Command jprof profiles scenarios with one of the paper's agents and
+// prints the resulting reports — the command-line face of the system,
 // analogous to running a JVM with -agentlib:spa or -agentlib:ipa.
 //
 // Usage:
 //
-//	jprof [-agent spa|ipa|chains|sampler|bic|none] [-scale K] [-parallel N] [-list] <benchmark>...
+//	jprof [-agent spa|ipa|chains|sampler|bic|none] [-scenario FILE]
+//	      [-scale K] [-parallel N] [-list] <scenario|family>... | all
 //
-// Several benchmarks (or the word "all") may be given; their cells run
+// Arguments name registered scenarios ("compress", "gc-churn"),
+// scenario families ("paper", "gc-heavy", "exception-heavy",
+// "deep-chains", "contended") or the word "all"; -scenario loads a
+// declarative JSON scenario file into the registry first. Cells run
 // concurrently on isolated VMs, -parallel at a time, and the reports are
-// printed in argument order. With -agent none the benchmark runs
+// printed in argument order. With -agent none the scenario runs
 // uninstrumented and only the engine's ground-truth attribution is
 // printed. The chains agent additionally prints the hottest mixed
 // Java/native call chains; the sampler agent demonstrates the
@@ -29,35 +33,39 @@ import (
 	"repro/internal/agents/registry"
 	"repro/internal/core"
 	"repro/internal/runner"
+	"repro/internal/scenarios"
 	"repro/internal/vm"
 	"repro/internal/workloads"
 )
 
 func main() {
-	agentName := flag.String("agent", "ipa",
-		"profiling agent: "+strings.Join(registry.Names(), ", "))
+	agentName := registry.AddFlag(flag.CommandLine, "ipa")
 	scale := flag.Int("scale", 1, "iteration divisor (1 = full calibrated size)")
-	list := flag.Bool("list", false, "list available benchmarks and exit")
+	list := flag.Bool("list", false, "list available scenarios and exit")
 	asJSON := flag.Bool("json", false, "emit the results as JSON")
 	perMethod := flag.Bool("permethod", false, "with -agent ipa: per-native-method breakdown")
+	scenarioFile := scenarios.AddFlag(flag.CommandLine)
 	parallel := runner.AddFlag(flag.CommandLine)
 	flag.Parse()
 
+	if err := scenarios.LoadIfSet(*scenarioFile); err != nil {
+		fatal(err)
+	}
 	if *list {
-		for _, n := range workloads.Names() {
+		for _, n := range scenarios.Names() {
 			fmt.Println(n)
 		}
 		return
 	}
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: jprof [-agent NAME] [-scale K] [-parallel N] <benchmark>... | all")
+		fmt.Fprintln(os.Stderr, "usage: jprof [-agent NAME] [-scenario FILE] [-scale K] [-parallel N] <scenario|family>... | all")
 		os.Exit(2)
 	}
-	names := flag.Args()
-	if len(names) == 1 && names[0] == "all" {
-		names = workloads.Names()
+	if err := registry.Validate(*agentName); err != nil {
+		fatal(err)
 	}
-	if _, err := registry.New(*agentName, registry.Config{}); err != nil {
+	scns, err := scenarios.Resolve(flag.Args())
+	if err != nil {
 		fatal(err)
 	}
 
@@ -65,10 +73,10 @@ func main() {
 	registry.TuneOptions(*agentName, &opts)
 
 	results, err := runner.Map(context.Background(),
-		runner.Options{Parallelism: *parallel, FailFast: true}, names,
-		func(n string) string { return n + "/" + *agentName },
-		func(ctx context.Context, name string) (string, error) {
-			return profileOne(ctx, name, *agentName, *scale, opts, *asJSON, *perMethod)
+		runner.Options{Parallelism: *parallel, FailFast: true}, scns,
+		func(s scenarios.Scenario) string { return s.Name() + "/" + *agentName },
+		func(ctx context.Context, s scenarios.Scenario) (string, error) {
+			return profileOne(ctx, s, *agentName, *scale, opts, *asJSON, *perMethod)
 		})
 	if err != nil {
 		fatal(err)
@@ -81,16 +89,12 @@ func main() {
 	}
 }
 
-// profileOne runs one benchmark under a fresh agent on its own VM and
+// profileOne runs one scenario under a fresh agent on its own VM and
 // renders the full report; rendering inside the cell keeps the output
 // deterministic regardless of scheduling.
-func profileOne(ctx context.Context, benchmark, agentName string, scale int,
+func profileOne(ctx context.Context, s scenarios.Scenario, agentName string, scale int,
 	opts vm.Options, asJSON, perMethod bool) (string, error) {
-	b, err := workloads.ByName(benchmark)
-	if err != nil {
-		return "", err
-	}
-	prog, err := workloads.Build(b.Spec.Scale(scale))
+	prog, err := workloads.BuildWorkload(s.Workload.Scale(scale))
 	if err != nil {
 		return "", err
 	}

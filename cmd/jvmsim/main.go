@@ -1,16 +1,20 @@
-// Command jvmsim runs suite benchmarks on the bare simulated JVM — no
-// profiling agent — and prints execution statistics, or disassembles the
-// generated classes with -dump.
+// Command jvmsim runs scenarios on the simulated JVM — by default without
+// a profiling agent — and prints execution statistics, or disassembles
+// the generated classes with -dump.
 //
 // Usage:
 //
-//	jvmsim [-scale K] [-parallel N] [-cpuprofile F] [-memprofile F]
-//	       [-dump|-metrics] <benchmark>... | all
+//	jvmsim [-agent NAME] [-scenario FILE] [-scale K] [-parallel N]
+//	       [-cpuprofile F] [-memprofile F] [-dump|-metrics]
+//	       <scenario|family>... | all
 //
-// Several benchmarks (or the word "all") may be given; runs execute
-// concurrently on isolated VMs, -parallel at a time, with output in
-// argument order. -dump and -metrics are static analyses and always run
-// sequentially.
+// Arguments name registered scenarios, scenario families ("paper",
+// "gc-heavy", ...) or the word "all"; -scenario loads a declarative JSON
+// scenario file into the registry first. Runs execute concurrently on
+// isolated VMs, -parallel at a time, with output in argument order.
+// -agent attaches a profiling agent and appends its report summary (the
+// default "none" keeps the bare-JVM behaviour). -dump and -metrics are
+// static analyses and always run sequentially.
 //
 // -cpuprofile and -memprofile write pprof profiles of the simulator
 // itself (not the simulated workload), the entry point for performance
@@ -27,25 +31,39 @@ import (
 	"runtime/pprof"
 	"strings"
 
+	"repro/internal/agents/registry"
 	"repro/internal/bytecode"
 	"repro/internal/core"
 	"repro/internal/runner"
+	"repro/internal/scenarios"
 	"repro/internal/vm"
 	"repro/internal/workloads"
 )
 
 func main() {
+	agentName := registry.AddFlag(flag.CommandLine, "none")
 	scale := flag.Int("scale", 1, "iteration divisor")
 	dump := flag.Bool("dump", false, "disassemble the generated classes instead of running")
 	metrics := flag.Bool("metrics", false, "print static instruction-mix metrics instead of running")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the simulator to `file`")
 	memprofile := flag.String("memprofile", "", "write a heap profile of the simulator to `file`")
+	scenarioFile := scenarios.AddFlag(flag.CommandLine)
 	parallel := runner.AddFlag(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() < 1 {
 		// Before profile setup: os.Exit skips the deferred profile writers.
-		fmt.Fprintln(os.Stderr, "usage: jvmsim [-scale K] [-parallel N] [-cpuprofile F] [-memprofile F] [-dump|-metrics] <benchmark>... | all")
+		fmt.Fprintln(os.Stderr, "usage: jvmsim [-agent NAME] [-scenario FILE] [-scale K] [-parallel N] [-cpuprofile F] [-memprofile F] [-dump|-metrics] <scenario|family>... | all")
 		os.Exit(2)
+	}
+	if err := scenarios.LoadIfSet(*scenarioFile); err != nil {
+		fatal(err)
+	}
+	if err := registry.Validate(*agentName); err != nil {
+		fatal(err)
+	}
+	scns, err := scenarios.Resolve(flag.Args())
+	if err != nil {
+		fatal(err)
 	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -62,14 +80,16 @@ func main() {
 	if *memprofile != "" {
 		defer writeMemProfile()
 	}
-	names := flag.Args()
-	if len(names) == 1 && names[0] == "all" {
-		names = workloads.Names()
-	}
 
 	if *metrics || *dump {
-		for _, name := range names {
-			prog, err := buildProg(name, *scale)
+		// Static analyses never run the program, so an agent selection
+		// would be dropped silently — reject it like tables rejects
+		// inapplicable flag combinations.
+		if *agentName != "none" {
+			fatal(fmt.Errorf("-agent does not apply to -dump/-metrics (static analyses never run the program)"))
+		}
+		for _, s := range scns {
+			prog, err := workloads.BuildWorkload(s.Workload.Scale(*scale))
 			if err != nil {
 				fatal(err)
 			}
@@ -86,11 +106,13 @@ func main() {
 		return
 	}
 
+	opts := vm.DefaultOptions()
+	registry.TuneOptions(*agentName, &opts)
 	results, err := runner.Map(context.Background(),
-		runner.Options{Parallelism: *parallel, FailFast: true}, names,
-		func(n string) string { return n },
-		func(ctx context.Context, name string) (string, error) {
-			return runOne(ctx, name, *scale)
+		runner.Options{Parallelism: *parallel, FailFast: true}, scns,
+		func(s scenarios.Scenario) string { return s.Name() },
+		func(ctx context.Context, s scenarios.Scenario) (string, error) {
+			return runOne(ctx, s, *agentName, *scale, opts)
 		})
 	if err != nil {
 		fatal(err)
@@ -103,21 +125,18 @@ func main() {
 	}
 }
 
-func buildProg(name string, scale int) (*core.Program, error) {
-	b, err := workloads.ByName(name)
-	if err != nil {
-		return nil, err
-	}
-	return workloads.Build(b.Spec.Scale(scale))
-}
-
-// runOne executes one benchmark on its own VM and renders its statistics.
-func runOne(ctx context.Context, name string, scale int) (string, error) {
-	prog, err := buildProg(name, scale)
+// runOne executes one scenario on its own VM and renders its statistics,
+// with the agent's report summary appended when one is attached.
+func runOne(ctx context.Context, s scenarios.Scenario, agentName string, scale int, opts vm.Options) (string, error) {
+	prog, err := workloads.BuildWorkload(s.Workload.Scale(scale))
 	if err != nil {
 		return "", err
 	}
-	res, err := core.RunContext(ctx, prog, nil, vm.DefaultOptions())
+	agent, err := registry.New(agentName, registry.Config{})
+	if err != nil {
+		return "", err
+	}
+	res, err := core.RunContext(ctx, prog, agent, opts)
 	if err != nil {
 		return "", err
 	}
@@ -132,6 +151,10 @@ func runOne(ctx context.Context, name string, scale int) (string, error) {
 	fmt.Fprintf(&out, "  JNI calls:         %d\n", res.Truth.JNICalls)
 	if res.Ops > 0 {
 		fmt.Fprintf(&out, "  throughput:        %.1f ops/Mcycles\n", res.Throughput())
+	}
+	if res.Report != nil {
+		fmt.Fprintf(&out, "  agent %s:          %.2f%% native measured\n",
+			res.Report.AgentName, res.Report.NativeFraction()*100)
 	}
 	return out.String(), nil
 }

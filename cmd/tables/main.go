@@ -1,34 +1,50 @@
 // Command tables regenerates the paper's evaluation tables on the
-// simulated JVM: Table I (execution time and profiling overhead for SPA
-// and IPA) and Table II (profiling statistics produced by IPA).
+// simulated JVM — Table I (execution time and profiling overhead for SPA
+// and IPA) and Table II (profiling statistics produced by IPA) — and runs
+// campaign measurements over any other scenario profile.
 //
 // Usage:
 //
-//	tables [-table 1|2|all] [-runs N] [-scale K] [-parallel N]
+//	tables [-profile NAME] [-scenario FILE] [-agents LIST]
+//	       [-table 1|2|all] [-runs N] [-scale K] [-parallel N]
+//
+// The default profile, "paper", renders the two tables exactly as the
+// paper lays them out. Any other profile ("gc-heavy", "exception-heavy",
+// "deep-chains", "contended", "custom", "all") runs the scenario × agent
+// campaign instead, streaming one row per finished cell and finishing
+// with each scenario's expected-value check verdict. -scenario loads a
+// declarative scenario file into the registry first, so its entries are
+// addressable by name or via the "custom" (or their declared) family.
 //
 // -runs is the median-of-N repetition count (the paper uses 15; the
 // simulator is deterministic, so 1 gives identical numbers faster).
 // -scale divides every benchmark's iteration count; 1 is the calibrated
 // full size. -parallel runs that many measurement cells concurrently on
-// isolated VMs; the tables are byte-identical at every parallelism level,
+// isolated VMs; the output is byte-identical at every parallelism level,
 // only wall-clock time changes.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
+	"repro/internal/agents/registry"
 	"repro/internal/harness"
 	"repro/internal/runner"
+	"repro/internal/scenarios"
 )
 
 func main() {
-	table := flag.String("table", "all", "which table to regenerate: 1, 2 or all")
+	table := flag.String("table", "all", "which paper table to regenerate: 1, 2 or all")
 	runs := flag.Int("runs", 1, "repetitions per measurement (median reported)")
 	scale := flag.Int("scale", 1, "iteration divisor (1 = full calibrated size)")
 	markdown := flag.Bool("markdown", false, "emit the full campaign as a Markdown report")
 	verify := flag.Bool("verify", false, "verify the paper's qualitative claims and exit non-zero on failure")
+	profile := flag.String("profile", "paper", "scenario profile to run (paper renders the paper tables; any other family or 'all' runs a campaign)")
+	scenarioFile := scenarios.AddFlag(flag.CommandLine)
+	agentList := registry.AddListFlag(flag.CommandLine, "none,spa,ipa")
 	parallel := runner.AddFlag(flag.CommandLine)
 	flag.Parse()
 
@@ -36,6 +52,46 @@ func main() {
 	cfg.Runs = *runs
 	cfg.Scale = *scale
 	cfg.Parallelism = *parallel
+
+	// Validate -agents up front regardless of mode, and reject it with
+	// the paper profile, whose tables are defined over the fixed
+	// none/spa/ipa set — silently dropping the user's list would mirror
+	// the -verify-with-campaign trap in the other direction.
+	agents, err := registry.ParseList(*agentList)
+	if err != nil {
+		fatal(err)
+	}
+	agentsSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "agents" {
+			agentsSet = true
+		}
+	})
+	if agentsSet && *profile == "paper" {
+		fatal(fmt.Errorf("-agents applies only to campaign profiles; the paper tables always measure none/spa/ipa"))
+	}
+	// The paper profile never includes loaded scenarios, so accepting the
+	// file there would silently measure nothing from it.
+	if *scenarioFile != "" && *profile == "paper" {
+		fatal(fmt.Errorf("-scenario requires a campaign profile (e.g. -profile custom or -profile all); -profile paper never measures loaded scenarios"))
+	}
+	if err := scenarios.LoadIfSet(*scenarioFile); err != nil {
+		fatal(err)
+	}
+
+	if *profile != "paper" {
+		// The claim verifier and the Markdown report are defined over the
+		// paper tables; silently skipping them would turn a misspelled
+		// invocation into a false green.
+		if *verify || *markdown {
+			fatal(fmt.Errorf("-verify and -markdown apply only to -profile paper (got -profile %s)", *profile))
+		}
+		if *table != "all" {
+			fatal(fmt.Errorf("-table applies only to -profile paper (got -profile %s)", *profile))
+		}
+		runCampaign(*profile, agents, cfg)
+		return
+	}
 
 	if *verify {
 		rep, err := harness.VerifyShape(cfg)
@@ -77,7 +133,11 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Print(harness.RenderTableI(rows, geo))
+		text, err := harness.RenderTableI(rows, geo)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(text)
 		fmt.Println()
 	}
 	if *table == "2" || *table == "all" {
@@ -85,10 +145,40 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Print(harness.RenderTableII(rows))
+		text, err := harness.RenderTableII(rows)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(text)
 	}
 	if *table != "1" && *table != "2" && *table != "all" {
 		fatal(fmt.Errorf("unknown -table %q (want 1, 2 or all)", *table))
+	}
+}
+
+// runCampaign measures a non-paper profile: every profile scenario under
+// every requested agent (already validated), one streamed row per
+// finished cell, then the expected-value check verdict (non-zero exit on
+// check failure).
+func runCampaign(profile string, agents []string, cfg harness.Config) {
+	scns, err := scenarios.Profile(profile)
+	if err != nil {
+		fatal(err)
+	}
+	camp := harness.Campaign{Scenarios: scns, Agents: agents, Config: cfg}
+	fmt.Printf("campaign %s: %d scenarios x %d agents\n%s\n",
+		profile, len(scns), len(agents), harness.CampaignHeader())
+	res, err := camp.Run(context.Background(), func(r harness.CampaignRow) error {
+		_, err := fmt.Println(r)
+		return err
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(harness.RenderChecks(res.CheckFailures))
+	if len(res.CheckFailures) > 0 {
+		os.Exit(1)
 	}
 }
 

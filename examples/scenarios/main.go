@@ -1,0 +1,97 @@
+// Scenario engine tour: the workload layer is no longer a closed suite of
+// eight benchmarks — any workload is a named sequence of composable
+// phases, registered declaratively and measured by the campaign harness.
+//
+// This example walks the three ways to get a scenario:
+//
+//  1. load a declarative JSON scenario file (custom.json, embedded here —
+//     the same file works with `tables -scenario`, `jprof -scenario` and
+//     `jvmsim -scenario`);
+//  2. compose one in Go from the phase vocabulary and register it;
+//  3. reuse a built-in family ("gc-heavy", "exception-heavy",
+//     "deep-chains", "contended", or the paper's eight as "paper").
+//
+// It then runs the lot as one campaign — every scenario × {none, ipa} on
+// the parallel runner with streaming rows — and finishes with each
+// scenario's expected-value check verdict.
+//
+//	go run ./examples/scenarios
+package main
+
+import (
+	"context"
+	_ "embed"
+	"fmt"
+	"log"
+
+	"repro/internal/harness"
+	"repro/internal/scenarios"
+	"repro/internal/workloads"
+)
+
+//go:embed custom.json
+var customFile []byte
+
+func main() {
+	// 1. Scenarios from a declarative file. ParseBytes validates every
+	// phase (unknown kinds and out-of-range parameters are errors);
+	// Register makes them addressable by name, like the built-ins.
+	fromFile, err := scenarios.ParseBytes(customFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, sc := range fromFile {
+		if err := scenarios.Register(sc); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("loaded %d scenarios from custom.json\n", len(fromFile))
+
+	// 2. A scenario composed in Go: a burst allocator that periodically
+	// recurses deep and throws — three phase kinds no Spec could express
+	// together.
+	composed := scenarios.Scenario{
+		Family: "demo",
+		Workload: workloads.Workload{
+			Name: "composed-in-go", ClassName: "demo/Composed", OuterIters: 800,
+			Phases: []workloads.Phase{
+				{Kind: workloads.PhaseAlloc, Calls: 3, Work: 8, Size: 16},
+				{Kind: workloads.PhaseDeepChain, Calls: 2, Depth: 32, Work: 2},
+				{Kind: workloads.PhaseException, Calls: 1, Depth: 6},
+			},
+		},
+		Checks: scenarios.Checks{MaxNativePct: 1},
+	}
+	if err := scenarios.Register(composed); err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. A built-in family joins the same campaign.
+	gcHeavy, err := scenarios.Profile("gc-heavy")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	scns := append(append([]scenarios.Scenario{}, fromFile...), composed)
+	scns = append(scns, gcHeavy...)
+
+	cfg := harness.DefaultConfig()
+	cfg.Runs = 1
+	cfg.Scale = 4 // keep the demo quick; drop to 1 for calibrated sizes
+
+	camp := harness.Campaign{Scenarios: scns, Agents: []string{"none", "ipa"}, Config: cfg}
+	fmt.Printf("\ncampaign: %d scenarios x 2 agents\n%s\n", len(scns), harness.CampaignHeader())
+	res, err := camp.Run(context.Background(), func(r harness.CampaignRow) error {
+		// Rows stream in deterministic matrix order as cells finish.
+		_, err := fmt.Println(r)
+		return err
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(harness.RenderChecks(res.CheckFailures))
+	if len(res.CheckFailures) > 0 {
+		log.Fatal("scenario checks failed")
+	}
+}

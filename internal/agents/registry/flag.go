@@ -1,0 +1,61 @@
+package registry
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+)
+
+// AddFlag registers the shared -agent flag on fs with the project-wide
+// help text and the given default, so every binary exposes the same
+// agent-selection knob. The returned pointer is valid after fs.Parse;
+// pass it to Validate (or New) to reject unknown names.
+//
+// The three binaries previously each hand-rolled this flag and its
+// validation; the registry owns both ends now.
+func AddFlag(fs *flag.FlagSet, def string) *string {
+	return fs.String("agent", def,
+		"profiling agent: "+strings.Join(Names(), ", "))
+}
+
+// AddListFlag registers the shared -agents flag: a comma-separated agent
+// list for campaign-style binaries that measure under several agents.
+// Parse the value with ParseList after fs.Parse.
+func AddListFlag(fs *flag.FlagSet, def string) *string {
+	return fs.String("agents", def,
+		"comma-separated profiling agents for campaign cells (known: "+
+			strings.Join(Names(), ", ")+")")
+}
+
+// Validate reports whether name is a registered agent.
+func Validate(name string) error {
+	if _, ok := agents[name]; !ok {
+		return fmt.Errorf("registry: unknown agent %q (known: %v)", name, Names())
+	}
+	return nil
+}
+
+// ParseList splits a comma-separated agent list ("none,spa,ipa"),
+// validates every entry and rejects duplicates and empty lists.
+func ParseList(s string) ([]string, error) {
+	var out []string
+	seen := map[string]bool{}
+	for _, part := range strings.Split(s, ",") {
+		name := strings.TrimSpace(part)
+		if name == "" {
+			continue
+		}
+		if err := Validate(name); err != nil {
+			return nil, err
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("registry: agent %q listed twice", name)
+		}
+		seen[name] = true
+		out = append(out, name)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("registry: empty agent list")
+	}
+	return out, nil
+}

@@ -1,6 +1,7 @@
 package registry
 
 import (
+	"flag"
 	"testing"
 
 	"repro/internal/agents/ipa"
@@ -80,5 +81,61 @@ func TestTuneOptions(t *testing.T) {
 	TuneOptions("sampler", &opts)
 	if opts.SampleInterval == 0 || opts.SampleCost == 0 {
 		t.Fatalf("TuneOptions(sampler) = %+v", opts)
+	}
+}
+
+func TestAddFlagAndValidate(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	agent := AddFlag(fs, "ipa")
+	if err := fs.Parse([]string{"-agent", "sampler"}); err != nil {
+		t.Fatal(err)
+	}
+	if *agent != "sampler" {
+		t.Fatalf("agent = %q", *agent)
+	}
+	if err := Validate(*agent); err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate("warp"); err == nil {
+		t.Fatal("unknown agent validated")
+	}
+	// Default applies when the flag is absent.
+	fs2 := flag.NewFlagSet("t2", flag.ContinueOnError)
+	def := AddFlag(fs2, "none")
+	if err := fs2.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if *def != "none" {
+		t.Fatalf("default = %q", *def)
+	}
+}
+
+func TestParseList(t *testing.T) {
+	got, err := ParseList("none, spa,ipa")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != "none" || got[2] != "ipa" {
+		t.Fatalf("list = %v", got)
+	}
+	for _, bad := range []string{"", ",,", "none,warp", "spa,spa"} {
+		if _, err := ParseList(bad); err == nil {
+			t.Errorf("ParseList(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestAddListFlag(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	list := AddListFlag(fs, "none,spa,ipa")
+	if err := fs.Parse([]string{"-agents", "ipa,bic"}); err != nil {
+		t.Fatal(err)
+	}
+	agents, err := ParseList(*list)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(agents) != 2 || agents[1] != "bic" {
+		t.Fatalf("agents = %v", agents)
 	}
 }

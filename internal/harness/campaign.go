@@ -1,0 +1,228 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"repro/internal/runner"
+	"repro/internal/scenarios"
+)
+
+// Campaign is the generalized measurement matrix: any scenario set × any
+// agent set, executed cell by cell on the parallel runner. The paper
+// tables are thin presets over it (TableI is the paper profile × the
+// none/spa/ipa agent set); every other profile and every scenario file
+// runs through the same machinery.
+type Campaign struct {
+	// Scenarios are the rows of the matrix, in order.
+	Scenarios []scenarios.Scenario
+	// Agents are the columns: profiling-agent registry names ("none",
+	// "spa", "ipa", "sampler", ...). Empty means none/spa/ipa.
+	Agents []string
+	// Config is the shared measurement configuration.
+	Config Config
+}
+
+// DefaultAgents is the agent set a campaign uses when none is given: the
+// three Table I configurations.
+func DefaultAgents() []string { return []string{"none", "spa", "ipa"} }
+
+// CampaignRow is one completed cell of the campaign matrix.
+type CampaignRow struct {
+	Scenario  scenarios.Scenario
+	AgentName string
+	M         *Measurement
+}
+
+// CampaignResult is a finished campaign: every row in matrix order
+// (scenario-major, agent-minor) plus the outcome of each scenario's
+// expected-value checks.
+type CampaignResult struct {
+	Rows []CampaignRow
+	// CheckFailures lists every violated per-scenario check, one line per
+	// violation; empty means all checks passed.
+	CheckFailures []string
+}
+
+// Run executes the campaign. emit, when non-nil, receives rows in matrix
+// order as soon as each row and all rows before it have finished — the
+// streaming form a long campaign renders incrementally. The returned
+// result always holds the full row set; per-scenario checks are evaluated
+// after the matrix completes.
+func (c Campaign) Run(ctx context.Context, emit func(CampaignRow) error) (*CampaignResult, error) {
+	cfg := c.Config.normalized()
+	agents := c.Agents
+	if len(agents) == 0 {
+		agents = DefaultAgents()
+	}
+	var cells []runner.Cell[*Measurement]
+	type cellMeta struct {
+		sc    scenarios.Scenario
+		agent string
+	}
+	var meta []cellMeta
+	for _, sc := range c.Scenarios {
+		for _, agent := range agents {
+			sc, agent := sc, agent
+			cells = append(cells, runner.Cell[*Measurement]{
+				Key: sc.Name() + "/" + agent,
+				Do: func(ctx context.Context) (*Measurement, error) {
+					return MeasureScenario(ctx, sc, agent, cfg)
+				},
+			})
+			meta = append(meta, cellMeta{sc: sc, agent: agent})
+		}
+	}
+	var streamEmit func(runner.Result[*Measurement]) error
+	if emit != nil {
+		streamEmit = func(r runner.Result[*Measurement]) error {
+			return emit(CampaignRow{Scenario: meta[r.Index].sc, AgentName: meta[r.Index].agent, M: r.Value})
+		}
+	}
+	results, err := runner.Stream(ctx, cfg.runnerOptions(), cells, streamEmit)
+	if err != nil {
+		return nil, err
+	}
+	res := &CampaignResult{Rows: make([]CampaignRow, len(results))}
+	for i, r := range results {
+		res.Rows[i] = CampaignRow{Scenario: meta[i].sc, AgentName: meta[i].agent, M: r.Value}
+	}
+	for _, sc := range c.Scenarios {
+		res.CheckFailures = append(res.CheckFailures, EvaluateChecks(sc, res.Rows, cfg.Scale)...)
+	}
+	return res, nil
+}
+
+// EvaluateChecks applies a scenario's expected-value checks to the
+// campaign rows that belong to it and returns one line per violation.
+// Truth-based bounds read the uninstrumented ("none") row when the agent
+// set has one, otherwise the scenario's first row; the IPA overhead bound
+// needs both a "none" and an "ipa" row and is skipped otherwise.
+//
+// Count minimums (MinNativeCalls, MinJNICalls) are declared against the
+// scenario's full calibrated size; a scaled campaign run divides the
+// workload's iteration count by scale (flooring, minimum one iteration),
+// so the bounds are divided the same way — floor, kept at least 1 so the
+// check never vanishes — before comparison.
+func EvaluateChecks(sc scenarios.Scenario, rows []CampaignRow, scale int) []string {
+	if scale < 1 {
+		scale = 1
+	}
+	scaled := func(min uint64) uint64 {
+		v := min / uint64(scale)
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+	var mine []CampaignRow
+	for _, r := range rows {
+		if r.Scenario.Name() == sc.Name() && r.M != nil {
+			mine = append(mine, r)
+		}
+	}
+	if len(mine) == 0 {
+		return nil
+	}
+	byAgent := map[string]*Measurement{}
+	for _, r := range mine {
+		if _, dup := byAgent[r.AgentName]; !dup {
+			byAgent[r.AgentName] = r.M
+		}
+	}
+	base := mine[0].M
+	if m, ok := byAgent["none"]; ok {
+		base = m
+	}
+
+	ck := sc.Checks
+	var fails []string
+	fail := func(format string, args ...any) {
+		fails = append(fails, fmt.Sprintf("%s: ", sc.Name())+fmt.Sprintf(format, args...))
+	}
+	nativePct := base.Truth.NativeFraction() * 100
+	if ck.MinNativePct > 0 && nativePct < ck.MinNativePct {
+		fail("native share %.2f%% below expected minimum %.2f%%", nativePct, ck.MinNativePct)
+	}
+	if ck.MaxNativePct > 0 && nativePct > ck.MaxNativePct {
+		fail("native share %.2f%% above expected maximum %.2f%%", nativePct, ck.MaxNativePct)
+	}
+	if ck.MinNativeCalls > 0 && base.Truth.NativeMethodCalls < scaled(ck.MinNativeCalls) {
+		fail("native method calls %d below expected minimum %d (at scale %d)",
+			base.Truth.NativeMethodCalls, scaled(ck.MinNativeCalls), scale)
+	}
+	if ck.MinJNICalls > 0 && base.Truth.JNICalls < scaled(ck.MinJNICalls) {
+		fail("JNI calls %d below expected minimum %d (at scale %d)",
+			base.Truth.JNICalls, scaled(ck.MinJNICalls), scale)
+	}
+	if ck.MinThreads > 0 && base.Threads < ck.MinThreads {
+		fail("threads %d below expected minimum %d", base.Threads, ck.MinThreads)
+	}
+	if ck.MaxIPAOverheadPct > 0 {
+		none, okN := byAgent["none"]
+		ipa, okI := byAgent["ipa"]
+		if okN && okI && none.MedianCycles > 0 {
+			ovh := (ipa.MedianCycles/none.MedianCycles - 1) * 100
+			if ovh > ck.MaxIPAOverheadPct {
+				fail("IPA overhead %.2f%% above expected maximum %.2f%%", ovh, ck.MaxIPAOverheadPct)
+			}
+		}
+	}
+	return fails
+}
+
+// CampaignHeader is the column header matching CampaignRow.String, for
+// callers that stream rows as they finish.
+func CampaignHeader() string {
+	return fmt.Sprintf("%-18s %-9s %-16s %14s %10s %9s %11s %10s",
+		"scenario", "agent", "family", "cycles", "thpt", "native%", "nat calls", "JNI calls")
+}
+
+// String renders one campaign row as a fixed-width report line. The
+// native share is the agent's measurement when a report exists, the
+// ground truth otherwise.
+func (r CampaignRow) String() string {
+	if r.M == nil {
+		return fmt.Sprintf("%-18s %-9s (no measurement)", r.Scenario.Name(), r.AgentName)
+	}
+	m := r.M
+	nativePct := m.Truth.NativeFraction() * 100
+	if m.Report != nil {
+		nativePct = m.Report.NativeFraction() * 100
+	}
+	return fmt.Sprintf("%-18s %-9s %-16s %14.0f %10.1f %8.2f%% %11d %10d",
+		r.Scenario.Name(), r.AgentName, r.Scenario.Family,
+		m.MedianCycles, m.MedianThroughput, nativePct,
+		m.Truth.NativeMethodCalls, m.Truth.JNICalls)
+}
+
+// RenderChecks formats the check verdict block of a campaign report.
+func RenderChecks(failures []string) string {
+	if len(failures) == 0 {
+		return "checks: PASS\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "checks: %d FAILED\n", len(failures))
+	for _, f := range failures {
+		fmt.Fprintf(&b, "  FAIL %s\n", f)
+	}
+	return b.String()
+}
+
+// RenderCampaign formats a campaign result as a plain-text report: one
+// row per scenario × agent with the core metrics, then the check verdict.
+// Empty campaigns are an error, mirroring the table renderers.
+func RenderCampaign(res *CampaignResult) (string, error) {
+	if res == nil || len(res.Rows) == 0 {
+		return "", fmt.Errorf("harness: campaign produced no rows to render")
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "CAMPAIGN RESULTS\n%s\n", CampaignHeader())
+	for _, r := range res.Rows {
+		fmt.Fprintf(&b, "%s\n", r)
+	}
+	b.WriteByte('\n')
+	b.WriteString(RenderChecks(res.CheckFailures))
+	return b.String(), nil
+}

@@ -15,11 +15,13 @@ package harness
 import (
 	"context"
 	"fmt"
+	"math"
 	"strings"
 
 	"repro/internal/agents/registry"
 	"repro/internal/core"
 	"repro/internal/runner"
+	"repro/internal/scenarios"
 	"repro/internal/stats"
 	"repro/internal/vm"
 	"repro/internal/workloads"
@@ -118,11 +120,15 @@ func (c Config) runnerOptions() runner.Options {
 	return runner.Options{Parallelism: c.Parallelism, FailFast: true}
 }
 
-// Measurement is the median outcome of repeated runs of one benchmark
+// Measurement is the median outcome of repeated runs of one scenario
 // under one agent configuration.
 type Measurement struct {
 	Benchmark string
+	// Agent is the Table I configuration for the three preset kinds;
+	// AgentName is the registry name and covers every agent a campaign
+	// can run.
 	Agent     AgentKind
+	AgentName string
 	// MedianCycles is the median execution time in cycles.
 	MedianCycles float64
 	// MedianThroughput is the median ops/Mcycles (JBB-style benchmarks).
@@ -132,6 +138,9 @@ type Measurement struct {
 	Report *core.Report
 	// Truth is the ground truth of the last run.
 	Truth core.GroundTruth
+	// Threads is the largest thread count a run of the measurement
+	// created.
+	Threads int
 	// Runs is the number of repetitions aggregated.
 	Runs int
 }
@@ -143,37 +152,66 @@ func Measure(b workloads.Benchmark, kind AgentKind, cfg Config) (*Measurement, e
 }
 
 // MeasureContext is Measure with cooperative cancellation between VM
-// runs. Benchmarks with a warehouse sequence (SPEC JBB2005 style) run the
-// whole sequence per repetition and aggregate cycles, operations, reports
-// and ground truth across it.
+// runs; it adapts the legacy suite Benchmark to the scenario form.
 func MeasureContext(ctx context.Context, b workloads.Benchmark, kind AgentKind, cfg Config) (*Measurement, error) {
-	cfg = cfg.normalized()
-	spec := b.Spec.Scale(cfg.Scale)
-	sequence := b.WarehouseSequence
-	if len(sequence) == 0 {
-		sequence = []int{spec.Threads}
+	sc := scenarios.Scenario{
+		Family:            "adhoc",
+		Workload:          b.Spec.Workload(),
+		WarehouseSequence: b.WarehouseSequence,
+		Expected:          b.Expected,
 	}
+	m, err := MeasureScenario(ctx, sc, kind.registryName(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	m.Agent = kind
+	return m, nil
+}
+
+// MeasureScenario runs one scenario under one registry agent cfg.Runs
+// times and aggregates with the median — the campaign matrix cell.
+// Scenarios with a warehouse sequence (SPEC JBB2005 style) run the whole
+// sequence per repetition and aggregate cycles, operations, reports and
+// ground truth across it. Agents that need engine support (the sampler's
+// sampling interrupt) get their VM-option tuning applied per cell.
+func MeasureScenario(ctx context.Context, sc scenarios.Scenario, agentName string, cfg Config) (*Measurement, error) {
+	cfg = cfg.normalized()
+	w := sc.Workload.Scale(cfg.Scale)
+	sequence := sc.WarehouseSequence
+	if len(sequence) == 0 {
+		sequence = []int{w.Threads}
+	}
+	opts := cfg.Opts
+	registry.TuneOptions(agentName, &opts)
 	var cyclesSamples, throughputSamples []float64
-	m := &Measurement{Benchmark: spec.Name, Agent: kind, Runs: cfg.Runs}
+	m := &Measurement{Benchmark: w.Name, AgentName: agentName, Runs: cfg.Runs}
 	for i := 0; i < cfg.Runs; i++ {
 		var totalCycles, totalOps uint64
 		var report *core.Report
 		var truth core.GroundTruth
+		threads := 0
 		for _, warehouses := range sequence {
-			s := spec
-			s.Threads = warehouses
-			prog, err := workloads.Build(s)
+			wv := w
+			wv.Threads = warehouses
+			prog, err := workloads.BuildWorkload(wv)
 			if err != nil {
-				return nil, fmt.Errorf("harness: %s: %w", s.Name, err)
+				return nil, fmt.Errorf("harness: %s: %w", wv.Name, err)
 			}
-			res, err := core.RunContext(ctx, prog, newAgent(kind), cfg.Opts)
+			agent, err := registry.New(agentName, registry.Config{})
 			if err != nil {
-				return nil, fmt.Errorf("harness: %s under %s: %w", s.Name, kind, err)
+				return nil, fmt.Errorf("harness: %s: %w", wv.Name, err)
+			}
+			res, err := core.RunContext(ctx, prog, agent, opts)
+			if err != nil {
+				return nil, fmt.Errorf("harness: %s under %s: %w", wv.Name, agentName, err)
 			}
 			totalCycles += res.TotalCycles
 			totalOps += res.Ops
 			truth.Add(res.Truth)
 			report = stats.MergeReports(report, res.Report)
+			if res.Threads > threads {
+				threads = res.Threads
+			}
 		}
 		cyclesSamples = append(cyclesSamples, float64(totalCycles))
 		if totalCycles > 0 {
@@ -184,6 +222,7 @@ func MeasureContext(ctx context.Context, b workloads.Benchmark, kind AgentKind, 
 		}
 		m.Report = report
 		m.Truth = truth
+		m.Threads = threads
 	}
 	var err error
 	if m.MedianCycles, err = stats.Median(cyclesSamples); err != nil {
@@ -195,32 +234,44 @@ func MeasureContext(ctx context.Context, b workloads.Benchmark, kind AgentKind, 
 	return m, nil
 }
 
-// measureGrid runs one cell per suite benchmark × kind on the worker
-// pool and returns the measurements as grid[benchmark][kind-position],
-// in suite order.
-func measureGrid(ctx context.Context, cfg Config, kinds []AgentKind) ([][]*Measurement, error) {
-	suite := workloads.Suite()
-	var cells []runner.Cell[*Measurement]
-	for _, b := range suite {
-		for _, kind := range kinds {
-			cells = append(cells, runner.Cell[*Measurement]{
-				Key: b.Spec.Name + "/" + kind.String(),
-				Do: func(ctx context.Context) (*Measurement, error) {
-					return MeasureContext(ctx, b, kind, cfg)
-				},
-			})
+// paperCampaign builds the Campaign behind the paper tables: the paper
+// profile × the requested Table I agent kinds.
+func paperCampaign(cfg Config, kinds []AgentKind) (Campaign, error) {
+	suite, err := scenarios.Profile("paper")
+	if err != nil {
+		return Campaign{}, err
+	}
+	agents := make([]string, len(kinds))
+	for i, k := range kinds {
+		agents[i] = k.registryName()
+	}
+	return Campaign{Scenarios: suite, Agents: agents, Config: cfg}, nil
+}
+
+// measureGrid runs one campaign cell per paper benchmark × kind and
+// returns the measurements as grid[benchmark][kind-position] together
+// with the scenario list actually measured — callers must zip rows
+// against that list, not against a fresh Profile lookup, since the
+// registry can grow between calls.
+func measureGrid(ctx context.Context, cfg Config, kinds []AgentKind) ([]scenarios.Scenario, [][]*Measurement, error) {
+	camp, err := paperCampaign(cfg, kinds)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := camp.Run(ctx, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	grid := make([][]*Measurement, len(camp.Scenarios))
+	for i := range camp.Scenarios {
+		grid[i] = make([]*Measurement, len(kinds))
+		for j, kind := range kinds {
+			m := res.Rows[i*len(kinds)+j].M
+			m.Agent = kind
+			grid[i][j] = m
 		}
 	}
-	results, err := runner.Run(ctx, cfg.runnerOptions(), cells)
-	if err != nil {
-		return nil, err
-	}
-	ms := runner.Values(results)
-	grid := make([][]*Measurement, len(suite))
-	for i := range suite {
-		grid[i] = ms[i*len(kinds) : (i+1)*len(kinds)]
-	}
-	return grid, nil
+	return camp.Scenarios, grid, nil
 }
 
 // TableIRow is one benchmark's row of Table I.
@@ -257,17 +308,17 @@ func TableI(cfg Config) ([]TableIRow, error) {
 func TableIContext(ctx context.Context, cfg Config) ([]TableIRow, error) {
 	cfg = cfg.normalized()
 	kinds := []AgentKind{AgentNone, AgentSPA, AgentIPA}
-	grid, err := measureGrid(ctx, cfg, kinds)
+	suite, grid, err := measureGrid(ctx, cfg, kinds)
 	if err != nil {
 		return nil, err
 	}
 	var rows []TableIRow
-	for i, b := range workloads.Suite() {
+	for i, sc := range suite {
 		row := TableIRow{
-			Benchmark:        b.Spec.Name,
-			Throughput:       b.Expected.PaperThroughput > 0,
-			PaperOverheadSPA: b.Expected.PaperSPAOverheadPct,
-			PaperOverheadIPA: b.Expected.PaperIPAOverheadPct,
+			Benchmark:        sc.Name(),
+			Throughput:       sc.Expected.PaperThroughput > 0,
+			PaperOverheadSPA: sc.Expected.PaperSPAOverheadPct,
+			PaperOverheadIPA: sc.Expected.PaperIPAOverheadPct,
 		}
 		ms := grid[i]
 		row.TimeOriginal = ms[AgentNone].MedianCycles
@@ -298,19 +349,29 @@ func TableIContext(ctx context.Context, cfg Config) ([]TableIRow, error) {
 
 // GeoMeanRow aggregates the JVM98 rows (time-metric rows) of Table I with
 // the geometric mean, as the paper does. The column math lives in
-// internal/stats.
+// internal/stats. Row sets without a time-metric row, or with zero or
+// negative cycle measurements, are descriptive errors — the geometric
+// mean is undefined for them and would otherwise surface as NaN in the
+// rendered table.
 func GeoMeanRow(rows []TableIRow) (TableIRow, error) {
+	g := TableIRow{Benchmark: "geom. mean"}
 	var matrix [][]float64
 	for _, r := range rows {
 		if r.Throughput {
 			continue
 		}
+		if r.TimeOriginal <= 0 || r.TimeSPA <= 0 || r.TimeIPA <= 0 {
+			return g, fmt.Errorf("harness: geometric mean over %q: non-positive cycle measurement (orig=%g spa=%g ipa=%g)",
+				r.Benchmark, r.TimeOriginal, r.TimeSPA, r.TimeIPA)
+		}
 		matrix = append(matrix, []float64{r.TimeOriginal, r.TimeSPA, r.TimeIPA})
 	}
-	g := TableIRow{Benchmark: "geom. mean"}
+	if len(matrix) == 0 {
+		return g, fmt.Errorf("harness: geometric mean needs at least one time-metric row (got %d rows, none with the time metric)", len(rows))
+	}
 	cols, err := stats.GeoMeanColumns(matrix)
 	if err != nil {
-		return g, err
+		return g, fmt.Errorf("harness: geometric mean over %d rows: %w", len(matrix), err)
 	}
 	g.TimeOriginal, g.TimeSPA, g.TimeIPA = cols[0], cols[1], cols[2]
 	if g.OverheadSPA, err = stats.OverheadTime(g.TimeOriginal, g.TimeSPA); err != nil {
@@ -345,28 +406,55 @@ func TableII(cfg Config) ([]TableIIRow, error) {
 // TableIIContext is TableII with cooperative cancellation of the cell pool.
 func TableIIContext(ctx context.Context, cfg Config) ([]TableIIRow, error) {
 	cfg = cfg.normalized()
-	grid, err := measureGrid(ctx, cfg, []AgentKind{AgentIPA, AgentNone})
+	suite, grid, err := measureGrid(ctx, cfg, []AgentKind{AgentIPA, AgentNone})
 	if err != nil {
 		return nil, err
 	}
 	var rows []TableIIRow
-	for i, b := range workloads.Suite() {
+	for i, sc := range suite {
 		m, plain := grid[i][0], grid[i][1]
 		rows = append(rows, TableIIRow{
-			Benchmark:         b.Spec.Name,
+			Benchmark:         sc.Name(),
 			NativePct:         m.Report.NativeFraction() * 100,
 			JNICalls:          m.Report.JNICalls,
 			NativeMethodCalls: m.Report.NativeMethodCalls,
 			TruthNativePct:    plain.Truth.NativeFraction() * 100,
-			PaperNativePct:    b.Expected.PaperNativePct,
+			PaperNativePct:    sc.Expected.PaperNativePct,
 		})
 	}
 	return rows, nil
 }
 
+// validRow rejects the numeric failure modes a table row can carry into
+// a render: NaN and infinities from degenerate overhead divisions.
+func validRow(benchmark string, vals ...float64) error {
+	for _, v := range vals {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("harness: row %q holds a non-finite value %g; refusing to render", benchmark, v)
+		}
+	}
+	return nil
+}
+
 // RenderTableI formats Table I like the paper, with cycle counts standing
-// in for seconds and a throughput row for JBB2005.
-func RenderTableI(rows []TableIRow, geo TableIRow) string {
+// in for seconds and a throughput row for JBB2005. Empty row sets and
+// rows with non-finite values are descriptive errors instead of blank or
+// NaN-bearing tables.
+func RenderTableI(rows []TableIRow, geo TableIRow) (string, error) {
+	if len(rows) == 0 {
+		return "", fmt.Errorf("harness: Table I has no rows to render")
+	}
+	for _, r := range rows {
+		if err := validRow(r.Benchmark, r.TimeOriginal, r.TimeSPA, r.TimeIPA,
+			r.ThroughputOriginal, r.ThroughputSPA, r.ThroughputIPA,
+			r.OverheadSPA, r.OverheadIPA); err != nil {
+			return "", err
+		}
+	}
+	if err := validRow(geo.Benchmark, geo.TimeOriginal, geo.TimeSPA, geo.TimeIPA,
+		geo.OverheadSPA, geo.OverheadIPA); err != nil {
+		return "", err
+	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "TABLE I: EXECUTION TIME AND PROFILING OVERHEAD FOR SPA AND IPA\n")
 	fmt.Fprintf(&b, "%-11s %14s %14s %14s %14s %13s\n",
@@ -390,12 +478,21 @@ func RenderTableI(rows []TableIRow, geo TableIRow) string {
 			r.Benchmark, r.ThroughputOriginal, r.ThroughputSPA, r.ThroughputIPA,
 			r.OverheadSPA, r.OverheadIPA)
 	}
-	return b.String()
+	return b.String(), nil
 }
 
 // RenderTableII formats Table II like the paper, adding the ground-truth
-// and paper columns the simulator makes available.
-func RenderTableII(rows []TableIIRow) string {
+// and paper columns the simulator makes available. Empty row sets and
+// rows with non-finite values are descriptive errors.
+func RenderTableII(rows []TableIIRow) (string, error) {
+	if len(rows) == 0 {
+		return "", fmt.Errorf("harness: Table II has no rows to render")
+	}
+	for _, r := range rows {
+		if err := validRow(r.Benchmark, r.NativePct, r.TruthNativePct, r.PaperNativePct); err != nil {
+			return "", err
+		}
+	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "TABLE II: PROFILING STATISTICS\n")
 	fmt.Fprintf(&b, "%-11s %18s %12s %20s %12s %11s\n",
@@ -405,5 +502,5 @@ func RenderTableII(rows []TableIIRow) string {
 			r.Benchmark, r.NativePct, r.JNICalls, r.NativeMethodCalls,
 			r.TruthNativePct, r.PaperNativePct)
 	}
-	return b.String()
+	return b.String(), nil
 }

@@ -205,7 +205,10 @@ func TestRenderTables(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t1 := RenderTableI(rows, geo)
+	t1, err := RenderTableI(rows, geo)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, want := range []string{"TABLE I", "compress", "geom. mean", "jbb2005", "overhead SPA"} {
 		if !strings.Contains(t1, want) {
 			t.Errorf("Table I render missing %q", want)
@@ -215,7 +218,10 @@ func TestRenderTables(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t2 := RenderTableII(rows2)
+	t2, err := RenderTableII(rows2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, want := range []string{"TABLE II", "% native execution", "JNI calls", "jack"} {
 		if !strings.Contains(t2, want) {
 			t.Errorf("Table II render missing %q", want)

@@ -40,7 +40,15 @@ func TestTableIParallelMatchesSequential(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if RenderTableI(seqRows, seqGeo) != RenderTableI(parRows, parGeo) {
+	seqText, err := RenderTableI(seqRows, seqGeo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parText, err := RenderTableI(parRows, parGeo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seqText != parText {
 		t.Fatal("rendered Table I differs between sequential and parallel execution")
 	}
 }
@@ -63,7 +71,15 @@ func TestTableIIParallelMatchesSequential(t *testing.T) {
 	if !reflect.DeepEqual(seqRows, parRows) {
 		t.Fatalf("parallel Table II differs:\nseq: %+v\npar: %+v", seqRows, parRows)
 	}
-	if RenderTableII(seqRows) != RenderTableII(parRows) {
+	seqText, err := RenderTableII(seqRows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parText, err := RenderTableII(parRows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seqText != parText {
 		t.Fatal("rendered Table II differs between sequential and parallel execution")
 	}
 }

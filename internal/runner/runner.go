@@ -94,6 +94,18 @@ func (o Options) workers(n int) int {
 // started are marked with ctx.Err() and Run returns after in-flight
 // cells finish.
 func Run[T any](ctx context.Context, opts Options, cells []Cell[T]) ([]Result[T], error) {
+	return Stream(ctx, opts, cells, nil)
+}
+
+// Stream is Run with in-order result streaming: emit (when non-nil) is
+// invoked for every successful cell in submission order, each as soon as
+// it and all lower-index cells have completed — a campaign can render
+// finished rows while later cells are still running, without giving up
+// deterministic output order. After the first failed cell in submission
+// order no further emissions happen; an emit error cancels the batch and
+// is reported like a cell error. The returned results cover every cell
+// regardless of how far emission got.
+func Stream[T any](ctx context.Context, opts Options, cells []Cell[T], emit func(Result[T]) error) ([]Result[T], error) {
 	results := make([]Result[T], len(cells))
 	if len(cells) == 0 {
 		return results, ctx.Err()
@@ -105,6 +117,7 @@ func Run[T any](ctx context.Context, opts Options, cells []Cell[T]) ([]Result[T]
 	var failOnce sync.Once
 	var failErr error // the error that triggered fail-fast cancellation
 	indices := make(chan int)
+	completed := make(chan int, len(cells))
 	var wg sync.WaitGroup
 	for w := 0; w < opts.workers(len(cells)); w++ {
 		wg.Add(1)
@@ -126,20 +139,57 @@ func Run[T any](ctx context.Context, opts Options, cells []Cell[T]) ([]Result[T]
 					}
 				}
 				results[i] = r
+				completed <- i
 			}
 		}()
 	}
-	for i := range cells {
-		indices <- i
+	go func() {
+		for i := range cells {
+			indices <- i
+		}
+		close(indices)
+		wg.Wait()
+		close(completed)
+	}()
+
+	// Drain completions, emitting the longest finished prefix in order.
+	// The channel send in the worker publishes results[i], so reading the
+	// slice here is race-free.
+	next := 0
+	done := make([]bool, len(cells))
+	var emitErr error
+	emitting := emit != nil
+	for i := range completed {
+		done[i] = true
+		for next < len(cells) && done[next] {
+			r := results[next]
+			next++
+			if !emitting {
+				continue
+			}
+			if r.Err != nil {
+				emitting = false
+				continue
+			}
+			if err := emit(r); err != nil {
+				emitErr = err
+				emitting = false
+				cancel()
+			}
+		}
 	}
-	close(indices)
-	wg.Wait()
+
 	err := FirstError(results)
 	// A fail-fast cancellation can surface in a lower-index in-flight
 	// cell as a context error; report the root cause instead — unless
 	// the caller's own context was cancelled, which takes precedence.
 	if failErr != nil && err != nil && ctx.Err() == nil && errors.Is(err, context.Canceled) {
 		err = failErr
+	}
+	// A rejected emission aborts the batch; the emit error is the root
+	// cause of any cancellation errors that follow it.
+	if emitErr != nil {
+		err = emitErr
 	}
 	return results, err
 }

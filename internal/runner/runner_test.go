@@ -268,3 +268,118 @@ func TestDefaultParallelism(t *testing.T) {
 		t.Fatalf("workers capped = %d, want 4", w)
 	}
 }
+
+// TestStreamEmitsInOrder: emissions arrive in submission order, each as
+// soon as its prefix completes, even when completion order is reversed.
+func TestStreamEmitsInOrder(t *testing.T) {
+	const n = 32
+	cells := make([]Cell[int], n)
+	for i := 0; i < n; i++ {
+		cells[i] = Cell[int]{
+			Key: fmt.Sprintf("cell-%d", i),
+			Do: func(context.Context) (int, error) {
+				time.Sleep(time.Duration(n-i) * 10 * time.Microsecond)
+				return i, nil
+			},
+		}
+	}
+	var emitted []int
+	results, err := Stream(context.Background(), Options{Parallelism: 8}, cells,
+		func(r Result[int]) error {
+			emitted = append(emitted, r.Value)
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(emitted) != n {
+		t.Fatalf("emitted %d rows, want %d", len(emitted), n)
+	}
+	for i, v := range emitted {
+		if v != i {
+			t.Fatalf("emitted[%d] = %d (out of order)", i, v)
+		}
+	}
+	if len(results) != n {
+		t.Fatalf("results = %d", len(results))
+	}
+}
+
+// TestStreamStopsAtFirstError: cells after the first failed index are
+// never emitted, and the batch error matches Run's semantics.
+func TestStreamStopsAtFirstError(t *testing.T) {
+	boom := errors.New("cell 3 exploded")
+	cells := make([]Cell[int], 8)
+	for i := range cells {
+		i := i
+		cells[i] = Cell[int]{Do: func(context.Context) (int, error) {
+			if i == 3 {
+				return 0, boom
+			}
+			return i, nil
+		}}
+	}
+	var emitted []int
+	_, err := Stream(context.Background(), Options{Parallelism: 1}, cells,
+		func(r Result[int]) error {
+			emitted = append(emitted, r.Value)
+			return nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want cell error", err)
+	}
+	if len(emitted) != 3 {
+		t.Fatalf("emitted %v, want exactly the pre-error prefix [0 1 2]", emitted)
+	}
+}
+
+// TestStreamEmitErrorCancelsBatch: a rejected emission aborts the batch
+// and surfaces as the batch error.
+func TestStreamEmitErrorCancelsBatch(t *testing.T) {
+	reject := errors.New("downstream full")
+	var started atomic.Int64
+	cells := make([]Cell[int], 64)
+	for i := range cells {
+		i := i
+		cells[i] = Cell[int]{Do: func(context.Context) (int, error) {
+			started.Add(1)
+			return i, nil
+		}}
+	}
+	var emitted int
+	results, err := Stream(context.Background(), Options{Parallelism: 2}, cells,
+		func(r Result[int]) error {
+			emitted++
+			if emitted == 2 {
+				return reject
+			}
+			return nil
+		})
+	if !errors.Is(err, reject) {
+		t.Fatalf("err = %v, want emit error", err)
+	}
+	if emitted != 2 {
+		t.Fatalf("emitted %d rows after rejection", emitted)
+	}
+	if len(results) != 64 {
+		t.Fatalf("results = %d", len(results))
+	}
+	if started.Load() == 64 {
+		t.Log("note: every cell ran before cancellation took effect (legal but unexpected at parallelism 2)")
+	}
+}
+
+// TestStreamNilEmit: Stream with a nil emitter is exactly Run.
+func TestStreamNilEmit(t *testing.T) {
+	cells := []Cell[int]{
+		{Do: func(context.Context) (int, error) { return 41, nil }},
+		{Do: func(context.Context) (int, error) { return 42, nil }},
+	}
+	results, err := Stream(context.Background(), Options{}, cells, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Value != 41 || results[1].Value != 42 {
+		t.Fatalf("results = %+v", results)
+	}
+}

@@ -1,0 +1,143 @@
+package scenarios
+
+import "repro/internal/workloads"
+
+// The built-in catalogue. The paper profile mirrors workloads.Suite()
+// benchmark for benchmark; the synthetic families exercise the phase
+// vocabulary the paper's fixed suite never reaches: allocation churn,
+// exception unwinding, deep recursive chains and cross-thread contention.
+func init() {
+	registerPaper()
+	registerGCHeavy()
+	registerExceptionHeavy()
+	registerDeepChains()
+	registerContended()
+}
+
+// registerPaper registers the eight Section V benchmarks as the "paper"
+// profile. The workloads come straight from the calibrated suite, so the
+// registry path generates byte-identical programs to the pre-registry
+// harness.
+func registerPaper() {
+	for _, b := range workloads.Suite() {
+		mustRegister(Scenario{
+			Family:            "paper",
+			Workload:          b.Spec.Workload(),
+			WarehouseSequence: b.WarehouseSequence,
+			Expected:          b.Expected,
+			Checks: Checks{
+				MaxNativePct:      35,
+				MaxIPAOverheadPct: 60,
+			},
+		})
+	}
+}
+
+// registerGCHeavy: allocation-burst workloads. Almost everything is
+// bytecode-side heap churn, so the native share must stay negligible and
+// IPA — which only pays at transitions — must be nearly free.
+func registerGCHeavy() {
+	mustRegister(Scenario{
+		Family: "gc-heavy",
+		Workload: workloads.Workload{
+			Name: "gc-churn", ClassName: "scn/gc/Churn", OuterIters: 2500,
+			Phases: []workloads.Phase{
+				{Kind: workloads.PhaseBytecode, Calls: 8, Work: 4},
+				{Kind: workloads.PhaseAlloc, Calls: 4, Work: 12, Size: 32},
+			},
+		},
+		Checks: Checks{MaxNativePct: 1, MaxIPAOverheadPct: 5},
+	})
+	mustRegister(Scenario{
+		Family: "gc-heavy",
+		Workload: workloads.Workload{
+			Name: "gc-arrays", ClassName: "scn/gc/Arrays", OuterIters: 1200,
+			Phases: []workloads.Phase{
+				{Kind: workloads.PhaseAlloc, Calls: 6, Work: 20, Size: 128},
+				{Kind: workloads.PhaseArray, Work: 64},
+			},
+		},
+		Checks: Checks{MaxNativePct: 1, MaxIPAOverheadPct: 5},
+	})
+}
+
+// registerExceptionHeavy: throw/catch/unwind workloads — every iteration
+// raises exceptions that unwind real frames into catch-all handlers.
+func registerExceptionHeavy() {
+	mustRegister(Scenario{
+		Family: "exception-heavy",
+		Workload: workloads.Workload{
+			Name: "exc-storm", ClassName: "scn/exc/Storm", OuterIters: 2000,
+			Phases: []workloads.Phase{
+				{Kind: workloads.PhaseBytecode, Calls: 4, Work: 3},
+				{Kind: workloads.PhaseException, Calls: 6, Depth: 4},
+			},
+		},
+		Checks: Checks{MaxNativePct: 1, MaxIPAOverheadPct: 5},
+	})
+	mustRegister(Scenario{
+		Family: "exception-heavy",
+		Workload: workloads.Workload{
+			Name: "exc-deep-unwind", ClassName: "scn/exc/DeepUnwind", OuterIters: 800,
+			Phases: []workloads.Phase{
+				{Kind: workloads.PhaseException, Calls: 3, Depth: 48, Work: 8},
+			},
+		},
+		Checks: Checks{MaxNativePct: 1, MaxIPAOverheadPct: 5},
+	})
+}
+
+// registerDeepChains: recursive call-chain workloads — extreme call
+// density over deep stacks, the shape where per-event profilers melt down.
+func registerDeepChains() {
+	mustRegister(Scenario{
+		Family: "deep-chains",
+		Workload: workloads.Workload{
+			Name: "chain-dense", ClassName: "scn/chain/Dense", OuterIters: 1200,
+			Phases: []workloads.Phase{
+				{Kind: workloads.PhaseDeepChain, Calls: 8, Depth: 12, Work: 2},
+			},
+		},
+		Checks: Checks{MaxNativePct: 1, MaxIPAOverheadPct: 5},
+	})
+	mustRegister(Scenario{
+		Family: "deep-chains",
+		Workload: workloads.Workload{
+			Name: "chain-abyss", ClassName: "scn/chain/Abyss", OuterIters: 300,
+			Phases: []workloads.Phase{
+				{Kind: workloads.PhaseDeepChain, Calls: 2, Depth: 400, Work: 16},
+				{Kind: workloads.PhaseBytecode, Calls: 4, Work: 6},
+			},
+		},
+		Checks: Checks{MaxNativePct: 1, MaxIPAOverheadPct: 5},
+	})
+}
+
+// registerContended: multi-thread workloads hammering one shared static
+// field, with and without a native phase in the mix.
+func registerContended() {
+	mustRegister(Scenario{
+		Family: "contended",
+		Workload: workloads.Workload{
+			Name: "contend-4", ClassName: "scn/contend/Four", OuterIters: 900,
+			Threads: 4, OpsPerIter: 4,
+			Phases: []workloads.Phase{
+				{Kind: workloads.PhaseContend, Calls: 4, Work: 24},
+				{Kind: workloads.PhaseBytecode, Calls: 4, Work: 4},
+			},
+		},
+		Checks: Checks{MaxNativePct: 5, MinThreads: 4},
+	})
+	mustRegister(Scenario{
+		Family: "contended",
+		Workload: workloads.Workload{
+			Name: "contend-8-native", ClassName: "scn/contend/EightNative", OuterIters: 400,
+			Threads: 8, OpsPerIter: 2,
+			Phases: []workloads.Phase{
+				{Kind: workloads.PhaseContend, Calls: 2, Work: 16},
+				{Kind: workloads.PhaseNative, Calls: 2, Work: 30, JNIEvery: 8, CallbackWork: 6},
+			},
+		},
+		Checks: Checks{MaxNativePct: 30, MinThreads: 8, MinNativeCalls: 16, MinJNICalls: 8},
+	})
+}

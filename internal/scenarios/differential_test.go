@@ -1,0 +1,72 @@
+package scenarios
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/agents/ipa"
+	"repro/internal/agents/spa"
+	"repro/internal/core"
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+// TestNewFamiliesFastLoopDifferential extends the dual-dispatch-loop
+// guarantee to every non-paper scenario family: each workload, run
+// uninstrumented and under SPA and IPA, produces identical results,
+// cycles, instruction counts, ground truth and agent reports on the fast
+// loop and the fully instrumented loop. The new phase kinds (alloc,
+// deepchain, exception, contend) exercise interpreter paths — throw
+// unwinding, deep frames, static-field traffic — the paper suite never
+// reaches.
+func TestNewFamiliesFastLoopDifferential(t *testing.T) {
+	agents := map[string]func() core.Agent{
+		"none": func() core.Agent { return nil },
+		"SPA":  func() core.Agent { return spa.New() },
+		"IPA":  func() core.Agent { return ipa.New() },
+	}
+	for _, name := range Names() {
+		sc, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sc.Family == "paper" {
+			continue // covered by the harness differential test
+		}
+		w := sc.Workload.Scale(10)
+		for agentName, mk := range agents {
+			t.Run(name+"/"+agentName, func(t *testing.T) {
+				run := func(force bool) *core.RunResult {
+					prog, err := workloads.BuildWorkload(w)
+					if err != nil {
+						t.Fatal(err)
+					}
+					opts := vm.DefaultOptions()
+					opts.ForceInstrumentedLoop = force
+					res, err := core.Run(prog, mk(), opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					return res
+				}
+				fast := run(false)
+				slow := run(true)
+				if fast.MainResult != slow.MainResult {
+					t.Errorf("MainResult: fast %d, instrumented %d", fast.MainResult, slow.MainResult)
+				}
+				if fast.TotalCycles != slow.TotalCycles {
+					t.Errorf("TotalCycles: fast %d, instrumented %d", fast.TotalCycles, slow.TotalCycles)
+				}
+				if fast.Instructions != slow.Instructions {
+					t.Errorf("Instructions: fast %d, instrumented %d", fast.Instructions, slow.Instructions)
+				}
+				if fast.Truth != slow.Truth {
+					t.Errorf("GroundTruth: fast %+v, instrumented %+v", fast.Truth, slow.Truth)
+				}
+				if !reflect.DeepEqual(fast.Report, slow.Report) {
+					t.Errorf("agent report diverged:\nfast: %+v\ninstrumented: %+v", fast.Report, slow.Report)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package scenarios
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/workloads"
+)
+
+const sampleFile = `{
+  "scenarios": [
+    {
+      "name": "parse-mixed",
+      "family": "parse-test",
+      "outerIters": 500,
+      "threads": 2,
+      "opsPerIter": 3,
+      "phases": [
+        {"kind": "bytecode", "calls": 6, "work": 4},
+        {"kind": "native", "calls": 2, "work": 25, "jniEvery": 5, "callbackWork": 3},
+        {"kind": "alloc", "calls": 1, "work": 8, "size": 64}
+      ],
+      "checks": {"maxNativePct": 40, "minNativeCalls": 4}
+    },
+    {
+      "name": "parse-plain",
+      "outerIters": 100,
+      "phases": [{"kind": "exception", "calls": 2, "depth": 5}]
+    }
+  ]
+}`
+
+func TestParseScenarioFile(t *testing.T) {
+	scns, err := ParseBytes([]byte(sampleFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scns) != 2 {
+		t.Fatalf("parsed %d scenarios", len(scns))
+	}
+	first := scns[0]
+	if first.Name() != "parse-mixed" || first.Family != "parse-test" {
+		t.Fatalf("first = %+v", first)
+	}
+	if len(first.Workload.Phases) != 3 || first.Workload.Phases[1].JNIEvery != 5 {
+		t.Fatalf("phases = %+v", first.Workload.Phases)
+	}
+	if first.Checks.MaxNativePct != 40 || first.Checks.MinNativeCalls != 4 {
+		t.Fatalf("checks = %+v", first.Checks)
+	}
+	// Defaults: family "custom", class name derived from the scenario name.
+	second := scns[1]
+	if second.Family != "custom" {
+		t.Fatalf("default family = %q", second.Family)
+	}
+	if second.Workload.ClassName != "scenario/parse_plain" {
+		t.Fatalf("derived class name = %q", second.Workload.ClassName)
+	}
+	// Parsed scenarios must be buildable as-is.
+	for _, sc := range scns {
+		if _, err := workloads.BuildWorkload(sc.Workload); err != nil {
+			t.Errorf("%s: %v", sc.Name(), err)
+		}
+	}
+}
+
+// TestScenarioFileRoundTrip: Marshal is the inverse of Parse — a parsed
+// file re-marshalled and re-parsed yields identical scenarios.
+func TestScenarioFileRoundTrip(t *testing.T) {
+	scns, err := ParseBytes([]byte(sampleFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := Marshal(scns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := ParseBytes(data)
+	if err != nil {
+		t.Fatalf("re-parsing marshalled file: %v\n%s", err, data)
+	}
+	if !reflect.DeepEqual(scns, again) {
+		t.Fatalf("round trip diverged:\nfirst:  %+v\nsecond: %+v", scns, again)
+	}
+}
+
+func TestParseRejectsUnknownPhase(t *testing.T) {
+	_, err := ParseBytes([]byte(`{"scenarios":[{"name":"x","outerIters":10,
+		"phases":[{"kind":"quantum-loop"}]}]}`))
+	if err == nil || !strings.Contains(err.Error(), "unknown phase kind") {
+		t.Fatalf("err = %v", err)
+	}
+	// The error names the offending scenario.
+	if !strings.Contains(err.Error(), `"x"`) {
+		t.Fatalf("error %v does not name the scenario", err)
+	}
+}
+
+func TestParseRejectsInvalidParameter(t *testing.T) {
+	cases := map[string]string{
+		"calls out of range": `{"scenarios":[{"name":"x","outerIters":10,
+			"phases":[{"kind":"bytecode","calls":999}]}]}`,
+		"negative work": `{"scenarios":[{"name":"x","outerIters":10,
+			"phases":[{"kind":"bytecode","work":-3}]}]}`,
+		"zero iterations": `{"scenarios":[{"name":"x","outerIters":0,
+			"phases":[{"kind":"bytecode"}]}]}`,
+		"depth out of range": `{"scenarios":[{"name":"x","outerIters":5,
+			"phases":[{"kind":"deepchain","depth":1000}]}]}`,
+		"inconsistent checks": `{"scenarios":[{"name":"x","outerIters":5,
+			"phases":[{"kind":"bytecode"}],"checks":{"minNativePct":9,"maxNativePct":1}}]}`,
+		"bad warehouse count": `{"scenarios":[{"name":"x","outerIters":5,
+			"phases":[{"kind":"bytecode"}],"warehouseSequence":[0]}]}`,
+		"parameter unused by the kind": `{"scenarios":[{"name":"x","outerIters":5,
+			"phases":[{"kind":"array","size":64}]}]}`,
+	}
+	for label, doc := range cases {
+		if _, err := ParseBytes([]byte(doc)); err == nil {
+			t.Errorf("%s: accepted", label)
+		}
+	}
+}
+
+func TestParseRejectsUnknownField(t *testing.T) {
+	_, err := ParseBytes([]byte(`{"scenarios":[{"name":"x","outerIters":10,
+		"phases":[{"kind":"bytecode","clals":3}]}]}`))
+	if err == nil || !strings.Contains(err.Error(), "clals") {
+		t.Fatalf("misspelled field accepted: %v", err)
+	}
+}
+
+func TestParseRejectsTrailingContent(t *testing.T) {
+	doc := `{"scenarios":[{"name":"x","outerIters":5,"phases":[{"kind":"bytecode"}]}]}`
+	if _, err := ParseBytes([]byte(doc + doc)); err == nil ||
+		!strings.Contains(err.Error(), "trailing content") {
+		t.Fatal("duplicated document accepted; later scenarios would be dropped silently")
+	}
+}
+
+func TestParseRejectsEmptyAndDuplicates(t *testing.T) {
+	if _, err := ParseBytes([]byte(`{"scenarios":[]}`)); err == nil {
+		t.Fatal("empty scenario list accepted")
+	}
+	if _, err := ParseBytes([]byte(`{"scenarios":[
+		{"name":"dup","outerIters":5,"phases":[{"kind":"bytecode"}]},
+		{"name":"dup","outerIters":5,"phases":[{"kind":"bytecode"}]}]}`)); err == nil {
+		t.Fatal("duplicate names accepted")
+	}
+}
+
+func TestLoadFileRegisters(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "scn.json")
+	doc := `{"scenarios":[{"name":"loadfile-unique-name","outerIters":20,
+		"phases":[{"kind":"contend","calls":1,"work":4}]}]}`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	scns, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scns) != 1 {
+		t.Fatalf("loaded %d scenarios", len(scns))
+	}
+	got, err := Get("loadfile-unique-name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Family != "custom" {
+		t.Fatalf("family = %q", got.Family)
+	}
+	// Loading again collides with the registered name.
+	if _, err := LoadFile(path); err == nil {
+		t.Fatal("second load of the same file succeeded")
+	}
+	if _, err := LoadFile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file loaded")
+	}
+	// A load that fails on a later entry must register nothing: the fresh
+	// name declared before the colliding one stays unregistered.
+	partial := filepath.Join(dir, "partial.json")
+	doc = `{"scenarios":[
+		{"name":"atomic-fresh-name","outerIters":5,"phases":[{"kind":"bytecode"}]},
+		{"name":"compress","outerIters":5,"phases":[{"kind":"bytecode"}]}]}`
+	if err := os.WriteFile(partial, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(partial); err == nil {
+		t.Fatal("load colliding with a builtin succeeded")
+	}
+	if _, err := Get("atomic-fresh-name"); err == nil {
+		t.Fatal("failed load left an earlier entry registered")
+	}
+}

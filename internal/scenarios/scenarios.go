@@ -1,0 +1,223 @@
+// Package scenarios is the declarative workload registry: every runnable
+// scenario — the paper's eight SPEC stand-ins and any number of synthetic
+// families — is a named entry holding a phase-composed workload, optional
+// paper reference numbers, and per-scenario expected-value checks the
+// campaign harness enforces.
+//
+// The built-in catalogue registers the `paper` profile (the Table I/II
+// benchmarks, byte-identical to the pre-registry suite) plus the
+// gc-heavy, exception-heavy, deep-chains and contended families. External
+// scenario files (see file.go) register additional entries at runtime, so
+// a new workload idea is a JSON entry, not a code fork.
+package scenarios
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/workloads"
+)
+
+// Checks are the per-scenario expected-value assertions the campaign
+// harness evaluates after measuring a scenario. Zero values disable a
+// check, so a scenario declares only the properties it guarantees.
+type Checks struct {
+	// MinNativePct / MaxNativePct bound the ground-truth native share of
+	// execution, in percent. MaxNativePct == 0 means unbounded.
+	MinNativePct float64 `json:"minNativePct,omitempty"`
+	MaxNativePct float64 `json:"maxNativePct,omitempty"`
+	// MinNativeCalls / MinJNICalls are lower bounds on the ground-truth
+	// transition counts, declared at the scenario's full calibrated size;
+	// scaled campaign runs divide the bounds by the scale factor to
+	// match the shrunken workload.
+	MinNativeCalls uint64 `json:"minNativeCalls,omitempty"`
+	MinJNICalls    uint64 `json:"minJNICalls,omitempty"`
+	// MinThreads is a lower bound on the threads the run created.
+	MinThreads int `json:"minThreads,omitempty"`
+	// MaxIPAOverheadPct bounds IPA's overhead versus the uninstrumented
+	// run, in percent; it is checked only when the campaign's agent set
+	// includes both.
+	MaxIPAOverheadPct float64 `json:"maxIPAOverheadPct,omitempty"`
+}
+
+// Validate checks the bounds for consistency.
+func (c Checks) Validate() error {
+	if c.MinNativePct < 0 || c.MaxNativePct < 0 || c.MaxIPAOverheadPct < 0 || c.MinThreads < 0 {
+		return fmt.Errorf("scenarios: negative check bound")
+	}
+	if c.MaxNativePct > 0 && c.MinNativePct > c.MaxNativePct {
+		return fmt.Errorf("scenarios: minNativePct %.2f above maxNativePct %.2f",
+			c.MinNativePct, c.MaxNativePct)
+	}
+	return nil
+}
+
+// Scenario is one registered workload with its measurement metadata.
+type Scenario struct {
+	// Family groups scenarios into profiles ("paper", "gc-heavy", ...).
+	Family string
+	// Workload is the phase-composed program description.
+	Workload workloads.Workload
+	// WarehouseSequence, when non-empty, runs the workload once per entry
+	// with Threads set to the entry value and aggregates the results —
+	// the paper's SPEC JBB2005 protocol. Empty means a single run.
+	WarehouseSequence []int
+	// Expected holds the paper's Table I/II reference row; zero for
+	// scenarios outside the paper profile.
+	Expected workloads.Expected
+	// Checks are the expected-value assertions the campaign enforces.
+	Checks Checks
+}
+
+// Name returns the scenario's workload name, its registry key.
+func (s Scenario) Name() string { return s.Workload.Name }
+
+// Validate checks the scenario for registrability.
+func (s Scenario) Validate() error {
+	if s.Family == "" {
+		return fmt.Errorf("scenarios: %s: empty family", s.Workload.Name)
+	}
+	if err := s.Workload.Validate(); err != nil {
+		return err
+	}
+	for _, w := range s.WarehouseSequence {
+		if w < 1 || w > 64 {
+			return fmt.Errorf("scenarios: %s: warehouse count %d out of range", s.Name(), w)
+		}
+	}
+	if err := s.Checks.Validate(); err != nil {
+		return fmt.Errorf("scenarios: %s: %w", s.Name(), err)
+	}
+	return nil
+}
+
+// registry holds the scenarios in registration order; the order is the
+// deterministic iteration order of profiles and "all".
+var registry = struct {
+	sync.RWMutex
+	order []string
+	byKey map[string]Scenario
+}{byKey: map[string]Scenario{}}
+
+// Register adds a scenario under its workload name. Duplicate names and
+// invalid scenarios are errors.
+func Register(s Scenario) error {
+	return RegisterAll([]Scenario{s})
+}
+
+// RegisterAll registers a batch atomically: every scenario is validated
+// and checked against the registry before any is added, so a failed load
+// never leaves a half-registered file behind.
+func RegisterAll(list []Scenario) error {
+	for _, s := range list {
+		if err := s.Validate(); err != nil {
+			return err
+		}
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	seen := map[string]bool{}
+	for _, s := range list {
+		if _, dup := registry.byKey[s.Name()]; dup || seen[s.Name()] {
+			return fmt.Errorf("scenarios: duplicate scenario %q", s.Name())
+		}
+		seen[s.Name()] = true
+	}
+	for _, s := range list {
+		registry.order = append(registry.order, s.Name())
+		registry.byKey[s.Name()] = s
+	}
+	return nil
+}
+
+// mustRegister registers a built-in scenario; a failure is a programming
+// error in the catalogue, not a runtime condition.
+func mustRegister(s Scenario) {
+	if err := Register(s); err != nil {
+		panic(err)
+	}
+}
+
+// Get returns the scenario registered under name.
+func Get(name string) (Scenario, error) {
+	registry.RLock()
+	defer registry.RUnlock()
+	s, ok := registry.byKey[name]
+	if !ok {
+		return Scenario{}, fmt.Errorf("scenarios: unknown scenario %q (known: %v)", name, namesLocked())
+	}
+	return s, nil
+}
+
+// Names lists every registered scenario in registration order.
+func Names() []string {
+	registry.RLock()
+	defer registry.RUnlock()
+	return namesLocked()
+}
+
+func namesLocked() []string {
+	return append([]string(nil), registry.order...)
+}
+
+// Families lists the distinct scenario families, sorted.
+func Families() []string {
+	registry.RLock()
+	defer registry.RUnlock()
+	return familiesLocked()
+}
+
+// familiesLocked is Families with the registry lock already held; error
+// paths inside locked sections must use it — sync.RWMutex forbids
+// recursive read-locking.
+func familiesLocked() []string {
+	seen := map[string]bool{}
+	for _, n := range registry.order {
+		seen[registry.byKey[n].Family] = true
+	}
+	out := make([]string, 0, len(seen))
+	for f := range seen {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Profile resolves a profile name to its member scenarios in registration
+// order: a family name selects that family, "all" selects everything.
+func Profile(name string) ([]Scenario, error) {
+	registry.RLock()
+	defer registry.RUnlock()
+	var out []Scenario
+	for _, n := range registry.order {
+		s := registry.byKey[n]
+		if name == "all" || s.Family == name {
+			out = append(out, s)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("scenarios: unknown profile %q (known: all, %v)", name, familiesLocked())
+	}
+	return out, nil
+}
+
+// Resolve maps a mixed list of scenario names, family names and the word
+// "all" to scenarios, preserving argument order and expanding profiles in
+// registration order.
+func Resolve(names []string) ([]Scenario, error) {
+	var out []Scenario
+	for _, n := range names {
+		if s, err := Get(n); err == nil {
+			out = append(out, s)
+			continue
+		}
+		group, err := Profile(n)
+		if err != nil {
+			return nil, fmt.Errorf("scenarios: %q is neither a scenario nor a profile (scenarios: %v; profiles: all, %v)",
+				n, Names(), Families())
+		}
+		out = append(out, group...)
+	}
+	return out, nil
+}

@@ -1,0 +1,125 @@
+package scenarios
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/workloads"
+)
+
+// TestPaperProfileMirrorsSuite: the paper profile must expose the eight
+// calibrated suite benchmarks, in suite order, with their paper numbers.
+func TestPaperProfileMirrorsSuite(t *testing.T) {
+	paper, err := Profile("paper")
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite := workloads.Suite()
+	if len(paper) != len(suite) {
+		t.Fatalf("paper profile has %d scenarios, suite %d", len(paper), len(suite))
+	}
+	for i, sc := range paper {
+		if sc.Name() != suite[i].Spec.Name {
+			t.Errorf("position %d: scenario %q, suite %q", i, sc.Name(), suite[i].Spec.Name)
+		}
+		if sc.Expected != suite[i].Expected {
+			t.Errorf("%s: expected values diverge from the suite", sc.Name())
+		}
+	}
+}
+
+func TestBuiltinFamilies(t *testing.T) {
+	fams := Families()
+	for _, want := range []string{"paper", "gc-heavy", "exception-heavy", "deep-chains", "contended"} {
+		found := false
+		for _, f := range fams {
+			if f == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("family %q missing (have %v)", want, fams)
+		}
+		group, err := Profile(want)
+		if err != nil {
+			t.Errorf("Profile(%q): %v", want, err)
+		} else if len(group) < 2 && want != "paper" {
+			t.Errorf("family %q has only %d scenarios", want, len(group))
+		}
+	}
+}
+
+// TestBuiltinsBuildable: every registered scenario must generate a valid
+// program, including its warehouse-sequence variants.
+func TestBuiltinsBuildable(t *testing.T) {
+	for _, name := range Names() {
+		sc, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		threadCounts := sc.WarehouseSequence
+		if len(threadCounts) == 0 {
+			threadCounts = []int{sc.Workload.Threads}
+		}
+		for _, threads := range threadCounts {
+			w := sc.Workload.Scale(50)
+			w.Threads = threads
+			if _, err := workloads.BuildWorkload(w); err != nil {
+				t.Errorf("%s (threads=%d): %v", name, threads, err)
+			}
+		}
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	_, err := Get("definitely-not-registered")
+	if err == nil || !strings.Contains(err.Error(), "unknown scenario") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestProfileAllAndResolve(t *testing.T) {
+	all, err := Profile("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(Names()) {
+		t.Fatalf("all = %d scenarios, registry has %d", len(all), len(Names()))
+	}
+	// Mixed resolution: a scenario name, a family, and "all".
+	got, err := Resolve([]string{"compress", "gc-heavy"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0].Name() != "compress" {
+		t.Fatalf("Resolve mixed = %v", names(got))
+	}
+	if _, err := Resolve([]string{"no-such-thing"}); err == nil {
+		t.Fatal("Resolve(no-such-thing) succeeded")
+	}
+}
+
+func TestRegisterRejectsDuplicatesAndInvalid(t *testing.T) {
+	w := workloads.Workload{Name: "compress", ClassName: "t/C", OuterIters: 1,
+		Phases: []workloads.Phase{{Kind: workloads.PhaseBytecode}}}
+	if err := Register(Scenario{Family: "custom", Workload: w}); err == nil {
+		t.Fatal("duplicate name registered")
+	}
+	w.Name = "broken-checks"
+	err := Register(Scenario{Family: "custom", Workload: w,
+		Checks: Checks{MinNativePct: 50, MaxNativePct: 10}})
+	if err == nil || !strings.Contains(err.Error(), "minNativePct") {
+		t.Fatalf("inconsistent checks registered: %v", err)
+	}
+	if err := Register(Scenario{Workload: w}); err == nil {
+		t.Fatal("empty family registered")
+	}
+}
+
+func names(scs []Scenario) []string {
+	out := make([]string, len(scs))
+	for i, s := range scs {
+		out[i] = s.Name()
+	}
+	return out
+}

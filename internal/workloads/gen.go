@@ -1,28 +1,32 @@
-// Package workloads synthesizes the benchmark programs of the evaluation:
-// stand-ins for the seven SPEC JVM98 benchmarks and SPEC JBB2005
-// (Section V). Each workload is a real bytecode program for the simulated
-// JVM, generated from a Spec that fixes the benchmark's method-call
-// density, bytecode/native work mix, native-method call counts and JNI
-// callback counts — the dimensions that determine both the Table I
-// overheads and the Table II native-execution statistics.
+// Package workloads synthesizes benchmark programs for the simulated JVM.
+// Every workload is a named sequence of composable phases (the Workload
+// type in phase.go) that compile to real bytecode through the generator in
+// build.go; the phase vocabulary covers bytecode loops, array sweeps,
+// native calls, JNI callbacks, allocation bursts, deep recursive chains,
+// exception throw/catch and multi-thread contention.
 //
-// The suite in suite.go calibrates one Spec per benchmark so the *shape*
-// of the paper's results (which benchmarks are native-heavy, which are
+// The stand-ins for the seven SPEC JVM98 benchmarks and SPEC JBB2005
+// (Section V) are one fixed phase shape — bytecode, array, native —
+// parameterized by the legacy Spec type below. Each Spec fixes the
+// benchmark's method-call density, bytecode/native work mix, native-method
+// call counts and JNI callback counts — the dimensions that determine both
+// the Table I overheads and the Table II native-execution statistics. The
+// suite in suite.go calibrates one Spec per benchmark so the *shape* of
+// the paper's results (which benchmarks are native-heavy, which are
 // call-dense, where SPA hurts most) is reproduced; absolute cycle counts
 // are simulator-scale, not Pentium 4-scale.
 package workloads
 
 import (
 	"fmt"
-	"sync"
 
-	"repro/internal/bytecode"
-	"repro/internal/classfile"
 	"repro/internal/core"
-	"repro/internal/vm"
 )
 
-// Spec parameterizes one synthetic workload.
+// Spec parameterizes one synthetic workload of the paper's fixed shape: an
+// outer loop of bytecode calls, an optional array sweep, and native calls
+// with periodic JNI callbacks. It is the legacy, pre-phase description;
+// Workload() converts it to the composable form every other scenario uses.
 type Spec struct {
 	// Name is the benchmark name ("compress", "jbb2005", ...).
 	Name string
@@ -83,6 +87,41 @@ func (s Spec) Validate() error {
 	return nil
 }
 
+// Workload converts the legacy spec to its composable phase form: a
+// bytecode phase, an array phase when ArrayWork is set, and a native
+// phase. The bytecode and native phases are present even at zero call
+// counts so the generated class keeps its historical shape (helper,
+// callback and nwork members always exist).
+func (s Spec) Workload() Workload {
+	phases := []Phase{{Kind: PhaseBytecode, Calls: s.CallsPerIter, Work: s.WorkPerCall}}
+	if s.ArrayWork > 0 {
+		phases = append(phases, Phase{Kind: PhaseArray, Work: s.ArrayWork})
+	}
+	native := Phase{
+		Kind:               PhaseNative,
+		Calls:              s.NativeCallsPerIter,
+		Work:               int(s.NativeWork),
+		JNIEvery:           s.JNIEvery,
+		CallbacksPerNative: s.CallbacksPerNative,
+		CallbackWork:       s.CallbackWork,
+	}
+	// Legacy specs may carry callback parameters with JNIEvery disabled;
+	// the callback never runs then, and the strict phase validator
+	// rejects dead parameters, so drop them in the conversion.
+	if native.JNIEvery <= 0 {
+		native.JNIEvery, native.CallbacksPerNative, native.CallbackWork = 0, 0, 0
+	}
+	phases = append(phases, native)
+	return Workload{
+		Name:       s.Name,
+		ClassName:  s.ClassName,
+		OuterIters: s.OuterIters,
+		Threads:    s.Threads,
+		OpsPerIter: s.OpsPerIter,
+		Phases:     phases,
+	}
+}
+
 // Scale returns a copy of the spec with the outer iteration count divided
 // by k (minimum 1), preserving the per-iteration mix. Tests run scaled
 // specs; benchmarks run them at full size.
@@ -100,289 +139,21 @@ func (s Spec) Scale(k int) Spec {
 // ExpectedNativeCalls returns the number of application-level native
 // method invocations the workload will perform.
 func (s Spec) ExpectedNativeCalls() uint64 {
-	workers := s.workers()
-	return uint64(workers) * uint64(s.OuterIters) * uint64(s.NativeCallsPerIter)
+	return s.Workload().ExpectedNativeCalls()
 }
 
 // ExpectedJNICallbacks returns the number of JNI callbacks native code
 // will make (excluding the per-thread launcher invocation).
 func (s Spec) ExpectedJNICallbacks() uint64 {
-	if s.JNIEvery <= 0 {
-		return 0
-	}
-	per := s.CallbacksPerNative
-	if per < 1 {
-		per = 1
-	}
-	return s.ExpectedNativeCalls() / uint64(s.JNIEvery) * uint64(per)
+	return s.Workload().ExpectedJNICallbacks()
 }
 
-func (s Spec) workers() int {
-	if s.Threads < 2 {
-		return 1
-	}
-	return s.Threads
-}
-
-// Build generates the workload program: its classes, native library and
-// entry point. Each call returns a fresh Program with fresh native-library
-// state, so concurrent runs do not share counters.
+// Build generates the workload program from the legacy spec form. Each
+// call returns a fresh Program with fresh native-library state, so
+// concurrent runs do not share counters.
 func Build(s Spec) (*core.Program, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
-	cls, err := buildClass(s)
-	if err != nil {
-		return nil, err
-	}
-	lib, err := buildLibrary(s)
-	if err != nil {
-		return nil, err
-	}
-	workers := s.workers()
-	return &core.Program{
-		Name:      s.Name,
-		Classes:   []*classfile.Class{cls},
-		Libraries: []vm.NativeLibrary{lib},
-		MainClass: s.ClassName,
-		MainName:  "main",
-		MainDesc:  "(I)J",
-		Args:      []int64{int64(s.OuterIters)},
-		Ops:       uint64(workers) * uint64(s.OuterIters) * s.OpsPerIter,
-	}, nil
-}
-
-// buildClass assembles the benchmark class:
-//
-//	static long main(int iters)      — spawns warehouses, runs a worker
-//	static long worker(int iters)    — the mixed bytecode/native loop
-//	static long helper(long x)       — bytecode work kernel
-//	static long arrwork(long x)      — array-processing kernel
-//	static long callback(long x)     — target of JNI callbacks
-//	static native long nwork(long x) — the native kernel
-//	static native void spawn(int n)  — warehouse creation (Threads >= 2)
-func buildClass(s Spec) (*classfile.Class, error) {
-	var methods []*classfile.Method
-
-	mainM, err := buildMain(s)
-	if err != nil {
-		return nil, err
-	}
-	workerM, err := buildWorker(s)
-	if err != nil {
-		return nil, err
-	}
-	helperM, err := buildKernel("helper", s.WorkPerCall)
-	if err != nil {
-		return nil, err
-	}
-	cbM, err := buildKernel("callback", s.CallbackWork)
-	if err != nil {
-		return nil, err
-	}
-	methods = append(methods, mainM, workerM, helperM, cbM)
-
-	if s.ArrayWork > 0 {
-		arrM, err := buildArrayKernel(s.ArrayWork)
-		if err != nil {
-			return nil, err
-		}
-		methods = append(methods, arrM)
-	}
-	methods = append(methods, &classfile.Method{
-		Name: "nwork", Desc: "(J)J",
-		Flags: classfile.AccPublic | classfile.AccStatic | classfile.AccNative,
-	})
-	if s.workers() > 1 {
-		methods = append(methods, &classfile.Method{
-			Name: "spawn", Desc: "(I)V",
-			Flags: classfile.AccPublic | classfile.AccStatic | classfile.AccNative,
-		})
-	}
-	cls := &classfile.Class{
-		Name:       s.ClassName,
-		SourceFile: s.Name + ".gen",
-		Methods:    methods,
-	}
-	if err := cls.Validate(); err != nil {
-		return nil, err
-	}
-	return cls, nil
-}
-
-// buildMain: with warehouses, spawn(Threads-1) then run one worker on the
-// main thread; otherwise just run the worker.
-func buildMain(s Spec) (*classfile.Method, error) {
-	a := bytecode.NewAssembler()
-	if s.workers() > 1 {
-		a.Const(int64(s.workers() - 1))
-		a.InvokeStatic(s.ClassName, "spawn", "(I)V")
-	}
-	a.Load(0)
-	a.InvokeStatic(s.ClassName, "worker", "(I)J")
-	a.IReturn()
-	return a.FinishMethod("main", "(I)J", classfile.AccPublic|classfile.AccStatic, 1, nil)
-}
-
-// buildWorker: locals 0=iters, 1=i, 2=acc.
-func buildWorker(s Spec) (*classfile.Method, error) {
-	a := bytecode.NewAssembler()
-	a.Const(0)
-	a.Store(2) // acc = 0
-	a.Const(0)
-	a.Store(1) // i = 0
-	top := a.NewLabel()
-	end := a.NewLabel()
-	a.Bind(top)
-	a.Load(1)
-	a.Load(0)
-	a.IfCmpge(end)
-	// Bytecode phase: CallsPerIter helper calls.
-	for c := 0; c < s.CallsPerIter; c++ {
-		a.Load(2)
-		a.InvokeStatic(s.ClassName, "helper", "(J)J")
-		a.Store(2)
-	}
-	// Array phase.
-	if s.ArrayWork > 0 {
-		a.Load(2)
-		a.InvokeStatic(s.ClassName, "arrwork", "(J)J")
-		a.Store(2)
-	}
-	// Native phase: NativeCallsPerIter native calls.
-	for c := 0; c < s.NativeCallsPerIter; c++ {
-		a.Load(2)
-		a.InvokeStatic(s.ClassName, "nwork", "(J)J")
-		a.Store(2)
-	}
-	a.Inc(1, 1)
-	a.Goto(top)
-	a.Bind(end)
-	a.Load(2)
-	a.IReturn()
-	return a.FinishMethod("worker", "(I)J", classfile.AccPublic|classfile.AccStatic, 3, nil)
-}
-
-// buildKernel: static long name(long x) { for k in 0..work { x = x*31 + 7 } return x }
-func buildKernel(name string, work int) (*classfile.Method, error) {
-	a := bytecode.NewAssembler()
-	if work > 0 {
-		a.Const(int64(work))
-		a.Store(1)
-		top := a.NewLabel()
-		end := a.NewLabel()
-		a.Bind(top)
-		a.Load(1)
-		a.Ifle(end)
-		a.Load(0)
-		a.Const(31)
-		a.Mul()
-		a.Const(7)
-		a.Add()
-		a.Store(0)
-		a.Inc(1, -1)
-		a.Goto(top)
-		a.Bind(end)
-	}
-	a.Load(0)
-	a.IReturn()
-	return a.FinishMethod(name, "(J)J", classfile.AccPublic|classfile.AccStatic, 2, nil)
-}
-
-// buildArrayKernel: allocate an array of n words once per call, fill it
-// with a recurrence and fold it back into the accumulator.
-func buildArrayKernel(n int) (*classfile.Method, error) {
-	a := bytecode.NewAssembler()
-	// locals: 0=x, 1=arr, 2=k
-	a.Const(int64(n))
-	a.NewArray()
-	a.Store(1)
-	a.Const(0)
-	a.Store(2)
-	fillTop := a.NewLabel()
-	fillEnd := a.NewLabel()
-	a.Bind(fillTop)
-	a.Load(2)
-	a.Const(int64(n))
-	a.IfCmpge(fillEnd)
-	a.Load(1)
-	a.Load(2)
-	a.Load(0)
-	a.Load(2)
-	a.Add() // x + k
-	a.AStore()
-	a.Inc(2, 1)
-	a.Goto(fillTop)
-	a.Bind(fillEnd)
-	// Fold: x = sum of elements.
-	a.Const(0)
-	a.Store(2)
-	foldTop := a.NewLabel()
-	foldEnd := a.NewLabel()
-	a.Bind(foldTop)
-	a.Load(2)
-	a.Const(int64(n))
-	a.IfCmpge(foldEnd)
-	a.Load(0)
-	a.Load(1)
-	a.Load(2)
-	a.ALoad()
-	a.Xor()
-	a.Store(0)
-	a.Inc(2, 1)
-	a.Goto(foldTop)
-	a.Bind(foldEnd)
-	a.Load(0)
-	a.IReturn()
-	return a.FinishMethod("arrwork", "(J)J", classfile.AccPublic|classfile.AccStatic, 3, nil)
-}
-
-// buildLibrary creates the workload's native library. The nwork kernel
-// models NativeWork cycles of native computation and performs a JNI
-// callback into Java every JNIEvery-th invocation. The spawn helper
-// creates warehouse threads.
-func buildLibrary(s Spec) (vm.NativeLibrary, error) {
-	var mu sync.Mutex
-	var calls uint64
-	funcs := map[string]vm.NativeFunc{
-		s.ClassName + ".nwork(J)J": func(env vm.Env, args []int64) (int64, error) {
-			env.Work(s.NativeWork)
-			doCallback := false
-			if s.JNIEvery > 0 {
-				mu.Lock()
-				calls++
-				doCallback = calls%uint64(s.JNIEvery) == 0
-				mu.Unlock()
-			}
-			if doCallback {
-				per := s.CallbacksPerNative
-				if per < 1 {
-					per = 1
-				}
-				r := args[0]
-				for k := 0; k < per; k++ {
-					var err error
-					r, err = env.CallStatic(s.ClassName, "callback", "(J)J", r)
-					if err != nil {
-						return 0, err
-					}
-				}
-				return r, nil
-			}
-			return args[0] + 1, nil
-		},
-	}
-	if s.workers() > 1 {
-		funcs[s.ClassName+".spawn(I)V"] = func(env vm.Env, args []int64) (int64, error) {
-			env.Work(200) // thread-creation native cost
-			for w := int64(0); w < args[0]; w++ {
-				name := fmt.Sprintf("warehouse-%d", w+1)
-				if _, err := env.VM().SpawnThread(name, s.ClassName, "worker", "(I)J", int64(s.OuterIters)); err != nil {
-					return 0, err
-				}
-			}
-			return 0, nil
-		}
-	}
-	return vm.NativeLibrary{Name: s.Name + "-native", Funcs: funcs}, nil
+	return BuildWorkload(s.Workload())
 }

@@ -1,0 +1,221 @@
+package workloads
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The phase vocabulary. A workload is a named sequence of phases; every
+// phase contributes a slice of the per-iteration work of the worker loop,
+// plus the kernel methods (and native functions) that work calls into.
+const (
+	// PhaseBytecode runs Calls invocations of a pure-bytecode kernel whose
+	// body is an inner loop of Work arithmetic steps — the method-call
+	// density dimension that drives SPA's per-event overhead.
+	PhaseBytecode = "bytecode"
+	// PhaseArray sweeps an array of Work elements (allocate, fill, fold)
+	// max(Calls,1) times per iteration — the db-style data loop.
+	PhaseArray = "array"
+	// PhaseNative makes Calls native invocations of Work simulated cycles
+	// each (J2N transitions); every JNIEvery-th invocation performs
+	// CallbacksPerNative JNI callbacks into Java of CallbackWork bytecode
+	// steps each (N2J transitions).
+	PhaseNative = "native"
+	// PhaseAlloc runs Calls invocations of an allocation-burst kernel that
+	// allocates Work fresh arrays of Size words each, touching every
+	// array — the gc-heavy shape.
+	PhaseAlloc = "alloc"
+	// PhaseDeepChain runs Calls recursive call chains of Depth frames with
+	// an inner loop of Work steps at the bottom — deep stacks at extreme
+	// call density.
+	PhaseDeepChain = "deepchain"
+	// PhaseException runs Calls protected calls that each throw after
+	// descending Depth frames (and Work steps of setup); the exception
+	// unwinds back to a catch-all handler — the throw/catch/unwind shape.
+	PhaseException = "exception"
+	// PhaseContend runs Calls invocations of a kernel that performs Work
+	// read-modify-write rounds on a static field shared by every worker
+	// thread — multi-thread contention on one memory location.
+	PhaseContend = "contend"
+)
+
+// PhaseKinds lists the known phase kinds in a stable order.
+func PhaseKinds() []string {
+	return []string{PhaseBytecode, PhaseArray, PhaseNative, PhaseAlloc,
+		PhaseDeepChain, PhaseException, PhaseContend}
+}
+
+// Phase is one composable slice of a workload's per-iteration behaviour.
+// The zero value of every parameter is meaningful per kind (see the kind
+// constants); unused parameters must stay zero so phase descriptions
+// round-trip through their declarative JSON form unchanged.
+type Phase struct {
+	// Kind selects the phase behaviour; one of PhaseKinds().
+	Kind string `json:"kind"`
+	// Calls is the number of kernel invocations per outer iteration.
+	Calls int `json:"calls,omitempty"`
+	// Work is the kind-specific size of one kernel invocation: inner-loop
+	// steps (bytecode, deepchain, exception setup), array elements
+	// (array), native cycles (native), allocations (alloc) or
+	// read-modify-write rounds (contend).
+	Work int `json:"work,omitempty"`
+	// Size is the words per allocation (alloc only; default 16).
+	Size int `json:"size,omitempty"`
+	// Depth is the frames per chain (deepchain) or frames unwound per
+	// throw (exception); default 1.
+	Depth int `json:"depth,omitempty"`
+	// JNIEvery makes every n-th native invocation perform JNI callbacks
+	// (native only); 0 disables callbacks.
+	JNIEvery int `json:"jniEvery,omitempty"`
+	// CallbacksPerNative is the callbacks per eligible native invocation
+	// (native only; default 1).
+	CallbacksPerNative int `json:"callbacksPerNative,omitempty"`
+	// CallbackWork is the bytecode loop length of one JNI callback
+	// (native only).
+	CallbackWork int `json:"callbackWork,omitempty"`
+}
+
+// Validate checks the phase parameters for generability and rejects
+// parameters that are meaningless for the kind — a "size" on an array
+// phase or a "jniEvery" on a bytecode phase is almost certainly a
+// misunderstanding of the vocabulary, and silently ignoring it would
+// measure the wrong workload.
+func (p Phase) Validate() error {
+	if p.Calls < 0 || p.Calls > 256 {
+		return fmt.Errorf("workloads: phase %s: calls %d out of range [0,256]", p.Kind, p.Calls)
+	}
+	if p.Work < 0 {
+		return fmt.Errorf("workloads: phase %s: negative work %d", p.Kind, p.Work)
+	}
+	// Every kind uses Calls and Work; the rest are kind-specific.
+	irrelevant := func(fields ...string) error {
+		zero := map[string]bool{"size": p.Size == 0, "depth": p.Depth == 0,
+			"jniEvery": p.JNIEvery == 0, "callbacksPerNative": p.CallbacksPerNative == 0,
+			"callbackWork": p.CallbackWork == 0}
+		for _, f := range fields {
+			if !zero[f] {
+				return fmt.Errorf("workloads: phase %s: parameter %q is not used by this kind; remove it", p.Kind, f)
+			}
+		}
+		return nil
+	}
+	switch p.Kind {
+	case PhaseBytecode, PhaseArray, PhaseContend:
+		return irrelevant("size", "depth", "jniEvery", "callbacksPerNative", "callbackWork")
+	case PhaseNative:
+		if p.JNIEvery < 0 || p.CallbacksPerNative < 0 || p.CallbackWork < 0 {
+			return fmt.Errorf("workloads: phase %s: negative callback parameter", p.Kind)
+		}
+		// Callback parameters without jniEvery would silently produce a
+		// workload with zero JNI callbacks.
+		if p.JNIEvery == 0 && (p.CallbacksPerNative != 0 || p.CallbackWork != 0) {
+			return fmt.Errorf("workloads: phase %s: callback parameters need jniEvery > 0", p.Kind)
+		}
+		return irrelevant("size", "depth")
+	case PhaseAlloc:
+		if p.Size < 0 || p.Size > 1<<20 {
+			return fmt.Errorf("workloads: phase %s: size %d out of range", p.Kind, p.Size)
+		}
+		return irrelevant("depth", "jniEvery", "callbacksPerNative", "callbackWork")
+	case PhaseDeepChain, PhaseException:
+		if p.Depth < 0 || p.Depth > 512 {
+			return fmt.Errorf("workloads: phase %s: depth %d out of range [0,512]", p.Kind, p.Depth)
+		}
+		return irrelevant("size", "jniEvery", "callbacksPerNative", "callbackWork")
+	default:
+		return fmt.Errorf("workloads: unknown phase kind %q (known: %s)",
+			p.Kind, strings.Join(PhaseKinds(), ", "))
+	}
+}
+
+// Workload is the phase-level description of a benchmark program: the
+// composable form every scenario reduces to. The legacy Spec is one fixed
+// phase sequence (bytecode, array, native); a Workload is any sequence.
+type Workload struct {
+	// Name is the workload name ("compress", "gc-churn", ...).
+	Name string `json:"name"`
+	// ClassName is the generated main class ("spec/jvm98/Compress").
+	ClassName string `json:"className"`
+	// OuterIters is the number of outer loop iterations per worker.
+	OuterIters int `json:"outerIters"`
+	// Threads is the number of worker threads (warehouses); values < 2
+	// mean the main thread does all the work.
+	Threads int `json:"threads,omitempty"`
+	// OpsPerIter is the operation count per iteration for throughput
+	// metrics (JBB2005 style).
+	OpsPerIter uint64 `json:"opsPerIter,omitempty"`
+	// Phases is the per-iteration work, executed in order.
+	Phases []Phase `json:"phases"`
+}
+
+// Validate checks the workload for generability.
+func (w Workload) Validate() error {
+	if w.Name == "" || w.ClassName == "" {
+		return fmt.Errorf("workloads: workload needs Name and ClassName")
+	}
+	if w.OuterIters <= 0 {
+		return fmt.Errorf("workloads: %s: OuterIters must be positive", w.Name)
+	}
+	if w.Threads > 64 {
+		return fmt.Errorf("workloads: %s: too many threads", w.Name)
+	}
+	if len(w.Phases) == 0 {
+		return fmt.Errorf("workloads: %s: at least one phase required", w.Name)
+	}
+	for i, p := range w.Phases {
+		if err := p.Validate(); err != nil {
+			return fmt.Errorf("workloads: %s: phase %d: %w", w.Name, i, err)
+		}
+	}
+	return nil
+}
+
+// Scale returns a copy with the outer iteration count divided by k
+// (minimum 1), preserving the per-iteration phase mix.
+func (w Workload) Scale(k int) Workload {
+	if k <= 0 {
+		k = 1
+	}
+	w.OuterIters = w.OuterIters / k
+	if w.OuterIters < 1 {
+		w.OuterIters = 1
+	}
+	return w
+}
+
+func (w Workload) workers() int {
+	if w.Threads < 2 {
+		return 1
+	}
+	return w.Threads
+}
+
+// ExpectedNativeCalls returns the number of application-level native
+// method invocations the workload will perform.
+func (w Workload) ExpectedNativeCalls() uint64 {
+	var perIter uint64
+	for _, p := range w.Phases {
+		if p.Kind == PhaseNative {
+			perIter += uint64(p.Calls)
+		}
+	}
+	return uint64(w.workers()) * uint64(w.OuterIters) * perIter
+}
+
+// ExpectedJNICallbacks returns the number of JNI callbacks native code
+// will make (excluding the per-thread launcher invocation).
+func (w Workload) ExpectedJNICallbacks() uint64 {
+	var total uint64
+	perWorker := uint64(w.workers()) * uint64(w.OuterIters)
+	for _, p := range w.Phases {
+		if p.Kind != PhaseNative || p.JNIEvery <= 0 {
+			continue
+		}
+		per := p.CallbacksPerNative
+		if per < 1 {
+			per = 1
+		}
+		total += perWorker * uint64(p.Calls) / uint64(p.JNIEvery) * uint64(per)
+	}
+	return total
+}

@@ -1,0 +1,255 @@
+package workloads
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/classfile"
+	"repro/internal/core"
+	"repro/internal/vm"
+)
+
+func TestPhaseValidate(t *testing.T) {
+	bad := []Phase{
+		{Kind: "warp-drive"},
+		{Kind: PhaseBytecode, Calls: -1},
+		{Kind: PhaseBytecode, Calls: 300},
+		{Kind: PhaseBytecode, Work: -5},
+		{Kind: PhaseAlloc, Size: -1},
+		{Kind: PhaseDeepChain, Depth: 4096},
+		{Kind: PhaseException, Depth: -1},
+		{Kind: PhaseNative, JNIEvery: -1},
+		// Parameters that exist but mean nothing for the kind are
+		// rejected, not silently ignored.
+		{Kind: PhaseArray, Size: 64},
+		{Kind: PhaseBytecode, Depth: 5},
+		{Kind: PhaseBytecode, JNIEvery: 3},
+		{Kind: PhaseAlloc, CallbackWork: 2},
+		{Kind: PhaseDeepChain, Size: 8},
+		{Kind: PhaseContend, CallbacksPerNative: 1},
+		{Kind: PhaseNative, Depth: 2},
+		// Callback parameters with jniEvery unset would run zero callbacks.
+		{Kind: PhaseNative, Calls: 1, CallbackWork: 5},
+		{Kind: PhaseNative, Calls: 1, CallbacksPerNative: 2},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("phase %+v validated", p)
+		}
+	}
+	for _, kind := range PhaseKinds() {
+		if err := (Phase{Kind: kind, Calls: 2, Work: 3}).Validate(); err != nil {
+			t.Errorf("minimal %s phase rejected: %v", kind, err)
+		}
+	}
+}
+
+func TestWorkloadValidate(t *testing.T) {
+	good := Workload{Name: "w", ClassName: "t/W", OuterIters: 10,
+		Phases: []Phase{{Kind: PhaseBytecode, Calls: 1, Work: 1}}}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Workload{
+		{ClassName: "t/W", OuterIters: 10, Phases: good.Phases},
+		{Name: "w", ClassName: "t/W", OuterIters: 0, Phases: good.Phases},
+		{Name: "w", ClassName: "t/W", OuterIters: 10},
+		{Name: "w", ClassName: "t/W", OuterIters: 10, Threads: 100, Phases: good.Phases},
+		{Name: "w", ClassName: "t/W", OuterIters: 10,
+			Phases: []Phase{{Kind: "nope"}}},
+	}
+	for i, w := range bad {
+		if err := w.Validate(); err == nil {
+			t.Errorf("workload %d validated: %+v", i, w)
+		}
+	}
+	// The phase index and kind appear in the error.
+	w := good
+	w.Phases = []Phase{{Kind: PhaseBytecode}, {Kind: "bogus"}}
+	err := w.Validate()
+	if err == nil || !strings.Contains(err.Error(), "phase 1") || !strings.Contains(err.Error(), "bogus") {
+		t.Fatalf("error %v does not locate the bad phase", err)
+	}
+}
+
+// TestLegacyClassBytesPinned pins the refactor invariant at the byte
+// level: for every calibrated suite benchmark, the class the phase
+// pipeline generates hashes identically to the class the pre-refactor
+// monolithic generator produced (testdata/legacy_class_hashes.json was
+// captured from the generator as it stood before the phase decomposition
+// — PR 2, commit d8634fa — at full calibrated size). Any drift in method
+// layout, bytecode, constants or reference tables shows up here, not
+// just in aggregate table output.
+func TestLegacyClassBytesPinned(t *testing.T) {
+	data, err := os.ReadFile("testdata/legacy_class_hashes.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want map[string][]string
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range Suite() {
+		prog, err := Build(b.Spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantHashes, ok := want[b.Spec.Name]
+		if !ok {
+			t.Errorf("%s: missing from the legacy hash pin", b.Spec.Name)
+			continue
+		}
+		if len(prog.Classes) != len(wantHashes) {
+			t.Errorf("%s: %d classes, legacy generator produced %d", b.Spec.Name, len(prog.Classes), len(wantHashes))
+			continue
+		}
+		for i, c := range prog.Classes {
+			var buf bytes.Buffer
+			if err := classfile.WriteClass(&buf, c); err != nil {
+				t.Fatal(err)
+			}
+			got := fmt.Sprintf("%x", sha256.Sum256(buf.Bytes()))
+			if got != wantHashes[i] {
+				t.Errorf("%s: class %d bytes diverged from the pre-refactor generator", b.Spec.Name, i)
+			}
+		}
+	}
+}
+
+// runWorkload builds and runs a workload uninstrumented, failing the test
+// on any error.
+func runWorkload(t *testing.T, w Workload) *core.RunResult {
+	t.Helper()
+	prog, err := BuildWorkload(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Run(prog, nil, vm.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestAllocPhaseRuns(t *testing.T) {
+	res := runWorkload(t, Workload{
+		Name: "alloc-t", ClassName: "t/Alloc", OuterIters: 50,
+		Phases: []Phase{{Kind: PhaseAlloc, Calls: 3, Work: 4, Size: 8}},
+	})
+	if res.TotalCycles == 0 {
+		t.Fatal("no cycles simulated")
+	}
+	// Purely bytecode-side: no native execution at all.
+	if res.Truth.NativeMethodCalls != 0 {
+		t.Fatalf("alloc workload made %d native calls", res.Truth.NativeMethodCalls)
+	}
+}
+
+func TestDeepChainPhaseRuns(t *testing.T) {
+	res := runWorkload(t, Workload{
+		Name: "chain-t", ClassName: "t/Chain", OuterIters: 20,
+		Phases: []Phase{{Kind: PhaseDeepChain, Calls: 2, Depth: 64, Work: 3}},
+	})
+	if res.TotalCycles == 0 {
+		t.Fatal("no cycles simulated")
+	}
+	// Determinism: an identical build runs to the identical result.
+	again := runWorkload(t, Workload{
+		Name: "chain-t", ClassName: "t/Chain", OuterIters: 20,
+		Phases: []Phase{{Kind: PhaseDeepChain, Calls: 2, Depth: 64, Work: 3}},
+	})
+	if res.MainResult != again.MainResult || res.TotalCycles != again.TotalCycles {
+		t.Fatal("deep-chain workload is not deterministic")
+	}
+}
+
+func TestDeepChainDepthBounded(t *testing.T) {
+	// Depth beyond the validator's ceiling must be rejected before it can
+	// blow the simulated frame stack.
+	w := Workload{Name: "chain-t", ClassName: "t/Chain", OuterIters: 1,
+		Phases: []Phase{{Kind: PhaseDeepChain, Calls: 1, Depth: 513}}}
+	if _, err := BuildWorkload(w); err == nil {
+		t.Fatal("depth 513 accepted")
+	}
+}
+
+func TestExceptionPhaseRuns(t *testing.T) {
+	// Every iteration throws and catches Calls exceptions; the run must
+	// complete normally with the handler's value folded into the result.
+	res := runWorkload(t, Workload{
+		Name: "exc-t", ClassName: "t/Exc", OuterIters: 30,
+		Phases: []Phase{{Kind: PhaseException, Calls: 4, Depth: 6, Work: 2}},
+	})
+	if res.TotalCycles == 0 {
+		t.Fatal("no cycles simulated")
+	}
+	if res.Truth.NativeMethodCalls != 0 {
+		t.Fatalf("exception workload made %d native calls", res.Truth.NativeMethodCalls)
+	}
+}
+
+func TestContendPhaseRuns(t *testing.T) {
+	res := runWorkload(t, Workload{
+		Name: "contend-t", ClassName: "t/Contend", OuterIters: 40, Threads: 4,
+		Phases: []Phase{{Kind: PhaseContend, Calls: 2, Work: 8}},
+	})
+	if res.Threads != 4 {
+		t.Fatalf("threads = %d, want 4", res.Threads)
+	}
+	if res.TotalCycles == 0 {
+		t.Fatal("no cycles simulated")
+	}
+}
+
+func TestMultiplePhasesOfSameKind(t *testing.T) {
+	// Two bytecode phases and two native phases coexist: kernels get
+	// ordinal-suffixed names and independent native symbols.
+	res := runWorkload(t, Workload{
+		Name: "multi-t", ClassName: "t/Multi", OuterIters: 25,
+		Phases: []Phase{
+			{Kind: PhaseBytecode, Calls: 2, Work: 3},
+			{Kind: PhaseNative, Calls: 1, Work: 10},
+			{Kind: PhaseBytecode, Calls: 1, Work: 5},
+			{Kind: PhaseNative, Calls: 2, Work: 4, JNIEvery: 3, CallbackWork: 2},
+		},
+	})
+	if want := uint64(25 * 3); res.Truth.NativeMethodCalls != want {
+		t.Fatalf("native calls = %d, want %d", res.Truth.NativeMethodCalls, want)
+	}
+}
+
+func TestExpectedCountsMatchEngine(t *testing.T) {
+	w := Workload{
+		Name: "counts-t", ClassName: "t/Counts", OuterIters: 30,
+		Phases: []Phase{
+			{Kind: PhaseNative, Calls: 4, Work: 5, JNIEvery: 3, CallbacksPerNative: 2, CallbackWork: 1},
+		},
+	}
+	res := runWorkload(t, w)
+	if got, want := res.Truth.NativeMethodCalls, w.ExpectedNativeCalls(); got != want {
+		t.Fatalf("native calls = %d, want %d", got, want)
+	}
+	// JNI calls = callbacks + the launcher invocation of the main thread.
+	if got, want := res.Truth.JNICalls, w.ExpectedJNICallbacks()+1; got != want {
+		t.Fatalf("JNI calls = %d, want %d", got, want)
+	}
+}
+
+func TestWorkloadScale(t *testing.T) {
+	w := Workload{Name: "s", ClassName: "t/S", OuterIters: 100,
+		Phases: []Phase{{Kind: PhaseBytecode, Calls: 1}}}
+	if got := w.Scale(40).OuterIters; got != 2 {
+		t.Fatalf("Scale(40) iters = %d", got)
+	}
+	if got := w.Scale(1000).OuterIters; got != 1 {
+		t.Fatalf("Scale(1000) iters = %d", got)
+	}
+	if got := w.Scale(0).OuterIters; got != 100 {
+		t.Fatalf("Scale(0) iters = %d", got)
+	}
+}

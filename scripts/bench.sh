@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # bench.sh — run the interpreter micro-benchmarks and the Table I
-# campaign benchmarks, and record ns/op in the BENCH_PR2.json ledger so
-# the performance trajectory is tracked from PR 2 on.
+# campaign benchmarks, and record ns/op in the BENCH_PR3.json ledger so
+# the performance trajectory is tracked PR over PR (PR 2's numbers stay
+# in BENCH_PR2.json).
 #
 # Usage:
 #   scripts/bench.sh [label]
@@ -12,13 +13,13 @@
 #
 # Environment:
 #   BENCHTIME  go test -benchtime value (default 2s)
-#   OUT        ledger file (default BENCH_PR2.json)
+#   OUT        ledger file (default BENCH_PR3.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 LABEL=${1:-current}
 BENCHTIME=${BENCHTIME:-2s}
-OUT=${OUT:-BENCH_PR2.json}
+OUT=${OUT:-BENCH_PR3.json}
 
 {
   # Interpreter and call-machinery micro-benchmarks.
