@@ -4,8 +4,9 @@
 //
 // Usage:
 //
-//	jprof [-agent spa|ipa|chains|sampler|bic|none] [-scenario FILE]
-//	      [-scale K] [-parallel N] [-list] <scenario|family>... | all
+//	jprof [-agent spa|ipa|chains|sampler|bic|none] [-engine interp|jit|auto]
+//	      [-scenario FILE] [-scale K] [-parallel N] [-tierstats] [-list]
+//	      <scenario|family>... | all
 //
 // Arguments name registered scenarios ("compress", "gc-churn"),
 // scenario families ("paper", "gc-heavy", "exception-heavy",
@@ -32,6 +33,7 @@ import (
 	"repro/internal/agents/ipa"
 	"repro/internal/agents/registry"
 	"repro/internal/core"
+	"repro/internal/jit"
 	"repro/internal/runner"
 	"repro/internal/scenarios"
 	"repro/internal/vm"
@@ -40,10 +42,12 @@ import (
 
 func main() {
 	agentName := registry.AddFlag(flag.CommandLine, "ipa")
+	engineName := jit.AddEngineFlag(flag.CommandLine)
 	scale := flag.Int("scale", 1, "iteration divisor (1 = full calibrated size)")
 	list := flag.Bool("list", false, "list available scenarios and exit")
 	asJSON := flag.Bool("json", false, "emit the results as JSON")
 	perMethod := flag.Bool("permethod", false, "with -agent ipa: per-native-method breakdown")
+	tierStats := flag.Bool("tierstats", false, "append the execution tier's host-side statistics per run")
 	scenarioFile := scenarios.AddFlag(flag.CommandLine)
 	parallel := runner.AddFlag(flag.CommandLine)
 	flag.Parse()
@@ -58,25 +62,38 @@ func main() {
 		return
 	}
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: jprof [-agent NAME] [-scenario FILE] [-scale K] [-parallel N] <scenario|family>... | all")
+		fmt.Fprintln(os.Stderr, "usage: jprof [-agent NAME] [-engine NAME] [-scenario FILE] [-scale K] [-parallel N] [-tierstats] <scenario|family>... | all")
 		os.Exit(2)
 	}
 	if err := registry.Validate(*agentName); err != nil {
 		fatal(err)
 	}
+	engine, err := jit.ParseEngine(*engineName)
+	if err != nil {
+		fatal(err)
+	}
+	// The JSON report is a stable engine-independent serialization (the
+	// cross-engine byte-identity checks diff it); host-side tier stats
+	// have no place in it, so reject the combination instead of silently
+	// dropping the flag.
+	if *tierStats && *asJSON {
+		fatal(fmt.Errorf("-tierstats does not apply to -json (the JSON report is engine-independent by design)"))
+	}
+
 	scns, err := scenarios.Resolve(flag.Args())
 	if err != nil {
 		fatal(err)
 	}
 
 	opts := vm.DefaultOptions()
+	opts.Tier = engine
 	registry.TuneOptions(*agentName, &opts)
 
 	results, err := runner.Map(context.Background(),
 		runner.Options{Parallelism: *parallel, FailFast: true}, scns,
 		func(s scenarios.Scenario) string { return s.Name() + "/" + *agentName },
 		func(ctx context.Context, s scenarios.Scenario) (string, error) {
-			return profileOne(ctx, s, *agentName, *scale, opts, *asJSON, *perMethod)
+			return profileOne(ctx, s, *agentName, *scale, opts, *asJSON, *perMethod, *tierStats)
 		})
 	if err != nil {
 		fatal(err)
@@ -93,7 +110,7 @@ func main() {
 // renders the full report; rendering inside the cell keeps the output
 // deterministic regardless of scheduling.
 func profileOne(ctx context.Context, s scenarios.Scenario, agentName string, scale int,
-	opts vm.Options, asJSON, perMethod bool) (string, error) {
+	opts vm.Options, asJSON, perMethod, tierStats bool) (string, error) {
 	prog, err := workloads.BuildWorkload(s.Workload.Scale(scale))
 	if err != nil {
 		return "", err
@@ -113,7 +130,14 @@ func profileOne(ctx context.Context, s scenarios.Scenario, agentName string, sca
 		}
 		return buf.String(), nil
 	}
-	return renderRun(res, agent, perMethod), nil
+	out := renderRun(res, agent, perMethod)
+	if tierStats {
+		ts := res.Tier
+		out += fmt.Sprintf("\ntier %s: %d methods compiled, %d compiled frames, %d deopts, %d fallback chunks, %d invalidated, %d compile failures\n",
+			ts.Engine, ts.MethodsCompiled, ts.CompiledFrames, ts.DeoptFrames,
+			ts.FallbackChunks, ts.UnitsInvalidated, ts.CompileFailures)
+	}
+	return out, nil
 }
 
 // renderRun formats one run the way jprof always has, including the

@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	jvmsim [-agent NAME] [-scenario FILE] [-scale K] [-parallel N]
+//	jvmsim [-agent NAME] [-engine interp|jit|auto] [-scenario FILE]
+//	       [-scale K] [-parallel N] [-tierstats]
 //	       [-cpuprofile F] [-memprofile F] [-dump|-metrics]
 //	       <scenario|family>... | all
 //
@@ -13,8 +14,11 @@
 // scenario file into the registry first. Runs execute concurrently on
 // isolated VMs, -parallel at a time, with output in argument order.
 // -agent attaches a profiling agent and appends its report summary (the
-// default "none" keeps the bare-JVM behaviour). -dump and -metrics are
-// static analyses and always run sequentially.
+// default "none" keeps the bare-JVM behaviour). -engine selects the
+// execution tier (interp, jit, auto); every simulated statistic is
+// byte-identical across engines, and -tierstats appends the tier's
+// host-side bookkeeping (promotions, compiled frames, deopts) per run.
+// -dump and -metrics are static analyses and always run sequentially.
 //
 // -cpuprofile and -memprofile write pprof profiles of the simulator
 // itself (not the simulated workload), the entry point for performance
@@ -34,6 +38,7 @@ import (
 	"repro/internal/agents/registry"
 	"repro/internal/bytecode"
 	"repro/internal/core"
+	"repro/internal/jit"
 	"repro/internal/runner"
 	"repro/internal/scenarios"
 	"repro/internal/vm"
@@ -42,7 +47,9 @@ import (
 
 func main() {
 	agentName := registry.AddFlag(flag.CommandLine, "none")
+	engineName := jit.AddEngineFlag(flag.CommandLine)
 	scale := flag.Int("scale", 1, "iteration divisor")
+	tierStats := flag.Bool("tierstats", false, "append the execution tier's host-side statistics per run")
 	dump := flag.Bool("dump", false, "disassemble the generated classes instead of running")
 	metrics := flag.Bool("metrics", false, "print static instruction-mix metrics instead of running")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the simulator to `file`")
@@ -52,13 +59,17 @@ func main() {
 	flag.Parse()
 	if flag.NArg() < 1 {
 		// Before profile setup: os.Exit skips the deferred profile writers.
-		fmt.Fprintln(os.Stderr, "usage: jvmsim [-agent NAME] [-scenario FILE] [-scale K] [-parallel N] [-cpuprofile F] [-memprofile F] [-dump|-metrics] <scenario|family>... | all")
+		fmt.Fprintln(os.Stderr, "usage: jvmsim [-agent NAME] [-engine NAME] [-scenario FILE] [-scale K] [-parallel N] [-tierstats] [-cpuprofile F] [-memprofile F] [-dump|-metrics] <scenario|family>... | all")
 		os.Exit(2)
 	}
 	if err := scenarios.LoadIfSet(*scenarioFile); err != nil {
 		fatal(err)
 	}
 	if err := registry.Validate(*agentName); err != nil {
+		fatal(err)
+	}
+	engine, err := jit.ParseEngine(*engineName)
+	if err != nil {
 		fatal(err)
 	}
 	scns, err := scenarios.Resolve(flag.Args())
@@ -82,11 +93,14 @@ func main() {
 	}
 
 	if *metrics || *dump {
-		// Static analyses never run the program, so an agent selection
-		// would be dropped silently — reject it like tables rejects
-		// inapplicable flag combinations.
+		// Static analyses never run the program, so an agent, engine or
+		// tier-stats selection would be dropped silently — reject them
+		// like tables rejects inapplicable flag combinations.
 		if *agentName != "none" {
 			fatal(fmt.Errorf("-agent does not apply to -dump/-metrics (static analyses never run the program)"))
+		}
+		if engine != jit.EngineInterp || *tierStats {
+			fatal(fmt.Errorf("-engine/-tierstats do not apply to -dump/-metrics (static analyses never run the program)"))
 		}
 		for _, s := range scns {
 			prog, err := workloads.BuildWorkload(s.Workload.Scale(*scale))
@@ -107,12 +121,13 @@ func main() {
 	}
 
 	opts := vm.DefaultOptions()
+	opts.Tier = engine
 	registry.TuneOptions(*agentName, &opts)
 	results, err := runner.Map(context.Background(),
 		runner.Options{Parallelism: *parallel, FailFast: true}, scns,
 		func(s scenarios.Scenario) string { return s.Name() },
 		func(ctx context.Context, s scenarios.Scenario) (string, error) {
-			return runOne(ctx, s, *agentName, *scale, opts)
+			return runOne(ctx, s, *agentName, *scale, opts, *tierStats)
 		})
 	if err != nil {
 		fatal(err)
@@ -126,8 +141,9 @@ func main() {
 }
 
 // runOne executes one scenario on its own VM and renders its statistics,
-// with the agent's report summary appended when one is attached.
-func runOne(ctx context.Context, s scenarios.Scenario, agentName string, scale int, opts vm.Options) (string, error) {
+// with the agent's report summary appended when one is attached and the
+// tier's host-side bookkeeping when -tierstats asked for it.
+func runOne(ctx context.Context, s scenarios.Scenario, agentName string, scale int, opts vm.Options, tierStats bool) (string, error) {
 	prog, err := workloads.BuildWorkload(s.Workload.Scale(scale))
 	if err != nil {
 		return "", err
@@ -155,6 +171,12 @@ func runOne(ctx context.Context, s scenarios.Scenario, agentName string, scale i
 	if res.Report != nil {
 		fmt.Fprintf(&out, "  agent %s:          %.2f%% native measured\n",
 			res.Report.AgentName, res.Report.NativeFraction()*100)
+	}
+	if tierStats {
+		ts := res.Tier
+		fmt.Fprintf(&out, "  tier %s: %d methods compiled, %d compiled frames, %d deopts, %d fallback chunks, %d invalidated, %d compile failures\n",
+			ts.Engine, ts.MethodsCompiled, ts.CompiledFrames, ts.DeoptFrames,
+			ts.FallbackChunks, ts.UnitsInvalidated, ts.CompileFailures)
 	}
 	return out.String(), nil
 }

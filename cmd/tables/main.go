@@ -6,7 +6,14 @@
 // Usage:
 //
 //	tables [-profile NAME] [-scenario FILE] [-agents LIST]
+//	       [-engine interp|jit|auto] [-warmup N]
 //	       [-table 1|2|all] [-runs N] [-scale K] [-parallel N]
+//
+// -engine selects the execution tier every measurement cell runs on;
+// the rendered tables and campaign rows are byte-identical across
+// engines (only wall-clock time changes). -warmup runs each cell that
+// many discarded repetitions first — the warmup-aware form tier
+// benchmarking wants.
 //
 // The default profile, "paper", renders the two tables exactly as the
 // paper lays them out. Any other profile ("gc-heavy", "exception-heavy",
@@ -32,6 +39,7 @@ import (
 
 	"repro/internal/agents/registry"
 	"repro/internal/harness"
+	"repro/internal/jit"
 	"repro/internal/runner"
 	"repro/internal/scenarios"
 )
@@ -40,18 +48,26 @@ func main() {
 	table := flag.String("table", "all", "which paper table to regenerate: 1, 2 or all")
 	runs := flag.Int("runs", 1, "repetitions per measurement (median reported)")
 	scale := flag.Int("scale", 1, "iteration divisor (1 = full calibrated size)")
+	warmup := flag.Int("warmup", 0, "discarded warmup repetitions per measurement cell")
 	markdown := flag.Bool("markdown", false, "emit the full campaign as a Markdown report")
 	verify := flag.Bool("verify", false, "verify the paper's qualitative claims and exit non-zero on failure")
 	profile := flag.String("profile", "paper", "scenario profile to run (paper renders the paper tables; any other family or 'all' runs a campaign)")
+	engineName := jit.AddEngineFlag(flag.CommandLine)
 	scenarioFile := scenarios.AddFlag(flag.CommandLine)
 	agentList := registry.AddListFlag(flag.CommandLine, "none,spa,ipa")
 	parallel := runner.AddFlag(flag.CommandLine)
 	flag.Parse()
 
+	engine, err := jit.ParseEngine(*engineName)
+	if err != nil {
+		fatal(err)
+	}
 	cfg := harness.DefaultConfig()
 	cfg.Runs = *runs
 	cfg.Scale = *scale
+	cfg.Warmup = *warmup
 	cfg.Parallelism = *parallel
+	cfg.Opts.Tier = engine
 
 	// Validate -agents up front regardless of mode, and reject it with
 	// the paper profile, whose tables are defined over the fixed

@@ -12,7 +12,9 @@
 //     "deep-chains", "contended", or the paper's eight as "paper").
 //
 // It then runs the lot as one campaign — every scenario × {none, ipa} on
-// the parallel runner with streaming rows — and finishes with each
+// the parallel runner with streaming rows — once per execution engine
+// (-engine interp and jit), asserts the rendered rows are byte-identical
+// across engines (the tier's core guarantee), and finishes with each
 // scenario's expected-value check verdict.
 //
 //	go run ./examples/scenarios
@@ -23,8 +25,10 @@ import (
 	_ "embed"
 	"fmt"
 	"log"
+	"strings"
 
 	"repro/internal/harness"
+	"repro/internal/jit"
 	"repro/internal/scenarios"
 	"repro/internal/workloads"
 )
@@ -75,23 +79,41 @@ func main() {
 	scns := append(append([]scenarios.Scenario{}, fromFile...), composed)
 	scns = append(scns, gcHeavy...)
 
-	cfg := harness.DefaultConfig()
-	cfg.Runs = 1
-	cfg.Scale = 4 // keep the demo quick; drop to 1 for calibrated sizes
+	// 4. The same campaign once per execution engine. The template tier
+	// (-engine jit) promotes hot kernels to compiled trace units, yet
+	// every measured row must be byte-identical to the interpreter's —
+	// this example doubles as an executable proof of that guarantee.
+	var rendered []string
+	var failures []string
+	for _, engine := range []jit.Engine{jit.EngineInterp, jit.EngineJIT} {
+		cfg := harness.DefaultConfig()
+		cfg.Runs = 1
+		cfg.Scale = 4 // keep the demo quick; drop to 1 for calibrated sizes
+		cfg.Opts.Tier = engine
 
-	camp := harness.Campaign{Scenarios: scns, Agents: []string{"none", "ipa"}, Config: cfg}
-	fmt.Printf("\ncampaign: %d scenarios x 2 agents\n%s\n", len(scns), harness.CampaignHeader())
-	res, err := camp.Run(context.Background(), func(r harness.CampaignRow) error {
-		// Rows stream in deterministic matrix order as cells finish.
-		_, err := fmt.Println(r)
-		return err
-	})
-	if err != nil {
-		log.Fatal(err)
+		camp := harness.Campaign{Scenarios: scns, Agents: []string{"none", "ipa"}, Config: cfg}
+		fmt.Printf("\ncampaign (-engine %s): %d scenarios x 2 agents\n%s\n",
+			engine, len(scns), harness.CampaignHeader())
+		var rows strings.Builder
+		res, err := camp.Run(context.Background(), func(r harness.CampaignRow) error {
+			// Rows stream in deterministic matrix order as cells finish.
+			fmt.Fprintln(&rows, r)
+			_, err := fmt.Println(r)
+			return err
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rendered = append(rendered, rows.String())
+		failures = res.CheckFailures
 	}
-	fmt.Println()
-	fmt.Print(harness.RenderChecks(res.CheckFailures))
-	if len(res.CheckFailures) > 0 {
+
+	if rendered[0] != rendered[1] {
+		log.Fatal("campaign rows diverged between -engine interp and -engine jit")
+	}
+	fmt.Println("\nengines agree: interp and jit campaign rows are byte-identical")
+	fmt.Print(harness.RenderChecks(failures))
+	if len(failures) > 0 {
 		log.Fatal("scenario checks failed")
 	}
 }

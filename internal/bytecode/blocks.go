@@ -1,5 +1,11 @@
 package bytecode
 
+import (
+	"fmt"
+
+	"repro/internal/classfile"
+)
+
 // Straight-line run metadata for the interpreter fast path.
 //
 // A "straight-line" instruction can neither branch, call, return, throw,
@@ -43,4 +49,70 @@ func StraightRuns(instrs []Instruction) []int32 {
 		}
 	}
 	return runs
+}
+
+// BasicBlock is one basic block of a method body, in instruction-index
+// coordinates: instrs[Start:End] is the block, Start is a leader (offset
+// 0, a branch target, a handler start/target, or the instruction after a
+// branch or terminal instruction), and no instruction inside the span is
+// a leader. DepthIn is the operand-stack depth on entry, from the
+// verifier's abstract interpretation.
+//
+// This is the control-flow metadata the template compiler in internal/jit
+// consumes: it lowers one compiled trace unit per basic block and relies
+// on DepthIn to assign fixed frame slots to every operand-stack position.
+type BasicBlock struct {
+	// Start and End delimit the block as instruction indexes [Start, End).
+	Start, End int
+	// Offset is the code offset of the leader instruction.
+	Offset int
+	// DepthIn is the operand-stack depth at block entry.
+	DepthIn int
+}
+
+// BasicBlocks partitions a method body into its reachable basic blocks in
+// code order, combining Leaders with the verifier's depth analysis.
+// Unreachable leaders (dead code the verifier tolerates) are omitted —
+// the interpreter can never enter them, so a compiler need not lower
+// them. Decoding or depth inconsistencies are errors, mirroring Verify.
+func BasicBlocks(m *classfile.Method) ([]BasicBlock, error) {
+	ins, err := Decode(m.Code)
+	if err != nil {
+		return nil, fmt.Errorf("bytecode: %s: %w", m.Key(), err)
+	}
+	depths, err := ComputeDepths(m)
+	if err != nil {
+		return nil, err
+	}
+	leaders, err := Leaders(m)
+	if err != nil {
+		return nil, err
+	}
+	starts := make(map[int]int, len(ins))
+	for i, in := range ins {
+		starts[in.Offset] = i
+	}
+	isLeader := make(map[int]bool, len(leaders))
+	idxs := make([]int, 0, len(leaders))
+	for _, off := range leaders {
+		i, ok := starts[off]
+		if !ok {
+			return nil, fmt.Errorf("bytecode: %s: leader offset %d misaligned", m.Key(), off)
+		}
+		isLeader[i] = true
+		idxs = append(idxs, i)
+	}
+	var out []BasicBlock
+	for k, start := range idxs {
+		end := len(ins)
+		if k+1 < len(idxs) {
+			end = idxs[k+1]
+		}
+		d, reachable := depths[ins[start].Offset]
+		if !reachable {
+			continue
+		}
+		out = append(out, BasicBlock{Start: start, End: end, Offset: ins[start].Offset, DepthIn: d})
+	}
+	return out, nil
 }

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/classfile"
 	"repro/internal/cycles"
+	"repro/internal/jit"
 	"repro/internal/jni"
 	"repro/internal/jvmti"
 	"repro/internal/vm"
@@ -166,6 +167,13 @@ type RunResult struct {
 	JITCompiled int
 	// Threads is the number of threads the run created.
 	Threads int
+	// Tier is the template tier's bookkeeping: which engine ran, how many
+	// methods were promoted to compiled trace units, frames executed
+	// compiled, deopts, and cache invalidations. All zero under
+	// -engine=interp. Tier stats are host-side observability — they are
+	// deliberately not part of the simulated observables, which stay
+	// byte-identical across engines.
+	Tier jit.Stats
 }
 
 // Throughput returns operations per million cycles, the JBB-style metric.
@@ -251,6 +259,7 @@ func RunKeepVM(prog *Program, agent Agent, opts vm.Options) (*RunResult, *vm.VM,
 		Instructions: v.InstructionsExecuted(),
 		JITCompiled:  v.JITCompiledCount(),
 		Threads:      len(v.Threads()),
+		Tier:         v.TierStats(),
 	}
 	for _, t := range v.Threads() {
 		bc, nat, ovh := t.GroundTruth()

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/agents/registry"
 	"repro/internal/core"
+	"repro/internal/jit"
 	"repro/internal/runner"
 	"repro/internal/scenarios"
 	"repro/internal/stats"
@@ -91,7 +92,19 @@ type Config struct {
 	// identical for every value — cells are deterministic and results
 	// are assembled in submission order.
 	Parallelism int
-	// Opts is the VM cost model.
+	// Warmup is the number of discarded repetitions each cell runs
+	// before the measured Runs. The simulator is deterministic, so
+	// warmup cannot change any simulated value; what it does is exercise
+	// the execution tier end to end (class load → hotness → promotion →
+	// compiled frames) before measurement and warm the host's own caches
+	// and branch predictors, which stabilizes the wall-clock numbers the
+	// campaign benchmarks report. Tier-sensitive scenarios run with
+	// Warmup >= 1 so their measured repetition is never the one paying
+	// host compilation costs.
+	Warmup int
+	// Opts is the VM cost model and engine selection. Opts.Tier chooses
+	// the execution engine for every cell (-engine on the CLIs); all
+	// measured simulated values are byte-identical across engines.
 	Opts vm.Options
 }
 
@@ -109,6 +122,9 @@ func (c Config) normalized() Config {
 	}
 	if c.Parallelism < 1 {
 		c.Parallelism = runner.DefaultParallelism()
+	}
+	if c.Warmup < 0 {
+		c.Warmup = 0
 	}
 	return c
 }
@@ -143,6 +159,12 @@ type Measurement struct {
 	Threads int
 	// Runs is the number of repetitions aggregated.
 	Runs int
+	// Tier aggregates the execution tier's host-side bookkeeping over
+	// the last measured repetition (summed across a warehouse sequence).
+	// It never feeds a simulated metric — it exists so campaigns and
+	// tests can assert that promotion, deopt and invalidation actually
+	// happened under -engine=jit/auto.
+	Tier jit.Stats
 }
 
 // Measure runs one benchmark under one agent configuration cfg.Runs times
@@ -185,10 +207,16 @@ func MeasureScenario(ctx context.Context, sc scenarios.Scenario, agentName strin
 	registry.TuneOptions(agentName, &opts)
 	var cyclesSamples, throughputSamples []float64
 	m := &Measurement{Benchmark: w.Name, AgentName: agentName, Runs: cfg.Runs}
-	for i := 0; i < cfg.Runs; i++ {
+	// Warmup repetitions run the identical cell and discard every sample:
+	// determinism makes them simulation-invisible, but they drive the
+	// execution tier through its whole promotion pipeline and warm the
+	// host before the measured repetitions start.
+	for i := 0; i < cfg.Warmup+cfg.Runs; i++ {
+		warmup := i < cfg.Warmup
 		var totalCycles, totalOps uint64
 		var report *core.Report
 		var truth core.GroundTruth
+		var tier jit.Stats
 		threads := 0
 		for _, warehouses := range sequence {
 			wv := w
@@ -212,6 +240,16 @@ func MeasureScenario(ctx context.Context, sc scenarios.Scenario, agentName strin
 			if res.Threads > threads {
 				threads = res.Threads
 			}
+			tier.Engine = res.Tier.Engine
+			tier.MethodsCompiled += res.Tier.MethodsCompiled
+			tier.CompileFailures += res.Tier.CompileFailures
+			tier.UnitsInvalidated += res.Tier.UnitsInvalidated
+			tier.CompiledFrames += res.Tier.CompiledFrames
+			tier.DeoptFrames += res.Tier.DeoptFrames
+			tier.FallbackChunks += res.Tier.FallbackChunks
+		}
+		if warmup {
+			continue
 		}
 		cyclesSamples = append(cyclesSamples, float64(totalCycles))
 		if totalCycles > 0 {
@@ -223,6 +261,7 @@ func MeasureScenario(ctx context.Context, sc scenarios.Scenario, agentName strin
 		m.Report = report
 		m.Truth = truth
 		m.Threads = threads
+		m.Tier = tier
 	}
 	var err error
 	if m.MedianCycles, err = stats.Median(cyclesSamples); err != nil {

@@ -1,0 +1,117 @@
+package jit
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Cache is the compiled-method cache and the home of the relink epoch.
+// The VM bumps the epoch on every class load (link-time resolution state
+// changed under the compiled code's feet) via Invalidate, which also
+// drops every cached unit; the VM's sweep clears the per-method unit
+// pointers under the same lock, and a compiled frame that is already
+// running captures Epoch() at entry and deoptimizes at its next call
+// boundary when the value has moved. Epoch reads are lock-free
+// (atomic); the unit map is consulted by tests and the tier-stats
+// snapshot, while execution reaches units through the method pointer.
+type Cache struct {
+	epoch atomic.Uint64
+
+	mu    sync.Mutex
+	units map[any]*Unit
+
+	compiled      atomic.Uint64
+	failures      atomic.Uint64
+	invalidations atomic.Uint64
+}
+
+// NewCache returns an empty cache at epoch 0.
+func NewCache() *Cache {
+	return &Cache{units: map[any]*Unit{}}
+}
+
+// Epoch returns the current relink epoch.
+func (c *Cache) Epoch() uint64 { return c.epoch.Load() }
+
+// Invalidate bumps the relink epoch and drops every cached unit,
+// returning how many were dropped. Units stamped with an older epoch are
+// unusable from the moment the bump is visible, even if a stale pointer
+// to one survives elsewhere.
+func (c *Cache) Invalidate() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := len(c.units)
+	if n > 0 {
+		c.units = map[any]*Unit{}
+		c.invalidations.Add(uint64(n))
+	}
+	c.epoch.Add(1)
+	return n
+}
+
+// Put records a freshly compiled unit for key at the current epoch.
+func (c *Cache) Put(key any, u *Unit) {
+	c.mu.Lock()
+	c.units[key] = u
+	c.mu.Unlock()
+	c.compiled.Add(1)
+}
+
+// Get returns the cached unit for key, or nil.
+func (c *Cache) Get(key any) *Unit {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.units[key]
+}
+
+// Len returns the number of live cached units.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.units)
+}
+
+// NoteFailure records a compilation failure (the method stays on the
+// interpreter).
+func (c *Cache) NoteFailure() { c.failures.Add(1) }
+
+// Stats is the tier's observable bookkeeping, assembled by the VM for the
+// CLIs' tier-stats dumps and for tests.
+type Stats struct {
+	// Engine is the tier the VM ran with.
+	Engine Engine
+	// Epoch is the final relink epoch.
+	Epoch uint64
+	// MethodsCompiled counts units built over the VM's lifetime
+	// (recompilations after invalidation count again).
+	MethodsCompiled uint64
+	// CompileFailures counts methods the lowering rejected.
+	CompileFailures uint64
+	// UnitsInvalidated counts units dropped by relink epoch bumps.
+	UnitsInvalidated uint64
+	// UnitsLive is the cache population at snapshot time.
+	UnitsLive int
+	// CompiledFrames counts method activations executed by compiled
+	// units; DeoptFrames the activations that left compiled code mid-
+	// frame for the instrumented interpreter; FallbackChunks the chunk
+	// executions that stepped original bytecode at a yield boundary.
+	CompiledFrames uint64
+	DeoptFrames    uint64
+	FallbackChunks uint64
+}
+
+// snapshot fills the cache-owned fields of a Stats.
+func (c *Cache) snapshot(s *Stats) {
+	s.Epoch = c.Epoch()
+	s.MethodsCompiled = c.compiled.Load()
+	s.CompileFailures = c.failures.Load()
+	s.UnitsInvalidated = c.invalidations.Load()
+	s.UnitsLive = c.Len()
+}
+
+// Snapshot returns the cache-owned portion of the tier stats.
+func (c *Cache) Snapshot() Stats {
+	var s Stats
+	c.snapshot(&s)
+	return s
+}

@@ -12,6 +12,7 @@ func init() {
 	registerExceptionHeavy()
 	registerDeepChains()
 	registerContended()
+	registerTierSensitive()
 }
 
 // registerPaper registers the eight Section V benchmarks as the "paper"
@@ -110,6 +111,76 @@ func registerDeepChains() {
 			},
 		},
 		Checks: Checks{MaxNativePct: 1, MaxIPAOverheadPct: 5},
+	})
+}
+
+// registerTierSensitive: workloads shaped around the execution tier's
+// promotion and deoptimization boundaries (internal/jit). Under
+// -engine=interp they are ordinary mixed workloads; under jit/auto they
+// drive the pipeline through its edges — kernels crossing the compile
+// threshold mid-run, hot/cold call-count splits, exception unwinds
+// through compiled frames, and quantum boundaries landing inside
+// compiled blocks on contended multi-thread runs. The campaign's
+// cross-engine differential suite runs every family, so each scenario
+// here doubles as a regression trap for tier-introduced divergence.
+func registerTierSensitive() {
+	mustRegister(Scenario{
+		Family: "tier-sensitive",
+		Workload: workloads.Workload{
+			Name: "tier-hotcold", ClassName: "scn/tier/HotCold", OuterIters: 1500,
+			Phases: []workloads.Phase{
+				// The first kernel runs 12× as often as the second: one
+				// promotes almost immediately, the other much later, so
+				// interpreted and compiled frames coexist all run long.
+				{Kind: workloads.PhaseBytecode, Calls: 12, Work: 16},
+				{Kind: workloads.PhaseBytecode, Calls: 1, Work: 64},
+			},
+		},
+		Checks: Checks{MaxNativePct: 1, MaxIPAOverheadPct: 5},
+	})
+	mustRegister(Scenario{
+		Family: "tier-sensitive",
+		Workload: workloads.Workload{
+			Name: "tier-warmup", ClassName: "scn/tier/Warmup", OuterIters: 400,
+			Phases: []workloads.Phase{
+				// One call per iteration: the kernel crosses the default
+				// compile threshold mid-loop, with the driver loop itself
+				// still interpreted — the steady-state/warmup split the
+				// paper's tiered JVMs exhibit.
+				{Kind: workloads.PhaseBytecode, Calls: 1, Work: 48},
+				{Kind: workloads.PhaseArray, Work: 48},
+			},
+		},
+		Checks: Checks{MaxNativePct: 1, MaxIPAOverheadPct: 5},
+	})
+	mustRegister(Scenario{
+		Family: "tier-sensitive",
+		Workload: workloads.Workload{
+			Name: "tier-deopt-unwind", ClassName: "scn/tier/Unwind", OuterIters: 600,
+			Phases: []workloads.Phase{
+				// Compiled recursive frames stacked deep, then exceptions
+				// unwinding straight through them into handlers.
+				{Kind: workloads.PhaseDeepChain, Calls: 2, Depth: 24, Work: 6},
+				{Kind: workloads.PhaseException, Calls: 4, Depth: 6, Work: 4},
+			},
+		},
+		Checks: Checks{MaxNativePct: 1, MaxIPAOverheadPct: 5},
+	})
+	mustRegister(Scenario{
+		Family: "tier-sensitive",
+		Workload: workloads.Workload{
+			Name: "tier-quantum", ClassName: "scn/tier/Quantum", OuterIters: 700,
+			Threads: 4, OpsPerIter: 2,
+			Phases: []workloads.Phase{
+				// Four threads hammering a shared static: scheduler quantum
+				// boundaries land inside compiled blocks, forcing the
+				// executor's per-instruction fallback — and the resulting
+				// interleaving must match the interpreter's exactly.
+				{Kind: workloads.PhaseContend, Calls: 3, Work: 20},
+				{Kind: workloads.PhaseBytecode, Calls: 3, Work: 12},
+			},
+		},
+		Checks: Checks{MaxNativePct: 5, MinThreads: 4},
 	})
 }
 

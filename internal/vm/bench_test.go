@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/bytecode"
 	"repro/internal/classfile"
+	"repro/internal/jit"
 )
 
 // benchVM builds a VM with a hot arithmetic loop for interpreter-speed
@@ -48,6 +49,29 @@ func benchVM(b *testing.B, jit bool) *VM {
 func BenchmarkInterpreterLoop(b *testing.B) {
 	v := benchVM(b, false)
 	t := v.NewDetachedThread("bench")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := t.InvokeStatic("b/B", "loop", "(I)I", 1000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompiledLoop is BenchmarkInterpreterLoop on the template tier:
+// the same workload with the method promoted to a compiled trace unit.
+// The ratio to BenchmarkInterpreterLoop is the tier's dispatch speedup.
+func BenchmarkCompiledLoop(b *testing.B) {
+	v := benchVM(b, false)
+	v.opts.Tier = jit.EngineJIT
+	v.opts.CompileThreshold = 1
+	t := v.NewDetachedThread("bench")
+	// Warm: promote before timing.
+	if _, err := t.InvokeStatic("b/B", "loop", "(I)I", 1000); err != nil {
+		b.Fatal(err)
+	}
+	if v.TierStats().MethodsCompiled == 0 {
+		b.Fatal("loop method was not promoted")
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := t.InvokeStatic("b/B", "loop", "(I)I", 1000); err != nil {

@@ -40,7 +40,7 @@ func (t *Thread) InvokeVirtual(class, method, desc string, recv int64, args ...i
 // native linking and dispatch, and exceptional-exit event delivery.
 //
 // args may be a window into the caller's operand stack (see the pooling
-// invariant on pushFrame); it is only read before the callee starts
+// invariant on pushFrameRaw); it is only read before the callee starts
 // executing, never retained.
 func (t *Thread) invoke(m *Method, args []int64) (ret int64, err error) {
 	if t.depth >= t.vm.opts.MaxFrames {
@@ -110,24 +110,32 @@ func (t *Thread) invokeNative(m *Method, args []int64) (int64, error) {
 // interpret executes a bytecode method body.
 //
 // The frame (locals + operand stack) comes from the thread's arena rather
-// than two fresh allocations, and dispatch runs on one of two specialized
-// loops: interpretFast when no per-instruction observer is installed, or
-// interpretInstrumented when a tracer or the sampling hook must see every
-// instruction. Both loops produce identical observable state — cycle
-// counts, ground truth, instruction counts, yield points and results —
-// which the differential tests in this package and internal/harness pin
-// down.
+// than two fresh allocations, and dispatch selects the execution tier per
+// frame: the fully observable interpretInstrumented loop whenever a
+// per-instruction observer is installed (tracer, active sampling hook,
+// ForceInstrumentedLoop — compiled code never runs then, the tier's
+// deoptimization contract); otherwise the method's compiled trace unit
+// when the template tier has promoted it, falling back to interpretFast.
+// All three engines produce identical observable state — cycle counts,
+// ground truth, instruction counts, yield points and results — which the
+// differential tests in this package and internal/harness pin down.
 func (t *Thread) interpret(m *Method, args []int64) (int64, error) {
-	locals, stack, base := t.pushFrame(m.Def.MaxLocals, m.Def.MaxStack)
+	nl := m.Def.MaxLocals
+	frame, base := t.pushFrameRaw(nl + m.Def.MaxStack)
+	locals := frame[:nl:nl]
+	stack := frame[nl:]
 	n := copy(locals, args)
 	clear(locals[n:])
 
 	var ret int64
 	var err error
 	v := t.vm
-	if v.tracer == nil && !v.opts.ForceInstrumentedLoop &&
-		(v.opts.SampleInterval == 0 || v.hooks.Sample == nil) {
-		ret, err = t.interpretFast(m, locals, stack)
+	if !v.needsPerInstruction() {
+		if u := m.unit; u != nil && !v.jitDisabled {
+			ret, err = t.runCompiled(m, u, frame, locals, stack)
+		} else {
+			ret, err = t.interpretFast(m, locals, stack)
+		}
 	} else {
 		ret, err = t.interpretInstrumented(m, locals, stack)
 	}
@@ -536,17 +544,27 @@ func (t *Thread) interpretFast(m *Method, locals, stack []int64) (int64, error) 
 // count, chargeInterp (which delivers samples) and maybeYield — for runs
 // with a tracer, an active sampling hook, or ForceInstrumentedLoop set.
 func (t *Thread) interpretInstrumented(m *Method, locals, stack []int64) (int64, error) {
-	opts := &t.vm.opts
+	cost := t.vm.opts.CostInterp
+	if m.compiled {
+		cost = t.vm.opts.CostCompiled
+	}
+	return t.interpretInstrumentedFrom(m, locals, stack, 0, 0, cost)
+}
+
+// interpretInstrumentedFrom is interpretInstrumented starting at an
+// arbitrary instruction index and stack depth — the deoptimization entry
+// point. A compiled frame that must leave the template tier mid-method
+// (a tracer installed by native code, method events enabled, a relink
+// under its feet) hands its exact frame state here and the rest of the
+// activation runs with full per-instruction semantics. cost is passed in
+// rather than re-derived because every engine captures the per-
+// instruction cost at frame entry: a de-optimization that flipped
+// m.compiled mid-frame (method events) must not change what the rest of
+// this activation is charged.
+func (t *Thread) interpretInstrumentedFrom(m *Method, locals, stack []int64, idx, sp int, cost uint64) (int64, error) {
 	heap := t.vm.Heap
 	instrs := m.instrs
 
-	cost := opts.CostInterp
-	if m.compiled {
-		cost = opts.CostCompiled
-	}
-
-	idx := 0
-	sp := 0
 	for {
 		if idx >= len(instrs) {
 			return 0, fmt.Errorf("vm: %s: fell off end of code", m.FullName())

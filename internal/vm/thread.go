@@ -40,7 +40,7 @@ type Thread struct {
 	nextSample  uint64
 
 	// arena backs the locals and operand stacks of this thread's
-	// interpreter frames (see pushFrame); arenaOff is the high-water
+	// interpreter frames (see pushFrameRaw); arenaOff is the high-water
 	// offset of the active frame stack.
 	arena    []int64
 	arenaOff int
@@ -178,10 +178,13 @@ func (t *Thread) Env() Env {
 // dozens of typical frames without growth.
 const initialArenaWords = 4096
 
-// pushFrame carves one interpreter frame (locals followed by the operand
-// stack) out of the thread's arena, replacing the two per-call slice
-// allocations the interpreter historically made. It returns the locals
-// and stack slices plus the previous arena offset, which the caller must
+// pushFrameRaw carves one interpreter frame of need words (locals
+// followed by the operand stack) out of the thread's arena, replacing
+// the two per-call slice allocations the interpreter historically made.
+// The frame comes back unsplit: interpret slices off the locals/stack
+// views for the dispatch loops, and the compiled-unit executor addresses
+// locals and operand-stack homes through the flat slot array directly.
+// The returned base is the previous arena offset, which the caller must
 // hand back to popFrame when the frame dies.
 //
 // Pooling invariant: frame slices must not escape the interpret call that
@@ -193,9 +196,8 @@ const initialArenaWords = 4096
 // frames keep referencing the old array through their own slices, and the
 // region below the current offset in the new array is never read before
 // being rewritten by a future frame.
-func (t *Thread) pushFrame(maxLocals, maxStack int) (locals, stack []int64, base int) {
+func (t *Thread) pushFrameRaw(need int) (frame []int64, base int) {
 	base = t.arenaOff
-	need := maxLocals + maxStack
 	if base+need > len(t.arena) {
 		size := 2 * len(t.arena)
 		if size < base+need {
@@ -206,9 +208,9 @@ func (t *Thread) pushFrame(maxLocals, maxStack int) (locals, stack []int64, base
 		}
 		t.arena = make([]int64, size)
 	}
-	frame := t.arena[base : base+need : base+need]
+	frame = t.arena[base : base+need : base+need]
 	t.arenaOff = base + need
-	return frame[:maxLocals:maxLocals], frame[maxLocals:], base
+	return frame, base
 }
 
 // popFrame releases every frame pushed after base.

@@ -1,0 +1,603 @@
+package vm
+
+import (
+	"fmt"
+
+	"repro/internal/bytecode"
+	"repro/internal/jit"
+)
+
+// runCompiled executes one method activation on its compiled trace unit.
+//
+// Observational contract: the compiled tier reproduces the fast loop's
+// deferred-accounting discipline exactly. Per-instruction accounting
+// (cycle charge, ground truth, instruction count, yield budget) is pure
+// arithmetic here too, accumulated in locals and published via
+// flushInterp only where an observer could look — before invokes, at
+// yield points, on every exit. A pure chunk is charged as one batch only
+// when the yield budget strictly exceeds its length; otherwise the chunk
+// re-executes from the original bytecode one instruction at a time, so
+// every yield lands on exactly the instruction boundary the interpreter
+// would use. Effects and terminators charge singly, in the interpreter's
+// order (count, yield check, then execute). Since a quantum boundary
+// therefore falls after exactly the same instruction in every engine,
+// multi-threaded interleavings — and with them every downstream
+// observable — are byte-identical.
+//
+// Deoptimization: after every invoke the executor re-checks the world.
+// If a tracer appeared, method events de-optimized the VM, or a class
+// load bumped the relink epoch, the remaining activation deopts to the
+// instrumented interpreter at the exact bytecode boundary — the frame
+// layout is the interpreter's own (the lowering keeps every chunk
+// boundary canonical), so the handoff is a pair of slice views, not a
+// state reconstruction.
+func (t *Thread) runCompiled(m *Method, u *jit.Unit, fr, locals, stack []int64) (int64, error) {
+	v := t.vm
+	opts := &v.opts
+	heap := v.Heap
+	cost := opts.CostInterp
+	if m.compiled {
+		cost = opts.CostCompiled
+	}
+	quantum := opts.Quantum
+	ml := u.MaxLocals
+	startEpoch := v.tier.Epoch()
+	v.tierFrames++
+
+	var done uint64 // instructions executed since the last flush
+	budget := t.budget
+	bi := int32(0)
+
+blocks:
+	for {
+		b := &u.Blocks[bi]
+		// Fused loop fast path: the canonical header/body pair iterates
+		// here without per-iteration block dispatch. Charges and budget
+		// guards are exactly the per-block batch discipline, applied to
+		// header and body in turn, so accounting and yield boundaries
+		// are unchanged; any short budget drops back to the general
+		// paths at the right block.
+		if b.LoopBody >= 0 {
+			body := &u.Blocks[b.LoopBody]
+			hn, bn := int(b.NInstr), int(body.NInstr)
+			tm := &b.Term
+			for budget > hn {
+				done += uint64(hn)
+				budget -= hn
+				if len(b.Flat) > 0 {
+					runOps(fr, b.Flat)
+				}
+				var taken bool
+				if tm.Kind == jit.TermBr1 {
+					a := tm.ImmA
+					if !tm.AImm {
+						a = fr[tm.A]
+					}
+					taken = cond1(bytecode.Op(tm.Cond), a)
+				} else {
+					a, bb2 := tm.ImmA, tm.ImmB
+					if !tm.AImm {
+						a = fr[tm.A]
+					}
+					if !tm.BImm {
+						bb2 = fr[tm.B]
+					}
+					taken = cond2(bytecode.Op(tm.Cond), a, bb2)
+				}
+				if taken { // loop exit edge
+					bi = tm.Target
+					continue blocks
+				}
+				if budget <= bn { // yield boundary inside the body
+					bi = tm.Next
+					continue blocks
+				}
+				done += uint64(bn)
+				budget -= bn
+				runOps(fr, body.Flat) // includes the back-edge goto's charge in bn
+			}
+			// Budget short at the header: fall through to the general
+			// handling of this block (its batch guard fails the same way).
+		}
+		// Block batch fast path: a block with only pure chunks is charged
+		// whole — terminator included — and its flattened ops run with no
+		// per-chunk bookkeeping. The strict budget guard keeps every
+		// yield on the interpreter's exact instruction boundary: a short
+		// budget drops to the general per-chunk path below.
+		if b.CanBatch && budget > int(b.NInstr) {
+			done += uint64(b.NInstr)
+			budget -= int(b.NInstr)
+			if len(b.Flat) > 0 {
+				runOps(fr, b.Flat)
+			}
+			tm := &b.Term
+			switch tm.Kind {
+			case jit.TermGoto:
+				bi = tm.Target
+				continue
+			case jit.TermBr1:
+				a := tm.ImmA
+				if !tm.AImm {
+					a = fr[tm.A]
+				}
+				if cond1(bytecode.Op(tm.Cond), a) {
+					bi = tm.Target
+					continue
+				}
+			case jit.TermBr2:
+				a, bb2 := tm.ImmA, tm.ImmB
+				if !tm.AImm {
+					a = fr[tm.A]
+				}
+				if !tm.BImm {
+					bb2 = fr[tm.B]
+				}
+				if cond2(bytecode.Op(tm.Cond), a, bb2) {
+					bi = tm.Target
+					continue
+				}
+			case jit.TermFall:
+				if tm.Next < 0 {
+					t.flushInterp(done, cost, budget)
+					return 0, fmt.Errorf("vm: %s: fell off end of code", m.FullName())
+				}
+				bi = tm.Next
+				continue
+			case jit.TermReturn:
+				t.flushInterp(done, cost, budget)
+				return 0, nil
+			case jit.TermIreturn:
+				val := tm.ImmA
+				if !tm.AImm {
+					val = fr[tm.A]
+				}
+				t.flushInterp(done, cost, budget)
+				return val, nil
+			case jit.TermThrow:
+				val := tm.ImmA
+				if !tm.AImm {
+					val = fr[tm.A]
+				}
+				thrown := Throw(val, "")
+				h := m.handlerIdx[tm.Idx]
+				if h < 0 {
+					t.flushInterp(done, cost, budget)
+					return 0, thrown
+				}
+				stack[0] = thrown.Value
+				nb := u.BlockOf[h]
+				if nb < 0 {
+					v.tierDeopts++
+					t.flushInterp(done, cost, budget)
+					return t.interpretInstrumentedFrom(m, locals, stack, int(h), 1, cost)
+				}
+				bi = nb
+				continue
+			}
+			// Conditional branch fell through.
+			if tm.Next < 0 {
+				t.flushInterp(done, cost, budget)
+				return 0, fmt.Errorf("vm: %s: fell off end of code", m.FullName())
+			}
+			bi = tm.Next
+			continue
+		}
+		for ci := range b.Chunks {
+			ch := &b.Chunks[ci]
+			if ch.Pure {
+				n := int(ch.N)
+				if n == 0 || budget > n {
+					done += uint64(n)
+					budget -= n
+					runOps(fr, ch.Ops)
+				} else {
+					// A quantum boundary falls inside the chunk: step the
+					// original bytecode per instruction so the yield lands
+					// on the interpreter's exact boundary. The frame is
+					// canonical at chunk entry, and per-instruction
+					// execution leaves it canonical again.
+					v.tierFallbacks++
+					var err error
+					done, budget, err = t.stepPureRange(m, fr, int(ch.Start), n, int(ch.SP), done, budget, cost, quantum)
+					if err != nil {
+						return 0, err
+					}
+				}
+				continue
+			}
+
+			// Effect: one instruction, charged singly in the
+			// interpreter's order — count, yield check, execute.
+			eff := &ch.Eff
+			done++
+			budget--
+			if budget <= 0 {
+				t.flushInterp(done, cost, quantum)
+				done = 0
+				budget = quantum
+				t.yield()
+			}
+			var thrown *Thrown
+			idx := int(eff.Idx)
+			base := ml + int(eff.SP)
+			switch eff.Kind {
+			case jit.EffDiv:
+				bv, av := fr[base-1], fr[base-2]
+				if bv == 0 {
+					thrown = Throw(av, "ArithmeticException: / by zero")
+				} else {
+					fr[base-2] = av / bv
+				}
+			case jit.EffRem:
+				bv, av := fr[base-1], fr[base-2]
+				if bv == 0 {
+					thrown = Throw(av, "ArithmeticException: % by zero")
+				} else {
+					fr[base-2] = av % bv
+				}
+			case jit.EffNewArray:
+				h, err := heap.NewArray(fr[base-1])
+				if err != nil {
+					if th, ok := AsThrown(err); ok {
+						thrown = th
+					} else {
+						t.flushInterp(done, cost, budget)
+						return 0, err
+					}
+				} else {
+					fr[base-1] = h
+				}
+			case jit.EffALoad:
+				val, err := heap.Load(fr[base-2], fr[base-1])
+				if err != nil {
+					if th, ok := AsThrown(err); ok {
+						thrown = th
+					} else {
+						t.flushInterp(done, cost, budget)
+						return 0, err
+					}
+				} else {
+					fr[base-2] = val
+				}
+			case jit.EffAStore:
+				if err := heap.Store(fr[base-3], fr[base-2], fr[base-1]); err != nil {
+					if th, ok := AsThrown(err); ok {
+						thrown = th
+					} else {
+						t.flushInterp(done, cost, budget)
+						return 0, err
+					}
+				}
+			case jit.EffArrayLen:
+				n2, err := heap.Length(fr[base-1])
+				if err != nil {
+					if th, ok := AsThrown(err); ok {
+						thrown = th
+					} else {
+						t.flushInterp(done, cost, budget)
+						return 0, err
+					}
+				} else {
+					fr[base-1] = n2
+				}
+			case jit.EffGetStatic:
+				p := m.refStatics[eff.Ref]
+				if p == nil {
+					resolved, err := v.resolveStatic(m.Def.Refs[eff.Ref])
+					if err != nil {
+						t.flushInterp(done, cost, budget)
+						return 0, fmt.Errorf("vm: %s at %d: %w", m.FullName(), m.instrs[idx].Offset, err)
+					}
+					p = resolved
+				}
+				fr[base] = *p
+			case jit.EffPutStatic:
+				p := m.refStatics[eff.Ref]
+				if p == nil {
+					resolved, err := v.resolveStatic(m.Def.Refs[eff.Ref])
+					if err != nil {
+						t.flushInterp(done, cost, budget)
+						return 0, fmt.Errorf("vm: %s at %d: %w", m.FullName(), m.instrs[idx].Offset, err)
+					}
+					p = resolved
+				}
+				*p = fr[base-1]
+			case jit.EffInvoke:
+				// The charge for the invoke instruction itself lands
+				// before the call, exactly as the interpreter orders it.
+				t.flushInterp(done, cost, budget)
+				done = 0
+				callee := m.refMethods[eff.Ref]
+				if callee == nil {
+					resolved, err := v.resolveMethod(m.Def.Refs[eff.Ref])
+					if err != nil {
+						return 0, fmt.Errorf("vm: %s at %d: %w", m.FullName(), m.instrs[idx].Offset, err)
+					}
+					callee = resolved
+				}
+				argBase := base - callee.argWords
+				r, err := t.invoke(callee, fr[argBase:base])
+				budget = t.budget // the callee shares the yield budget
+				sp := int(eff.SP) - callee.argWords
+				if err != nil {
+					if th, ok := AsThrown(err); ok {
+						thrown = th
+					} else {
+						return 0, err
+					}
+				} else if callee.returns {
+					fr[ml+sp] = r
+					sp++
+				}
+				// Mid-frame deoptimization: the callee may have installed
+				// a tracer, enabled method events, or loaded a class
+				// (stale relink epoch). Hand the rest of the activation
+				// to the instrumented interpreter at this exact boundary.
+				if v.tracer != nil || v.jitDisabled || v.tier.Epoch() != startEpoch {
+					v.tierDeopts++
+					if thrown != nil {
+						h := m.handlerIdx[idx]
+						if h < 0 {
+							t.flushInterp(done, cost, budget)
+							return 0, thrown
+						}
+						stack[0] = thrown.Value
+						return t.interpretInstrumentedFrom(m, locals, stack, int(h), 1, cost)
+					}
+					t.flushInterp(done, cost, budget)
+					return t.interpretInstrumentedFrom(m, locals, stack, idx+1, sp, cost)
+				}
+			}
+			if thrown != nil {
+				h := m.handlerIdx[idx]
+				if h < 0 {
+					t.flushInterp(done, cost, budget)
+					return 0, thrown
+				}
+				stack[0] = thrown.Value
+				nb := u.BlockOf[h]
+				if nb < 0 {
+					// Handlers are always block leaders; deopt defensively
+					// rather than trust a violated invariant.
+					v.tierDeopts++
+					t.flushInterp(done, cost, budget)
+					return t.interpretInstrumentedFrom(m, locals, stack, int(h), 1, cost)
+				}
+				bi = nb
+				continue blocks
+			}
+		}
+
+		// Terminator.
+		tm := &b.Term
+		if tm.N > 0 {
+			done++
+			budget--
+			if budget <= 0 {
+				t.flushInterp(done, cost, quantum)
+				done = 0
+				budget = quantum
+				t.yield()
+			}
+		}
+		switch tm.Kind {
+		case jit.TermFall:
+			if tm.Next < 0 {
+				t.flushInterp(done, cost, budget)
+				return 0, fmt.Errorf("vm: %s: fell off end of code", m.FullName())
+			}
+			bi = tm.Next
+		case jit.TermGoto:
+			bi = tm.Target
+		case jit.TermBr1:
+			a := tm.ImmA
+			if !tm.AImm {
+				a = fr[tm.A]
+			}
+			if cond1(bytecode.Op(tm.Cond), a) {
+				bi = tm.Target
+			} else {
+				if tm.Next < 0 {
+					t.flushInterp(done, cost, budget)
+					return 0, fmt.Errorf("vm: %s: fell off end of code", m.FullName())
+				}
+				bi = tm.Next
+			}
+		case jit.TermBr2:
+			a, bb2 := tm.ImmA, tm.ImmB
+			if !tm.AImm {
+				a = fr[tm.A]
+			}
+			if !tm.BImm {
+				bb2 = fr[tm.B]
+			}
+			if cond2(bytecode.Op(tm.Cond), a, bb2) {
+				bi = tm.Target
+			} else {
+				if tm.Next < 0 {
+					t.flushInterp(done, cost, budget)
+					return 0, fmt.Errorf("vm: %s: fell off end of code", m.FullName())
+				}
+				bi = tm.Next
+			}
+		case jit.TermReturn:
+			t.flushInterp(done, cost, budget)
+			return 0, nil
+		case jit.TermIreturn:
+			val := tm.ImmA
+			if !tm.AImm {
+				val = fr[tm.A]
+			}
+			t.flushInterp(done, cost, budget)
+			return val, nil
+		case jit.TermThrow:
+			val := tm.ImmA
+			if !tm.AImm {
+				val = fr[tm.A]
+			}
+			thrown := Throw(val, "")
+			h := m.handlerIdx[tm.Idx]
+			if h < 0 {
+				t.flushInterp(done, cost, budget)
+				return 0, thrown
+			}
+			stack[0] = thrown.Value
+			nb := u.BlockOf[h]
+			if nb < 0 {
+				v.tierDeopts++
+				t.flushInterp(done, cost, budget)
+				return t.interpretInstrumentedFrom(m, locals, stack, int(h), 1, cost)
+			}
+			bi = nb
+		}
+	}
+}
+
+// runOps executes a fused pure-op sequence against the flat frame.
+func runOps(fr []int64, ops []jit.Op) {
+	for oi := range ops {
+		op := &ops[oi]
+		switch op.Kind {
+		case jit.KMov:
+			fr[op.Dst] = fr[op.A]
+		case jit.KMovI:
+			fr[op.Dst] = op.Imm
+		case jit.KSwap:
+			fr[op.A], fr[op.B] = fr[op.B], fr[op.A]
+		case jit.KNeg:
+			fr[op.Dst] = -fr[op.A]
+		case jit.KAddSS:
+			fr[op.Dst] = fr[op.A] + fr[op.B]
+		case jit.KAddSI:
+			fr[op.Dst] = fr[op.A] + op.Imm
+		case jit.KSubSS:
+			fr[op.Dst] = fr[op.A] - fr[op.B]
+		case jit.KSubSI:
+			fr[op.Dst] = fr[op.A] - op.Imm
+		case jit.KSubIS:
+			fr[op.Dst] = op.Imm - fr[op.A]
+		case jit.KMulSS:
+			fr[op.Dst] = fr[op.A] * fr[op.B]
+		case jit.KMulSI:
+			fr[op.Dst] = fr[op.A] * op.Imm
+		case jit.KMulAddSII:
+			fr[op.Dst] = fr[op.A]*op.Imm + op.Imm2
+		case jit.KAndSS:
+			fr[op.Dst] = fr[op.A] & fr[op.B]
+		case jit.KAndSI:
+			fr[op.Dst] = fr[op.A] & op.Imm
+		case jit.KOrSS:
+			fr[op.Dst] = fr[op.A] | fr[op.B]
+		case jit.KOrSI:
+			fr[op.Dst] = fr[op.A] | op.Imm
+		case jit.KXorSS:
+			fr[op.Dst] = fr[op.A] ^ fr[op.B]
+		case jit.KXorSI:
+			fr[op.Dst] = fr[op.A] ^ op.Imm
+		case jit.KShlSS:
+			fr[op.Dst] = fr[op.A] << (uint64(fr[op.B]) & 63)
+		case jit.KShlSI:
+			fr[op.Dst] = fr[op.A] << (uint64(op.Imm) & 63)
+		case jit.KShlIS:
+			fr[op.Dst] = op.Imm << (uint64(fr[op.A]) & 63)
+		case jit.KShrSS:
+			fr[op.Dst] = fr[op.A] >> (uint64(fr[op.B]) & 63)
+		case jit.KShrSI:
+			fr[op.Dst] = fr[op.A] >> (uint64(op.Imm) & 63)
+		case jit.KShrIS:
+			fr[op.Dst] = op.Imm >> (uint64(fr[op.A]) & 63)
+		}
+	}
+}
+
+// stepPureRange executes n straight-line bytecode instructions beginning
+// at instruction index start with per-instruction accounting — the
+// compiled tier's yield-boundary fallback. sp is the operand-stack depth
+// at entry. It returns the updated deferred-accounting state.
+//
+// The opcode switch is deliberately a third copy of the straight-line
+// subset in interpretFast's batch and per-instruction paths (including
+// the OpInc slot|delta<<16 operand packing from linkDispatch): sharing
+// one helper would add a call into the interpreter's hottest loop and
+// perturb its code generation. Any change to the straight-line opcode
+// set or encoding must touch all three; TestJITYieldBoundariesMatchInterp
+// runs with a hostile 7-instruction quantum precisely so this fallback
+// executes constantly and any divergence among the copies fails loudly.
+func (t *Thread) stepPureRange(m *Method, fr []int64, start, n, sp int,
+	done uint64, budget int, cost uint64, quantum int) (uint64, int, error) {
+
+	ops := m.ops
+	operands := m.operands
+	consts := m.Def.Consts
+	ml := m.Def.MaxLocals
+	stack := fr[ml:]
+	for idx := start; idx < start+n; idx++ {
+		done++
+		budget--
+		if budget <= 0 {
+			t.flushInterp(done, cost, quantum)
+			done = 0
+			budget = quantum
+			t.yield()
+		}
+		switch ops[idx] {
+		case bytecode.OpNop:
+		case bytecode.OpConst:
+			stack[sp] = consts[operands[idx]]
+			sp++
+		case bytecode.OpIconst0:
+			stack[sp] = 0
+			sp++
+		case bytecode.OpIconst1:
+			stack[sp] = 1
+			sp++
+		case bytecode.OpLoad:
+			stack[sp] = fr[operands[idx]]
+			sp++
+		case bytecode.OpStore:
+			sp--
+			fr[operands[idx]] = stack[sp]
+		case bytecode.OpInc:
+			v := operands[idx]
+			fr[v&0xffff] += int64(v >> 16)
+		case bytecode.OpAdd:
+			stack[sp-2] += stack[sp-1]
+			sp--
+		case bytecode.OpSub:
+			stack[sp-2] -= stack[sp-1]
+			sp--
+		case bytecode.OpMul:
+			stack[sp-2] *= stack[sp-1]
+			sp--
+		case bytecode.OpNeg:
+			stack[sp-1] = -stack[sp-1]
+		case bytecode.OpShl:
+			stack[sp-2] <<= uint64(stack[sp-1]) & 63
+			sp--
+		case bytecode.OpShr:
+			stack[sp-2] >>= uint64(stack[sp-1]) & 63
+			sp--
+		case bytecode.OpAnd:
+			stack[sp-2] &= stack[sp-1]
+			sp--
+		case bytecode.OpOr:
+			stack[sp-2] |= stack[sp-1]
+			sp--
+		case bytecode.OpXor:
+			stack[sp-2] ^= stack[sp-1]
+			sp--
+		case bytecode.OpDup:
+			stack[sp] = stack[sp-1]
+			sp++
+		case bytecode.OpPop:
+			sp--
+		case bytecode.OpSwap:
+			stack[sp-1], stack[sp-2] = stack[sp-2], stack[sp-1]
+		default:
+			t.flushInterp(done, cost, budget)
+			return done, budget, fmt.Errorf("vm: %s: non-straight-line opcode %s in compiled chunk at %d",
+				m.FullName(), ops[idx], m.instrs[idx].Offset)
+		}
+	}
+	return done, budget, nil
+}

@@ -58,8 +58,18 @@ func (tr *Tracer) instruction(t *Thread, m *Method, in bytecode.Instruction) {
 	tr.printf("[t%d] %s+%d: %s\n", t.id, m.Def.Name, in.Offset, in.Op)
 }
 
-// SetTracer installs (or clears, with nil) the VM's execution tracer. It
-// must be called before Run.
+// SetTracer installs (or clears, with nil) the VM's execution tracer.
+// Install it before Run to trace the whole execution. Installing it
+// mid-run (from native code) is also supported: frames entered from then
+// on select the instrumented loop, and a compiled-tier frame that is
+// on-stack deoptimizes to the instrumented interpreter at its next call
+// boundary. Note that the trace *text* for already-running frames is a
+// best-effort diagnostic, not part of the cross-engine byte-identity
+// contract: a deoptimized compiled frame traces all of its remaining
+// instructions, while a frame mid-flight in the fast interpreter loop
+// keeps its uninstrumented dispatch and traces nothing more. Simulated
+// observables (cycles, counts, ground truth, results) are unaffected
+// either way — tracing has no effect on virtual time.
 func (v *VM) SetTracer(tr *Tracer) {
 	v.tracer = tr
 }

@@ -18,6 +18,7 @@ import (
 	"repro/internal/bytecode"
 	"repro/internal/classfile"
 	"repro/internal/cycles"
+	"repro/internal/jit"
 )
 
 // Options configures the cost model and JIT behaviour of a VM. All costs
@@ -57,7 +58,23 @@ type Options struct {
 	// instrumented dispatch loop even when no tracer or sampling hook is
 	// installed. The fast and instrumented loops are observably
 	// equivalent; this switch exists so differential tests can prove it.
+	// It also pins the template tier out of the frame dispatch: compiled
+	// units are never entered while it is set.
 	ForceInstrumentedLoop bool
+	// Tier selects the execution engine. EngineInterp (the zero value)
+	// runs everything on the interpreter's dispatch loops; EngineJIT and
+	// EngineAuto enable the internal/jit template tier, which promotes
+	// hot bytecode methods to compiled trace units and deoptimizes back
+	// to the instrumented interpreter whenever per-instruction semantics
+	// are required. The tier is a host-level accelerator: every
+	// observable simulated value (cycles, instruction counts, ground
+	// truth, reports, results) is byte-identical across engines.
+	Tier jit.Engine
+	// CompileThreshold is the invocation count at which the template
+	// tier promotes a method. 0 means "track the JIT model": promote at
+	// JITThreshold, so host compilation coincides with the simulated
+	// interp→compiled cost transition.
+	CompileThreshold uint64
 }
 
 // DefaultOptions returns the calibrated cost model used throughout the
@@ -158,6 +175,15 @@ type Method struct {
 
 	invocations uint64
 	compiled    bool
+	// Template-tier state, colocated with the per-invoke hotness fields
+	// (the invocations++ write pulls this cache line in on every call,
+	// making the per-frame unit check free). unit is the method's
+	// compiled trace unit (nil while interpreted, cleared on every
+	// relink-epoch invalidation and when method events de-optimize the
+	// world); unitFailed pins methods the lowering rejected so promotion
+	// is not retried every invoke.
+	unitFailed bool
+	unit       *jit.Unit
 
 	argWords int
 	returns  bool
@@ -269,6 +295,15 @@ type VM struct {
 	threadsEver []*Thread
 	tracer      *Tracer
 
+	// tier is the template-compilation cache: relink epoch, compiled
+	// units and compile bookkeeping. The per-frame counters below are
+	// plain fields for the same reason nativeCalls is: only one simulated
+	// thread executes at a time under the scheduler baton.
+	tier          *jit.Cache
+	tierFrames    uint64
+	tierDeopts    uint64
+	tierFallbacks uint64
+
 	// counters for diagnostics
 	classesLoaded int
 	jitCompiled   int
@@ -296,6 +331,7 @@ func New(opts Options) *VM {
 		Clock:   cycles.NewRegistry(),
 		classes: make(map[string]*Class),
 		natives: make(map[string]NativeFunc),
+		tier:    jit.NewCache(),
 	}
 	v.EnvFactory = func(t *Thread) Env { return &plainEnv{t: t} }
 	v.sched = newScheduler(v)
@@ -314,6 +350,10 @@ func (v *VM) Hooks() Hooks { return v.hooks }
 // EnableMethodEvents turns MethodEntry/MethodExit delivery on or off.
 // Enabling them disables JIT compilation and de-optimizes already compiled
 // methods, reproducing the behaviour that makes SPA's overhead excessive.
+// The template tier follows the same rule: compiled trace units are
+// dropped and the relink epoch bumped, so a compiled frame that is
+// on-stack when the events are enabled deoptimizes to the instrumented
+// interpreter at its next call boundary.
 func (v *VM) EnableMethodEvents(on bool) {
 	v.mu.Lock()
 	defer v.mu.Unlock()
@@ -323,8 +363,10 @@ func (v *VM) EnableMethodEvents(on bool) {
 		for _, c := range v.classes {
 			for _, m := range c.methods {
 				m.compiled = false
+				m.unit = nil
 			}
 		}
+		v.tier.Invalidate()
 	}
 }
 
@@ -449,6 +491,19 @@ func (v *VM) LoadClass(def *classfile.Class) (*Class, error) {
 	v.classes[def.Name] = c
 	v.classesLoaded++
 	v.relinkLocked(c)
+	// Compiled trace units bake in the assumption that link-time
+	// resolution state is final; a class load changes it (relinkLocked
+	// just filled dangling refs), so the relink epoch bumps and every
+	// unit is dropped. Hot methods re-promote against the new epoch on
+	// their next invocation, and a compiled frame that is on-stack right
+	// now notices the stale epoch at its next call boundary and
+	// deoptimizes.
+	for _, cl := range v.classes {
+		for _, m := range cl.methods {
+			m.unit = nil
+		}
+	}
+	v.tier.Invalidate()
 	return c, nil
 }
 
@@ -614,12 +669,19 @@ func (v *VM) linkNative(m *Method) error {
 	return fmt.Errorf("%w: %s (tried %v)", ErrUnsatisfiedLink, m.FullName(), tryNames)
 }
 
-// maybeCompile applies the JIT model on method entry.
+// maybeCompile applies the JIT model on method entry: the simulated
+// interp→compiled cost promotion, and — when a template tier is enabled —
+// host-level promotion to a compiled trace unit. The two are independent:
+// the first changes simulated cycle costs (the paper's JIT model), the
+// second only how fast the host executes them.
 func (v *VM) maybeCompile(m *Method) {
 	if m.Def.IsNative() {
 		return
 	}
 	m.invocations++
+	if v.opts.Tier != jit.EngineInterp {
+		v.maybePromote(m)
+	}
 	if m.compiled || v.jitDisabled {
 		return
 	}
@@ -629,6 +691,62 @@ func (v *VM) maybeCompile(m *Method) {
 		v.jitCompiled++
 		v.mu.Unlock()
 	}
+}
+
+// CompileThresholdEffective is the invocation count at which the template
+// tier promotes: Options.CompileThreshold, or the JIT model's threshold
+// when unset.
+func (v *VM) CompileThresholdEffective() uint64 {
+	if v.opts.CompileThreshold > 0 {
+		return v.opts.CompileThreshold
+	}
+	return v.opts.JITThreshold
+}
+
+// needsPerInstruction reports whether some observer requires the
+// interpreter's per-instruction semantics right now: an installed tracer,
+// an active sampling hook, or a forced instrumented loop. Frames never
+// enter compiled code while it holds.
+func (v *VM) needsPerInstruction() bool {
+	return v.tracer != nil || v.opts.ForceInstrumentedLoop ||
+		(v.opts.SampleInterval != 0 && v.hooks.Sample != nil)
+}
+
+// maybePromote builds a compiled trace unit for a hot bytecode method.
+// Lowering failures pin the method to the interpreter permanently —
+// compilation is a performance event, never a correctness one.
+func (v *VM) maybePromote(m *Method) {
+	if m.unit != nil || m.unitFailed || v.jitDisabled || len(m.instrs) == 0 {
+		return
+	}
+	if m.invocations < v.CompileThresholdEffective() {
+		return
+	}
+	// Auto defers to the observers: compiling while every frame would
+	// deoptimize anyway is pure waste. EngineJIT compiles regardless; the
+	// per-frame dispatch still keeps units out of observed runs.
+	if v.opts.Tier == jit.EngineAuto && v.needsPerInstruction() {
+		return
+	}
+	u, err := jit.Compile(m.Def)
+	if err != nil {
+		m.unitFailed = true
+		v.tier.NoteFailure()
+		return
+	}
+	m.unit = u
+	v.tier.Put(m, u)
+}
+
+// TierStats returns the template tier's bookkeeping: compile and cache
+// counts from the jit cache plus the VM's frame-level execution counters.
+func (v *VM) TierStats() jit.Stats {
+	s := v.tier.Snapshot()
+	s.Engine = v.opts.Tier
+	s.CompiledFrames = v.tierFrames
+	s.DeoptFrames = v.tierDeopts
+	s.FallbackChunks = v.tierFallbacks
+	return s
 }
 
 // plainEnv is the fallback JNI environment used when internal/jni has not

@@ -1,8 +1,15 @@
 #!/usr/bin/env bash
-# bench.sh — run the interpreter micro-benchmarks and the Table I
-# campaign benchmarks, and record ns/op in the BENCH_PR3.json ledger so
-# the performance trajectory is tracked PR over PR (PR 2's numbers stay
-# in BENCH_PR2.json).
+# bench.sh — run the interpreter/tier micro-benchmarks and the Table I
+# and campaign benchmarks, and record ns/op in the BENCH_PR4.json ledger
+# so the performance trajectory is tracked PR over PR (PR 2/3 numbers
+# stay in BENCH_PR2.json/BENCH_PR3.json).
+#
+# The benchmark set runs once per execution engine: the interpreter
+# numbers (BenchmarkInterpreterLoop, BenchmarkTableISequential, ...) and
+# their template-tier counterparts (BenchmarkCompiledLoop,
+# BenchmarkTableISequentialJIT, BenchmarkCampaign/engine=jit, ...) land
+# in the same ledger label, so the interp/jit ratio is read straight out
+# of one file.
 #
 # Usage:
 #   scripts/bench.sh [label]
@@ -13,22 +20,23 @@
 #
 # Environment:
 #   BENCHTIME  go test -benchtime value (default 2s)
-#   OUT        ledger file (default BENCH_PR3.json)
+#   OUT        ledger file (default BENCH_PR4.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 LABEL=${1:-current}
 BENCHTIME=${BENCHTIME:-2s}
-OUT=${OUT:-BENCH_PR3.json}
+OUT=${OUT:-BENCH_PR4.json}
 
 {
-  # Interpreter and call-machinery micro-benchmarks.
-  go test -run '^$' -bench 'BenchmarkInterpreterLoop|BenchmarkInvokeOverhead|BenchmarkNativeCall' \
+  # Interpreter, template-tier and call-machinery micro-benchmarks.
+  go test -run '^$' -bench 'BenchmarkInterpreterLoop|BenchmarkCompiledLoop|BenchmarkInvokeOverhead|BenchmarkNativeCall' \
     -benchtime "$BENCHTIME" repro/internal/vm
   # Fast-path subsystem micro-benchmarks (dual-loop delta, pooled frames,
   # static caches, throw path).
   go test -run '^$' -bench . -benchtime "$BENCHTIME" repro/internal/vm/bench
-  # Whole-campaign wall-clock: Table I sequential and parallel.
-  go test -run '^$' -bench 'BenchmarkTableISequential|BenchmarkTableIParallel' \
+  # Whole-campaign wall-clock, once per engine: Table I sequential and
+  # parallel (interp and jit variants) and the all-family campaign.
+  go test -run '^$' -bench 'BenchmarkTableISequential|BenchmarkTableIParallel|BenchmarkCampaign/' \
     -benchtime "$BENCHTIME" repro/internal/harness
 } | go run scripts/benchjson.go -label "$LABEL" -out "$OUT"
