@@ -4,8 +4,9 @@
 //
 // Usage:
 //
-//	jprof [-agent spa|ipa|chains|sampler|bic|none] [-engine interp|jit|auto]
-//	      [-scenario FILE] [-scale K] [-parallel N] [-tierstats] [-list]
+//	jprof [-agent spa|ipa|chains|sampler|bic|aprof|none] [-engine interp|jit|auto]
+//	      [-scenario FILE] [-heap-nursery W] [-heap-tenured W] [-heap-tenure-age N]
+//	      [-scale K] [-parallel N] [-tierstats] [-list]
 //	      <scenario|family>... | all
 //
 // Arguments name registered scenarios ("compress", "gc-churn"),
@@ -28,6 +29,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/agents/aprof"
 	"repro/internal/agents/bic"
 	"repro/internal/agents/chains"
 	"repro/internal/agents/ipa"
@@ -43,6 +45,7 @@ import (
 func main() {
 	agentName := registry.AddFlag(flag.CommandLine, "ipa")
 	engineName := jit.AddEngineFlag(flag.CommandLine)
+	heapFlags := vm.AddHeapFlags(flag.CommandLine)
 	scale := flag.Int("scale", 1, "iteration divisor (1 = full calibrated size)")
 	list := flag.Bool("list", false, "list available scenarios and exit")
 	asJSON := flag.Bool("json", false, "emit the results as JSON")
@@ -87,6 +90,9 @@ func main() {
 
 	opts := vm.DefaultOptions()
 	opts.Tier = engine
+	if err := heapFlags.Apply(&opts); err != nil {
+		fatal(err)
+	}
 	registry.TuneOptions(*agentName, &opts)
 
 	results, err := runner.Map(context.Background(),
@@ -119,6 +125,7 @@ func profileOne(ctx context.Context, s scenarios.Scenario, agentName string, sca
 	if err != nil {
 		return "", err
 	}
+	s.ApplyHeap(&opts)
 	res, err := core.RunContext(ctx, prog, agent, opts)
 	if err != nil {
 		return "", err
@@ -154,11 +161,19 @@ func renderRun(res *core.RunResult, agent core.Agent, perMethod bool) string {
 		res.Truth.NativeCycles, res.Truth.OverheadCycles)
 	fmt.Fprintf(&out, "ground truth counts: %d native method calls, %d JNI calls\n",
 		res.Truth.NativeMethodCalls, res.Truth.JNICalls)
+	if res.GC.Collections() > 0 {
+		fmt.Fprintf(&out, "heap: %d/%d arrays collected (%d words), %d minor + %d major GCs, %d tenured, %d pause cycles\n",
+			res.GC.CollectedArrays, res.GC.AllocatedArrays, res.GC.CollectedWords,
+			res.GC.MinorGCs, res.GC.MajorGCs, res.GC.TenurePromotions, res.GC.GCCycles)
+	}
 	if res.Report != nil {
 		out.WriteString("\n")
 		out.WriteString(res.Report.String())
 	}
 	switch a := agent.(type) {
+	case *aprof.Agent:
+		out.WriteString("\nhottest allocation sites:\n")
+		out.WriteString(a.RenderTop(10))
 	case *chains.Agent:
 		out.WriteString("\nhottest call chains:\n")
 		out.WriteString(a.RenderTop(10))

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	jvmsim [-agent NAME] [-engine interp|jit|auto] [-scenario FILE]
+//	       [-heap-nursery W] [-heap-tenured W] [-heap-tenure-age N]
 //	       [-scale K] [-parallel N] [-tierstats]
 //	       [-cpuprofile F] [-memprofile F] [-dump|-metrics]
 //	       <scenario|family>... | all
@@ -48,6 +49,7 @@ import (
 func main() {
 	agentName := registry.AddFlag(flag.CommandLine, "none")
 	engineName := jit.AddEngineFlag(flag.CommandLine)
+	heapFlags := vm.AddHeapFlags(flag.CommandLine)
 	scale := flag.Int("scale", 1, "iteration divisor")
 	tierStats := flag.Bool("tierstats", false, "append the execution tier's host-side statistics per run")
 	dump := flag.Bool("dump", false, "disassemble the generated classes instead of running")
@@ -122,6 +124,9 @@ func main() {
 
 	opts := vm.DefaultOptions()
 	opts.Tier = engine
+	if err := heapFlags.Apply(&opts); err != nil {
+		fatal(err)
+	}
 	registry.TuneOptions(*agentName, &opts)
 	results, err := runner.Map(context.Background(),
 		runner.Options{Parallelism: *parallel, FailFast: true}, scns,
@@ -152,6 +157,7 @@ func runOne(ctx context.Context, s scenarios.Scenario, agentName string, scale i
 	if err != nil {
 		return "", err
 	}
+	s.ApplyHeap(&opts)
 	res, err := core.RunContext(ctx, prog, agent, opts)
 	if err != nil {
 		return "", err
@@ -165,6 +171,12 @@ func runOne(ctx context.Context, s scenarios.Scenario, agentName string, scale i
 	fmt.Fprintf(&out, "  native fraction:   %.2f%%\n", res.Truth.NativeFraction()*100)
 	fmt.Fprintf(&out, "  native calls:      %d\n", res.Truth.NativeMethodCalls)
 	fmt.Fprintf(&out, "  JNI calls:         %d\n", res.Truth.JNICalls)
+	fmt.Fprintf(&out, "  heap:              %d arrays / %d words allocated, %d collected, %d live\n",
+		res.GC.AllocatedArrays, res.GC.AllocatedWords, res.GC.CollectedArrays, res.GC.LiveArrays())
+	if res.GC.Collections() > 0 {
+		fmt.Fprintf(&out, "  GC:                %d minor, %d major, %d tenured, %d pause cycles\n",
+			res.GC.MinorGCs, res.GC.MajorGCs, res.GC.TenurePromotions, res.GC.GCCycles)
+	}
 	if res.Ops > 0 {
 		fmt.Fprintf(&out, "  throughput:        %.1f ops/Mcycles\n", res.Throughput())
 	}

@@ -7,6 +7,7 @@
 //
 //	tables [-profile NAME] [-scenario FILE] [-agents LIST]
 //	       [-engine interp|jit|auto] [-warmup N]
+//	       [-heap-nursery W] [-heap-tenured W] [-heap-tenure-age N]
 //	       [-table 1|2|all] [-runs N] [-scale K] [-parallel N]
 //
 // -engine selects the execution tier every measurement cell runs on;
@@ -42,6 +43,7 @@ import (
 	"repro/internal/jit"
 	"repro/internal/runner"
 	"repro/internal/scenarios"
+	"repro/internal/vm"
 )
 
 func main() {
@@ -53,6 +55,7 @@ func main() {
 	verify := flag.Bool("verify", false, "verify the paper's qualitative claims and exit non-zero on failure")
 	profile := flag.String("profile", "paper", "scenario profile to run (paper renders the paper tables; any other family or 'all' runs a campaign)")
 	engineName := jit.AddEngineFlag(flag.CommandLine)
+	heapFlags := vm.AddHeapFlags(flag.CommandLine)
 	scenarioFile := scenarios.AddFlag(flag.CommandLine)
 	agentList := registry.AddListFlag(flag.CommandLine, "none,spa,ipa")
 	parallel := runner.AddFlag(flag.CommandLine)
@@ -68,6 +71,9 @@ func main() {
 	cfg.Warmup = *warmup
 	cfg.Parallelism = *parallel
 	cfg.Opts.Tier = engine
+	if err := heapFlags.Apply(&cfg.Opts); err != nil {
+		fatal(err)
+	}
 
 	// Validate -agents up front regardless of mode, and reject it with
 	// the paper profile, whose tables are defined over the fixed

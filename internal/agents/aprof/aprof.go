@@ -1,0 +1,216 @@
+// Package aprof implements an allocation-site profiling agent on the
+// JVMTI memory events (VMObjectAlloc and the simulator's aggregate
+// GarbageCollection event): it attributes every array allocation — and,
+// through the collector's survivor attribution, every survival — to the
+// allocating method and bytecode offset, and totals the collection
+// pauses the run paid. It is the memory-side counterpart of the paper's
+// transition profilers: where IPA charges time at bytecode↔native
+// boundaries, aprof charges words at allocation sites, using only the
+// portable event surface — no VM internals.
+//
+// Like every agent in the catalogue, aprof perturbs what it measures:
+// each delivered event costs the engine's dispatch charge plus the
+// agent's own HandlerCost on the allocating thread, which is exactly how
+// a real JVMTI allocation profiler taxes an allocation-heavy workload.
+package aprof
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/classfile"
+	"repro/internal/core"
+	"repro/internal/jvmti"
+	"repro/internal/vm"
+)
+
+// HandlerCost is the default number of cycles one aprof event handler
+// consumes on the profiled thread (site lookup, counter bumps).
+const HandlerCost = 80
+
+// site keys the per-site statistics: the allocating method's full name
+// and the code offset of its allocation instruction. Native-code
+// allocations collapse onto the "<native>" pseudo-site.
+type site struct {
+	name string
+	at   int
+}
+
+// SiteStats is one allocation site's report row.
+type SiteStats struct {
+	// Method is the allocating method's full name, "<native>" for
+	// native-code allocations.
+	Method string
+	// At is the bytecode offset of the allocating instruction (-1 for
+	// native).
+	At int
+	// Allocs / Words count the allocations attributed to the site.
+	Allocs uint64
+	Words  uint64
+	// Survivals / SurvivalWords count how often arrays from this site
+	// were still live when a collection ran — the long-lived-object
+	// signal that separates a nursery-thrash site from a tenure-heavy
+	// one. One array surviving N collections counts N times.
+	Survivals     uint64
+	SurvivalWords uint64
+}
+
+// Agent is the allocation-site profiler. A fresh Agent profiles one VM
+// run. Its counters are unsynchronized on purpose: events fire on the
+// executing thread under the scheduler baton, so — exactly like the heap
+// itself — all updates are totally ordered, and Report runs after the VM
+// died.
+type Agent struct {
+	// HandlerCost overrides the per-event handler cost when non-zero.
+	HandlerCost uint64
+
+	env   *jvmti.Env
+	stats map[site]*SiteStats
+
+	minorGCs    uint64
+	majorGCs    uint64
+	collected   uint64
+	collectedW  uint64
+	pauseCycles uint64
+}
+
+// New returns an unattached allocation-site profiler.
+func New() *Agent {
+	return &Agent{HandlerCost: HandlerCost, stats: map[site]*SiteStats{}}
+}
+
+// Name implements core.Agent.
+func (a *Agent) Name() string { return "APROF" }
+
+// PrepareClasses implements core.Agent; aprof needs no instrumentation.
+func (a *Agent) PrepareClasses(classes []*classfile.Class) ([]*classfile.Class, error) {
+	return classes, nil
+}
+
+// OnLoad attaches the agent: it requests the memory-event capabilities
+// and enables VMObjectAlloc and GarbageCollection delivery.
+func (a *Agent) OnLoad(env *jvmti.Env) error {
+	a.env = env
+	env.AddCapabilities(jvmti.Capabilities{
+		CanGenerateVMObjectAllocEvents:     true,
+		CanGenerateGarbageCollectionEvents: true,
+	})
+	env.SetEventCallbacks(jvmti.Callbacks{
+		VMObjectAlloc:     a.objectAlloc,
+		GarbageCollection: a.garbageCollection,
+	})
+	for _, ev := range []jvmti.Event{jvmti.EventVMObjectAlloc, jvmti.EventGarbageCollection} {
+		if err := env.SetEventNotificationMode(true, ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// handlerWork models the handler's own execution cost on the profiled
+// thread — the perturbation source.
+func (a *Agent) handlerWork(t *vm.Thread) {
+	if a.HandlerCost > 0 {
+		t.AdvanceCycles(a.HandlerCost)
+	}
+}
+
+// siteOf maps an event's method+offset to the internal key.
+func siteOf(m *vm.Method, at int) site {
+	if m == nil {
+		return site{name: "<native>", at: -1}
+	}
+	return site{name: m.FullName(), at: at}
+}
+
+func (a *Agent) statFor(s site) *SiteStats {
+	st, ok := a.stats[s]
+	if !ok {
+		st = &SiteStats{Method: s.name, At: s.at}
+		a.stats[s] = st
+	}
+	return st
+}
+
+func (a *Agent) objectAlloc(env *jvmti.Env, t *vm.Thread, m *vm.Method, at int, words int64, handle int64) {
+	a.handlerWork(t)
+	st := a.statFor(siteOf(m, at))
+	st.Allocs++
+	st.Words += uint64(words)
+}
+
+func (a *Agent) garbageCollection(env *jvmti.Env, t *vm.Thread, info vm.GCInfo) {
+	a.handlerWork(t)
+	if info.Kind == vm.GCMajor {
+		a.majorGCs++
+	} else {
+		a.minorGCs++
+	}
+	a.collected += info.CollectedArrays
+	a.collectedW += info.CollectedWords
+	a.pauseCycles += info.Cost
+	for _, sv := range info.Survivors {
+		st := a.statFor(siteOf(sv.Site.Method, sv.Site.At))
+		st.Survivals += sv.Arrays
+		st.SurvivalWords += sv.Words
+	}
+}
+
+// Sites returns every observed allocation site, heaviest first (by
+// allocated words, ties broken by method name and offset) — a
+// deterministic order regardless of map iteration.
+func (a *Agent) Sites() []SiteStats {
+	out := make([]SiteStats, 0, len(a.stats))
+	for _, st := range a.stats {
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Words != out[j].Words {
+			return out[i].Words > out[j].Words
+		}
+		if out[i].Method != out[j].Method {
+			return out[i].Method < out[j].Method
+		}
+		return out[i].At < out[j].At
+	})
+	return out
+}
+
+// MinorGCs returns the observed minor-collection count.
+func (a *Agent) MinorGCs() uint64 { return a.minorGCs }
+
+// MajorGCs returns the observed major-collection count.
+func (a *Agent) MajorGCs() uint64 { return a.majorGCs }
+
+// PauseCycles returns the total collection pause cost observed.
+func (a *Agent) PauseCycles() uint64 { return a.pauseCycles }
+
+// RenderTop formats the n heaviest allocation sites plus the collection
+// summary, the jprof extra for this agent.
+func (a *Agent) RenderTop(n int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-44s %10s %12s %10s %12s\n",
+		"allocation site", "allocs", "words", "survivals", "surv words")
+	for i, st := range a.Sites() {
+		if i >= n {
+			break
+		}
+		loc := st.Method
+		if st.At >= 0 {
+			loc = fmt.Sprintf("%s @%d", st.Method, st.At)
+		}
+		fmt.Fprintf(&b, "%-44s %10d %12d %10d %12d\n",
+			loc, st.Allocs, st.Words, st.Survivals, st.SurvivalWords)
+	}
+	fmt.Fprintf(&b, "collections: %d minor, %d major; %d arrays (%d words) collected; %d pause cycles\n",
+		a.minorGCs, a.majorGCs, a.collected, a.collectedW, a.pauseCycles)
+	return b.String()
+}
+
+// Report implements core.Agent. An allocation profiler measures words
+// and pauses, not bytecode/native time; the report carries zeros in the
+// cycle columns — its substance is in Sites and the GC summary.
+func (a *Agent) Report() *core.Report {
+	return &core.Report{AgentName: a.Name()}
+}

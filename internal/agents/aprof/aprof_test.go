@@ -1,0 +1,136 @@
+package aprof
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+// testWorkload is a retain-phase workload whose allocation counts are
+// exactly predictable: per outer iteration, one retain call allocates 1
+// holder (4 words) + 12 arrays of 16 words.
+func testWorkload() workloads.Workload {
+	return workloads.Workload{
+		Name: "aprof-test", ClassName: "t/AprofTest", OuterIters: 40,
+		Phases: []workloads.Phase{
+			{Kind: workloads.PhaseRetain, Calls: 1, Work: 12, Size: 16, Depth: 4},
+		},
+	}
+}
+
+func runAprof(t *testing.T, opts vm.Options) (*Agent, *core.RunResult) {
+	t.Helper()
+	prog, err := workloads.BuildWorkload(testWorkload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent := New()
+	res, err := core.Run(prog, agent, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return agent, res
+}
+
+// TestAprofExactAllocationAttribution pins the agent against the
+// engine's ground truth: every allocation lands on the right site with
+// the right word total.
+func TestAprofExactAllocationAttribution(t *testing.T) {
+	opts := vm.DefaultOptions()
+	agent, res := runAprof(t, opts)
+	sites := agent.Sites()
+	if len(sites) != 2 {
+		t.Fatalf("sites = %+v, want burst + holder", sites)
+	}
+	burst, holder := sites[0], sites[1]
+	if burst.Allocs != 40*12 || burst.Words != 40*12*16 {
+		t.Fatalf("burst site: %+v, want 480 allocs / 7680 words", burst)
+	}
+	if holder.Allocs != 40 || holder.Words != 40*4 {
+		t.Fatalf("holder site: %+v, want 40 allocs / 160 words", holder)
+	}
+	if !strings.Contains(burst.Method, "retain") || !strings.Contains(holder.Method, "retain") {
+		t.Fatalf("sites not attributed to the retain kernel: %+v", sites)
+	}
+	if burst.At == holder.At {
+		t.Fatal("distinct allocation instructions collapsed onto one site")
+	}
+	total := burst.Allocs + holder.Allocs
+	if got := res.GC.AllocatedArrays; got != total {
+		t.Fatalf("agent saw %d allocations, engine allocated %d", total, got)
+	}
+	// Legacy mode: no collections, so no survival attribution.
+	if agent.MinorGCs() != 0 || burst.Survivals != 0 {
+		t.Fatalf("legacy run produced collection data: %+v", sites)
+	}
+}
+
+// TestAprofSurvivalsAndPauses: with a bounded nursery the agent observes
+// every pause the engine charged and attributes survivals to the
+// retaining site.
+func TestAprofSurvivalsAndPauses(t *testing.T) {
+	opts := vm.DefaultOptions()
+	opts.Heap = vm.HeapConfig{NurseryWords: 128, TenuredWords: 256}
+	agent, res := runAprof(t, opts)
+	if agent.MinorGCs() == 0 {
+		t.Fatal("no minor collections observed")
+	}
+	if agent.MinorGCs() != res.GC.MinorGCs || agent.MajorGCs() != res.GC.MajorGCs {
+		t.Fatalf("agent pauses %d/%d != engine %d/%d",
+			agent.MinorGCs(), agent.MajorGCs(), res.GC.MinorGCs, res.GC.MajorGCs)
+	}
+	if agent.PauseCycles() != res.GC.GCCycles {
+		t.Fatalf("agent pause cycles %d != engine %d", agent.PauseCycles(), res.GC.GCCycles)
+	}
+	if res.Truth.GCCycles != res.GC.GCCycles {
+		t.Fatalf("ground truth GC cycles %d != heap ledger %d", res.Truth.GCCycles, res.GC.GCCycles)
+	}
+	var survivals uint64
+	for _, s := range agent.Sites() {
+		survivals += s.Survivals
+	}
+	if survivals == 0 {
+		t.Fatal("retained arrays never counted as survivors")
+	}
+	out := agent.RenderTop(10)
+	if !strings.Contains(out, "retain") || !strings.Contains(out, "minor") {
+		t.Fatalf("RenderTop output incomplete:\n%s", out)
+	}
+}
+
+// TestAprofPerturbsLikeAnAgent: the event machinery taxes the run — the
+// profiled execution is slower than the uninstrumented one, exactly as
+// the paper's overhead methodology expects — while the program result
+// stays untouched.
+func TestAprofPerturbsLikeAnAgent(t *testing.T) {
+	prog, err := workloads.BuildWorkload(testWorkload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := vm.DefaultOptions()
+	opts.Heap = vm.HeapConfig{NurseryWords: 128}
+	plain, err := core.Run(prog, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog2, err := workloads.BuildWorkload(testWorkload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	profiled, err := core.Run(prog2, New(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if profiled.MainResult != plain.MainResult {
+		t.Fatalf("agent changed the program result: %d vs %d", profiled.MainResult, plain.MainResult)
+	}
+	if profiled.TotalCycles <= plain.TotalCycles {
+		t.Fatalf("allocation profiling was free: %d <= %d", profiled.TotalCycles, plain.TotalCycles)
+	}
+	if profiled.Truth.OverheadCycles == 0 {
+		t.Fatal("no overhead attributed to the agent machinery")
+	}
+}

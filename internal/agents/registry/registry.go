@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/agents/aprof"
 	"repro/internal/agents/bic"
 	"repro/internal/agents/chains"
 	"repro/internal/agents/ipa"
@@ -67,6 +68,10 @@ var agents = map[string]entry{
 	"bic": {
 		describe: "bytecode instruction counter comparator",
 		make:     func(Config) core.Agent { return bic.New() },
+	},
+	"aprof": {
+		describe: "allocation-site profiler (VMObjectAlloc/GarbageCollection events)",
+		make:     func(Config) core.Agent { return aprof.New() },
 	},
 }
 

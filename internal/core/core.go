@@ -115,6 +115,9 @@ type GroundTruth struct {
 	BytecodeCycles uint64
 	NativeCycles   uint64
 	OverheadCycles uint64
+	// GCCycles is the simulated collection-pause time charged by the
+	// generational heap; zero in legacy mode (unbounded heap).
+	GCCycles uint64
 	// NativeMethodCalls is the engine count of J2N invocations, including
 	// any agent-injected native methods.
 	NativeMethodCalls uint64
@@ -129,6 +132,7 @@ func (g *GroundTruth) Add(o GroundTruth) {
 	g.BytecodeCycles += o.BytecodeCycles
 	g.NativeCycles += o.NativeCycles
 	g.OverheadCycles += o.OverheadCycles
+	g.GCCycles += o.GCCycles
 	g.NativeMethodCalls += o.NativeMethodCalls
 	g.JNICalls += o.JNICalls
 }
@@ -167,6 +171,12 @@ type RunResult struct {
 	JITCompiled int
 	// Threads is the number of threads the run created.
 	Threads int
+	// GC is the generational heap's allocation/collection ledger:
+	// arrays and words allocated, collected and live, pause counts and
+	// total pause cycles. Unlike Tier, these ARE simulated observables —
+	// byte-identical across engines — and all zero except the allocation
+	// counters when the heap runs in legacy (unbounded) mode.
+	GC vm.GCStats
 	// Tier is the template tier's bookkeeping: which engine ran, how many
 	// methods were promoted to compiled trace units, frames executed
 	// compiled, deopts, and cache invalidations. All zero under
@@ -261,11 +271,13 @@ func RunKeepVM(prog *Program, agent Agent, opts vm.Options) (*RunResult, *vm.VM,
 		Threads:      len(v.Threads()),
 		Tier:         v.TierStats(),
 	}
+	res.GC = v.GCStats()
 	for _, t := range v.Threads() {
 		bc, nat, ovh := t.GroundTruth()
 		res.Truth.BytecodeCycles += bc
 		res.Truth.NativeCycles += nat
 		res.Truth.OverheadCycles += ovh
+		res.Truth.GCCycles += t.GCCycles()
 	}
 	res.Truth.NativeMethodCalls = v.NativeCallCount()
 	res.Truth.JNICalls = j.CallCount()

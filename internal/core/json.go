@@ -17,13 +17,30 @@ type jsonReport struct {
 	JITCompiled int              `json:"jitCompiled"`
 	Threads     int              `json:"threads"`
 	Truth       jsonTruth        `json:"groundTruth"`
+	GC          *jsonGC          `json:"gc,omitempty"`
 	Report      *jsonAgentReport `json:"report,omitempty"`
+}
+
+// jsonGC is the generational heap's ledger; the block is emitted only
+// when a collection actually ran, so legacy-mode reports are unchanged.
+type jsonGC struct {
+	AllocatedArrays  uint64 `json:"allocatedArrays"`
+	AllocatedWords   uint64 `json:"allocatedWords"`
+	CollectedArrays  uint64 `json:"collectedArrays"`
+	CollectedWords   uint64 `json:"collectedWords"`
+	LiveArrays       uint64 `json:"liveArrays"`
+	LiveWords        uint64 `json:"liveWords"`
+	MinorGCs         uint64 `json:"minorGCs"`
+	MajorGCs         uint64 `json:"majorGCs"`
+	TenurePromotions uint64 `json:"tenurePromotions"`
+	GCCycles         uint64 `json:"gcCycles"`
 }
 
 type jsonTruth struct {
 	BytecodeCycles    uint64  `json:"bytecodeCycles"`
 	NativeCycles      uint64  `json:"nativeCycles"`
 	OverheadCycles    uint64  `json:"overheadCycles"`
+	GCCycles          uint64  `json:"gcCycles,omitempty"`
 	NativeFractionPct float64 `json:"nativeFractionPct"`
 	NativeMethodCalls uint64  `json:"nativeMethodCalls"`
 	JNICalls          uint64  `json:"jniCalls"`
@@ -63,10 +80,25 @@ func (r *RunResult) WriteJSON(w io.Writer) error {
 			BytecodeCycles:    r.Truth.BytecodeCycles,
 			NativeCycles:      r.Truth.NativeCycles,
 			OverheadCycles:    r.Truth.OverheadCycles,
+			GCCycles:          r.Truth.GCCycles,
 			NativeFractionPct: r.Truth.NativeFraction() * 100,
 			NativeMethodCalls: r.Truth.NativeMethodCalls,
 			JNICalls:          r.Truth.JNICalls,
 		},
+	}
+	if r.GC.Collections() > 0 {
+		out.GC = &jsonGC{
+			AllocatedArrays:  r.GC.AllocatedArrays,
+			AllocatedWords:   r.GC.AllocatedWords,
+			CollectedArrays:  r.GC.CollectedArrays,
+			CollectedWords:   r.GC.CollectedWords,
+			LiveArrays:       r.GC.LiveArrays(),
+			LiveWords:        r.GC.LiveWords(),
+			MinorGCs:         r.GC.MinorGCs,
+			MajorGCs:         r.GC.MajorGCs,
+			TenurePromotions: r.GC.TenurePromotions,
+			GCCycles:         r.GC.GCCycles,
+		}
 	}
 	if r.Report != nil {
 		ar := &jsonAgentReport{

@@ -159,6 +159,14 @@ func EvaluateChecks(sc scenarios.Scenario, rows []CampaignRow, scale int) []stri
 	if ck.MinThreads > 0 && base.Threads < ck.MinThreads {
 		fail("threads %d below expected minimum %d", base.Threads, ck.MinThreads)
 	}
+	if ck.MinMinorGCs > 0 && base.GC.MinorGCs < scaled(ck.MinMinorGCs) {
+		fail("minor collections %d below expected minimum %d (at scale %d)",
+			base.GC.MinorGCs, scaled(ck.MinMinorGCs), scale)
+	}
+	if ck.MinMajorGCs > 0 && base.GC.MajorGCs < scaled(ck.MinMajorGCs) {
+		fail("major collections %d below expected minimum %d (at scale %d)",
+			base.GC.MajorGCs, scaled(ck.MinMajorGCs), scale)
+	}
 	if ck.MaxIPAOverheadPct > 0 {
 		none, okN := byAgent["none"]
 		ipa, okI := byAgent["ipa"]
@@ -173,10 +181,13 @@ func EvaluateChecks(sc scenarios.Scenario, rows []CampaignRow, scale int) []stri
 }
 
 // CampaignHeader is the column header matching CampaignRow.String, for
-// callers that stream rows as they finish.
+// callers that stream rows as they finish. The GC columns are the
+// generational heap's minor/major collection counts; legacy-mode rows
+// show zeros.
 func CampaignHeader() string {
-	return fmt.Sprintf("%-18s %-9s %-16s %14s %10s %9s %11s %10s",
-		"scenario", "agent", "family", "cycles", "thpt", "native%", "nat calls", "JNI calls")
+	return fmt.Sprintf("%-18s %-9s %-16s %14s %10s %9s %11s %10s %7s %7s",
+		"scenario", "agent", "family", "cycles", "thpt", "native%", "nat calls", "JNI calls",
+		"minorGC", "majorGC")
 }
 
 // String renders one campaign row as a fixed-width report line. The
@@ -191,10 +202,11 @@ func (r CampaignRow) String() string {
 	if m.Report != nil {
 		nativePct = m.Report.NativeFraction() * 100
 	}
-	return fmt.Sprintf("%-18s %-9s %-16s %14.0f %10.1f %8.2f%% %11d %10d",
+	return fmt.Sprintf("%-18s %-9s %-16s %14.0f %10.1f %8.2f%% %11d %10d %7d %7d",
 		r.Scenario.Name(), r.AgentName, r.Scenario.Family,
 		m.MedianCycles, m.MedianThroughput, nativePct,
-		m.Truth.NativeMethodCalls, m.Truth.JNICalls)
+		m.Truth.NativeMethodCalls, m.Truth.JNICalls,
+		m.GC.MinorGCs, m.GC.MajorGCs)
 }
 
 // RenderChecks formats the check verdict block of a campaign report.

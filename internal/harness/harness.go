@@ -159,6 +159,11 @@ type Measurement struct {
 	Threads int
 	// Runs is the number of repetitions aggregated.
 	Runs int
+	// GC is the generational heap ledger of the last measured repetition
+	// (summed across a warehouse sequence): allocation, collection and
+	// pause counts. All zero except the allocation counters when the
+	// heap runs unbounded (legacy mode).
+	GC vm.GCStats
 	// Tier aggregates the execution tier's host-side bookkeeping over
 	// the last measured repetition (summed across a warehouse sequence).
 	// It never feeds a simulated metric — it exists so campaigns and
@@ -205,6 +210,9 @@ func MeasureScenario(ctx context.Context, sc scenarios.Scenario, agentName strin
 	}
 	opts := cfg.Opts
 	registry.TuneOptions(agentName, &opts)
+	// A scenario's heap spec applies only when the campaign options left
+	// the heap in legacy mode, so a global -heap-nursery flag wins.
+	sc.ApplyHeap(&opts)
 	var cyclesSamples, throughputSamples []float64
 	m := &Measurement{Benchmark: w.Name, AgentName: agentName, Runs: cfg.Runs}
 	// Warmup repetitions run the identical cell and discard every sample:
@@ -217,6 +225,7 @@ func MeasureScenario(ctx context.Context, sc scenarios.Scenario, agentName strin
 		var report *core.Report
 		var truth core.GroundTruth
 		var tier jit.Stats
+		var gc vm.GCStats
 		threads := 0
 		for _, warehouses := range sequence {
 			wv := w
@@ -236,6 +245,7 @@ func MeasureScenario(ctx context.Context, sc scenarios.Scenario, agentName strin
 			totalCycles += res.TotalCycles
 			totalOps += res.Ops
 			truth.Add(res.Truth)
+			gc.Add(res.GC)
 			report = stats.MergeReports(report, res.Report)
 			if res.Threads > threads {
 				threads = res.Threads
@@ -262,6 +272,7 @@ func MeasureScenario(ctx context.Context, sc scenarios.Scenario, agentName strin
 		m.Truth = truth
 		m.Threads = threads
 		m.Tier = tier
+		m.GC = gc
 	}
 	var err error
 	if m.MedianCycles, err = stats.Median(cyclesSamples); err != nil {

@@ -526,7 +526,7 @@ func lowerBlock(def *classfile.Method, ins []bytecode.Instruction, bb bytecode.B
 			if err != nil {
 				return out, err
 			}
-			out.Term = Term{Kind: TermGoto, Idx: int32(i), N: 1, Target: target, Next: -1}
+			out.Term = Term{Kind: TermGoto, Idx: int32(i), N: 1, SP: int32(len(lo.st)), Target: target, Next: -1}
 		case bytecode.OpIfeq, bytecode.OpIfne, bytecode.OpIflt,
 			bytecode.OpIfge, bytecode.OpIfgt, bytecode.OpIfle:
 			d, err := lo.pop()
@@ -539,7 +539,7 @@ func lowerBlock(def *classfile.Method, ins []bytecode.Instruction, bb bytecode.B
 			if err != nil {
 				return out, err
 			}
-			t := Term{Kind: TermBr1, Idx: int32(i), N: 1, Cond: byte(in.Op),
+			t := Term{Kind: TermBr1, Idx: int32(i), N: 1, SP: int32(len(lo.st) + 1), Cond: byte(in.Op),
 				Target: target, Next: fallTo(i + 1)}
 			t.A, t.ImmA, t.AImm = lo.termOperand(d, len(lo.st))
 			out.Term = t
@@ -558,21 +558,21 @@ func lowerBlock(def *classfile.Method, ins []bytecode.Instruction, bb bytecode.B
 			if err != nil {
 				return out, err
 			}
-			t := Term{Kind: TermBr2, Idx: int32(i), N: 1, Cond: byte(in.Op),
+			t := Term{Kind: TermBr2, Idx: int32(i), N: 1, SP: int32(len(lo.st) + 2), Cond: byte(in.Op),
 				Target: target, Next: fallTo(i + 1)}
 			t.A, t.ImmA, t.AImm = lo.termOperand(a, len(lo.st))
 			t.B, t.ImmB, t.BImm = lo.termOperand(b, len(lo.st)+1)
 			out.Term = t
 		case bytecode.OpReturn:
 			lo.flushPure(int32(i))
-			out.Term = Term{Kind: TermReturn, Idx: int32(i), N: 1, Target: -1, Next: -1}
+			out.Term = Term{Kind: TermReturn, Idx: int32(i), N: 1, SP: int32(len(lo.st)), Target: -1, Next: -1}
 		case bytecode.OpIreturn:
 			d, err := lo.pop()
 			if err != nil {
 				return out, err
 			}
 			lo.flushPure(int32(i))
-			t := Term{Kind: TermIreturn, Idx: int32(i), N: 1, Target: -1, Next: -1}
+			t := Term{Kind: TermIreturn, Idx: int32(i), N: 1, SP: int32(len(lo.st) + 1), Target: -1, Next: -1}
 			t.A, t.ImmA, t.AImm = lo.termOperand(d, len(lo.st))
 			out.Term = t
 		case bytecode.OpThrow:
@@ -581,7 +581,7 @@ func lowerBlock(def *classfile.Method, ins []bytecode.Instruction, bb bytecode.B
 				return out, err
 			}
 			lo.flushPure(int32(i))
-			t := Term{Kind: TermThrow, Idx: int32(i), N: 1, Target: -1, Next: -1}
+			t := Term{Kind: TermThrow, Idx: int32(i), N: 1, SP: int32(len(lo.st) + 1), Target: -1, Next: -1}
 			t.A, t.ImmA, t.AImm = lo.termOperand(d, len(lo.st))
 			out.Term = t
 		default:
@@ -600,7 +600,7 @@ func lowerBlock(def *classfile.Method, ins []bytecode.Instruction, bb bytecode.B
 	// the interpreter, on deopt) sees canonical state.
 	lo.materializeAll()
 	lo.flushPure(int32(bb.End))
-	out.Term = Term{Kind: TermFall, Idx: -1, N: 0, Target: -1, Next: fallTo(bb.End)}
+	out.Term = Term{Kind: TermFall, Idx: -1, N: 0, SP: int32(len(lo.st)), Target: -1, Next: fallTo(bb.End)}
 	out.Chunks = lo.chunks
 	return out, nil
 }

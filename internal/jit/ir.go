@@ -178,6 +178,12 @@ type Term struct {
 	// a fallthrough; N is 1 when the terminator is a real instruction.
 	Idx int32
 	N   int32
+	// SP is the operand-stack depth before the terminator executes (its
+	// own operands included) — the canonical depth the executor records
+	// when a quantum boundary lands on the terminator, so the
+	// collector's root scan sees exactly the prefix the interpreter's
+	// pre-instruction yield would expose.
+	SP int32
 	// Cond is the bytecode.Op of a conditional branch (stored as a byte
 	// to keep the package independent of execution).
 	Cond byte

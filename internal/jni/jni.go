@@ -296,9 +296,12 @@ func (e *Env) CallByName(name string, call *Call) (int64, error) {
 	return f(e, call)
 }
 
-// NewArray allocates an array on the simulated heap.
+// NewArray allocates an array on the simulated heap. The allocation is
+// attributed to native code (the thread is inside a native frame), so it
+// feeds the heap ledgers and allocation events but never triggers a
+// collection directly.
 func (e *Env) NewArray(length int64) (int64, error) {
-	return e.jni.vm.Heap.NewArray(length)
+	return e.thread.NativeNewArray(length)
 }
 
 // ArrayLoad reads an element of a heap array.

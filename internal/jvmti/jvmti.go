@@ -39,6 +39,16 @@ const (
 	// EventClassFileLoadHook fires before a class is linked, allowing
 	// bytecode transformation (dynamic instrumentation).
 	EventClassFileLoadHook
+	// EventVMObjectAlloc fires on every array allocation, identifying
+	// the allocating method and code offset — the JVMTI VMObjectAlloc
+	// event, the substrate for allocation-site profilers.
+	EventVMObjectAlloc
+	// EventGarbageCollection fires after each simulated heap collection
+	// with the collection's statistics. Real JVMTI splits this into
+	// GarbageCollectionStart/Finish with no payload; the simulator's
+	// pauses are atomic, so one event carrying vm.GCInfo replaces the
+	// pair (a documented extension, like EventSample below).
+	EventGarbageCollection
 	// EventSample is not part of JVMTI: it models the SIGPROF-style
 	// timer interrupt that system-specific sampling profilers (IBM
 	// tprof, Section VI) build on. It is exposed through the same event
@@ -64,6 +74,10 @@ func (e Event) String() string {
 		return "MethodExit"
 	case EventClassFileLoadHook:
 		return "ClassFileLoadHook"
+	case EventVMObjectAlloc:
+		return "VMObjectAlloc"
+	case EventGarbageCollection:
+		return "GarbageCollection"
 	case EventSample:
 		return "Sample"
 	default:
@@ -83,6 +97,10 @@ type Capabilities struct {
 	CanSetNativeMethodPrefix bool
 	// CanGenerateAllClassHookEvents permits EventClassFileLoadHook.
 	CanGenerateAllClassHookEvents bool
+	// CanGenerateVMObjectAllocEvents permits EventVMObjectAlloc.
+	CanGenerateVMObjectAllocEvents bool
+	// CanGenerateGarbageCollectionEvents permits EventGarbageCollection.
+	CanGenerateGarbageCollectionEvents bool
 }
 
 // Callbacks is the agent-provided event callback table.
@@ -95,6 +113,13 @@ type Callbacks struct {
 	// ClassFileLoadHook may return a transformed class, or nil to keep
 	// the original.
 	ClassFileLoadHook func(env *Env, c *classfile.Class) *classfile.Class
+	// VMObjectAlloc receives allocation events: the allocating method
+	// and code offset (nil/-1 for native-code allocations), the array
+	// length in words, and the fresh handle.
+	VMObjectAlloc func(env *Env, t *vm.Thread, m *vm.Method, at int, words int64, handle int64)
+	// GarbageCollection receives one event per finished collection, on
+	// the thread whose allocation triggered the pause.
+	GarbageCollection func(env *Env, t *vm.Thread, info vm.GCInfo)
 	// Sample receives PC-sampling ticks when EventSample is enabled and
 	// the VM was built with a non-zero Options.SampleInterval.
 	Sample func(env *Env, t *vm.Thread, inNative bool)
@@ -170,6 +195,16 @@ func NewEnv(v *vm.VM, j *jni.JNI) *Env {
 			}
 			return nil
 		},
+		Allocation: func(t *vm.Thread, m *vm.Method, at int, words int64, handle int64) {
+			if e.isEnabled(EventVMObjectAlloc) && e.callbacks.VMObjectAlloc != nil {
+				e.callbacks.VMObjectAlloc(e, t, m, at, words, handle)
+			}
+		},
+		GC: func(t *vm.Thread, info vm.GCInfo) {
+			if e.isEnabled(EventGarbageCollection) && e.callbacks.GarbageCollection != nil {
+				e.callbacks.GarbageCollection(e, t, info)
+			}
+		},
 		Sample: func(t *vm.Thread, inNative bool) {
 			if e.isEnabled(EventSample) && e.callbacks.Sample != nil {
 				e.callbacks.Sample(e, t, inNative)
@@ -198,6 +233,8 @@ func (e *Env) AddCapabilities(c Capabilities) {
 	e.caps.CanGenerateMethodExitEvents = e.caps.CanGenerateMethodExitEvents || c.CanGenerateMethodExitEvents
 	e.caps.CanSetNativeMethodPrefix = e.caps.CanSetNativeMethodPrefix || c.CanSetNativeMethodPrefix
 	e.caps.CanGenerateAllClassHookEvents = e.caps.CanGenerateAllClassHookEvents || c.CanGenerateAllClassHookEvents
+	e.caps.CanGenerateVMObjectAllocEvents = e.caps.CanGenerateVMObjectAllocEvents || c.CanGenerateVMObjectAllocEvents
+	e.caps.CanGenerateGarbageCollectionEvents = e.caps.CanGenerateGarbageCollectionEvents || c.CanGenerateGarbageCollectionEvents
 }
 
 // Capabilities returns the currently granted capability set.
@@ -239,12 +276,32 @@ func (e *Env) SetEventNotificationMode(enable bool, ev Event) error {
 			e.mu.Unlock()
 			return fmt.Errorf("%w: CanGenerateAllClassHookEvents", ErrMissingCapability)
 		}
+	case EventVMObjectAlloc:
+		if enable && !e.caps.CanGenerateVMObjectAllocEvents {
+			e.mu.Unlock()
+			return fmt.Errorf("%w: CanGenerateVMObjectAllocEvents", ErrMissingCapability)
+		}
+	case EventGarbageCollection:
+		if enable && !e.caps.CanGenerateGarbageCollectionEvents {
+			e.mu.Unlock()
+			return fmt.Errorf("%w: CanGenerateGarbageCollectionEvents", ErrMissingCapability)
+		}
 	}
 	e.enabled[ev].Store(enable)
 	methodEvents := e.enabled[EventMethodEntry].Load() || e.enabled[EventMethodExit].Load()
 	e.mu.Unlock()
 	if ev == EventMethodEntry || ev == EventMethodExit {
 		e.vm.EnableMethodEvents(methodEvents)
+	}
+	// Memory events gate their VM-side delivery the same way method
+	// events do, but without disabling the JIT model or the template
+	// tier: allocations sit at fixed bytecode sites present in every
+	// execution engine, so no per-instruction semantics are needed.
+	if ev == EventVMObjectAlloc {
+		e.vm.EnableAllocationEvents(enable)
+	}
+	if ev == EventGarbageCollection {
+		e.vm.EnableGCEvents(enable)
 	}
 	return nil
 }

@@ -1,0 +1,107 @@
+package jvmti
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/jni"
+	"repro/internal/vm"
+)
+
+// TestMemoryEventCapabilityGating: the memory events follow the JVMTI
+// discipline — enabling them without the matching capability is an
+// error, with it they deliver through the callback table.
+func TestMemoryEventCapabilityGating(t *testing.T) {
+	v := vm.New(vm.DefaultOptions())
+	env := NewEnv(v, jni.Attach(v))
+
+	for _, ev := range []Event{EventVMObjectAlloc, EventGarbageCollection} {
+		if err := env.SetEventNotificationMode(true, ev); !errors.Is(err, ErrMissingCapability) {
+			t.Fatalf("%s enabled without capability: %v", ev, err)
+		}
+	}
+	env.AddCapabilities(Capabilities{
+		CanGenerateVMObjectAllocEvents:     true,
+		CanGenerateGarbageCollectionEvents: true,
+	})
+	for _, ev := range []Event{EventVMObjectAlloc, EventGarbageCollection} {
+		if err := env.SetEventNotificationMode(true, ev); err != nil {
+			t.Fatalf("%s: %v", ev, err)
+		}
+		if !env.EventEnabled(ev) {
+			t.Fatalf("%s not reported enabled", ev)
+		}
+	}
+}
+
+// TestMemoryEventDelivery drives allocations and a collection through a
+// bounded-nursery VM and checks both events arrive with their payloads.
+func TestMemoryEventDelivery(t *testing.T) {
+	opts := vm.DefaultOptions()
+	opts.Heap = vm.HeapConfig{NurseryWords: 64}
+	v := vm.New(opts)
+	env := NewEnv(v, jni.Attach(v))
+	env.AddCapabilities(Capabilities{
+		CanGenerateVMObjectAllocEvents:     true,
+		CanGenerateGarbageCollectionEvents: true,
+	})
+	var allocs int
+	var words int64
+	var gcs []vm.GCInfo
+	env.SetEventCallbacks(Callbacks{
+		VMObjectAlloc: func(e *Env, th *vm.Thread, m *vm.Method, at int, w int64, handle int64) {
+			allocs++
+			words += w
+			if m != nil || at != -1 {
+				t.Errorf("native allocation attributed to %v@%d", m, at)
+			}
+			if handle == 0 {
+				t.Error("allocation event with null handle")
+			}
+		},
+		GarbageCollection: func(e *Env, th *vm.Thread, info vm.GCInfo) {
+			gcs = append(gcs, info)
+		},
+	})
+	for _, ev := range []Event{EventVMObjectAlloc, EventGarbageCollection} {
+		if err := env.SetEventNotificationMode(true, ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	th := v.NewDetachedThread("alloc")
+	before := th.Cycles()
+	for i := 0; i < 6; i++ {
+		if _, err := th.NativeNewArray(16); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if allocs != 6 || words != 96 {
+		t.Fatalf("saw %d allocations / %d words, want 6 / 96", allocs, words)
+	}
+	if len(gcs) == 0 {
+		t.Fatal("no collection event despite nursery overflow")
+	}
+	if gcs[0].Kind != vm.GCMinor || gcs[0].Cost == 0 {
+		t.Fatalf("collection info: %+v", gcs[0])
+	}
+	// Event dispatch and the pause itself both cost cycles on the thread.
+	if th.Cycles() <= before {
+		t.Fatal("memory events were free")
+	}
+	if th.GCCycles() == 0 {
+		t.Fatal("pause not charged to the GC ground-truth component")
+	}
+
+	// Disabling stops delivery.
+	if err := env.SetEventNotificationMode(false, EventVMObjectAlloc); err != nil {
+		t.Fatal(err)
+	}
+	n := allocs
+	if _, err := th.NativeNewArray(1); err != nil {
+		t.Fatal(err)
+	}
+	if allocs != n {
+		t.Fatal("allocation event delivered while disabled")
+	}
+}

@@ -9,6 +9,7 @@ import "repro/internal/workloads"
 func init() {
 	registerPaper()
 	registerGCHeavy()
+	registerGCPressure()
 	registerExceptionHeavy()
 	registerDeepChains()
 	registerContended()
@@ -59,6 +60,66 @@ func registerGCHeavy() {
 			},
 		},
 		Checks: Checks{MaxNativePct: 1, MaxIPAOverheadPct: 5},
+	})
+}
+
+// registerGCPressure: workloads shaped around the generational heap's
+// collection machinery, each with a HeapSpec that bounds the nursery so
+// collections actually run (the gc-heavy family above measures pure
+// allocation throughput and stays in legacy mode). The collection-count
+// minimums are declared at full calibrated size and scale down with the
+// campaign's -scale like the transition-count checks.
+func registerGCPressure() {
+	mustRegister(Scenario{
+		Family: "gcpressure",
+		Workload: workloads.Workload{
+			Name: "gc-nursery-thrash", ClassName: "scn/gcp/Thrash", OuterIters: 1600,
+			Phases: []workloads.Phase{
+				{Kind: workloads.PhaseBytecode, Calls: 4, Work: 4},
+				{Kind: workloads.PhaseAlloc, Calls: 6, Work: 16, Size: 16},
+			},
+		},
+		// Nursery far below the per-iteration burst: minor collections
+		// fire several times per iteration, and since the burst arrays
+		// die immediately, almost nothing survives or tenures.
+		Heap:   &HeapSpec{NurseryWords: 2048},
+		Checks: Checks{MaxNativePct: 1, MinMinorGCs: 1000},
+	})
+	mustRegister(Scenario{
+		Family: "gcpressure",
+		Workload: workloads.Workload{
+			Name: "gc-tenure-heavy", ClassName: "scn/gcp/Tenure", OuterIters: 500,
+			Phases: []workloads.Phase{
+				{Kind: workloads.PhaseRetain, Calls: 2, Work: 48, Size: 32, Depth: 8},
+				{Kind: workloads.PhaseBytecode, Calls: 2, Work: 6},
+			},
+		},
+		// The retain kernel keeps a rotating window of arrays live across
+		// minor collections: survivors age, tenure at 2 survivals, fill
+		// the bounded tenured space and force major collections.
+		Heap:   &HeapSpec{NurseryWords: 1024, TenuredWords: 512},
+		Checks: Checks{MaxNativePct: 1, MinMinorGCs: 500, MinMajorGCs: 8},
+	})
+	mustRegister(Scenario{
+		Family: "gcpressure",
+		Workload: workloads.Workload{
+			Name: "gc-frag-churn", ClassName: "scn/gcp/Frag", OuterIters: 400,
+			Threads: 4, OpsPerIter: 2,
+			Phases: []workloads.Phase{
+				// Interleaved small and large allocations with a retained
+				// window — the fragmentation-like churn shape: mixed
+				// lifetimes and sizes hitting the same nursery.
+				{Kind: workloads.PhaseAlloc, Calls: 4, Work: 10, Size: 8},
+				{Kind: workloads.PhaseRetain, Calls: 1, Work: 8, Size: 96, Depth: 4},
+				{Kind: workloads.PhaseAlloc, Calls: 2, Work: 3, Size: 128},
+				{Kind: workloads.PhaseArray, Work: 48},
+			},
+		},
+		// Four workers churn one shared nursery: collections triggered by
+		// any thread scan the parked threads' frames at their recorded
+		// canonical depths — the cross-thread root-scan path.
+		Heap:   &HeapSpec{NurseryWords: 3072, TenuredWords: 16384},
+		Checks: Checks{MaxNativePct: 5, MinThreads: 4, MinMinorGCs: 400},
 	})
 }
 

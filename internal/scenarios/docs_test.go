@@ -1,0 +1,110 @@
+package scenarios
+
+import (
+	"fmt"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/workloads"
+)
+
+// minimalPhase returns a minimal valid JSON phase object for each kind —
+// the representative the documentation round-trip drives through the
+// parser.
+func minimalPhase(kind string) string {
+	switch kind {
+	case workloads.PhaseBytecode:
+		return `{"kind": "bytecode", "calls": 2, "work": 3}`
+	case workloads.PhaseArray:
+		return `{"kind": "array", "work": 4}`
+	case workloads.PhaseNative:
+		return `{"kind": "native", "calls": 1, "work": 5, "jniEvery": 2, "callbacksPerNative": 1, "callbackWork": 2}`
+	case workloads.PhaseAlloc:
+		return `{"kind": "alloc", "calls": 1, "work": 2, "size": 8}`
+	case workloads.PhaseDeepChain:
+		return `{"kind": "deepchain", "calls": 1, "work": 2, "depth": 3}`
+	case workloads.PhaseException:
+		return `{"kind": "exception", "calls": 1, "depth": 2}`
+	case workloads.PhaseContend:
+		return `{"kind": "contend", "calls": 1, "work": 2}`
+	case workloads.PhaseRetain:
+		return `{"kind": "retain", "calls": 1, "work": 4, "size": 8, "depth": 2}`
+	}
+	return ""
+}
+
+// TestScenarioFormatDocCoversEveryPhaseKind keeps docs/scenario-format.md
+// honest: every phase kind the engine accepts is documented there, every
+// kind documented round-trips through the parser unchanged, and the
+// documented heap/checks fields parse. A new phase kind fails this test
+// until the reference gains a row for it.
+func TestScenarioFormatDocCoversEveryPhaseKind(t *testing.T) {
+	doc, err := os.ReadFile("../../docs/scenario-format.md")
+	if err != nil {
+		t.Fatalf("the scenario format reference must exist: %v", err)
+	}
+	text := string(doc)
+
+	for i, kind := range workloads.PhaseKinds() {
+		t.Run(kind, func(t *testing.T) {
+			if !strings.Contains(text, "`"+kind+"`") {
+				t.Fatalf("docs/scenario-format.md does not document phase kind %q", kind)
+			}
+			phase := minimalPhase(kind)
+			if phase == "" {
+				t.Fatalf("no minimal phase for kind %q — extend the doc round-trip", kind)
+			}
+			src := fmt.Sprintf(`{
+  "scenarios": [
+    {
+      "name": "doc-%s",
+      "outerIters": 10,
+      "phases": [%s],
+      "heap": {"nurseryWords": 1024, "tenuredWords": 4096, "tenureAge": 2},
+      "checks": {"maxNativePct": 50, "minMinorGCs": 1}
+    }
+  ]
+}`, kind, phase)
+			parsed, err := ParseBytes([]byte(src))
+			if err != nil {
+				t.Fatalf("documented kind %q does not parse: %v", kind, err)
+			}
+			if len(parsed) != 1 || parsed[0].Workload.Phases[0].Kind != kind {
+				t.Fatalf("parse produced %+v", parsed)
+			}
+			// Round trip: marshal back to the file form and re-parse; the
+			// scenario must survive unchanged, proving every documented
+			// parameter has a faithful serialization.
+			data, err := Marshal(parsed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			again, err := ParseBytes(data)
+			if err != nil {
+				t.Fatalf("marshalled form does not re-parse: %v\n%s", err, data)
+			}
+			if !reflect.DeepEqual(parsed, again) {
+				t.Fatalf("round trip changed the scenario:\nfirst:  %+v\nsecond: %+v", parsed[0], again[0])
+			}
+			if again[0].Heap == nil || again[0].Heap.NurseryWords != 1024 {
+				t.Fatalf("heap spec lost in round trip: %+v", again[0].Heap)
+			}
+			if again[0].Checks.MinMinorGCs != 1 {
+				t.Fatalf("GC check lost in round trip: %+v", again[0].Checks)
+			}
+			_ = i
+		})
+	}
+
+	// The parameter names themselves must appear in the reference.
+	for _, param := range []string{"calls", "work", "size", "depth",
+		"jniEvery", "callbacksPerNative", "callbackWork",
+		"nurseryWords", "tenuredWords", "tenureAge",
+		"minMinorGCs", "minMajorGCs"} {
+		if !strings.Contains(text, "`"+param+"`") {
+			t.Errorf("docs/scenario-format.md does not document parameter %q", param)
+		}
+	}
+}

@@ -60,9 +60,10 @@ type File struct {
 // fields inline plus the registry metadata.
 type FileScenario struct {
 	workloads.Workload
-	Family            string `json:"family,omitempty"`
-	WarehouseSequence []int  `json:"warehouseSequence,omitempty"`
-	Checks            Checks `json:"checks,omitempty"`
+	Family            string    `json:"family,omitempty"`
+	WarehouseSequence []int     `json:"warehouseSequence,omitempty"`
+	Checks            Checks    `json:"checks,omitempty"`
+	Heap              *HeapSpec `json:"heap,omitempty"`
 }
 
 // Scenario converts the file entry to its registry form, defaulting the
@@ -74,6 +75,7 @@ func (f FileScenario) Scenario() Scenario {
 		Workload:          f.Workload,
 		WarehouseSequence: f.WarehouseSequence,
 		Checks:            f.Checks,
+		Heap:              f.Heap,
 	}
 	if s.Family == "" {
 		s.Family = "custom"
@@ -171,6 +173,7 @@ func Marshal(list []Scenario) ([]byte, error) {
 			Family:            s.Family,
 			WarehouseSequence: s.WarehouseSequence,
 			Checks:            s.Checks,
+			Heap:              s.Heap,
 		}
 	}
 	data, err := json.MarshalIndent(&f, "", "  ")

@@ -16,8 +16,53 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/vm"
 	"repro/internal/workloads"
 )
+
+// HeapSpec is a scenario's declarative generational-heap sizing: the
+// occupancy thresholds its workload needs to actually exercise
+// collection. It applies only when the caller's VM options left the heap
+// unset (legacy mode), so an explicit -heap-nursery flag always wins.
+type HeapSpec struct {
+	// NurseryWords is the minor-collection occupancy threshold in words.
+	NurseryWords uint64 `json:"nurseryWords"`
+	// TenuredWords is the major-collection threshold; 0 = unbounded.
+	TenuredWords uint64 `json:"tenuredWords,omitempty"`
+	// TenureAge is the survivals before promotion; 0 = the VM default.
+	TenureAge int `json:"tenureAge,omitempty"`
+}
+
+// Validate checks the spec for registrability.
+func (h HeapSpec) Validate() error {
+	if h.NurseryWords == 0 {
+		return fmt.Errorf("scenarios: heap spec needs nurseryWords > 0")
+	}
+	if h.TenureAge < 0 || h.TenureAge > 64 {
+		return fmt.Errorf("scenarios: heap spec tenureAge %d out of range [0,64]", h.TenureAge)
+	}
+	return nil
+}
+
+// Config converts the spec to the VM's heap configuration.
+func (h HeapSpec) Config() vm.HeapConfig {
+	return vm.HeapConfig{
+		NurseryWords: h.NurseryWords,
+		TenuredWords: h.TenuredWords,
+		TenureAge:    h.TenureAge,
+	}
+}
+
+// ApplyHeap resolves the heap configuration for one run of the scenario:
+// options that already size the heap win; otherwise the scenario's spec
+// (if any) applies. Shared by the harness and the run-one CLIs so a
+// scenario behaves identically everywhere.
+func (s Scenario) ApplyHeap(opts *vm.Options) {
+	if opts.Heap.Enabled() || s.Heap == nil {
+		return
+	}
+	opts.Heap = s.Heap.Config()
+}
 
 // Checks are the per-scenario expected-value assertions the campaign
 // harness evaluates after measuring a scenario. Zero values disable a
@@ -39,6 +84,13 @@ type Checks struct {
 	// run, in percent; it is checked only when the campaign's agent set
 	// includes both.
 	MaxIPAOverheadPct float64 `json:"maxIPAOverheadPct,omitempty"`
+	// MinMinorGCs / MinMajorGCs are lower bounds on the collection
+	// counts of the uninstrumented run, declared at the scenario's full
+	// calibrated size and divided by the campaign scale like the
+	// transition-count minimums. They only make sense on scenarios whose
+	// heap spec (or the caller's -heap flags) bounds the relevant space.
+	MinMinorGCs uint64 `json:"minMinorGCs,omitempty"`
+	MinMajorGCs uint64 `json:"minMajorGCs,omitempty"`
 }
 
 // Validate checks the bounds for consistency.
@@ -68,6 +120,11 @@ type Scenario struct {
 	Expected workloads.Expected
 	// Checks are the expected-value assertions the campaign enforces.
 	Checks Checks
+	// Heap, when non-nil, sizes the generational heap for runs of this
+	// scenario whose options left the heap in legacy mode (see
+	// ApplyHeap). The gcpressure family uses it to guarantee nonzero
+	// collection counts without a global flag.
+	Heap *HeapSpec
 }
 
 // Name returns the scenario's workload name, its registry key.
@@ -88,6 +145,11 @@ func (s Scenario) Validate() error {
 	}
 	if err := s.Checks.Validate(); err != nil {
 		return fmt.Errorf("scenarios: %s: %w", s.Name(), err)
+	}
+	if s.Heap != nil {
+		if err := s.Heap.Validate(); err != nil {
+			return fmt.Errorf("scenarios: %s: %w", s.Name(), err)
+		}
 	}
 	return nil
 }

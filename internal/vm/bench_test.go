@@ -138,3 +138,65 @@ func BenchmarkHeapArrayOps(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkGCChurn measures the generational heap under constant
+// collection pressure: the retain kernel's rotating live window forces
+// minor collections, tenure promotions and majors (the same geometry as
+// TestGCCrossEngineIdentity). The ratio to BenchmarkGCChurnLegacy is the
+// host-side cost of the collection machinery itself.
+func BenchmarkGCChurn(b *testing.B) {
+	opts := DefaultOptions()
+	opts.Heap = HeapConfig{NurseryWords: 96, TenuredWords: 256, TenureAge: 2}
+	benchChurn(b, opts)
+}
+
+// BenchmarkGCChurnLegacy is the same workload on the unbounded legacy
+// heap — the baseline the GC overhead is measured against.
+func BenchmarkGCChurnLegacy(b *testing.B) {
+	benchChurn(b, DefaultOptions())
+}
+
+func benchChurn(b *testing.B, opts Options) {
+	a := bytecode.NewAssembler()
+	// locals: 0=x, 1=k, 2=holder, 3=tmp — the retain kernel shape.
+	a.Const(8)
+	a.NewArray()
+	a.Store(2)
+	a.Const(64)
+	a.Store(1)
+	top := a.NewLabel()
+	end := a.NewLabel()
+	a.Bind(top)
+	a.Load(1)
+	a.Ifle(end)
+	a.Const(16)
+	a.NewArray()
+	a.Store(3)
+	a.Load(2)
+	a.Load(1)
+	a.Const(8)
+	a.Rem()
+	a.Load(3)
+	a.AStore()
+	a.Inc(1, -1)
+	a.Goto(top)
+	a.Bind(end)
+	a.Load(0)
+	a.IReturn()
+	m, err := a.FinishMethod("churn", "(J)J", classfile.AccPublic|classfile.AccStatic, 4, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	v := New(opts)
+	cls := &classfile.Class{Name: "b/GC", Methods: []*classfile.Method{m}}
+	if err := v.LoadClasses([]*classfile.Class{cls}); err != nil {
+		b.Fatal(err)
+	}
+	t := v.NewDetachedThread("bench")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := t.InvokeStatic("b/GC", "churn", "(J)J", int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

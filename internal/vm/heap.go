@@ -1,27 +1,258 @@
 package vm
 
-// Heap manages the simulated object store. The workloads need only arrays
-// of 64-bit words; handles are opaque non-zero int64 values, with 0 playing
-// the role of null.
+// Heap manages the simulated object store: a generational heap of 64-bit
+// word arrays. The workloads need only arrays; handles are opaque non-zero
+// int64 values, with 0 playing the role of null.
 //
-// The heap is intentionally unsynchronized: simulated threads execute one
-// at a time under the cooperative scheduler's baton, and the channel
-// handoffs between them establish happens-before edges, so all heap
-// accesses within a VM are totally ordered. Concurrent VMs (the parallel
-// harness) each own a private heap. This keeps the per-element Load/Store
-// path — one of the interpreter's hottest leaves — free of lock traffic.
+// Generational layout. Allocations land in a bump-pointer *nursery*; a
+// *tenured* space holds arrays that survived HeapConfig.TenureAge minor
+// collections. An allocation that would push nursery occupancy strictly
+// past HeapConfig.NurseryWords triggers a simulated minor collection
+// (an allocation landing exactly on the boundary does not); promotions
+// that push tenured occupancy strictly past HeapConfig.TenuredWords
+// trigger a major collection. The spaces are occupancy ledgers, not host
+// memory regions — what the collector frees is the simulated occupancy
+// and the backing Go slice; handles stay stable for the arrays that live.
+// With NurseryWords == 0 (the default options) collection never runs and
+// every observable is byte-identical to the historical flat-store heap.
+//
+// Liveness is discovered, not modelled: the collector conservatively
+// marks every word that could be a handle, starting from the VM's roots —
+// each thread's frame locals and the *canonical prefix* of its operand
+// stack (see Thread.frames), spawned-thread entry arguments and results,
+// and every static field — and tracing transitively through surviving
+// array contents. Scanning only the canonical stack prefix is what keeps
+// collections byte-identical across execution engines: the template tier
+// elides dead operand-stack writes, so slots above the recorded depth may
+// legitimately differ between interp and jit and must never influence
+// marking. Collections are deferred while any thread is inside native
+// code, because handles held in native Go locals are invisible to the
+// scan.
+//
+// The heap is intentionally unsynchronized — the single-baton invariant:
+// simulated threads execute one at a time under the cooperative
+// scheduler's baton, and the channel handoffs between them establish
+// happens-before edges, so all heap accesses within a VM are totally
+// ordered. That covers the new spaces too: allocation, occupancy
+// accounting, collection (including the cross-thread root scan, which
+// reads frames only of parked threads at canonical points) and the GC
+// statistics all run on the thread holding the baton. Concurrent VMs
+// (the parallel harness) each own a private heap. This keeps the
+// per-element Load/Store path — one of the interpreter's hottest
+// leaves — free of lock traffic.
 type Heap struct {
 	arrays [][]int64
+	meta   []arrayMeta
+	cfg    HeapConfig
+
+	// rootScan enumerates every root word for the conservative mark; the
+	// VM installs its thread/static scanner, tests may substitute their
+	// own. nil disables collection outright.
+	rootScan func(visit func(word int64))
+
+	nurseryUsed uint64
+	tenuredUsed uint64
+
+	// sites interns allocation sites (method + code offset) so per-array
+	// bookkeeping is one int32; survivals are attributed back through it.
+	sites   []Site
+	siteIdx map[Site]int32
+
+	// alive lists the indexes of uncollected arrays in allocation order;
+	// collections sweep this list and compact it in place, so a pause
+	// costs O(live + roots), not O(allocated-ever). markBuf is the
+	// generation-stamped mark bitmap (markBuf[i] == markGen ⇔ marked in
+	// the current collection), persistent so marking allocates nothing.
+	alive     []int32
+	markBuf   []uint32
+	markGen   uint32
+	gcScratch []int64 // mark worklist, reused across collections
+
+	stats GCStats
 }
 
-// NewHeap returns an empty heap.
+// arrayMeta is the per-array generational bookkeeping.
+type arrayMeta struct {
+	words     uint32
+	site      int32 // index into sites, -1 for native allocations
+	survivals uint16
+	tenured   bool
+	dead      bool
+}
+
+// HeapConfig sizes the generational heap simulation. The zero value is
+// legacy mode: an unbounded flat store that never collects.
+type HeapConfig struct {
+	// NurseryWords is the nursery occupancy threshold in words; an
+	// allocation that would exceed it (strictly) triggers a minor
+	// collection first. 0 disables collection entirely (legacy mode).
+	NurseryWords uint64
+	// TenuredWords is the tenured occupancy threshold; promotions that
+	// exceed it (strictly) trigger a major collection. 0 means the
+	// tenured space is unbounded (minor collections still run).
+	TenuredWords uint64
+	// TenureAge is the number of minor collections an array must survive
+	// before promotion to the tenured space. 0 means the default (2).
+	TenureAge int
+	// GCBaseCost is the fixed cycle cost of one collection pause;
+	// 0 means the default (600) when collection is enabled.
+	GCBaseCost uint64
+	// GCWordCost is the cycle cost per surviving word scanned/evacuated;
+	// 0 means the default (2) when collection is enabled.
+	GCWordCost uint64
+}
+
+// Enabled reports whether the configuration turns collection on.
+func (c HeapConfig) Enabled() bool { return c.NurseryWords > 0 }
+
+// normalized fills the defaults of an enabled configuration.
+func (c HeapConfig) normalized() HeapConfig {
+	if !c.Enabled() {
+		return c
+	}
+	if c.TenureAge <= 0 {
+		c.TenureAge = 2
+	}
+	if c.GCBaseCost == 0 {
+		c.GCBaseCost = 600
+	}
+	if c.GCWordCost == 0 {
+		c.GCWordCost = 2
+	}
+	return c
+}
+
+// Site identifies an allocation site: a method and the code offset of its
+// allocating instruction. Native-code allocations have a nil Method and
+// At == -1.
+type Site struct {
+	Method *Method
+	At     int
+}
+
+// GCKind distinguishes minor (nursery) from major (full) collections.
+type GCKind uint8
+
+const (
+	// GCMinor collects the nursery only; survivors age and may tenure.
+	GCMinor GCKind = iota
+	// GCMajor collects both spaces.
+	GCMajor
+)
+
+// String names the collection kind.
+func (k GCKind) String() string {
+	if k == GCMajor {
+		return "major"
+	}
+	return "minor"
+}
+
+// SiteSurvival attributes one collection's survivors to an allocation
+// site, the raw material of the allocation-profiling agent.
+type SiteSurvival struct {
+	Site   Site
+	Arrays uint64
+	Words  uint64
+}
+
+// GCInfo describes one finished collection, as delivered to the JVMTI
+// GarbageCollection event.
+type GCInfo struct {
+	Kind            GCKind
+	CollectedArrays uint64
+	CollectedWords  uint64
+	SurvivedArrays  uint64
+	SurvivedWords   uint64
+	// Promoted counts arrays tenured by this collection (minor only).
+	Promoted uint64
+	// Cost is the simulated pause cost in cycles, already charged to the
+	// triggering thread when the event fires.
+	Cost uint64
+	// Survivors attributes the surviving arrays to their allocation
+	// sites, in first-allocation order (deterministic across engines).
+	Survivors []SiteSurvival
+}
+
+// GCStats is the heap's cumulative allocation and collection ledger.
+type GCStats struct {
+	AllocatedArrays  uint64
+	AllocatedWords   uint64
+	CollectedArrays  uint64
+	CollectedWords   uint64
+	MinorGCs         uint64
+	MajorGCs         uint64
+	TenurePromotions uint64
+	// GCCycles is the total simulated collection cost charged to threads.
+	GCCycles uint64
+}
+
+// LiveArrays returns the number of arrays not yet collected.
+func (s GCStats) LiveArrays() uint64 { return s.AllocatedArrays - s.CollectedArrays }
+
+// LiveWords returns the words not yet collected.
+func (s GCStats) LiveWords() uint64 { return s.AllocatedWords - s.CollectedWords }
+
+// Collections returns the total pause count.
+func (s GCStats) Collections() uint64 { return s.MinorGCs + s.MajorGCs }
+
+// Add accumulates another ledger, the aggregation used when one
+// measurement spans several VM runs.
+func (s *GCStats) Add(o GCStats) {
+	s.AllocatedArrays += o.AllocatedArrays
+	s.AllocatedWords += o.AllocatedWords
+	s.CollectedArrays += o.CollectedArrays
+	s.CollectedWords += o.CollectedWords
+	s.MinorGCs += o.MinorGCs
+	s.MajorGCs += o.MajorGCs
+	s.TenurePromotions += o.TenurePromotions
+	s.GCCycles += o.GCCycles
+}
+
+// NewHeap returns an empty legacy-mode heap (collection disabled).
 func NewHeap() *Heap {
-	return &Heap{}
+	return NewHeapWithConfig(HeapConfig{})
+}
+
+// NewHeapWithConfig returns an empty heap under the given configuration.
+// Install a root enumerator (the VM does this on construction) before the
+// first collection can trigger.
+func NewHeapWithConfig(cfg HeapConfig) *Heap {
+	return &Heap{cfg: cfg.normalized(), siteIdx: map[Site]int32{}}
+}
+
+// Config returns the heap's (normalized) configuration.
+func (h *Heap) Config() HeapConfig { return h.cfg }
+
+// Stats returns the cumulative allocation/collection ledger.
+func (h *Heap) Stats() GCStats { return h.stats }
+
+// siteID interns a site.
+func (h *Heap) siteID(s Site) int32 {
+	if s.Method == nil {
+		return -1
+	}
+	if id, ok := h.siteIdx[s]; ok {
+		return id
+	}
+	id := int32(len(h.sites))
+	h.sites = append(h.sites, s)
+	h.siteIdx[s] = id
+	return id
 }
 
 // NewArray allocates a zeroed array of the given length and returns its
-// handle. A negative length throws.
+// handle. A negative length throws. Allocation through this entry point
+// never triggers a collection — the interpreter allocates through
+// Thread.newArray, which checks the occupancy thresholds first; direct
+// callers (tests, native stubs outside a run) bypass the GC trigger but
+// still feed the ledgers.
 func (h *Heap) NewArray(length int64) (int64, error) {
+	return h.Alloc(length, Site{At: -1})
+}
+
+// Alloc is NewArray with an allocation site attached.
+func (h *Heap) Alloc(length int64, site Site) (int64, error) {
 	if length < 0 {
 		return 0, Throw(length, "NegativeArraySizeException")
 	}
@@ -30,8 +261,168 @@ func (h *Heap) NewArray(length int64) (int64, error) {
 		return 0, Throw(length, "OutOfMemoryError")
 	}
 	h.arrays = append(h.arrays, make([]int64, length))
+	h.meta = append(h.meta, arrayMeta{words: uint32(length), site: h.siteID(site)})
+	if h.cfg.Enabled() {
+		h.alive = append(h.alive, int32(len(h.arrays)-1))
+		h.markBuf = append(h.markBuf, 0)
+	}
+	h.nurseryUsed += uint64(length)
+	h.stats.AllocatedArrays++
+	h.stats.AllocatedWords += uint64(length)
 	return int64(len(h.arrays)), nil // handle = index + 1
 }
+
+// NeedsMinor reports whether allocating need more words would push the
+// nursery strictly past its threshold. An allocation landing exactly on
+// the boundary does not collect.
+func (h *Heap) NeedsMinor(need uint64) bool {
+	return h.cfg.Enabled() && h.rootScan != nil && h.nurseryUsed+need > h.cfg.NurseryWords
+}
+
+// NeedsMajor reports whether tenured occupancy is strictly past its
+// threshold.
+func (h *Heap) NeedsMajor() bool {
+	return h.cfg.Enabled() && h.cfg.TenuredWords > 0 && h.rootScan != nil &&
+		h.tenuredUsed > h.cfg.TenuredWords
+}
+
+// mark runs the conservative transitive mark, stamping reached arrays
+// with the new mark generation. Any root or surviving-array word in
+// [1, len(arrays)] is treated as a handle; misidentified integers keep
+// garbage alive (safe) but can never free a live array. The scan order
+// is irrelevant to the result, so map iteration inside the root
+// enumerator cannot perturb determinism. Marking reuses the persistent
+// generation-stamped bitmap, so a pause allocates nothing and costs
+// O(roots + live data), independent of how much was ever allocated.
+func (h *Heap) mark() uint32 {
+	h.markGen++
+	gen := h.markGen
+	work := h.gcScratch[:0]
+	visit := func(w int64) {
+		if w < 1 || w > int64(len(h.arrays)) {
+			return
+		}
+		idx := w - 1
+		if h.markBuf[idx] == gen || h.meta[idx].dead {
+			return
+		}
+		h.markBuf[idx] = gen
+		work = append(work, idx)
+	}
+	h.rootScan(visit)
+	for len(work) > 0 {
+		idx := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, w := range h.arrays[idx] {
+			visit(w)
+		}
+	}
+	h.gcScratch = work[:0]
+	return gen
+}
+
+// CollectMinor runs one minor collection: conservative mark, sweep of
+// dead nursery arrays, aging and tenure promotion of the survivors. The
+// returned info carries the pause cost; charging it to the triggering
+// thread is the caller's job (Thread.runGC).
+func (h *Heap) CollectMinor() GCInfo {
+	info := GCInfo{Kind: GCMinor}
+	gen := h.mark()
+	survivors := make(map[int32]int, 8) // site -> Survivors index
+	kept := h.alive[:0]
+	for _, i := range h.alive {
+		m := &h.meta[i]
+		if m.tenured {
+			kept = append(kept, i)
+			continue
+		}
+		if h.markBuf[i] != gen {
+			h.free(int(i), &info)
+			continue
+		}
+		kept = append(kept, i)
+		info.SurvivedArrays++
+		info.SurvivedWords += uint64(m.words)
+		h.surviveSite(m, survivors, &info)
+		m.survivals++
+		if int(m.survivals) >= h.cfg.TenureAge {
+			m.tenured = true
+			h.nurseryUsed -= uint64(m.words)
+			h.tenuredUsed += uint64(m.words)
+			info.Promoted++
+			h.stats.TenurePromotions++
+		}
+	}
+	h.alive = kept
+	info.Cost = h.cfg.GCBaseCost + h.cfg.GCWordCost*info.SurvivedWords
+	h.stats.MinorGCs++
+	h.stats.GCCycles += info.Cost
+	return info
+}
+
+// CollectMajor runs one major collection over both spaces. Survivors keep
+// their age; the cost scales with all surviving words.
+func (h *Heap) CollectMajor() GCInfo {
+	info := GCInfo{Kind: GCMajor}
+	gen := h.mark()
+	survivors := make(map[int32]int, 8)
+	kept := h.alive[:0]
+	for _, i := range h.alive {
+		m := &h.meta[i]
+		if h.markBuf[i] != gen {
+			h.free(int(i), &info)
+			continue
+		}
+		kept = append(kept, i)
+		info.SurvivedArrays++
+		info.SurvivedWords += uint64(m.words)
+		h.surviveSite(m, survivors, &info)
+	}
+	h.alive = kept
+	info.Cost = h.cfg.GCBaseCost + h.cfg.GCWordCost*info.SurvivedWords
+	h.stats.MajorGCs++
+	h.stats.GCCycles += info.Cost
+	return info
+}
+
+// free reclaims one array: occupancy, ledger, backing storage.
+func (h *Heap) free(i int, info *GCInfo) {
+	m := &h.meta[i]
+	if m.tenured {
+		h.tenuredUsed -= uint64(m.words)
+	} else {
+		h.nurseryUsed -= uint64(m.words)
+	}
+	m.dead = true
+	h.arrays[i] = nil
+	info.CollectedArrays++
+	info.CollectedWords += uint64(m.words)
+	h.stats.CollectedArrays++
+	h.stats.CollectedWords += uint64(m.words)
+}
+
+// surviveSite attributes one survivor to its allocation site in the
+// info's Survivors list, keeping first-allocation order (survivors are
+// visited in handle order, which is allocation order).
+func (h *Heap) surviveSite(m *arrayMeta, index map[int32]int, info *GCInfo) {
+	if m.site < 0 {
+		return
+	}
+	k, ok := index[m.site]
+	if !ok {
+		k = len(info.Survivors)
+		index[m.site] = k
+		info.Survivors = append(info.Survivors, SiteSurvival{Site: h.sites[m.site]})
+	}
+	info.Survivors[k].Arrays++
+	info.Survivors[k].Words += uint64(m.words)
+}
+
+// NurseryUsed returns the current nursery occupancy in words.
+func (h *Heap) NurseryUsed() uint64 { return h.nurseryUsed }
+
+// TenuredUsed returns the current tenured occupancy in words.
+func (h *Heap) TenuredUsed() uint64 { return h.tenuredUsed }
 
 func (h *Heap) array(handle int64) ([]int64, error) {
 	if handle == 0 {
@@ -41,7 +432,15 @@ func (h *Heap) array(handle int64) ([]int64, error) {
 	if idx < 0 || idx >= int64(len(h.arrays)) {
 		return nil, Throw(handle, "InvalidHandle")
 	}
-	return h.arrays[idx], nil
+	// A nil slot means the collector freed the array (free() is the only
+	// writer of nil; make never returns it, not even for length 0).
+	// Checking the slice itself keeps the hot Load/Store leaf off the
+	// meta table entirely.
+	a := h.arrays[idx]
+	if a == nil {
+		return nil, Throw(handle, "CollectedHandle")
+	}
+	return a, nil
 }
 
 // Load returns element i of the array behind handle.
@@ -78,7 +477,13 @@ func (h *Heap) Length(handle int64) (int64, error) {
 	return int64(len(a)), nil
 }
 
-// Count returns the number of live arrays, for tests and diagnostics.
+// Count returns the number of arrays ever allocated, for tests and
+// diagnostics; collected arrays are included (handles are never reused).
 func (h *Heap) Count() int {
 	return len(h.arrays)
+}
+
+// LiveCount returns the number of arrays not yet collected.
+func (h *Heap) LiveCount() int {
+	return int(h.stats.LiveArrays())
 }

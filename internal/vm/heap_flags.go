@@ -1,0 +1,54 @@
+package vm
+
+import (
+	"flag"
+	"fmt"
+)
+
+// HeapFlags carries the shared -heap-* sizing flags every measurement
+// binary exposes, mirroring the jit.AddEngineFlag convention: one
+// registration helper, one application step after flag parsing.
+type HeapFlags struct {
+	nursery   *uint64
+	tenured   *uint64
+	tenureAge *int
+}
+
+// AddHeapFlags registers the generational-heap sizing flags on fs with
+// the project-wide help text. Apply the result to an Options value after
+// fs.Parse.
+func AddHeapFlags(fs *flag.FlagSet) *HeapFlags {
+	return &HeapFlags{
+		nursery: fs.Uint64("heap-nursery", 0,
+			"nursery occupancy threshold in `words` that triggers a minor GC (0 = unbounded legacy heap, no collection)"),
+		tenured: fs.Uint64("heap-tenured", 0,
+			"tenured occupancy threshold in `words` that triggers a major GC (0 = unbounded tenured space)"),
+		tenureAge: fs.Int("heap-tenure-age", 0,
+			"minor collections an array must survive before tenuring (0 = default)"),
+	}
+}
+
+// Set reports whether the user asked for a bounded nursery — the switch
+// that turns collection on. Scenario-declared heap specs apply only when
+// the flags left the heap unset, so an explicit flag always wins.
+func (h *HeapFlags) Set() bool { return *h.nursery > 0 }
+
+// Apply writes the flag values into the options' heap configuration.
+// Tenured or tenure-age flags without a bounded nursery are a hard
+// error: collection only triggers through the nursery threshold, so
+// honoring them silently would run a configuration the user did not ask
+// for (matching the agent registry's reject-don't-ignore convention).
+func (h *HeapFlags) Apply(o *Options) error {
+	if !h.Set() {
+		if *h.tenured > 0 || *h.tenureAge > 0 {
+			return fmt.Errorf("vm: -heap-tenured/-heap-tenure-age require -heap-nursery > 0 (collection triggers through the nursery threshold)")
+		}
+		return nil
+	}
+	o.Heap = HeapConfig{
+		NurseryWords: *h.nursery,
+		TenuredWords: *h.tenured,
+		TenureAge:    *h.tenureAge,
+	}
+	return nil
+}

@@ -104,6 +104,136 @@ func TestHeapCount(t *testing.T) {
 	}
 }
 
+// gcHeap builds a collection-enabled heap whose roots are the handles in
+// the test-owned roots slice — the unit-test stand-in for the VM's
+// thread/static scanner.
+func gcHeap(cfg HeapConfig, roots *[]int64) *Heap {
+	h := NewHeapWithConfig(cfg)
+	h.rootScan = func(visit func(int64)) {
+		for _, w := range *roots {
+			visit(w)
+		}
+	}
+	return h
+}
+
+// TestHeapNurseryBoundaryEdge pins the trigger edge: an allocation that
+// lands exactly on the nursery boundary does not collect; the next word
+// over does.
+func TestHeapNurseryBoundaryEdge(t *testing.T) {
+	var roots []int64
+	h := gcHeap(HeapConfig{NurseryWords: 64}, &roots)
+	if _, err := h.Alloc(60, Site{At: -1}); err != nil {
+		t.Fatal(err)
+	}
+	if h.NeedsMinor(4) {
+		t.Fatal("allocation landing exactly on the boundary must not trigger a minor GC")
+	}
+	if _, err := h.Alloc(4, Site{At: -1}); err != nil {
+		t.Fatal(err)
+	}
+	if h.NurseryUsed() != 64 {
+		t.Fatalf("nurseryUsed = %d, want 64", h.NurseryUsed())
+	}
+	if !h.NeedsMinor(1) {
+		t.Fatal("one word past the boundary must trigger a minor GC")
+	}
+	info := h.CollectMinor()
+	if info.CollectedArrays != 2 || h.NurseryUsed() != 0 {
+		t.Fatalf("collect: %+v, nurseryUsed %d; want both dead arrays freed", info, h.NurseryUsed())
+	}
+	if info.Cost != h.Config().GCBaseCost {
+		t.Fatalf("cost = %d, want base cost %d for a survivor-free collection", info.Cost, h.Config().GCBaseCost)
+	}
+}
+
+// TestHeapTenureOnNthSurvival pins the promotion edge: an array tenures
+// on exactly its TenureAge-th survival, not before.
+func TestHeapTenureOnNthSurvival(t *testing.T) {
+	var roots []int64
+	h := gcHeap(HeapConfig{NurseryWords: 32, TenureAge: 2}, &roots)
+	handle, err := h.Alloc(8, Site{At: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	roots = append(roots, handle)
+
+	info := h.CollectMinor() // first survival: still nursery
+	if info.SurvivedArrays != 1 || info.Promoted != 0 {
+		t.Fatalf("first minor: %+v, want 1 survivor, 0 promoted", info)
+	}
+	if h.TenuredUsed() != 0 || h.NurseryUsed() != 8 {
+		t.Fatalf("after first minor: nursery %d tenured %d", h.NurseryUsed(), h.TenuredUsed())
+	}
+	info = h.CollectMinor() // second survival: tenures
+	if info.Promoted != 1 {
+		t.Fatalf("second minor: %+v, want promotion on the 2nd survival", info)
+	}
+	if h.TenuredUsed() != 8 || h.NurseryUsed() != 0 {
+		t.Fatalf("after tenure: nursery %d tenured %d, want 0/8", h.NurseryUsed(), h.TenuredUsed())
+	}
+	if h.Stats().TenurePromotions != 1 {
+		t.Fatalf("TenurePromotions = %d", h.Stats().TenurePromotions)
+	}
+	// A tenured array is out of minor-collection scope entirely: neither
+	// collected nor recounted as a survivor.
+	info = h.CollectMinor()
+	if info.CollectedArrays != 0 || info.SurvivedArrays != 0 {
+		t.Fatalf("third minor over tenured array: %+v", info)
+	}
+	// ...but a major collects it once the root goes away.
+	roots = roots[:0]
+	info = h.CollectMajor()
+	if info.CollectedArrays != 1 || h.TenuredUsed() != 0 {
+		t.Fatalf("major: %+v, tenured %d; want the dead tenured array freed", info, h.TenuredUsed())
+	}
+	if _, err := h.Load(handle, 0); err == nil {
+		t.Fatal("load through a collected handle must throw")
+	}
+}
+
+// TestHeapMarkIsTransitive: an array reachable only through another
+// array's contents survives.
+func TestHeapMarkIsTransitive(t *testing.T) {
+	var roots []int64
+	h := gcHeap(HeapConfig{NurseryWords: 16}, &roots)
+	inner, _ := h.Alloc(2, Site{At: -1})
+	outer, _ := h.Alloc(2, Site{At: -1})
+	if err := h.Store(outer, 1, inner); err != nil {
+		t.Fatal(err)
+	}
+	orphan, _ := h.Alloc(2, Site{At: -1})
+	roots = append(roots, outer)
+	info := h.CollectMinor()
+	if info.CollectedArrays != 1 {
+		t.Fatalf("collected %d arrays, want only the orphan", info.CollectedArrays)
+	}
+	if _, err := h.Load(inner, 0); err != nil {
+		t.Fatalf("transitively reachable array was collected: %v", err)
+	}
+	if _, err := h.Load(orphan, 0); err == nil {
+		t.Fatal("orphan survived")
+	}
+}
+
+// TestHeapLegacyModeNeverCollects: the zero config is the historical
+// unbounded flat store.
+func TestHeapLegacyModeNeverCollects(t *testing.T) {
+	h := NewHeap()
+	for i := 0; i < 64; i++ {
+		if _, err := h.NewArray(1024); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.NeedsMinor(1 << 20) || h.NeedsMajor() {
+		t.Fatal("legacy heap asked for a collection")
+	}
+	st := h.Stats()
+	if st.Collections() != 0 || st.AllocatedArrays != 64 || st.LiveArrays() != 64 {
+		t.Fatalf("legacy stats: %+v", st)
+	}
+}
+
 // Property: values stored are the values loaded, across many arrays.
 func TestHeapStoreLoadProperty(t *testing.T) {
 	f := func(vals []int64) bool {

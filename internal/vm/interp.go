@@ -126,6 +126,7 @@ func (t *Thread) interpret(m *Method, args []int64) (int64, error) {
 	stack := frame[nl:]
 	n := copy(locals, args)
 	clear(locals[n:])
+	t.pushFrameRef(frame, nl)
 
 	var ret int64
 	var err error
@@ -142,6 +143,7 @@ func (t *Thread) interpret(m *Method, args []int64) (int64, error) {
 	// Not deferred: the VM never recovers panics, so the only exits that
 	// matter are these returns, and skipping the defer keeps the per-call
 	// overhead down on this very hot path.
+	t.popFrameRef()
 	t.popFrame(base)
 	return ret, err
 }
@@ -309,7 +311,7 @@ func (t *Thread) interpretFast(m *Method, locals, stack []int64) (int64, error) 
 			t.flushInterp(done, cost, quantum)
 			done = 0
 			budget = quantum
-			t.yield()
+			t.yieldAt(sp)
 		}
 
 		var thrown *Thrown
@@ -418,6 +420,7 @@ func (t *Thread) interpretFast(m *Method, locals, stack []int64) (int64, error) 
 				callee = resolved
 			}
 			sp -= callee.argWords
+			t.setFrameSP(sp)
 			r, err := t.invoke(callee, stack[sp:sp+callee.argWords])
 			budget = t.budget // the callee shares the yield budget
 			if err != nil {
@@ -462,7 +465,7 @@ func (t *Thread) interpretFast(m *Method, locals, stack []int64) (int64, error) 
 			*p = stack[sp]
 		case bytecode.OpNewArray:
 			sp--
-			h, err := heap.NewArray(stack[sp])
+			h, err := t.newArray(m, m.instrs[idx].Offset, stack[sp], sp)
 			if err != nil {
 				if th, ok := AsThrown(err); ok {
 					thrown = th
@@ -541,7 +544,7 @@ func (t *Thread) interpretFast(m *Method, locals, stack []int64) (int64, error) 
 
 // interpretInstrumented is the fully observable dispatch loop: it keeps
 // the historical per-instruction sequence — tracer callback, instruction
-// count, chargeInterp (which delivers samples) and maybeYield — for runs
+// count, chargeInterp (which delivers samples) and maybeYieldAt — for runs
 // with a tracer, an active sampling hook, or ForceInstrumentedLoop set.
 func (t *Thread) interpretInstrumented(m *Method, locals, stack []int64) (int64, error) {
 	cost := t.vm.opts.CostInterp
@@ -575,7 +578,7 @@ func (t *Thread) interpretInstrumentedFrom(m *Method, locals, stack []int64, idx
 		}
 		t.instrExec++
 		t.chargeInterp(cost)
-		t.maybeYield()
+		t.maybeYieldAt(sp)
 
 		var thrown *Thrown
 		branched := false
@@ -678,6 +681,7 @@ func (t *Thread) interpretInstrumentedFrom(m *Method, locals, stack []int64, idx
 				callee = resolved
 			}
 			sp -= callee.argWords
+			t.setFrameSP(sp)
 			r, err := t.invoke(callee, stack[sp:sp+callee.argWords])
 			if err != nil {
 				if th, ok := AsThrown(err); ok {
@@ -717,7 +721,7 @@ func (t *Thread) interpretInstrumentedFrom(m *Method, locals, stack []int64, idx
 			*p = stack[sp]
 		case bytecode.OpNewArray:
 			sp--
-			h, err := heap.NewArray(stack[sp])
+			h, err := t.newArray(m, in.Offset, stack[sp], sp)
 			if err != nil {
 				if th, ok := AsThrown(err); ok {
 					thrown = th

@@ -45,12 +45,24 @@ type Thread struct {
 	arena    []int64
 	arenaOff int
 
+	// frames mirrors the active bytecode frames (innermost last) for the
+	// collector's root scan. Each record holds the frame slice and the
+	// operand-stack depth at the last *canonical point* — an invoke, an
+	// allocation, or a yield — which is the only stack prefix the
+	// collector may read: the template tier elides dead stack writes, so
+	// slots above the recorded depth can differ between engines. The
+	// execution loops refresh the depth exactly where another thread
+	// could observe the frame (before invokes and before parking on the
+	// scheduler baton), so a scan never sees a non-canonical prefix.
+	frames []frameRef
+
 	// Ground-truth cycle attribution, maintained by the execution engine
 	// independently of any profiling agent. Used by tests and the harness
 	// to validate agent accuracy — the paper had no such oracle.
 	gtBytecode uint64
 	gtNative   uint64
 	gtOverhead uint64
+	gtGC       uint64
 	// instrExec counts executed bytecode instructions (interpreted or
 	// compiled), the oracle for instruction-counting profilers.
 	instrExec uint64
@@ -153,6 +165,18 @@ func (t *Thread) chargeNative(n uint64) {
 	t.maybeSample(true)
 }
 
+// chargeGC attributes simulated collection-pause cycles to the thread
+// that triggered the collection — the new ground-truth component beside
+// bytecode, native and overhead cycles.
+func (t *Thread) chargeGC(n uint64) {
+	t.counter.Advance(n)
+	t.gtGC += n
+	t.maybeSample(false)
+}
+
+// GCCycles returns the collection-pause cycles charged to this thread.
+func (t *Thread) GCCycles() uint64 { return t.gtGC }
+
 // InstructionsExecuted returns how many bytecode instructions the thread
 // has executed.
 func (t *Thread) InstructionsExecuted() uint64 { return t.instrExec }
@@ -224,16 +248,6 @@ func (t *Thread) yield() {
 	}
 	t.parked <- parkYield
 	<-t.resume
-}
-
-// maybeYield decrements the instruction budget and rotates the scheduler
-// when it is exhausted.
-func (t *Thread) maybeYield() {
-	t.budget--
-	if t.budget <= 0 {
-		t.budget = t.vm.opts.Quantum
-		t.yield()
-	}
 }
 
 // scheduler implements deterministic cooperative round-robin scheduling.

@@ -207,7 +207,10 @@ blocks:
 			}
 
 			// Effect: one instruction, charged singly in the
-			// interpreter's order — count, yield check, execute.
+			// interpreter's order — count, yield check, execute. The
+			// yield records the effect's entry stack depth (the frame is
+			// canonical at chunk boundaries), matching the depth the
+			// interpreter's pre-instruction yield records.
 			eff := &ch.Eff
 			done++
 			budget--
@@ -215,7 +218,7 @@ blocks:
 				t.flushInterp(done, cost, quantum)
 				done = 0
 				budget = quantum
-				t.yield()
+				t.yieldAt(int(eff.SP))
 			}
 			var thrown *Thrown
 			idx := int(eff.Idx)
@@ -236,7 +239,7 @@ blocks:
 					fr[base-2] = av % bv
 				}
 			case jit.EffNewArray:
-				h, err := heap.NewArray(fr[base-1])
+				h, err := t.newArray(m, m.instrs[idx].Offset, fr[base-1], int(eff.SP)-1)
 				if err != nil {
 					if th, ok := AsThrown(err); ok {
 						thrown = th
@@ -316,6 +319,7 @@ blocks:
 					callee = resolved
 				}
 				argBase := base - callee.argWords
+				t.setFrameSP(int(eff.SP) - callee.argWords)
 				r, err := t.invoke(callee, fr[argBase:base])
 				budget = t.budget // the callee shares the yield budget
 				sp := int(eff.SP) - callee.argWords
@@ -377,7 +381,7 @@ blocks:
 				t.flushInterp(done, cost, quantum)
 				done = 0
 				budget = quantum
-				t.yield()
+				t.yieldAt(int(tm.SP))
 			}
 		}
 		switch tm.Kind {
@@ -538,7 +542,7 @@ func (t *Thread) stepPureRange(m *Method, fr []int64, start, n, sp int,
 			t.flushInterp(done, cost, quantum)
 			done = 0
 			budget = quantum
-			t.yield()
+			t.yieldAt(sp)
 		}
 		switch ops[idx] {
 		case bytecode.OpNop:

@@ -75,6 +75,11 @@ type Options struct {
 	// JITThreshold, so host compilation coincides with the simulated
 	// interp→compiled cost transition.
 	CompileThreshold uint64
+	// Heap sizes the generational heap simulation (nursery/tenured
+	// occupancy thresholds, tenure age, collection costs). The zero
+	// value is legacy mode: an unbounded flat store that never collects,
+	// byte-identical to the pre-generational heap.
+	Heap HeapConfig
 }
 
 // DefaultOptions returns the calibrated cost model used throughout the
@@ -122,6 +127,15 @@ type Hooks struct {
 	// what a PC sampler learns by comparing the PC against the loaded
 	// native code modules.
 	Sample func(t *Thread, inNative bool)
+	// Allocation fires on every array allocation when allocation events
+	// are enabled (the JVMTI VMObjectAlloc analogue). m and at identify
+	// the allocating method and code offset (nil/-1 from native code);
+	// words is the array length, handle the fresh handle.
+	Allocation func(t *Thread, m *Method, at int, words int64, handle int64)
+	// GC fires after each simulated collection when GC events are
+	// enabled, on the thread that triggered the pause, after the pause
+	// cost was charged.
+	GC func(t *Thread, info GCInfo)
 }
 
 // NativeFunc is the implementation of a native method. It receives the JNI
@@ -280,6 +294,13 @@ type VM struct {
 	hooks Hooks
 	// methodEvents tracks whether MethodEntry/MethodExit delivery is on.
 	methodEvents bool
+	// allocEvents/gcEvents gate the allocation and collection hooks, the
+	// analogue of methodEvents for the memory-event surface. Unlike
+	// method events they do not disable the JIT model or the template
+	// tier: allocations sit at fixed bytecode sites present in every
+	// engine, so no per-instruction semantics are needed.
+	allocEvents bool
+	gcEvents    bool
 	// jitDisabled is set while method events are enabled: the paper's
 	// central observation is that enabling these events prevents JIT
 	// compilation (Section III).
@@ -327,12 +348,13 @@ func (v *VM) countNativeCall() {
 func New(opts Options) *VM {
 	v := &VM{
 		opts:    opts,
-		Heap:    NewHeap(),
+		Heap:    NewHeapWithConfig(opts.Heap),
 		Clock:   cycles.NewRegistry(),
 		classes: make(map[string]*Class),
 		natives: make(map[string]NativeFunc),
 		tier:    jit.NewCache(),
 	}
+	v.Heap.rootScan = v.scanRoots
 	v.EnvFactory = func(t *Thread) Env { return &plainEnv{t: t} }
 	v.sched = newScheduler(v)
 	return v
@@ -769,7 +791,7 @@ func (e *plainEnv) CallVirtual(class, method, desc string, recv int64, args ...i
 }
 
 func (e *plainEnv) NewArray(length int64) (int64, error) {
-	return e.t.vm.Heap.NewArray(length)
+	return e.t.newArray(nil, -1, length, -1)
 }
 
 func (e *plainEnv) ArrayLoad(handle, index int64) (int64, error) {

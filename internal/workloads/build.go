@@ -140,6 +140,8 @@ func (g *generator) addPhase(p Phase) error {
 		return g.addException(p, ordinal)
 	case PhaseContend:
 		return g.addContend(p, ordinal)
+	case PhaseRetain:
+		return g.addRetain(p, ordinal)
 	}
 	return fmt.Errorf("unknown phase kind %q", p.Kind)
 }
@@ -278,6 +280,25 @@ func (g *generator) addException(p Phase, ordinal int) error {
 	}
 	g.kernels = append(g.kernels, rankedKernel{rankOther, tc}, rankedKernel{rankOther, boom})
 	g.emitAccCalls(p.Calls, tryName, "(J)J")
+	return nil
+}
+
+func (g *generator) addRetain(p Phase, ordinal int) error {
+	name := kernelName("retain", ordinal)
+	size := p.Size
+	if size < 1 {
+		size = 16
+	}
+	depth := p.Depth
+	if depth < 1 {
+		depth = 4
+	}
+	m, err := buildRetainKernel(name, p.Work, size, depth)
+	if err != nil {
+		return err
+	}
+	g.kernels = append(g.kernels, rankedKernel{rankOther, m})
+	g.emitAccCalls(p.Calls, name, "(J)J")
 	return nil
 }
 
@@ -500,6 +521,67 @@ func buildAllocKernel(name string, count, size int) (*classfile.Method, error) {
 	a.Load(0)
 	a.IReturn()
 	return a.FinishMethod(name, "(J)J", classfile.AccPublic|classfile.AccStatic, 3, nil)
+}
+
+// buildRetainKernel: per call, allocate a holder array of `depth` slots,
+// then perform `count` allocations of `size` words each, parking every
+// fresh array in holder[k % depth] — the rotating window keeps the last
+// `depth` arrays (plus the holder itself) reachable across many
+// subsequent allocations, so under a bounded nursery they survive minor
+// collections and tenure, unlike the alloc burst whose arrays die as
+// soon as the next one arrives.
+func buildRetainKernel(name string, count, size, depth int) (*classfile.Method, error) {
+	a := bytecode.NewAssembler()
+	// locals: 0=x, 1=k, 2=holder, 3=tmp
+	a.Const(int64(depth))
+	a.NewArray()
+	a.Store(2)
+	if count > 0 {
+		a.Const(int64(count))
+		a.Store(1)
+		top := a.NewLabel()
+		end := a.NewLabel()
+		a.Bind(top)
+		a.Load(1)
+		a.Ifle(end)
+		// tmp = new long[size]; tmp[0] = x + k
+		a.Const(int64(size))
+		a.NewArray()
+		a.Store(3)
+		a.Load(3)
+		a.Const(0)
+		a.Load(0)
+		a.Load(1)
+		a.Add()
+		a.AStore()
+		// holder[k % depth] = tmp
+		a.Load(2)
+		a.Load(1)
+		a.Const(int64(depth))
+		a.Rem()
+		a.Load(3)
+		a.AStore()
+		// x ^= tmp[0]
+		a.Load(0)
+		a.Load(3)
+		a.Const(0)
+		a.ALoad()
+		a.Xor()
+		a.Store(0)
+		a.Inc(1, -1)
+		a.Goto(top)
+		a.Bind(end)
+	}
+	// Fold a retained element back so the holder stays live to the end.
+	a.Load(0)
+	a.Load(2)
+	a.Const(0)
+	a.ALoad()
+	a.Xor()
+	a.Store(0)
+	a.Load(0)
+	a.IReturn()
+	return a.FinishMethod(name, "(J)J", classfile.AccPublic|classfile.AccStatic, 4, nil)
 }
 
 // buildDescendKernel: static long name(long d, long x) — recurse d frames,

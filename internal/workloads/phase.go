@@ -37,12 +37,21 @@ const (
 	// read-modify-write rounds on a static field shared by every worker
 	// thread — multi-thread contention on one memory location.
 	PhaseContend = "contend"
+	// PhaseRetain runs Calls invocations of a retention kernel: each call
+	// allocates a holder array of Depth slots, then performs Work
+	// allocations of Size words each, parking every fresh array in a
+	// rotating holder slot. The last Depth arrays (and the holder) stay
+	// reachable across many allocations, so under a bounded nursery they
+	// survive minor collections and eventually tenure — the long-lived-
+	// object shape the plain alloc burst (whose arrays die immediately)
+	// cannot produce.
+	PhaseRetain = "retain"
 )
 
 // PhaseKinds lists the known phase kinds in a stable order.
 func PhaseKinds() []string {
 	return []string{PhaseBytecode, PhaseArray, PhaseNative, PhaseAlloc,
-		PhaseDeepChain, PhaseException, PhaseContend}
+		PhaseDeepChain, PhaseException, PhaseContend, PhaseRetain}
 }
 
 // Phase is one composable slice of a workload's per-iteration behaviour.
@@ -56,13 +65,14 @@ type Phase struct {
 	Calls int `json:"calls,omitempty"`
 	// Work is the kind-specific size of one kernel invocation: inner-loop
 	// steps (bytecode, deepchain, exception setup), array elements
-	// (array), native cycles (native), allocations (alloc) or
+	// (array), native cycles (native), allocations (alloc, retain) or
 	// read-modify-write rounds (contend).
 	Work int `json:"work,omitempty"`
-	// Size is the words per allocation (alloc only; default 16).
+	// Size is the words per allocation (alloc, retain; default 16).
 	Size int `json:"size,omitempty"`
-	// Depth is the frames per chain (deepchain) or frames unwound per
-	// throw (exception); default 1.
+	// Depth is the frames per chain (deepchain), frames unwound per
+	// throw (exception), or live holder slots (retain); default 1
+	// (retain: 4).
 	Depth int `json:"depth,omitempty"`
 	// JNIEvery makes every n-th native invocation perform JNI callbacks
 	// (native only); 0 disables callbacks.
@@ -117,6 +127,14 @@ func (p Phase) Validate() error {
 			return fmt.Errorf("workloads: phase %s: size %d out of range", p.Kind, p.Size)
 		}
 		return irrelevant("depth", "jniEvery", "callbacksPerNative", "callbackWork")
+	case PhaseRetain:
+		if p.Size < 0 || p.Size > 1<<20 {
+			return fmt.Errorf("workloads: phase %s: size %d out of range", p.Kind, p.Size)
+		}
+		if p.Depth < 0 || p.Depth > 512 {
+			return fmt.Errorf("workloads: phase %s: depth %d out of range [0,512]", p.Kind, p.Depth)
+		}
+		return irrelevant("jniEvery", "callbacksPerNative", "callbackWork")
 	case PhaseDeepChain, PhaseException:
 		if p.Depth < 0 || p.Depth > 512 {
 			return fmt.Errorf("workloads: phase %s: depth %d out of range [0,512]", p.Kind, p.Depth)

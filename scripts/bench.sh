@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
-# bench.sh — run the interpreter/tier micro-benchmarks and the Table I
-# and campaign benchmarks, and record ns/op in the BENCH_PR4.json ledger
-# so the performance trajectory is tracked PR over PR (PR 2/3 numbers
-# stay in BENCH_PR2.json/BENCH_PR3.json).
+# bench.sh — run the interpreter/tier micro-benchmarks, the heap/GC
+# benchmarks, and the Table I and campaign benchmarks, and record ns/op
+# in the BENCH_PR5.json ledger so the performance trajectory is tracked
+# PR over PR (PR 2-4 numbers stay in BENCH_PR2.json..BENCH_PR4.json).
 #
 # The benchmark set runs once per execution engine: the interpreter
 # numbers (BenchmarkInterpreterLoop, BenchmarkTableISequential, ...) and
@@ -20,23 +20,26 @@
 #
 # Environment:
 #   BENCHTIME  go test -benchtime value (default 2s)
-#   OUT        ledger file (default BENCH_PR4.json)
+#   OUT        ledger file (default BENCH_PR5.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 LABEL=${1:-current}
 BENCHTIME=${BENCHTIME:-2s}
-OUT=${OUT:-BENCH_PR4.json}
+OUT=${OUT:-BENCH_PR5.json}
 
 {
   # Interpreter, template-tier and call-machinery micro-benchmarks.
   go test -run '^$' -bench 'BenchmarkInterpreterLoop|BenchmarkCompiledLoop|BenchmarkInvokeOverhead|BenchmarkNativeCall' \
+    -benchtime "$BENCHTIME" repro/internal/vm
+  # Generational heap: collection machinery vs the legacy unbounded heap.
+  go test -run '^$' -bench 'BenchmarkGCChurn' \
     -benchtime "$BENCHTIME" repro/internal/vm
   # Fast-path subsystem micro-benchmarks (dual-loop delta, pooled frames,
   # static caches, throw path).
   go test -run '^$' -bench . -benchtime "$BENCHTIME" repro/internal/vm/bench
   # Whole-campaign wall-clock, once per engine: Table I sequential and
   # parallel (interp and jit variants) and the all-family campaign.
-  go test -run '^$' -bench 'BenchmarkTableISequential|BenchmarkTableIParallel|BenchmarkCampaign/' \
+  go test -run '^$' -bench 'BenchmarkTableISequential|BenchmarkTableIParallel|BenchmarkCampaign/|BenchmarkCampaignGCPressure' \
     -benchtime "$BENCHTIME" repro/internal/harness
 } | go run scripts/benchjson.go -label "$LABEL" -out "$OUT"
