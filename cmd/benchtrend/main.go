@@ -1,0 +1,282 @@
+// Command benchtrend renders the BENCH_TREND.json benchmark ledger as
+// per-benchmark trend lines and checks entries against each other for
+// regressions.
+//
+// The ledger (written by scripts/bench.sh via scripts/benchjson.go) is
+// append-only: one labelled entry per PR or measurement session, oldest
+// first. Two modes:
+//
+//	benchtrend                 trend report: every benchmark's ns/op
+//	                           across entries, with the step-to-step
+//	                           delta and a REGRESSION flag when a step
+//	                           slows down by more than the tolerance;
+//	                           plus the tier speedup ratios (interpreted
+//	                           vs compiled) per entry.
+//
+//	benchtrend -check -baseline L1 -candidate L2
+//	                           regression gate: exit non-zero when a
+//	                           tracked tier speedup ratio in entry L2
+//	                           drops more than -tol percent below the
+//	                           same ratio in entry L1. Ratios — compiled
+//	                           loop vs interpreted loop, campaign jit vs
+//	                           interp — compare the two engines on the
+//	                           same host in the same run, so the gate
+//	                           holds across machines of very different
+//	                           speeds (CI vs the dev box that recorded
+//	                           the baseline), where raw ns/op thresholds
+//	                           would misfire. Add -abs to also gate the
+//	                           absolute ns/op of every benchmark present
+//	                           in both entries — meaningful only when
+//	                           both were recorded on comparable hosts.
+//
+// Flags:
+//
+//	-ledger path   ledger file (default BENCH_TREND.json)
+//	-tol pct       tolerance band in percent (default 15)
+//	-check         gate mode (requires -baseline and -candidate)
+//	-baseline L    label of the reference entry
+//	-candidate L   label of the entry under test
+//	-abs           in gate mode, also compare absolute ns/op
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Result mirrors scripts/benchjson.go.
+type Result struct {
+	Name       string  `json:"name"`
+	Package    string  `json:"package,omitempty"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+}
+
+// Entry mirrors scripts/benchjson.go.
+type Entry struct {
+	Label    string   `json:"label"`
+	Recorded string   `json:"recorded"`
+	GitRev   string   `json:"git_rev,omitempty"`
+	Results  []Result `json:"results"`
+}
+
+// Ledger mirrors scripts/benchjson.go.
+type Ledger struct {
+	GOOS      string  `json:"goos"`
+	GOARCH    string  `json:"goarch"`
+	GoVersion string  `json:"go_version"`
+	Entries   []Entry `json:"entries"`
+}
+
+// ratioPair defines one tracked tier speedup: the interpreted-side
+// benchmark over its compiled-side counterpart, so >1 means the
+// compiled tier wins.
+type ratioPair struct {
+	Name   string
+	Interp string
+	JIT    string
+}
+
+var ratioPairs = []ratioPair{
+	{"CompiledLoop speedup", "BenchmarkInterpreterLoop", "BenchmarkCompiledLoop"},
+	{"Campaign jit speedup", "BenchmarkCampaign/engine=interp", "BenchmarkCampaign/engine=jit"},
+	{"Table I sequential jit speedup", "BenchmarkTableISequential", "BenchmarkTableISequentialJIT"},
+	{"Table I parallel jit speedup", "BenchmarkTableIParallel", "BenchmarkTableIParallelJIT"},
+}
+
+func (e *Entry) lookup(name string) (float64, bool) {
+	for i := range e.Results {
+		if e.Results[i].Name == name {
+			return e.Results[i].NsPerOp, true
+		}
+	}
+	return 0, false
+}
+
+func (e *Entry) ratio(p ratioPair) (float64, bool) {
+	in, ok1 := e.lookup(p.Interp)
+	jit, ok2 := e.lookup(p.JIT)
+	if !ok1 || !ok2 || jit == 0 {
+		return 0, false
+	}
+	return in / jit, true
+}
+
+func findEntry(l *Ledger, label string) *Entry {
+	for i := range l.Entries {
+		if l.Entries[i].Label == label {
+			return &l.Entries[i]
+		}
+	}
+	return nil
+}
+
+func fmtNs(ns float64) string {
+	switch {
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fµs", ns/1e3)
+	default:
+		return fmt.Sprintf("%.0fns", ns)
+	}
+}
+
+func report(l *Ledger, tol float64) {
+	fmt.Printf("# Benchmark trend — %s/%s %s, %d entries\n", l.GOOS, l.GOARCH, l.GoVersion, len(l.Entries))
+	for _, e := range l.Entries {
+		fmt.Printf("#   %-16s %s  %s\n", e.Label, e.GitRev, e.Recorded)
+	}
+
+	// Stable benchmark order: first appearance across entries.
+	var order []string
+	seen := map[string]bool{}
+	for _, e := range l.Entries {
+		for _, r := range e.Results {
+			if !seen[r.Name] {
+				seen[r.Name] = true
+				order = append(order, r.Name)
+			}
+		}
+	}
+
+	fmt.Println()
+	for _, name := range order {
+		fmt.Println(name)
+		prev := 0.0
+		for _, e := range l.Entries {
+			ns, ok := e.lookup(name)
+			if !ok {
+				continue
+			}
+			line := fmt.Sprintf("  %-16s %10s", e.Label, fmtNs(ns))
+			if prev > 0 {
+				delta := (ns - prev) / prev * 100
+				line += fmt.Sprintf("  %+6.1f%%", delta)
+				if delta > tol {
+					line += "  REGRESSION"
+				} else if delta < -tol {
+					line += "  improved"
+				}
+			}
+			fmt.Println(line)
+			prev = ns
+		}
+	}
+
+	fmt.Println("\n# Tier speedups (interpreted ns/op ÷ compiled ns/op; higher is better)")
+	for _, p := range ratioPairs {
+		printed := false
+		prev := 0.0
+		for _, e := range l.Entries {
+			r, ok := e.ratio(p)
+			if !ok {
+				continue
+			}
+			if !printed {
+				fmt.Println(p.Name)
+				printed = true
+			}
+			line := fmt.Sprintf("  %-16s %7.2fx", e.Label, r)
+			if prev > 0 {
+				delta := (r - prev) / prev * 100
+				line += fmt.Sprintf("  %+6.1f%%", delta)
+				if delta < -tol {
+					line += "  REGRESSION"
+				}
+			}
+			fmt.Println(line)
+			prev = r
+		}
+	}
+}
+
+func check(l *Ledger, baseline, candidate string, tol float64, abs bool) int {
+	base := findEntry(l, baseline)
+	cand := findEntry(l, candidate)
+	if base == nil || cand == nil {
+		var labels []string
+		for _, e := range l.Entries {
+			labels = append(labels, e.Label)
+		}
+		fmt.Fprintf(os.Stderr, "benchtrend: baseline %q or candidate %q not in ledger (have: %s)\n",
+			baseline, candidate, strings.Join(labels, ", "))
+		return 2
+	}
+
+	failures := 0
+	for _, p := range ratioPairs {
+		br, ok1 := base.ratio(p)
+		cr, ok2 := cand.ratio(p)
+		if !ok1 || !ok2 {
+			continue
+		}
+		delta := (cr - br) / br * 100
+		status := "ok"
+		if delta < -tol {
+			status = "REGRESSION"
+			failures++
+		}
+		fmt.Printf("%-32s %-14s %6.2fx -> %6.2fx  (%+.1f%%, tol %.0f%%)  %s\n",
+			p.Name, baseline+"->"+candidate, br, cr, delta, tol, status)
+	}
+
+	if abs {
+		for _, r := range base.Results {
+			cns, ok := cand.lookup(r.Name)
+			if !ok || r.NsPerOp == 0 {
+				continue
+			}
+			delta := (cns - r.NsPerOp) / r.NsPerOp * 100
+			if delta > tol {
+				failures++
+				fmt.Printf("%-48s %10s -> %10s  (%+.1f%%, tol %.0f%%)  REGRESSION\n",
+					r.Name, fmtNs(r.NsPerOp), fmtNs(cns), delta, tol)
+			}
+		}
+	}
+
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "benchtrend: %d regression(s) beyond %.0f%% tolerance\n", failures, tol)
+		return 1
+	}
+	fmt.Println("benchtrend: no regressions beyond tolerance")
+	return 0
+}
+
+func main() {
+	ledgerPath := flag.String("ledger", "BENCH_TREND.json", "trend ledger file")
+	tol := flag.Float64("tol", 15, "tolerance band in percent")
+	gate := flag.Bool("check", false, "gate mode: compare -candidate against -baseline")
+	baseline := flag.String("baseline", "", "gate mode: label of the reference entry")
+	candidate := flag.String("candidate", "", "gate mode: label of the entry under test")
+	abs := flag.Bool("abs", false, "gate mode: also compare absolute ns/op (same-host entries only)")
+	flag.Parse()
+
+	data, err := os.ReadFile(*ledgerPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchtrend:", err)
+		os.Exit(2)
+	}
+	var l Ledger
+	if err := json.Unmarshal(data, &l); err != nil {
+		fmt.Fprintf(os.Stderr, "benchtrend: %s: %v\n", *ledgerPath, err)
+		os.Exit(2)
+	}
+	if len(l.Entries) == 0 {
+		fmt.Fprintf(os.Stderr, "benchtrend: %s has no entries\n", *ledgerPath)
+		os.Exit(2)
+	}
+
+	if *gate {
+		if *baseline == "" || *candidate == "" {
+			fmt.Fprintln(os.Stderr, "benchtrend: -check requires -baseline and -candidate")
+			os.Exit(2)
+		}
+		os.Exit(check(&l, *baseline, *candidate, *tol, *abs))
+	}
+	report(&l, *tol)
+}

@@ -143,6 +143,7 @@ func profileOne(ctx context.Context, s scenarios.Scenario, agentName string, sca
 		out += fmt.Sprintf("\ntier %s: %d methods compiled, %d compiled frames, %d deopts, %d fallback chunks, %d invalidated, %d compile failures\n",
 			ts.Engine, ts.MethodsCompiled, ts.CompiledFrames, ts.DeoptFrames,
 			ts.FallbackChunks, ts.UnitsInvalidated, ts.CompileFailures)
+		out += ts.RenderTier2("")
 	}
 	return out, nil
 }

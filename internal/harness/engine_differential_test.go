@@ -78,6 +78,60 @@ func TestEngineDifferentialAllFamilies(t *testing.T) {
 	}
 }
 
+// TestEngineDifferentialScale8 re-runs the cross-engine guarantee at
+// scale 8 — several times the work of the regular test configuration, so
+// every scenario's hot loops cross the OSR threshold and every call-heavy
+// phase runs long enough to exercise inline sites — and asserts the full
+// campaign (cycles, instruction counts, reports, check verdicts) is
+// byte-identical across -engine=interp|jit|auto, sequentially and with 8
+// parallel workers.
+func TestEngineDifferentialScale8(t *testing.T) {
+	scns, err := scenarios.Profile("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(engine jit.Engine, parallelism int) (*CampaignResult, string) {
+		cfg := engineConfig(engine, parallelism)
+		cfg.Scale = 8
+		camp := Campaign{Scenarios: scns, Agents: []string{"none"}, Config: cfg}
+		res, err := camp.Run(context.Background(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stripTier(res)
+		text, err := RenderCampaign(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, text
+	}
+	baseRes, baseText := run(jit.EngineInterp, 1)
+	for _, tc := range []struct {
+		name        string
+		engine      jit.Engine
+		parallelism int
+	}{
+		{"interp-parallel", jit.EngineInterp, 8},
+		{"jit-sequential", jit.EngineJIT, 1},
+		{"jit-parallel", jit.EngineJIT, 8},
+		{"auto-sequential", jit.EngineAuto, 1},
+		{"auto-parallel", jit.EngineAuto, 8},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			res, text := run(tc.engine, tc.parallelism)
+			if text != baseText {
+				t.Fatalf("scale-8 campaign diverged from interp baseline:\n--- interp\n%s\n--- %s\n%s", baseText, tc.name, text)
+			}
+			if !reflect.DeepEqual(res.Rows, baseRes.Rows) {
+				t.Fatal("scale-8 campaign rows diverged from interp baseline beyond rendering")
+			}
+			if !reflect.DeepEqual(res.CheckFailures, baseRes.CheckFailures) {
+				t.Fatalf("check verdicts diverged: %v vs %v", res.CheckFailures, baseRes.CheckFailures)
+			}
+		})
+	}
+}
+
 // TestEngineDifferentialTableI: the paper's Table I — the headline
 // artifact — is identical under the jit engine, including the rendered
 // text.

@@ -257,6 +257,11 @@ func MeasureScenario(ctx context.Context, sc scenarios.Scenario, agentName strin
 			tier.CompiledFrames += res.Tier.CompiledFrames
 			tier.DeoptFrames += res.Tier.DeoptFrames
 			tier.FallbackChunks += res.Tier.FallbackChunks
+			tier.InlinedSites += res.Tier.InlinedSites
+			tier.InlinedCalls += res.Tier.InlinedCalls
+			tier.OSREntries += res.Tier.OSREntries
+			tier.SuperinstrPairs += res.Tier.SuperinstrPairs
+			tier.PerMethod = jit.MergeMethodStats(tier.PerMethod, res.Tier.PerMethod)
 		}
 		if warmup {
 			continue

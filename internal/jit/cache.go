@@ -23,6 +23,7 @@ type Cache struct {
 	compiled      atomic.Uint64
 	failures      atomic.Uint64
 	invalidations atomic.Uint64
+	inlineSites   atomic.Uint64
 }
 
 // NewCache returns an empty cache at epoch 0.
@@ -55,6 +56,7 @@ func (c *Cache) Put(key any, u *Unit) {
 	c.units[key] = u
 	c.mu.Unlock()
 	c.compiled.Add(1)
+	c.inlineSites.Add(uint64(len(u.Inlines)))
 }
 
 // Get returns the cached unit for key, or nil.
@@ -98,6 +100,79 @@ type Stats struct {
 	CompiledFrames uint64
 	DeoptFrames    uint64
 	FallbackChunks uint64
+	// Tier-2 bookkeeping. InlinedSites counts inline-expanded call sites
+	// across every unit built over the VM's lifetime; InlinedCalls the
+	// calls actually executed through an inline site; OSREntries the
+	// on-stack replacements taken (hot loops promoted mid-iteration);
+	// SuperinstrPairs the fused superinstruction pairs the interpreter's
+	// batch dispatch executed.
+	InlinedSites    uint64
+	InlinedCalls    uint64
+	OSREntries      uint64
+	SuperinstrPairs uint64
+	// PerMethod is the per-method tier-2 detail for methods with any
+	// tier-2 activity, sorted by full name. Filled by the VM's TierStats,
+	// not by the cache snapshot.
+	PerMethod []MethodStats
+}
+
+// MethodStats is one method's tier-2 bookkeeping for the -tierstats
+// surfaces: where inlining happened, which loops OSR promoted, and how
+// well superinstruction fusion covered the method's straight-line code.
+type MethodStats struct {
+	// Method is the full "Class.name(Desc)" name.
+	Method string
+	// InlineSites is the number of inline-expanded call sites in the
+	// method's current unit (0 while interpreted or invalidated).
+	InlineSites int
+	// InlinedCalls counts calls this method made through inline sites;
+	// OSREntries the on-stack replacements taken in its frames;
+	// SuperPairs the fused pairs its batch dispatch executed.
+	InlinedCalls uint64
+	OSREntries   uint64
+	SuperPairs   uint64
+	// FusedPairs and StraightInstrs describe static fusion coverage: of
+	// StraightInstrs instructions in straight-line runs, 2*FusedPairs are
+	// covered by two-instruction superinstructions — the hit rate the
+	// jprof tier-stats view reports.
+	FusedPairs     int
+	StraightInstrs int
+}
+
+// MergeMethodStats combines two per-method stat sets (each sorted by
+// Method, as TierStats emits them) into one sorted set: dynamic counters
+// sum, static per-unit facts (inline sites, fusion coverage) keep the
+// larger observation — across repeated runs of the same program they are
+// identical, and a run where the method never compiled reports zeros
+// that must not erase a run where it did.
+func MergeMethodStats(a, b []MethodStats) []MethodStats {
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]MethodStats, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		switch {
+		case j >= len(b) || (i < len(a) && a[i].Method < b[j].Method):
+			out = append(out, a[i])
+			i++
+		case i >= len(a) || b[j].Method < a[i].Method:
+			out = append(out, b[j])
+			j++
+		default:
+			m := a[i]
+			m.InlinedCalls += b[j].InlinedCalls
+			m.OSREntries += b[j].OSREntries
+			m.SuperPairs += b[j].SuperPairs
+			m.InlineSites = max(m.InlineSites, b[j].InlineSites)
+			m.FusedPairs = max(m.FusedPairs, b[j].FusedPairs)
+			m.StraightInstrs = max(m.StraightInstrs, b[j].StraightInstrs)
+			out = append(out, m)
+			i++
+			j++
+		}
+	}
+	return out
 }
 
 // snapshot fills the cache-owned fields of a Stats.
@@ -107,6 +182,7 @@ func (c *Cache) snapshot(s *Stats) {
 	s.CompileFailures = c.failures.Load()
 	s.UnitsInvalidated = c.invalidations.Load()
 	s.UnitsLive = c.Len()
+	s.InlinedSites = c.inlineSites.Load()
 }
 
 // Snapshot returns the cache-owned portion of the tier stats.

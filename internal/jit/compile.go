@@ -25,7 +25,12 @@ import (
 // Methods the lowering cannot express are a compileError; the VM leaves
 // such methods on the interpreter, so Compile failing is a performance
 // event, never a correctness one.
-func Compile(def *classfile.Method) (*Unit, error) {
+//
+// res, when non-nil, resolves invoke sites against the VM's link-time
+// resolved-callee cache so small effect-free callees can be inline-
+// expanded (see inline.go). A nil resolver compiles every call site
+// out-of-line.
+func Compile(def *classfile.Method, res Resolver) (*Unit, error) {
 	ins, err := bytecode.Decode(def.Code)
 	if err != nil {
 		return nil, fmt.Errorf("jit: %s: %w", def.Key(), err)
@@ -108,7 +113,122 @@ func Compile(def *classfile.Method) (*Unit, error) {
 			h.LoopBody = nb
 		}
 	}
+	if len(u.Blocks) == 1 {
+		b := &u.Blocks[0]
+		u.Leaf = b.CanBatch &&
+			(b.Term.Kind == TermReturn || b.Term.Kind == TermIreturn)
+	}
+	u.Static = staticPlan(u)
+	if res != nil {
+		attachInlines(u, res)
+	}
 	return u, nil
+}
+
+// writesSlot reports whether op writes frame slot s (KSwap writes both
+// of its operands).
+func writesSlot(op *Op, s int32) bool {
+	if op.Kind == KSwap {
+		return op.A == s || op.B == s
+	}
+	return op.Dst == s
+}
+
+// staticPlan recognizes the canonical counted-kernel unit — entry block
+// seeding the loop counter with a constant, a bare ifle-counted loop over
+// a batchable body that steps the counter by a negative constant, and a
+// pure returning exit block — and resolves its trip count and total
+// simulated instruction count at compile time. Any deviation returns nil
+// and the unit runs block by block.
+func staticPlan(u *Unit) *StaticPlan {
+	if len(u.Blocks) < 3 {
+		return nil
+	}
+	b0 := &u.Blocks[0]
+	if !b0.CanBatch {
+		return nil
+	}
+	var hi int32
+	switch b0.Term.Kind {
+	case TermFall:
+		hi = b0.Term.Next
+	case TermGoto:
+		hi = b0.Term.Target
+	default:
+		return nil
+	}
+	if hi <= 0 || int(hi) >= len(u.Blocks) {
+		return nil
+	}
+	h := &u.Blocks[hi]
+	if h.LoopBody < 0 || len(h.Flat) != 0 || h.Term.Kind != TermBr1 ||
+		h.Term.AImm || bytecode.Op(h.Term.Cond) != bytecode.OpIfle {
+		return nil
+	}
+	s := h.Term.A // counter slot; the taken side (counter <= 0) exits
+	body := &u.Blocks[h.LoopBody]
+
+	// The counter must be a compile-time constant at loop entry...
+	var c int64
+	haveC := false
+	for oi := range b0.Flat {
+		op := &b0.Flat[oi]
+		if !writesSlot(op, s) {
+			continue
+		}
+		if op.Kind != KMovI {
+			return nil
+		}
+		c, haveC = op.Imm, true
+	}
+	if !haveC {
+		return nil
+	}
+	// ...and the body must step it by a negative constant exactly once.
+	var step int64
+	haveStep := false
+	for oi := range body.Flat {
+		op := &body.Flat[oi]
+		if !writesSlot(op, s) {
+			continue
+		}
+		if haveStep || op.Kind != KAddSI || op.A != s || op.Imm >= 0 {
+			return nil
+		}
+		step, haveStep = op.Imm, true
+	}
+	if !haveStep {
+		return nil
+	}
+	ei := h.Term.Target
+	if ei < 0 || int(ei) >= len(u.Blocks) {
+		return nil
+	}
+	e := &u.Blocks[ei]
+	if !e.CanBatch || (e.Term.Kind != TermReturn && e.Term.Kind != TermIreturn) {
+		return nil
+	}
+
+	var trip int64
+	if c > 0 {
+		trip = (c - step - 1) / -step
+	}
+	total := int64(b0.NInstr) + (trip+1)*int64(h.NInstr) +
+		trip*int64(body.NInstr) + int64(e.NInstr)
+	if total > 1<<20 {
+		return nil // far past any yield budget; the general path owns it
+	}
+	p := &StaticPlan{
+		Entry: b0.Flat, Body: body.Flat, Exit: e.Flat,
+		Trip: trip, Total: total,
+	}
+	if e.Term.Kind == TermIreturn {
+		p.HasRet = true
+		p.RetImm = e.Term.AImm
+		p.Ret = e.Term.A
+		p.RetImmVal = e.Term.ImmA
+	}
+	return p
 }
 
 // descriptor kinds of the symbolic operand stack.
@@ -319,7 +439,7 @@ func (lo *lowerer) effect(i int, kind EffKind, ref int32, pops, pushes int) erro
 	}
 	lo.chunks = append(lo.chunks, Chunk{
 		Start: int32(i), N: 1, SP: int32(len(lo.st)),
-		Eff: Effect{Kind: kind, Idx: int32(i), Ref: ref, SP: int32(len(lo.st))},
+		Eff: Effect{Kind: kind, Idx: int32(i), Ref: ref, SP: int32(len(lo.st)), Inline: -1},
 	})
 	lo.chunkLo = int32(i) + 1
 	lo.st = lo.st[:len(lo.st)-pops]

@@ -45,7 +45,7 @@ func loopKernel(t *testing.T, work int) *classfile.Method {
 // span, and the loop blocks are batchable.
 func TestCompileLoopKernelShape(t *testing.T) {
 	m := loopKernel(t, 10)
-	u, err := Compile(m)
+	u, err := Compile(m, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +100,7 @@ func TestCompileCoversBlocksMetadata(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	u, err := Compile(m)
+	u, err := Compile(m, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,7 +213,7 @@ func TestCompileExceptionKernel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	u, err := Compile(m)
+	u, err := Compile(m, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

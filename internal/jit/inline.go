@@ -1,0 +1,96 @@
+package jit
+
+import "repro/internal/classfile"
+
+// Call-site inlining.
+//
+// The lowering cannot splice callee code into the caller: every call
+// carries mandatory simulated bookkeeping (invocation counting that
+// drives the JIT model, per-frame cost selection, the CostInvoke charge,
+// deferred-accounting flushes and yield boundaries), so the cheapest
+// correct inline is a compile-time execution plan — resolve the callee
+// once, compile its body to a private unit, and let the executor run that
+// unit directly in the caller's scratch frame area instead of re-entering
+// the VM's generic invoke path. attachInlines builds that plan.
+
+// Resolver is the link-time view the VM hands to Compile so call sites
+// can be inline-expanded against the resolved-callee cache. ResolveInvoke
+// maps a Refs-table index to the resolved callee: its bytecode definition
+// plus an opaque identity key the executor re-checks at run time (the
+// transitive half of relink-epoch invalidation: a site whose resolution
+// changed is never taken inline). ok is false when the ref is unresolved,
+// names a field, or the callee is native or abstract.
+type Resolver interface {
+	ResolveInvoke(ref int) (def *classfile.Method, key any, ok bool)
+}
+
+// inlineMaxInstrs bounds the callee size inline expansion accepts. The
+// generated helper kernels are well under it; anything larger gains
+// little from skipping the invoke path.
+const inlineMaxInstrs = 64
+
+// inlinable reports whether a compiled callee qualifies for inline
+// expansion: small. Nothing else disqualifies it — the inline plan runs
+// the callee's unit as a real frame (own root-scan record, own deopt
+// path) inside the caller's scratch area, so effects, throws, nested
+// out-of-line calls and even recursion behave exactly as they would
+// through the generic invoke path. The size bound is purely economic:
+// the expansion saves per-call frame setup, which large bodies amortize
+// anyway.
+func inlinable(u *Unit) bool {
+	return u.NumInstrs <= inlineMaxInstrs
+}
+
+// attachInlines annotates the unit's EffInvoke effects with inline sites
+// for every call whose resolved callee compiles to an inlinable unit.
+// Callee units are compiled once per distinct definition and sites are
+// deduplicated per callee identity. Failures simply leave sites
+// out-of-line — inlining is a performance event, never a correctness one.
+func attachInlines(u *Unit, res Resolver) {
+	type calleeUnit struct {
+		cu *Unit
+		ok bool
+	}
+	var compiled map[*classfile.Method]calleeUnit
+	var siteOf map[any]int32
+	for bi := range u.Blocks {
+		b := &u.Blocks[bi]
+		for ci := range b.Chunks {
+			ch := &b.Chunks[ci]
+			if ch.Pure || ch.Eff.Kind != EffInvoke {
+				continue
+			}
+			def, key, ok := res.ResolveInvoke(int(ch.Eff.Ref))
+			if !ok || len(def.Code) == 0 {
+				continue
+			}
+			if si, seen := siteOf[key]; seen {
+				ch.Eff.Inline = si
+				continue
+			}
+			if compiled == nil {
+				compiled = map[*classfile.Method]calleeUnit{}
+				siteOf = map[any]int32{}
+			}
+			c, seen := compiled[def]
+			if !seen {
+				cu, err := Compile(def, nil) // nil resolver: expansion never nests
+				c = calleeUnit{cu: cu, ok: err == nil && inlinable(cu)}
+				compiled[def] = c
+			}
+			if !c.ok {
+				continue
+			}
+			si := int32(len(u.Inlines))
+			u.Inlines = append(u.Inlines, InlineSite{
+				Key: key, U: c.cu,
+				NL: int32(c.cu.MaxLocals), Slots: int32(c.cu.NumSlots),
+			})
+			siteOf[key] = si
+			ch.Eff.Inline = si
+			if c.cu.NumSlots > u.ScratchSlots {
+				u.ScratchSlots = c.cu.NumSlots
+			}
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package jit
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderTier2 formats the tier-2 portion of a stats snapshot — the
+// aggregate inlining/OSR/superinstruction counters and the per-method
+// rows — for the CLIs' -tierstats views. Every line is prefixed with
+// indent. Methods with no tier-2 activity are absent from PerMethod, so
+// the table shows exactly where the tier-2 wins (or their absence) come
+// from; an empty string means the run had no tier-2 activity at all.
+func (s *Stats) RenderTier2(indent string) string {
+	var out strings.Builder
+	if s.InlinedSites+s.InlinedCalls+s.OSREntries+s.SuperinstrPairs > 0 {
+		fmt.Fprintf(&out, "%stier-2: %d inline sites, %d inlined calls, %d OSR entries, %d superinstruction pairs\n",
+			indent, s.InlinedSites, s.InlinedCalls, s.OSREntries, s.SuperinstrPairs)
+	}
+	if len(s.PerMethod) > 0 {
+		fmt.Fprintf(&out, "%stier-2 per method (sites / inlined calls / OSR entries / superinstr pairs / fusion coverage):\n", indent)
+		for _, m := range s.PerMethod {
+			fmt.Fprintf(&out, "%s  %-44s %3d sites %10d inlined %6d osr %12d pairs  fusion %s\n",
+				indent, m.Method, m.InlineSites, m.InlinedCalls, m.OSREntries, m.SuperPairs, m.FusionCoverage())
+		}
+	}
+	return out.String()
+}
+
+// FusionCoverage renders the static superinstruction hit rate: the share
+// of the method's straight-line instructions covered by fused pairs, or
+// "-" for methods with no straight-line runs to fuse.
+func (m *MethodStats) FusionCoverage() string {
+	if m.StraightInstrs <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f%%", float64(2*m.FusedPairs)/float64(m.StraightInstrs)*100)
+}

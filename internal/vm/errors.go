@@ -27,8 +27,14 @@ func Throw(v int64, reason string) *Thrown {
 	return &Thrown{Value: v, Reason: reason}
 }
 
-// AsThrown extracts a *Thrown from err, if it is one.
+// AsThrown extracts a *Thrown from err, if it is one. The direct type
+// assertion covers every error the execution engines raise — Thrown values
+// propagate unwrapped — so the errors.As walk only runs for errors that
+// arrived wrapped from outside the hot paths.
 func AsThrown(err error) (*Thrown, bool) {
+	if t, ok := err.(*Thrown); ok {
+		return t, true
+	}
 	var t *Thrown
 	if errors.As(err, &t) {
 		return t, true

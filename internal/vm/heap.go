@@ -1,5 +1,7 @@
 package vm
 
+import "math/bits"
+
 // Heap manages the simulated object store: a generational heap of 64-bit
 // word arrays. The workloads need only arrays; handles are opaque non-zero
 // int64 values, with 0 playing the role of null.
@@ -55,8 +57,33 @@ type Heap struct {
 
 	// sites interns allocation sites (method + code offset) so per-array
 	// bookkeeping is one int32; survivals are attributed back through it.
-	sites   []Site
-	siteIdx map[Site]int32
+	// lastSite/lastSiteID cache the most recent intern: allocation sites
+	// repeat in runs (a hot loop allocates from one site), so the common
+	// case skips the map hash entirely.
+	sites      []Site
+	siteIdx    map[Site]int32
+	lastSite   Site
+	lastSiteID int32
+
+	// pool recycles the host backing stores of collected arrays, bucketed
+	// by floor(log2(cap)). Simulated handles are never reused — a stale
+	// handle must keep throwing CollectedHandle and handle values are
+	// observable — but the Go slices behind them are invisible to the
+	// simulation, and reusing them keeps the allocation-heavy workloads
+	// off the host allocator and collector. Class c holds caps in
+	// [2^c, 2^(c+1)), so popping from class ceil(log2(n)) always yields
+	// cap >= n.
+	pool [27][][]int64
+
+	// arena bump-allocates small backing stores out of large host blocks
+	// when the pool misses. Legacy-mode workloads (collection disabled)
+	// allocate hundreds of thousands of small arrays and never free one;
+	// carving them from a few big noscan blocks instead of one host
+	// allocation each keeps the host allocator and collector out of the
+	// simulation's hot path. Blocks come from make, so bump-allocated
+	// stores are already zeroed; sub-slices are three-index sliced, so a
+	// store's cap never reaches into its neighbours.
+	arena []int64
 
 	// alive lists the indexes of uncollected arrays in allocation order;
 	// collections sweep this list and compact it in place, so a pause
@@ -232,12 +259,16 @@ func (h *Heap) siteID(s Site) int32 {
 	if s.Method == nil {
 		return -1
 	}
-	if id, ok := h.siteIdx[s]; ok {
-		return id
+	if s == h.lastSite {
+		return h.lastSiteID
 	}
-	id := int32(len(h.sites))
-	h.sites = append(h.sites, s)
-	h.siteIdx[s] = id
+	id, ok := h.siteIdx[s]
+	if !ok {
+		id = int32(len(h.sites))
+		h.sites = append(h.sites, s)
+		h.siteIdx[s] = id
+	}
+	h.lastSite, h.lastSiteID = s, id
 	return id
 }
 
@@ -260,7 +291,22 @@ func (h *Heap) Alloc(length int64, site Site) (int64, error) {
 	if length > maxLen {
 		return 0, Throw(length, "OutOfMemoryError")
 	}
-	h.arrays = append(h.arrays, make([]int64, length))
+	var a []int64
+	if length > 0 {
+		if c := bits.Len64(uint64(length - 1)); len(h.pool[c]) > 0 {
+			last := len(h.pool[c]) - 1
+			a = h.pool[c][last][:length]
+			h.pool[c][last] = nil
+			h.pool[c] = h.pool[c][:last]
+			clear(a)
+		} else {
+			a = h.arenaAlloc(int(length))
+		}
+	}
+	if a == nil {
+		a = make([]int64, length)
+	}
+	h.arrays = append(h.arrays, a)
 	h.meta = append(h.meta, arrayMeta{words: uint32(length), site: h.siteID(site)})
 	if h.cfg.Enabled() {
 		h.alive = append(h.alive, int32(len(h.arrays)-1))
@@ -385,6 +431,26 @@ func (h *Heap) CollectMajor() GCInfo {
 	return info
 }
 
+// arenaBlockWords sizes the backing-store arena's host blocks. Requests
+// above a quarter block fall back to their own host allocation so one
+// array can never strand most of a block.
+const arenaBlockWords = 1 << 16
+
+// arenaAlloc carves a zeroed n-word backing store out of the arena,
+// opening a fresh block when the current one runs dry (the remainder is
+// abandoned — at most one under-quarter-block sliver per block).
+func (h *Heap) arenaAlloc(n int) []int64 {
+	if n > arenaBlockWords/4 {
+		return make([]int64, n)
+	}
+	if len(h.arena) < n {
+		h.arena = make([]int64, arenaBlockWords)
+	}
+	a := h.arena[:n:n]
+	h.arena = h.arena[n:]
+	return a
+}
+
 // free reclaims one array: occupancy, ledger, backing storage.
 func (h *Heap) free(i int, info *GCInfo) {
 	m := &h.meta[i]
@@ -394,6 +460,12 @@ func (h *Heap) free(i int, info *GCInfo) {
 		h.nurseryUsed -= uint64(m.words)
 	}
 	m.dead = true
+	if a := h.arrays[i]; cap(a) > 0 {
+		c := bits.Len64(uint64(cap(a))) - 1
+		if len(h.pool[c]) < 1024 {
+			h.pool[c] = append(h.pool[c], a[:0])
+		}
+	}
 	h.arrays[i] = nil
 	info.CollectedArrays++
 	info.CollectedWords += uint64(m.words)

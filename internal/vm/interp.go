@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/bytecode"
+	"repro/internal/jit"
 )
 
 // InvokeStatic resolves and invokes a static method on this thread. It is
@@ -54,6 +55,10 @@ func (t *Thread) invoke(m *Method, args []int64) (ret int64, err error) {
 			m.FullName(), m.argWords, len(args))
 	}
 	t.depth++
+	if t.depth == reserveDepth && !t.stackReserved {
+		t.stackReserved = true
+		reserveStack(64)
+	}
 
 	t.vm.maybeCompile(m)
 	// Invocation overhead belongs to the caller's side: a call made from
@@ -121,7 +126,18 @@ func (t *Thread) invokeNative(m *Method, args []int64) (int64, error) {
 // differential tests in this package and internal/harness pin down.
 func (t *Thread) interpret(m *Method, args []int64) (int64, error) {
 	nl := m.Def.MaxLocals
-	frame, base := t.pushFrameRaw(nl + m.Def.MaxStack)
+	v := t.vm
+	perInstr := v.needsPerInstruction()
+	need := nl + m.Def.MaxStack
+	var u *jit.Unit
+	if !perInstr && !v.jitDisabled {
+		if u = m.unit; u != nil {
+			// Compiled frames reserve the scratch area inline-expanded
+			// callees run in, above the method's own slots.
+			need = u.NumSlots + u.ScratchSlots
+		}
+	}
+	frame, base := t.pushFrameRaw(need)
 	locals := frame[:nl:nl]
 	stack := frame[nl:]
 	n := copy(locals, args)
@@ -130,13 +146,10 @@ func (t *Thread) interpret(m *Method, args []int64) (int64, error) {
 
 	var ret int64
 	var err error
-	v := t.vm
-	if !v.needsPerInstruction() {
-		if u := m.unit; u != nil && !v.jitDisabled {
-			ret, err = t.runCompiled(m, u, frame, locals, stack)
-		} else {
-			ret, err = t.interpretFast(m, locals, stack)
-		}
+	if u != nil {
+		ret, err = t.runCompiled(m, u, frame, locals, stack)
+	} else if !perInstr {
+		ret, err = t.interpretFast(m, locals, stack)
 	} else {
 		ret, err = t.interpretInstrumented(m, locals, stack)
 	}
@@ -178,13 +191,16 @@ func (t *Thread) flushInterp(done, cost uint64, budget int) {
 // the decoded Instruction slice is consulted only on error paths, for
 // code offsets in messages.
 func (t *Thread) interpretFast(m *Method, locals, stack []int64) (int64, error) {
-	opts := &t.vm.opts
-	heap := t.vm.Heap
+	v := t.vm
+	opts := &v.opts
+	heap := v.Heap
 	ops := m.ops
 	operands := m.operands
 	consts := m.Def.Consts
 	runLen := m.runLen
 	runTail := m.runTail
+	fused := m.fused
+	pairsFrom := m.pairsFrom
 	handlerIdx := m.handlerIdx
 	refMethods := m.refMethods
 	refStatics := m.refStatics
@@ -194,6 +210,17 @@ func (t *Thread) interpretFast(m *Method, locals, stack []int64) (int64, error) 
 		cost = opts.CostCompiled
 	}
 	quantum := opts.Quantum
+
+	// On-stack replacement: when the template tier is enabled, taken
+	// backward branches count toward promoting this very activation into
+	// compiled code mid-loop. One failed attempt disarms the frame — the
+	// method is pinned, an observer appeared, or the branch target is not
+	// a block head — so the hot path never re-checks a dead end.
+	osr := opts.Tier != jit.EngineInterp && !v.jitDisabled
+	var osrThresh uint64
+	if osr {
+		osrThresh = v.osrThresholdEffective()
+	}
 
 	var done uint64 // instructions executed since the last flush
 	budget := t.budget
@@ -208,7 +235,8 @@ func (t *Thread) interpretFast(m *Method, locals, stack []int64) (int64, error) 
 
 		// Straight-line batch: account for the whole run — plus its
 		// terminating branch, when it has one — at once, then execute
-		// the run with a reduced switch and the branch inline.
+		// the run through the pre-decoded fused code (see interp_fused.go)
+		// and the branch inline.
 		if n := int(runLen[idx]); n > 0 {
 			tail := runTail[idx]
 			nb := n
@@ -220,66 +248,15 @@ func (t *Thread) interpretFast(m *Method, locals, stack []int64) (int64, error) 
 			}
 			done += uint64(nb)
 			budget -= nb
-			for end := idx + n; idx < end; idx++ {
-				switch ops[idx] {
-				case bytecode.OpNop:
-				case bytecode.OpConst:
-					stack[sp] = consts[operands[idx]]
-					sp++
-				case bytecode.OpIconst0:
-					stack[sp] = 0
-					sp++
-				case bytecode.OpIconst1:
-					stack[sp] = 1
-					sp++
-				case bytecode.OpLoad:
-					stack[sp] = locals[operands[idx]]
-					sp++
-				case bytecode.OpStore:
-					sp--
-					locals[operands[idx]] = stack[sp]
-				case bytecode.OpInc:
-					v := operands[idx]
-					locals[v&0xffff] += int64(v >> 16)
-				case bytecode.OpAdd:
-					stack[sp-2] += stack[sp-1]
-					sp--
-				case bytecode.OpSub:
-					stack[sp-2] -= stack[sp-1]
-					sp--
-				case bytecode.OpMul:
-					stack[sp-2] *= stack[sp-1]
-					sp--
-				case bytecode.OpNeg:
-					stack[sp-1] = -stack[sp-1]
-				case bytecode.OpShl:
-					stack[sp-2] <<= uint64(stack[sp-1]) & 63
-					sp--
-				case bytecode.OpShr:
-					stack[sp-2] >>= uint64(stack[sp-1]) & 63
-					sp--
-				case bytecode.OpAnd:
-					stack[sp-2] &= stack[sp-1]
-					sp--
-				case bytecode.OpOr:
-					stack[sp-2] |= stack[sp-1]
-					sp--
-				case bytecode.OpXor:
-					stack[sp-2] ^= stack[sp-1]
-					sp--
-				case bytecode.OpDup:
-					stack[sp] = stack[sp-1]
-					sp++
-				case bytecode.OpPop:
-					sp--
-				case bytecode.OpSwap:
-					stack[sp-1], stack[sp-2] = stack[sp-2], stack[sp-1]
-				default:
-					t.flushInterp(done, cost, budget)
-					return 0, fmt.Errorf("vm: %s: non-straight-line opcode %s in run at %d",
-						m.FullName(), ops[idx], m.instrs[idx].Offset)
-				}
+			m.superExec += uint64(pairsFrom[idx])
+			end := idx + n
+			var ok bool
+			if sp, ok = runFused(fused, locals, stack, idx, end, sp); !ok {
+				t.flushInterp(done, cost, budget)
+				return 0, fmt.Errorf("vm: %s: non-straight-line opcode %s in run at %d",
+					m.FullName(), ops[idx], m.instrs[idx].Offset)
 			}
+			idx = end
 			if tail {
 				// The batched trailing branch, already accounted for.
 				op := ops[idx]
@@ -296,7 +273,18 @@ func (t *Thread) interpretFast(m *Method, locals, stack []int64) (int64, error) 
 					taken = cond2(op, a, b)
 				}
 				if taken {
-					idx = int(operands[idx])
+					tgt := int(operands[idx])
+					if osr && tgt <= idx {
+						m.osrEdges++
+						if m.osrEdges >= osrThresh {
+							if u := v.promoteForOSR(m); u != nil && u.BlockOf[tgt] >= 0 {
+								t.flushInterp(done, cost, budget)
+								return t.enterOSR(m, u, locals, stack, u.BlockOf[tgt], sp, cost)
+							}
+							osr = false
+						}
+					}
+					idx = tgt
 				} else {
 					idx++
 				}
@@ -389,13 +377,35 @@ func (t *Thread) interpretFast(m *Method, locals, stack []int64) (int64, error) 
 		case bytecode.OpSwap:
 			stack[sp-1], stack[sp-2] = stack[sp-2], stack[sp-1]
 		case bytecode.OpGoto:
-			idx = int(operands[idx])
+			tgt := int(operands[idx])
+			if osr && tgt <= idx {
+				m.osrEdges++
+				if m.osrEdges >= osrThresh {
+					if u := v.promoteForOSR(m); u != nil && u.BlockOf[tgt] >= 0 {
+						t.flushInterp(done, cost, budget)
+						return t.enterOSR(m, u, locals, stack, u.BlockOf[tgt], sp, cost)
+					}
+					osr = false
+				}
+			}
+			idx = tgt
 			branched = true
 		case bytecode.OpIfeq, bytecode.OpIfne, bytecode.OpIflt,
 			bytecode.OpIfge, bytecode.OpIfgt, bytecode.OpIfle:
 			sp--
 			if cond1(ops[idx], stack[sp]) {
-				idx = int(operands[idx])
+				tgt := int(operands[idx])
+				if osr && tgt <= idx {
+					m.osrEdges++
+					if m.osrEdges >= osrThresh {
+						if u := v.promoteForOSR(m); u != nil && u.BlockOf[tgt] >= 0 {
+							t.flushInterp(done, cost, budget)
+							return t.enterOSR(m, u, locals, stack, u.BlockOf[tgt], sp, cost)
+						}
+						osr = false
+					}
+				}
+				idx = tgt
 				branched = true
 			}
 		case bytecode.OpIfcmpeq, bytecode.OpIfcmpne,
@@ -403,7 +413,18 @@ func (t *Thread) interpretFast(m *Method, locals, stack []int64) (int64, error) 
 			b, a := stack[sp-1], stack[sp-2]
 			sp -= 2
 			if cond2(ops[idx], a, b) {
-				idx = int(operands[idx])
+				tgt := int(operands[idx])
+				if osr && tgt <= idx {
+					m.osrEdges++
+					if m.osrEdges >= osrThresh {
+						if u := v.promoteForOSR(m); u != nil && u.BlockOf[tgt] >= 0 {
+							t.flushInterp(done, cost, budget)
+							return t.enterOSR(m, u, locals, stack, u.BlockOf[tgt], sp, cost)
+						}
+						osr = false
+					}
+				}
+				idx = tgt
 				branched = true
 			}
 		case bytecode.OpInvokeStatic, bytecode.OpInvokeVirtual:

@@ -115,10 +115,25 @@ func TestJITDifferentialRandomPrograms(t *testing.T) {
 // conditional branches, and a trailing accumulator fold — control-flow
 // coverage the straight-line generator cannot provide.
 func genLoopProgram(seed int64) (*classfile.Method, error) {
+	return genLoopProgramIters(seed, 3, 60)
+}
+
+// genOSRLoopProgram is genLoopProgram with iteration counts chosen to
+// cross the backward-branch OSR threshold (default 64) inside a single
+// invocation: the activation starts on the fast loop and must finish on
+// a compiled unit entered at the loop header, mid-iteration, with the
+// locals and the pending deferred accounting carried across.
+func genOSRLoopProgram(seed int64) (*classfile.Method, error) {
+	return genLoopProgramIters(seed, 80, 300)
+}
+
+// genLoopProgramIters is the shared generator; iters is drawn from
+// [minIters, minIters+span).
+func genLoopProgramIters(seed int64, minIters, span int) (*classfile.Method, error) {
 	rng := rand.New(rand.NewSource(seed))
 	a := bytecode.NewAssembler()
 	// locals: 0 = x (arg), 1 = i, 2 = acc
-	iters := int64(3 + rng.Intn(60))
+	iters := int64(minIters + rng.Intn(span))
 	a.Const(iters)
 	a.Store(1)
 	a.Const(int64(rng.Intn(100)))
@@ -206,6 +221,36 @@ func TestJITDifferentialLoopPrograms(t *testing.T) {
 		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestJITDifferentialOSRPrograms extends the loop property to programs
+// hot enough to cross the OSR threshold within their one and only
+// invocation: every random loop must be promoted mid-iteration (the
+// tier stats prove it — entry promotion cannot fire on a single call)
+// and still produce observables byte-identical to both interpreters.
+func TestJITDifferentialOSRPrograms(t *testing.T) {
+	f := func(seed int64) bool {
+		m, err := genOSRLoopProgram(seed)
+		if err != nil {
+			t.Logf("seed %d: assembly failed: %v", seed, err)
+			return false
+		}
+		if err := bytecode.Verify(m); err != nil {
+			t.Logf("seed %d: verification failed: %v", seed, err)
+			return false
+		}
+		cls := &classfile.Class{Name: "p/OSR", Methods: []*classfile.Method{m}}
+		jv := runEngines(t, cls, "loop", 1, int64(seed%97))
+		st := jv.TierStats()
+		if st.OSREntries == 0 {
+			t.Logf("seed %d: single-shot hot loop never OSR-promoted: %+v", seed, st)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -266,7 +266,7 @@ func TestJITCompileFailurePinsInterpreter(t *testing.T) {
 	}
 	// Directly exercise the failure path at the jit layer: methods with
 	// no reachable code cannot be lowered.
-	if _, err := jit.Compile(&classfile.Method{Name: "x", Desc: "()V"}); err == nil {
+	if _, err := jit.Compile(&classfile.Method{Name: "x", Desc: "()V"}, nil); err == nil {
 		t.Fatal("empty method compiled")
 	}
 }
@@ -287,6 +287,12 @@ func FuzzJITDifferential(f *testing.F) {
 		if m, err := genLoopProgram(seed); err == nil && bytecode.Verify(m) == nil {
 			cls := &classfile.Class{Name: "p/Loop", Methods: []*classfile.Method{m}}
 			runEngines(t, cls, "loop", 6, seed%31)
+		}
+		// OSR edge: one invocation of a loop hot enough that the only way
+		// into compiled code is promotion mid-iteration.
+		if m, err := genOSRLoopProgram(seed); err == nil && bytecode.Verify(m) == nil {
+			cls := &classfile.Class{Name: "p/OSR", Methods: []*classfile.Method{m}}
+			runEngines(t, cls, "loop", 1, seed%31)
 		}
 	})
 }

@@ -39,6 +39,11 @@ type Thread struct {
 	nativeDepth int
 	nextSample  uint64
 
+	// stackReserved is set once the goroutine's stack has been grown up
+	// front by reserveStack; only threads whose call trees actually reach
+	// reserveDepth ever pay for the reservation.
+	stackReserved bool
+
 	// arena backs the locals and operand stacks of this thread's
 	// interpreter frames (see pushFrameRaw); arenaOff is the high-water
 	// offset of the active frame stack.
@@ -316,6 +321,29 @@ func (s *scheduler) loop() {
 		}
 	}
 }
+
+// reserveStack forces the goroutine's stack up to roughly n*16KiB in a
+// few large hops. Deep simulated recursion (the chain workloads descend
+// hundreds of frames, several host frames each) otherwise crosses the
+// runtime's growth boundary mid-descent, and every doubling then copies
+// and adjusts the whole deep live stack — repeatedly, since collections
+// shrink the stack back between descents. The invoke path calls this
+// once per thread, the first time a call tree reaches reserveDepth, so
+// only threads that actually recurse pay for the reservation.
+//
+//go:noinline
+func reserveStack(n int) byte {
+	var pad [16 << 10]byte
+	if n > 0 {
+		return reserveStack(n-1) + pad[0]
+	}
+	return pad[0]
+}
+
+// reserveDepth is the simulated call depth that triggers the one-time
+// stack reservation — deep enough that shallow call trees never pay it,
+// shallow enough that the copy it implies is still small.
+const reserveDepth = 64
 
 // run is the body of a scheduler-managed thread goroutine.
 func (t *Thread) run() {

@@ -32,13 +32,75 @@ import (
 // boundary canonical), so the handoff is a pair of slice views, not a
 // state reconstruction.
 func (t *Thread) runCompiled(m *Method, u *jit.Unit, fr, locals, stack []int64) (int64, error) {
+	cost := t.vm.opts.CostInterp
+	if m.compiled {
+		cost = t.vm.opts.CostCompiled
+	}
+	if p := u.Static; p != nil {
+		if budget := t.budget; int64(budget) > p.Total {
+			return t.runStatic(p, fr, cost, budget), nil
+		}
+	}
+	return t.runCompiledFrom(m, u, fr, locals, stack, 0, cost)
+}
+
+// runStatic executes a whole counted-kernel activation per its compile-
+// time plan: entry ops, body ops Trip times, exit ops, one flush for the
+// activation's precomputed instruction total. Callers guard budget >
+// Total, so no yield boundary can fall inside the activation, and every
+// op is pure, so nothing can observe the frame mid-run — the charges and
+// final frame state are exactly the block-by-block execution's.
+func (t *Thread) runStatic(p *jit.StaticPlan, fr []int64, cost uint64, budget int) int64 {
+	runOps(fr, p.Entry)
+	runStaticBody(fr, p.Body, p.Trip)
+	runOps(fr, p.Exit)
+	var ret int64
+	if p.HasRet {
+		if p.RetImm {
+			ret = p.RetImmVal
+		} else {
+			ret = fr[p.Ret]
+		}
+	}
+	t.flushInterp(uint64(p.Total), cost, budget-int(p.Total))
+	t.vm.tierFrames++
+	return ret
+}
+
+// runStaticBody runs a static plan's loop body trip times. The canonical
+// generated kernel body — a multiply-add recurrence plus the counter
+// step — runs with both slots cached in registers; anything else falls
+// back to trip runOps passes, which still skips all per-iteration
+// accounting and block dispatch.
+func runStaticBody(fr []int64, ops []jit.Op, trip int64) {
+	if len(ops) == 2 {
+		o1, o2 := &ops[0], &ops[1]
+		if o1.Kind == jit.KMulAddSII && o1.Dst == o1.A &&
+			o2.Kind == jit.KAddSI && o2.Dst == o2.A && o1.Dst != o2.Dst {
+			x, k := fr[o1.Dst], fr[o2.Dst]
+			m1, c1, i2 := o1.Imm, o1.Imm2, o2.Imm
+			for n := int64(0); n < trip; n++ {
+				x = x*m1 + c1
+				k += i2
+			}
+			fr[o1.Dst], fr[o2.Dst] = x, k
+			return
+		}
+	}
+	for n := int64(0); n < trip; n++ {
+		runOps(fr, ops)
+	}
+}
+
+// runCompiledFrom is runCompiled from an arbitrary block index with the
+// frame-entry cost supplied by the caller — the entry point shared by
+// normal frame entry (block 0), on-stack replacement (the loop-header
+// block, with the cost the interpreted frame captured at entry), and
+// inline-expanded calls (block 0 of the callee's private unit).
+func (t *Thread) runCompiledFrom(m *Method, u *jit.Unit, fr, locals, stack []int64, bi int32, cost uint64) (int64, error) {
 	v := t.vm
 	opts := &v.opts
 	heap := v.Heap
-	cost := opts.CostInterp
-	if m.compiled {
-		cost = opts.CostCompiled
-	}
 	quantum := opts.Quantum
 	ml := u.MaxLocals
 	startEpoch := v.tier.Epoch()
@@ -46,7 +108,6 @@ func (t *Thread) runCompiled(m *Method, u *jit.Unit, fr, locals, stack []int64) 
 
 	var done uint64 // instructions executed since the last flush
 	budget := t.budget
-	bi := int32(0)
 
 blocks:
 	for {
@@ -61,6 +122,58 @@ blocks:
 			body := &u.Blocks[b.LoopBody]
 			hn, bn := int(b.NInstr), int(body.NInstr)
 			tm := &b.Term
+			// Specialized counted-loop kernels: a bare single-compare
+			// header over a two-op body covers the canonical generated
+			// loops (accumulate-and-decrement, multiply-add-and-step).
+			// Same charges, same budget guards, same exit edges as the
+			// generic fused loop below — just with the ops unrolled into
+			// straight-line Go so the per-iteration dispatch disappears.
+			// A short budget or an unmatched shape falls through; the
+			// generic loop's entry guard decides from there.
+			if len(b.Flat) == 0 && tm.Kind == jit.TermBr1 && !tm.AImm && len(body.Flat) == 2 {
+				o1, o2 := &body.Flat[0], &body.Flat[1]
+				cnd := bytecode.Op(tm.Cond)
+				ts := tm.A
+				if o1.Kind == jit.KAddSS && o2.Kind == jit.KAddSI {
+					d1, a1, b1 := o1.Dst, o1.A, o1.B
+					d2, a2, i2 := o2.Dst, o2.A, o2.Imm
+					for budget > hn {
+						done += uint64(hn)
+						budget -= hn
+						if cond1(cnd, fr[ts]) {
+							bi = tm.Target
+							continue blocks
+						}
+						if budget <= bn {
+							bi = tm.Next
+							continue blocks
+						}
+						done += uint64(bn)
+						budget -= bn
+						fr[d1] = fr[a1] + fr[b1]
+						fr[d2] = fr[a2] + i2
+					}
+				} else if o1.Kind == jit.KMulAddSII && o2.Kind == jit.KAddSI {
+					d1, a1, m1, c1 := o1.Dst, o1.A, o1.Imm, o1.Imm2
+					d2, a2, i2 := o2.Dst, o2.A, o2.Imm
+					for budget > hn {
+						done += uint64(hn)
+						budget -= hn
+						if cond1(cnd, fr[ts]) {
+							bi = tm.Target
+							continue blocks
+						}
+						if budget <= bn {
+							bi = tm.Next
+							continue blocks
+						}
+						done += uint64(bn)
+						budget -= bn
+						fr[d1] = fr[a1]*m1 + c1
+						fr[d2] = fr[a2] + i2
+					}
+				}
+			}
 			for budget > hn {
 				done += uint64(hn)
 				budget -= hn
@@ -189,7 +302,29 @@ blocks:
 				if n == 0 || budget > n {
 					done += uint64(n)
 					budget -= n
-					runOps(fr, ch.Ops)
+					// Single-op chunks — the bulk of the pure code between
+					// effects — execute inline; the kinds spelled out here
+					// cover what the lowering emits for them (moves and the
+					// add forms), everything else takes the general loop.
+					if len(ch.Ops) == 1 {
+						op := &ch.Ops[0]
+						switch op.Kind {
+						case jit.KMov:
+							fr[op.Dst] = fr[op.A]
+						case jit.KMovI:
+							fr[op.Dst] = op.Imm
+						case jit.KAddSS:
+							fr[op.Dst] = fr[op.A] + fr[op.B]
+						case jit.KAddSI:
+							fr[op.Dst] = fr[op.A] + op.Imm
+						case jit.KMulAddSII:
+							fr[op.Dst] = fr[op.A]*op.Imm + op.Imm2
+						default:
+							runOps(fr, ch.Ops)
+						}
+					} else if len(ch.Ops) > 0 {
+						runOps(fr, ch.Ops)
+					}
 				} else {
 					// A quantum boundary falls inside the chunk: step the
 					// original bytecode per instruction so the yield lands
@@ -320,7 +455,23 @@ blocks:
 				}
 				argBase := base - callee.argWords
 				t.setFrameSP(int(eff.SP) - callee.argWords)
-				r, err := t.invoke(callee, fr[argBase:base])
+				var r int64
+				var err error
+				// Inline fast path: the lowering attached a compiled plan
+				// for this site's resolved callee. The Key re-check is the
+				// transitive half of relink invalidation — any resolution
+				// drift sends the call out of line — and an installed
+				// tracer or a de-optimized VM must take the generic invoke
+				// for its entry/exit events.
+				if si := eff.Inline; si >= 0 && v.tracer == nil && !v.jitDisabled &&
+					u.Inlines[si].Key == any(callee) {
+					site := &u.Inlines[si]
+					m.inlinedCalls++
+					r, err = t.invokeInline(callee, site,
+						fr[u.NumSlots:u.NumSlots+int(site.Slots)], fr[argBase:base])
+				} else {
+					r, err = t.invoke(callee, fr[argBase:base])
+				}
 				budget = t.budget // the callee shares the yield budget
 				sp := int(eff.SP) - callee.argWords
 				if err != nil {
@@ -457,6 +608,107 @@ blocks:
 	}
 }
 
+// invokeInline runs an inline-expanded call: the callee's private unit
+// executes in the caller's scratch frame area instead of re-entering the
+// generic invoke path. Every simulated observable is produced exactly as
+// t.invoke would — the depth check, the invocation count and JIT-model
+// promotion, the CostInvoke charge on the caller's side, the callee's
+// frame-entry cost selection and root-scan registration. What it skips is
+// host-side only: the argument-count and abstract checks (guaranteed by
+// the compile-time resolution the Key guard re-validated) and the tracer
+// and method-event callbacks (the call site's guards route those runs out
+// of line).
+func (t *Thread) invokeInline(callee *Method, site *jit.InlineSite, scr, args []int64) (int64, error) {
+	if t.depth >= t.vm.opts.MaxFrames {
+		return 0, Throw(int64(t.depth), "StackOverflowError")
+	}
+	t.depth++
+	if t.depth == reserveDepth && !t.stackReserved {
+		t.stackReserved = true
+		reserveStack(64)
+	}
+	t.vm.maybeCompile(callee)
+	if t.nativeDepth > 0 {
+		t.chargeNative(t.vm.opts.CostInvoke)
+	} else {
+		t.chargeInterp(t.vm.opts.CostInvoke)
+	}
+
+	nl := int(site.NL)
+	locals := scr[:nl:nl]
+	stack := scr[nl:]
+	n := copy(locals, args)
+	clear(locals[n:])
+
+	cost := t.vm.opts.CostInterp
+	if callee.compiled {
+		cost = t.vm.opts.CostCompiled
+	}
+
+	// Counted-kernel fast path: the callee's whole activation resolved at
+	// compile time. Pure ops only and the budget covers the total, so the
+	// root-scan registration is skipped along with all block dispatch.
+	if p := site.U.Static; p != nil {
+		if budget := t.budget; int64(budget) > p.Total {
+			ret := t.runStatic(p, scr, cost, budget)
+			t.depth--
+			return ret, nil
+		}
+	}
+
+	// Leaf fast path: a single batchable block ending in a return runs as
+	// one fused step when the yield budget covers it — the exact charge and
+	// strict-budget guard of the general batch path, collapsed. With no
+	// effects, no throws and no yield possible before the return, nothing
+	// can observe the activation mid-body, so the root-scan registration is
+	// skipped along with the block dispatch.
+	if u := site.U; u.Leaf {
+		b := &u.Blocks[0]
+		bn := int(b.NInstr)
+		if budget := t.budget; budget > bn {
+			if len(b.Flat) > 0 {
+				runOps(scr, b.Flat)
+			}
+			var ret int64
+			if b.Term.Kind == jit.TermIreturn {
+				ret = b.Term.ImmA
+				if !b.Term.AImm {
+					ret = scr[b.Term.A]
+				}
+			}
+			t.flushInterp(uint64(bn), cost, budget-bn)
+			t.vm.tierFrames++
+			t.depth--
+			return ret, nil
+		}
+	}
+
+	t.pushFrameRef(scr, nl)
+	ret, err := t.runCompiledFrom(callee, site.U, scr, locals, stack, 0, cost)
+	t.popFrameRef()
+	t.depth--
+	return ret, err
+}
+
+// enterOSR performs on-stack replacement: a fast-loop activation that
+// crossed the OSR threshold moves into compiled code at a loop header,
+// mid-iteration. The interpreter frame's locals and live operand stack
+// are copied into a fresh compiled-size frame (the interpreter sized its
+// own without inline scratch), the thread's root-scan record for the
+// frame is swapped to the new storage, and execution resumes in the unit
+// at the branch target's block with the frame-entry cost the interpreted
+// activation captured. The abandoned interpreter frame stays in the
+// arena until interpret pops its own base, which frees both at once.
+func (t *Thread) enterOSR(m *Method, u *jit.Unit, locals, stack []int64, bi int32, sp int, cost uint64) (int64, error) {
+	m.osrEntries++
+	nl := len(locals)
+	fr, _ := t.pushFrameRaw(u.NumSlots + u.ScratchSlots)
+	copy(fr[:nl], locals)
+	copy(fr[nl:nl+sp], stack[:sp])
+	t.frames[len(t.frames)-1] = frameRef{fr: fr, nl: int32(nl), sp: int32(sp)}
+	return t.runCompiledFrom(m, u, fr, fr[:nl:nl], fr[nl:], bi, cost)
+}
+
 // runOps executes a fused pure-op sequence against the flat frame.
 func runOps(fr []int64, ops []jit.Op) {
 	for oi := range ops {
@@ -519,12 +771,13 @@ func runOps(fr []int64, ops []jit.Op) {
 // compiled tier's yield-boundary fallback. sp is the operand-stack depth
 // at entry. It returns the updated deferred-accounting state.
 //
-// The opcode switch is deliberately a third copy of the straight-line
-// subset in interpretFast's batch and per-instruction paths (including
-// the OpInc slot|delta<<16 operand packing from linkDispatch): sharing
-// one helper would add a call into the interpreter's hottest loop and
-// perturb its code generation. Any change to the straight-line opcode
-// set or encoding must touch all three; TestJITYieldBoundariesMatchInterp
+// The opcode switch is deliberately another copy of the straight-line
+// subset realized in interpretFast's per-instruction path and in the
+// fused dispatch of interp_fused.go (including the OpInc slot|delta<<16
+// operand packing from linkDispatch): sharing one helper would add a
+// call into the interpreter's hottest loop and perturb its code
+// generation. Any change to the straight-line opcode set or encoding
+// must touch every copy; TestJITYieldBoundariesMatchInterp
 // runs with a hostile 7-instruction quantum precisely so this fallback
 // executes constantly and any divergence among the copies fails loudly.
 func (t *Thread) stepPureRange(m *Method, fr []int64, start, n, sp int,

@@ -12,6 +12,7 @@ package vm
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 
@@ -75,6 +76,14 @@ type Options struct {
 	// JITThreshold, so host compilation coincides with the simulated
 	// interp→compiled cost transition.
 	CompileThreshold uint64
+	// OSRThreshold is the taken-backward-branch count at which the fast
+	// interpreter loop promotes a running frame onto the method's
+	// compiled unit mid-iteration (on-stack replacement), instead of
+	// waiting for the next method entry. It matters for methods invoked
+	// once with long loops — thread entry points, campaign drivers. 0
+	// means the default (64). Like CompileThreshold it is host-side only:
+	// OSR changes when compiled code runs, never what it observes.
+	OSRThreshold uint64
 	// Heap sizes the generational heap simulation (nursery/tenured
 	// occupancy thresholds, tenure age, collection costs). The zero
 	// value is legacy mode: an unbounded flat store that never collects,
@@ -96,6 +105,7 @@ func DefaultOptions() Options {
 		JITThreshold:      10,
 		MaxFrames:         2048,
 		Quantum:           4096,
+		OSRThreshold:      64,
 	}
 }
 
@@ -225,6 +235,29 @@ type Method struct {
 	// the fast loop batches their accounting with the run and executes
 	// them inline, covering a hot loop's entire body with one update.
 	runTail []bool
+	// fused is the direct-threaded form of the straight-line code: a
+	// pre-decoded entry per instruction index, pairing adjacent
+	// instructions into superinstructions where a fused form exists (see
+	// interp_fused.go). pairsFrom[i] counts the pairs the batch dispatch
+	// executes when entering the run suffix at i, for the tier-2 stats.
+	fused     []fusedIn
+	pairsFrom []int32
+	// straightInstrs/fusedPairs summarize static fusion coverage over the
+	// method's maximal straight-line runs, for the -tierstats hit rate.
+	straightInstrs int
+	fusedPairs     int
+
+	// Tier-2 execution counters, written by the executing thread under
+	// the scheduler baton (parallel harness runs use separate VMs, so
+	// plain fields suffice — same rule as the VM's tier counters).
+	// osrEdges counts taken backward branches in fast-loop frames (the
+	// OSR trigger); osrEntries the on-stack replacements taken;
+	// inlinedCalls the calls this method made through inline sites;
+	// superExec the fused pairs its batch dispatch executed.
+	osrEdges     uint64
+	osrEntries   uint64
+	inlinedCalls uint64
+	superExec    uint64
 
 	// Call-site and static-slot resolution caches, indexed like Def.Refs.
 	// Entries are filled by (*VM).relinkLocked under the VM lock whenever
@@ -570,6 +603,7 @@ func (m *Method) linkDispatch() {
 		m.refMethods = make([]*Method, n)
 		m.refStatics = make([]*int64, n)
 	}
+	m.linkFused()
 }
 
 // relinkLocked fills call-site and static-slot caches after a class is
@@ -750,24 +784,108 @@ func (v *VM) maybePromote(m *Method) {
 	if v.opts.Tier == jit.EngineAuto && v.needsPerInstruction() {
 		return
 	}
-	u, err := jit.Compile(m.Def)
+	v.compileUnit(m)
+}
+
+// compileUnit lowers m to a compiled trace unit against the current
+// link state, recording the result (or the pinning failure) in both the
+// method and the tier cache. Call sites resolve through the method's own
+// refMethods cache, so inline expansion sees exactly the resolution the
+// executor will.
+func (v *VM) compileUnit(m *Method) *jit.Unit {
+	u, err := jit.Compile(m.Def, &vmResolver{m: m})
 	if err != nil {
 		m.unitFailed = true
 		v.tier.NoteFailure()
-		return
+		return nil
 	}
 	m.unit = u
 	v.tier.Put(m, u)
+	return u
+}
+
+// osrThresholdEffective is the taken-backward-branch count at which the
+// fast loop attempts on-stack replacement: Options.OSRThreshold, or the
+// default when unset.
+func (v *VM) osrThresholdEffective() uint64 {
+	if v.opts.OSRThreshold > 0 {
+		return v.opts.OSRThreshold
+	}
+	return 64
+}
+
+// promoteForOSR returns a compiled unit for a method whose running frame
+// crossed the OSR threshold, compiling one regardless of the invocation
+// count (the whole point of OSR: the frame is hot even if the method was
+// entered once). It returns nil when the tier must stay out — lowering
+// already failed, the JIT is disabled, or a per-instruction observer
+// appeared since the frame entered the fast loop.
+func (v *VM) promoteForOSR(m *Method) *jit.Unit {
+	if u := m.unit; u != nil {
+		return u
+	}
+	if m.unitFailed || v.jitDisabled || len(m.instrs) == 0 || v.needsPerInstruction() {
+		return nil
+	}
+	return v.compileUnit(m)
+}
+
+// vmResolver adapts one method's link-time resolved-callee cache to the
+// jit compiler's Resolver interface. Resolution state is frozen for the
+// unit's lifetime: relinkLocked only fills nil entries, and any class
+// load drops every unit before changing link state (the transitive
+// invalidation the inline Key re-check backstops).
+type vmResolver struct{ m *Method }
+
+func (r *vmResolver) ResolveInvoke(ref int) (*classfile.Method, any, bool) {
+	if ref < 0 || ref >= len(r.m.refMethods) {
+		return nil, nil, false
+	}
+	callee := r.m.refMethods[ref]
+	if callee == nil || callee.Def.IsNative() || callee.Def.IsAbstract() {
+		return nil, nil, false
+	}
+	return callee.Def, callee, true
 }
 
 // TierStats returns the template tier's bookkeeping: compile and cache
-// counts from the jit cache plus the VM's frame-level execution counters.
+// counts from the jit cache, the VM's frame-level execution counters,
+// and the per-method tier-2 detail (inline sites, OSR entries, fused
+// superinstruction pairs) summed across every loaded method.
 func (v *VM) TierStats() jit.Stats {
 	s := v.tier.Snapshot()
 	s.Engine = v.opts.Tier
 	s.CompiledFrames = v.tierFrames
 	s.DeoptFrames = v.tierDeopts
 	s.FallbackChunks = v.tierFallbacks
+	v.mu.Lock()
+	for _, c := range v.classes {
+		for _, m := range c.methods {
+			s.InlinedCalls += m.inlinedCalls
+			s.OSREntries += m.osrEntries
+			s.SuperinstrPairs += m.superExec
+			sites := 0
+			if m.unit != nil {
+				sites = len(m.unit.Inlines)
+			}
+			if sites == 0 && m.inlinedCalls == 0 && m.osrEntries == 0 && m.superExec == 0 {
+				continue
+			}
+			s.PerMethod = append(s.PerMethod, jit.MethodStats{
+				Method:       m.FullName(),
+				InlineSites:  sites,
+				InlinedCalls: m.inlinedCalls,
+				OSREntries:   m.osrEntries,
+				SuperPairs:   m.superExec,
+				FusedPairs:   m.fusedPairs,
+				StraightInstrs: m.straightInstrs,
+			})
+		}
+	}
+	v.mu.Unlock()
+	sort.Slice(s.PerMethod, func(i, j int) bool {
+		return s.PerMethod[i].Method < s.PerMethod[j].Method
+	})
 	return s
 }
 

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # bench.sh — run the interpreter/tier micro-benchmarks, the heap/GC
-# benchmarks, and the Table I and campaign benchmarks, and record ns/op
-# in the BENCH_PR5.json ledger so the performance trajectory is tracked
-# PR over PR (PR 2-4 numbers stay in BENCH_PR2.json..BENCH_PR4.json).
+# benchmarks, and the Table I and campaign benchmarks, and append the
+# ns/op numbers as one labelled entry in the BENCH_TREND.json trend
+# ledger (one entry per PR/label, oldest first; the PR 2-5 history was
+# folded in from the former per-PR files). Render the trajectory and
+# check for regressions with cmd/benchtrend.
 #
 # The benchmark set runs once per execution engine: the interpreter
 # numbers (BenchmarkInterpreterLoop, BenchmarkTableISequential, ...) and
@@ -14,19 +16,19 @@
 # Usage:
 #   scripts/bench.sh [label]
 #
-#   label      ledger key to record under (default "current"; use e.g.
-#              "baseline_main" before an optimisation and "after" once it
-#              lands to keep both in the file)
+#   label      entry label to record under (default "current"; use e.g.
+#              "pr6_baseline" before an optimisation and "pr6" once it
+#              lands — re-running a label replaces that entry in place)
 #
 # Environment:
 #   BENCHTIME  go test -benchtime value (default 2s)
-#   OUT        ledger file (default BENCH_PR5.json)
+#   OUT        ledger file (default BENCH_TREND.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 LABEL=${1:-current}
 BENCHTIME=${BENCHTIME:-2s}
-OUT=${OUT:-BENCH_PR5.json}
+OUT=${OUT:-BENCH_TREND.json}
 
 {
   # Interpreter, template-tier and call-machinery micro-benchmarks.

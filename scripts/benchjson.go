@@ -1,12 +1,14 @@
 //go:build ignore
 
-// Command benchjson parses `go test -bench` output on stdin and merges
-// the results into a JSON benchmark ledger (BENCH_PR2.json by default).
-// Each invocation records its results under -label, preserving entries
-// recorded under other labels, so before/after comparisons accumulate in
-// one file:
+// Command benchjson parses `go test -bench` output on stdin and appends
+// the results as one entry in the BENCH_TREND.json trend ledger. The
+// ledger is append-only across PRs: each entry carries its label,
+// timestamp and git revision, so the performance trajectory of every
+// benchmark reads straight down the entries array (cmd/benchtrend
+// renders it). Re-recording under an existing label replaces that entry
+// in place, so iterating on a measurement does not duplicate it:
 //
-//	go test -bench . ./... | go run scripts/benchjson.go -label after -out BENCH_PR2.json
+//	go test -bench . ./... | go run scripts/benchjson.go -label pr6 -out BENCH_TREND.json
 //
 // It is invoked by scripts/bench.sh; stdlib only.
 package main
@@ -33,31 +35,35 @@ type Result struct {
 	NsPerOp    float64 `json:"ns_per_op"`
 }
 
-// Ledger is the file layout: metadata plus results grouped by label.
+// Entry is one recording session: a labelled result set with provenance.
+type Entry struct {
+	Label    string   `json:"label"`
+	Recorded string   `json:"recorded"`
+	GitRev   string   `json:"git_rev,omitempty"`
+	Results  []Result `json:"results"`
+}
+
+// Ledger is the file layout: host metadata plus the entry sequence,
+// oldest first.
 type Ledger struct {
-	GOOS      string              `json:"goos"`
-	GOARCH    string              `json:"goarch"`
-	GoVersion string              `json:"go_version"`
-	Updated   string              `json:"updated"`
-	GitRev    string              `json:"git_rev,omitempty"`
-	Results   map[string][]Result `json:"results"`
+	GOOS      string  `json:"goos"`
+	GOARCH    string  `json:"goarch"`
+	GoVersion string  `json:"go_version"`
+	Entries   []Entry `json:"entries"`
 }
 
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op`)
 
 func main() {
 	label := flag.String("label", "current", "label to record results under")
-	out := flag.String("out", "BENCH_PR2.json", "ledger file to update")
+	out := flag.String("out", "BENCH_TREND.json", "ledger file to update")
 	flag.Parse()
 
-	ledger := &Ledger{Results: map[string][]Result{}}
+	ledger := &Ledger{}
 	if data, err := os.ReadFile(*out); err == nil {
 		if err := json.Unmarshal(data, ledger); err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %s is not a valid ledger: %v\n", *out, err)
 			os.Exit(1)
-		}
-		if ledger.Results == nil {
-			ledger.Results = map[string][]Result{}
 		}
 	}
 
@@ -91,11 +97,25 @@ func main() {
 	ledger.GOOS = runtime.GOOS
 	ledger.GOARCH = runtime.GOARCH
 	ledger.GoVersion = runtime.Version()
-	ledger.Updated = time.Now().UTC().Format(time.RFC3339)
-	if rev, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output(); err == nil {
-		ledger.GitRev = strings.TrimSpace(string(rev))
+	entry := Entry{
+		Label:    *label,
+		Recorded: time.Now().UTC().Format(time.RFC3339),
+		Results:  results,
 	}
-	ledger.Results[*label] = results
+	if rev, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output(); err == nil {
+		entry.GitRev = strings.TrimSpace(string(rev))
+	}
+	replaced := false
+	for i := range ledger.Entries {
+		if ledger.Entries[i].Label == *label {
+			ledger.Entries[i] = entry
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		ledger.Entries = append(ledger.Entries, entry)
+	}
 
 	data, err := json.MarshalIndent(ledger, "", "  ")
 	if err != nil {
@@ -106,5 +126,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: recorded %d results under %q in %s\n", len(results), *label, *out)
+	verb := "appended"
+	if replaced {
+		verb = "replaced"
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %s %d results under %q in %s\n", verb, len(results), *label, *out)
 }
