@@ -6,8 +6,13 @@
 //
 //	jprof [-agent spa|ipa|chains|sampler|bic|aprof|none] [-engine interp|jit|auto]
 //	      [-scenario FILE] [-heap-nursery W] [-heap-tenured W] [-heap-tenure-age N]
-//	      [-scale K] [-parallel N] [-tierstats] [-list]
+//	      [-heap-limit W] [-scale K] [-parallel N] [-tierstats] [-list]
+//	      [-cell-timeout D] [-max-retries N] [-retry-seed S]
 //	      <scenario|family>... | all
+//
+// A cell that panics, exceeds -cell-timeout or fails is reported in
+// place without aborting the batch; the process then exits with code 3
+// (partial). See docs/robustness.md for the exit-code contract.
 //
 // Arguments name registered scenarios ("compress", "gc-churn"),
 // scenario families ("paper", "gc-heavy", "exception-heavy",
@@ -35,6 +40,8 @@ import (
 	"repro/internal/agents/ipa"
 	"repro/internal/agents/registry"
 	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/harness"
 	"repro/internal/jit"
 	"repro/internal/runner"
 	"repro/internal/scenarios"
@@ -53,6 +60,7 @@ func main() {
 	tierStats := flag.Bool("tierstats", false, "append the execution tier's host-side statistics per run")
 	scenarioFile := scenarios.AddFlag(flag.CommandLine)
 	parallel := runner.AddFlag(flag.CommandLine)
+	robust := runner.AddRobustFlags(flag.CommandLine)
 	flag.Parse()
 
 	if err := scenarios.LoadIfSet(*scenarioFile); err != nil {
@@ -95,20 +103,41 @@ func main() {
 	}
 	registry.TuneOptions(*agentName, &opts)
 
-	results, err := runner.Map(context.Background(),
-		runner.Options{Parallelism: *parallel, FailFast: true}, scns,
+	injector, err := faultinject.FromEnv()
+	if err != nil {
+		fatal(err)
+	}
+	ropts := runner.Options{
+		Parallelism: *parallel,
+		EmitFailed:  true,
+		Hook:        injector.Hook(),
+	}
+	robust.Apply(&ropts)
+	results, err := runner.Map(context.Background(), ropts, scns,
 		func(s scenarios.Scenario) string { return s.Name() + "/" + *agentName },
 		func(ctx context.Context, s scenarios.Scenario) (string, error) {
 			return profileOne(ctx, s, *agentName, *scale, opts, *asJSON, *perMethod, *tierStats)
 		})
-	if err != nil {
-		fatal(err)
-	}
+	failed := 0
 	for i, r := range results {
 		if i > 0 && !*asJSON {
 			fmt.Println()
 		}
+		if r.Err != nil {
+			failed++
+			fmt.Printf("benchmark %s: FAILED: %v\n", r.Key, r.Err)
+			continue
+		}
 		fmt.Print(r.Value)
+	}
+	if failed > 0 {
+		// Cell failures are already reported in place; the batch error is
+		// their FirstError, so the partial exit subsumes it.
+		fmt.Fprintf(os.Stderr, "jprof: partial: %d of %d cells failed\n", failed, len(results))
+		os.Exit(harness.ExitPartial)
+	}
+	if err != nil {
+		fatal(err)
 	}
 }
 

@@ -1,0 +1,216 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/version"
+	"os"
+	"runtime"
+
+	"repro/internal/harness"
+	"repro/internal/scenarios"
+)
+
+// minGoVersion is the toolchain floor, kept in sync with go.mod's `go`
+// directive: the doctor flags a binary built (or a `go run` executed)
+// with an older toolchain before a subtle behaviour difference does.
+const minGoVersion = "go1.24"
+
+// check is one doctor verdict: a named probe, whether it passed, and a
+// one-line detail the text renderer prints and the JSON form carries.
+type check struct {
+	Name   string `json:"name"`
+	OK     bool   `json:"ok"`
+	Detail string `json:"detail"`
+}
+
+// runDoctor is the `jvmsim doctor` subcommand: a fast, side-effect-free
+// audit of everything a campaign run depends on — toolchain, scenario
+// registry, heap specs, checkpoint-directory writability and the
+// benchmark baseline — reporting every failure rather than stopping at
+// the first. Returns the process exit code.
+func runDoctor(args []string) int {
+	fs := flag.NewFlagSet("doctor", flag.ExitOnError)
+	format := fs.String("format", "text", "output format: text or json")
+	checkpointDir := fs.String("checkpoint-dir", ".", "directory whose writability to verify (where -checkpoint journals would go)")
+	ledger := fs.String("ledger", "BENCH_TREND.json", "benchmark ledger to verify")
+	baseline := fs.String("baseline", "pr6", "ledger entry the perf gate compares against")
+	if err := fs.Parse(args); err != nil {
+		return harness.ExitUsage
+	}
+	if *format != "text" && *format != "json" {
+		fmt.Fprintf(os.Stderr, "jvmsim doctor: unknown -format %q (want text or json)\n", *format)
+		return harness.ExitUsage
+	}
+
+	checks := []check{
+		checkToolchain(),
+		checkRegistry(),
+		checkHeapSpecs(),
+		checkCheckpointDir(*checkpointDir),
+		checkBaseline(*ledger, *baseline),
+	}
+	ok := true
+	for _, c := range checks {
+		if !c.OK {
+			ok = false
+		}
+	}
+
+	if *format == "json" {
+		out := struct {
+			OK     bool    `json:"ok"`
+			Checks []check `json:"checks"`
+		}{ok, checks}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "jvmsim doctor:", err)
+			return harness.ExitFatal
+		}
+	} else {
+		for _, c := range checks {
+			status := "ok  "
+			if !c.OK {
+				status = "FAIL"
+			}
+			fmt.Printf("%s %-16s %s\n", status, c.Name, c.Detail)
+		}
+		if ok {
+			fmt.Println("doctor: all checks passed")
+		} else {
+			fmt.Println("doctor: FAILED")
+		}
+	}
+	if !ok {
+		return harness.ExitFatal
+	}
+	return harness.ExitComplete
+}
+
+// checkToolchain verifies the running Go version satisfies the module's
+// floor.
+func checkToolchain() check {
+	v := runtime.Version()
+	c := check{Name: "toolchain", Detail: fmt.Sprintf("%s (need >= %s)", v, minGoVersion)}
+	// Pre-release/devel toolchains compare as invalid; treat them as
+	// passing rather than blocking development builds.
+	c.OK = !version.IsValid(v) || version.Compare(version.Lang(v), minGoVersion) >= 0
+	return c
+}
+
+// checkRegistry verifies the scenario registry is populated, every entry
+// revalidates, and the paper profile still holds its eight benchmarks.
+func checkRegistry() check {
+	c := check{Name: "registry"}
+	names := scenarios.Names()
+	if len(names) == 0 {
+		c.Detail = "no scenarios registered"
+		return c
+	}
+	for _, n := range names {
+		s, err := scenarios.Get(n)
+		if err != nil {
+			c.Detail = err.Error()
+			return c
+		}
+		if err := s.Validate(); err != nil {
+			c.Detail = fmt.Sprintf("%s: %v", n, err)
+			return c
+		}
+	}
+	paper, err := scenarios.Profile("paper")
+	if err != nil {
+		c.Detail = err.Error()
+		return c
+	}
+	if len(paper) != 8 {
+		c.Detail = fmt.Sprintf("paper profile has %d scenarios, want 8", len(paper))
+		return c
+	}
+	c.OK = true
+	c.Detail = fmt.Sprintf("%d scenarios, %d families, paper profile intact", len(names), len(scenarios.Families()))
+	return c
+}
+
+// checkHeapSpecs revalidates every declared heap spec — the sizing that
+// decides whether gcpressure scenarios actually collect.
+func checkHeapSpecs() check {
+	c := check{Name: "heap-specs"}
+	declared := 0
+	for _, n := range scenarios.Names() {
+		s, err := scenarios.Get(n)
+		if err != nil {
+			c.Detail = err.Error()
+			return c
+		}
+		if s.Heap == nil {
+			continue
+		}
+		declared++
+		if err := s.Heap.Validate(); err != nil {
+			c.Detail = fmt.Sprintf("%s: %v", n, err)
+			return c
+		}
+	}
+	c.OK = true
+	c.Detail = fmt.Sprintf("%d declared heap specs valid", declared)
+	return c
+}
+
+// checkCheckpointDir proves a -checkpoint journal could actually be
+// written where the user (or the default) points it: create, write,
+// sync, remove.
+func checkCheckpointDir(dir string) check {
+	c := check{Name: "checkpoint-dir"}
+	f, err := os.CreateTemp(dir, ".doctor-probe-*")
+	if err != nil {
+		c.Detail = fmt.Sprintf("%s not writable: %v", dir, err)
+		return c
+	}
+	name := f.Name()
+	defer os.Remove(name)
+	if _, err := f.WriteString("probe\n"); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		c.Detail = fmt.Sprintf("%s: %v", dir, err)
+		return c
+	}
+	c.OK = true
+	c.Detail = fmt.Sprintf("%s writable (fsync ok)", dir)
+	return c
+}
+
+// checkBaseline verifies the benchmark ledger parses and contains the
+// baseline entry the perf gate (`benchtrend -check`) compares against.
+func checkBaseline(path, label string) check {
+	c := check{Name: "bench-baseline"}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		c.Detail = err.Error()
+		return c
+	}
+	var ledger struct {
+		Entries []struct {
+			Label string `json:"label"`
+		} `json:"entries"`
+	}
+	if err := json.Unmarshal(data, &ledger); err != nil {
+		c.Detail = fmt.Sprintf("%s: %v", path, err)
+		return c
+	}
+	for _, e := range ledger.Entries {
+		if e.Label == label {
+			c.OK = true
+			c.Detail = fmt.Sprintf("%s holds baseline %q (%d entries)", path, label, len(ledger.Entries))
+			return c
+		}
+	}
+	c.Detail = fmt.Sprintf("%s has no entry labelled %q (%d entries)", path, label, len(ledger.Entries))
+	return c
+}

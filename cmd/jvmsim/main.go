@@ -5,10 +5,13 @@
 // Usage:
 //
 //	jvmsim [-agent NAME] [-engine interp|jit|auto] [-scenario FILE]
-//	       [-heap-nursery W] [-heap-tenured W] [-heap-tenure-age N]
+//	       [-heap-nursery W] [-heap-tenured W] [-heap-tenure-age N] [-heap-limit W]
 //	       [-scale K] [-parallel N] [-tierstats]
+//	       [-cell-timeout D] [-max-retries N] [-retry-seed S]
+//	       [-checkpoint FILE] [-resume]
 //	       [-cpuprofile F] [-memprofile F] [-dump|-metrics]
 //	       <scenario|family>... | all
+//	jvmsim doctor [-format text|json] [-checkpoint-dir DIR]
 //
 // Arguments name registered scenarios, scenario families ("paper",
 // "gc-heavy", ...) or the word "all"; -scenario loads a declarative JSON
@@ -25,10 +28,22 @@
 // itself (not the simulated workload), the entry point for performance
 // work on the engine: `jvmsim -cpuprofile cpu.out all` then
 // `go tool pprof cpu.out`.
+//
+// Fault tolerance (see docs/robustness.md): a cell that panics, exceeds
+// -cell-timeout or fails does not abort the batch — its error is
+// reported in place and the process exits with code 3 (partial).
+// -checkpoint journals each finished cell's rendered output to FILE;
+// -resume replays finished cells from the journal and runs only the
+// rest, producing byte-identical output. The `doctor` subcommand checks
+// the installation (toolchain, registry, checkpoint-dir writability,
+// benchmark baseline) and exits non-zero on failure.
+//
+// Exit codes: 0 complete, 1 fatal, 2 usage, 3 partial.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -38,7 +53,10 @@ import (
 
 	"repro/internal/agents/registry"
 	"repro/internal/bytecode"
+	"repro/internal/checkpoint"
 	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/harness"
 	"repro/internal/jit"
 	"repro/internal/runner"
 	"repro/internal/scenarios"
@@ -47,6 +65,9 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "doctor" {
+		os.Exit(runDoctor(os.Args[2:]))
+	}
 	agentName := registry.AddFlag(flag.CommandLine, "none")
 	engineName := jit.AddEngineFlag(flag.CommandLine)
 	heapFlags := vm.AddHeapFlags(flag.CommandLine)
@@ -58,7 +79,14 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write a heap profile of the simulator to `file`")
 	scenarioFile := scenarios.AddFlag(flag.CommandLine)
 	parallel := runner.AddFlag(flag.CommandLine)
+	robust := runner.AddRobustFlags(flag.CommandLine)
+	checkpointPath := flag.String("checkpoint", "", "journal each finished cell's output to `file` (crash-resumable with -resume)")
+	resume := flag.Bool("resume", false, "with -checkpoint: replay finished cells from the journal instead of re-running them")
 	flag.Parse()
+	if *resume && *checkpointPath == "" {
+		fmt.Fprintln(os.Stderr, "jvmsim: -resume requires -checkpoint")
+		os.Exit(harness.ExitUsage)
+	}
 	if flag.NArg() < 1 {
 		// Before profile setup: os.Exit skips the deferred profile writers.
 		fmt.Fprintln(os.Stderr, "usage: jvmsim [-agent NAME] [-engine NAME] [-scenario FILE] [-scale K] [-parallel N] [-tierstats] [-cpuprofile F] [-memprofile F] [-dump|-metrics] <scenario|family>... | all")
@@ -128,21 +156,97 @@ func main() {
 		fatal(err)
 	}
 	registry.TuneOptions(*agentName, &opts)
-	results, err := runner.Map(context.Background(),
-		runner.Options{Parallelism: *parallel, FailFast: true}, scns,
-		func(s scenarios.Scenario) string { return s.Name() },
-		func(ctx context.Context, s scenarios.Scenario) (string, error) {
-			return runOne(ctx, s, *agentName, *scale, opts, *tierStats)
-		})
+
+	injector, err := faultinject.FromEnv()
 	if err != nil {
 		fatal(err)
 	}
+	var journal *checkpoint.Journal
+	if *checkpointPath != "" {
+		journal, err = checkpoint.Open(*checkpointPath, *resume)
+		if err != nil {
+			fatal(err)
+		}
+		defer journal.Close()
+	}
+
+	ropts := runner.Options{
+		Parallelism: *parallel,
+		EmitFailed:  true,
+		Hook:        injector.Hook(),
+	}
+	robust.Apply(&ropts)
+	results, err := runner.Map(context.Background(), ropts, scns,
+		func(s scenarios.Scenario) string { return s.Name() + "/" + *agentName },
+		func(ctx context.Context, s scenarios.Scenario) (string, error) {
+			key, err := cellKey(s, *agentName, *scale, opts, *tierStats)
+			if err != nil {
+				return "", err
+			}
+			if journal != nil {
+				if payload, ok := journal.Lookup(key); ok {
+					var text string
+					if err := json.Unmarshal(payload, &text); err != nil {
+						return "", fmt.Errorf("checkpoint payload for %s: %w", s.Name(), err)
+					}
+					return text, nil
+				}
+			}
+			text, err := runOne(ctx, s, *agentName, *scale, opts, *tierStats)
+			if err != nil {
+				return "", err
+			}
+			if journal != nil {
+				if err := journal.Append(key, text); err != nil {
+					return "", err
+				}
+			}
+			return text, nil
+		})
+	failed := 0
 	for i, r := range results {
 		if i > 0 {
 			fmt.Println()
 		}
+		if r.Err != nil {
+			failed++
+			fmt.Printf("benchmark %s\n  FAILED: %v\n", r.Key, r.Err)
+			continue
+		}
 		fmt.Print(r.Value)
 	}
+	if failed > 0 {
+		// Cell failures are already reported in place; the batch error is
+		// their FirstError, so the partial exit subsumes it.
+		fmt.Fprintf(os.Stderr, "jvmsim: partial: %d of %d cells failed\n", failed, len(results))
+		exit(harness.ExitPartial)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+// cellKey derives the content-addressed checkpoint key for one cell: the
+// scenario under everything that shapes its output. A changed flag or
+// heap spec changes the key, so a stale journal entry can never replay
+// into a differently-configured run.
+func cellKey(s scenarios.Scenario, agentName string, scale int, opts vm.Options, tierStats bool) (string, error) {
+	s.ApplyHeap(&opts)
+	return checkpoint.CellKey(struct {
+		Scenario  string     `json:"scenario"`
+		Agent     string     `json:"agent"`
+		Opts      vm.Options `json:"opts"`
+		Scale     int        `json:"scale"`
+		TierStats bool       `json:"tierStats"`
+	}{s.Name(), agentName, opts, scale, tierStats})
+}
+
+// exit flushes the deferred profile writers before terminating with the
+// given code (fatal's contract, without the error message).
+func exit(code int) {
+	pprof.StopCPUProfile()
+	writeMemProfile()
+	os.Exit(code)
 }
 
 // runOne executes one scenario on its own VM and renders its statistics,

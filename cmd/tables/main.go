@@ -7,8 +7,10 @@
 //
 //	tables [-profile NAME] [-scenario FILE] [-agents LIST]
 //	       [-engine interp|jit|auto] [-warmup N]
-//	       [-heap-nursery W] [-heap-tenured W] [-heap-tenure-age N]
+//	       [-heap-nursery W] [-heap-tenured W] [-heap-tenure-age N] [-heap-limit W]
 //	       [-table 1|2|all] [-runs N] [-scale K] [-parallel N]
+//	       [-cell-timeout D] [-max-retries N] [-retry-seed S]
+//	       [-checkpoint FILE] [-resume]
 //
 // -engine selects the execution tier every measurement cell runs on;
 // the rendered tables and campaign rows are byte-identical across
@@ -30,6 +32,20 @@
 // full size. -parallel runs that many measurement cells concurrently on
 // isolated VMs; the output is byte-identical at every parallelism level,
 // only wall-clock time changes.
+//
+// Campaign profiles are fault-tolerant (see docs/robustness.md): a cell
+// that panics, times out (-cell-timeout) or exhausts its retries
+// (-max-retries) renders as a FAILED row and the process exits with
+// code 3 (partial) instead of aborting the matrix. -checkpoint journals
+// every finished cell's measurement to FILE; -resume replays finished
+// cells and measures only the rest, byte-identical to an uninterrupted
+// run. The paper tables keep their all-or-nothing contract — reference
+// tables with holes would be misleading — so -profile paper still fails
+// fast and rejects -checkpoint/-resume; -cell-timeout and -max-retries
+// apply everywhere.
+//
+// Exit codes: 0 complete, 1 fatal (including check failures), 2 usage,
+// 3 partial.
 package main
 
 import (
@@ -39,6 +55,8 @@ import (
 	"os"
 
 	"repro/internal/agents/registry"
+	"repro/internal/checkpoint"
+	"repro/internal/faultinject"
 	"repro/internal/harness"
 	"repro/internal/jit"
 	"repro/internal/runner"
@@ -59,6 +77,9 @@ func main() {
 	scenarioFile := scenarios.AddFlag(flag.CommandLine)
 	agentList := registry.AddListFlag(flag.CommandLine, "none,spa,ipa")
 	parallel := runner.AddFlag(flag.CommandLine)
+	robust := runner.AddRobustFlags(flag.CommandLine)
+	checkpointPath := flag.String("checkpoint", "", "journal each finished cell's measurement to `file` (crash-resumable with -resume)")
+	resume := flag.Bool("resume", false, "with -checkpoint: replay finished cells from the journal instead of re-measuring them")
 	flag.Parse()
 
 	engine, err := jit.ParseEngine(*engineName)
@@ -70,9 +91,21 @@ func main() {
 	cfg.Scale = *scale
 	cfg.Warmup = *warmup
 	cfg.Parallelism = *parallel
+	cfg.CellTimeout = *robust.CellTimeout
+	cfg.MaxRetries = *robust.MaxRetries
+	cfg.RetrySeed = *robust.RetrySeed
 	cfg.Opts.Tier = engine
 	if err := heapFlags.Apply(&cfg.Opts); err != nil {
 		fatal(err)
+	}
+	injector, err := faultinject.FromEnv()
+	if err != nil {
+		fatal(err)
+	}
+	cfg.Hook = injector.Hook()
+	if *resume && *checkpointPath == "" {
+		fmt.Fprintln(os.Stderr, "tables: -resume requires -checkpoint")
+		os.Exit(harness.ExitUsage)
 	}
 
 	// Validate -agents up front regardless of mode, and reject it with
@@ -91,6 +124,12 @@ func main() {
 	})
 	if agentsSet && *profile == "paper" {
 		fatal(fmt.Errorf("-agents applies only to campaign profiles; the paper tables always measure none/spa/ipa"))
+	}
+	// The paper tables are all-or-nothing reference output: resuming a
+	// half-measured table would be indistinguishable from a complete one,
+	// so the journal applies only to campaign profiles.
+	if *checkpointPath != "" && *profile == "paper" {
+		fatal(fmt.Errorf("-checkpoint/-resume apply only to campaign profiles; the paper tables are regenerated whole"))
 	}
 	// The paper profile never includes loaded scenarios, so accepting the
 	// file there would silently measure nothing from it.
@@ -111,7 +150,7 @@ func main() {
 		if *table != "all" {
 			fatal(fmt.Errorf("-table applies only to -profile paper (got -profile %s)", *profile))
 		}
-		runCampaign(*profile, agents, cfg)
+		runCampaign(*profile, agents, cfg, *checkpointPath, *resume)
 		return
 	}
 
@@ -180,14 +219,23 @@ func main() {
 
 // runCampaign measures a non-paper profile: every profile scenario under
 // every requested agent (already validated), one streamed row per
-// finished cell, then the expected-value check verdict (non-zero exit on
-// check failure).
-func runCampaign(profile string, agents []string, cfg harness.Config) {
+// finished cell, then the expected-value check verdict. Failed cells
+// render as FAILED rows and degrade the exit code to partial (3); check
+// failures exit fatal (1).
+func runCampaign(profile string, agents []string, cfg harness.Config, checkpointPath string, resume bool) {
 	scns, err := scenarios.Profile(profile)
 	if err != nil {
 		fatal(err)
 	}
 	camp := harness.Campaign{Scenarios: scns, Agents: agents, Config: cfg}
+	if checkpointPath != "" {
+		journal, err := checkpoint.Open(checkpointPath, resume)
+		if err != nil {
+			fatal(err)
+		}
+		defer journal.Close()
+		camp.Journal = journal
+	}
 	fmt.Printf("campaign %s: %d scenarios x %d agents\n%s\n",
 		profile, len(scns), len(agents), harness.CampaignHeader())
 	res, err := camp.Run(context.Background(), func(r harness.CampaignRow) error {
@@ -199,8 +247,14 @@ func runCampaign(profile string, agents []string, cfg harness.Config) {
 	}
 	fmt.Println()
 	fmt.Print(harness.RenderChecks(res.CheckFailures))
+	if res.Failed > 0 {
+		fmt.Printf("partial: %d of %d cells failed\n", res.Failed, len(res.Rows))
+	}
 	if len(res.CheckFailures) > 0 {
-		os.Exit(1)
+		os.Exit(harness.ExitFatal)
+	}
+	if res.Failed > 0 {
+		os.Exit(harness.ExitPartial)
 	}
 }
 

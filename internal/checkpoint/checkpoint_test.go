@@ -1,0 +1,250 @@
+package checkpoint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+type payload struct {
+	Cell   string  `json:"cell"`
+	Cycles uint64  `json:"cycles"`
+	Thpt   float64 `json:"thpt"`
+}
+
+func testPayload(i int) payload {
+	return payload{Cell: fmt.Sprintf("cell-%d", i), Cycles: uint64(i) * 1000003, Thpt: 3.25 * float64(i)}
+}
+
+// TestCellKeyDeterministic proves equal identities hash equal and any
+// field change moves the key.
+func TestCellKeyDeterministic(t *testing.T) {
+	type identity struct {
+		Scenario string `json:"scenario"`
+		Agent    string `json:"agent"`
+		Engine   string `json:"engine"`
+		Scale    int    `json:"scale"`
+	}
+	a := identity{"compress", "jvmti", "jit", 8}
+	k1, err := CellKey(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, _ := CellKey(a)
+	if k1 != k2 {
+		t.Fatal("same identity must give the same key")
+	}
+	if len(k1) != 64 {
+		t.Fatalf("key %q is not a hex sha256", k1)
+	}
+	for _, b := range []identity{
+		{"jess", "jvmti", "jit", 8},
+		{"compress", "jni", "jit", 8},
+		{"compress", "jvmti", "interp", 8},
+		{"compress", "jvmti", "jit", 4},
+	} {
+		if k, _ := CellKey(b); k == k1 {
+			t.Errorf("identity %+v collides with %+v", b, a)
+		}
+	}
+}
+
+// TestJournalRoundTrip proves append → reopen → lookup returns the exact
+// payload bytes.
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, err := Open(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 10
+	for i := 0; i < n; i++ {
+		key, _ := CellKey(i)
+		if err := j.Append(key, testPayload(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	r, err := Open(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Len() != n {
+		t.Fatalf("resumed journal has %d entries, want %d", r.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		key, _ := CellKey(i)
+		raw, ok := r.Lookup(key)
+		if !ok {
+			t.Fatalf("cell %d missing after resume", i)
+		}
+		var got payload
+		if err := json.Unmarshal(raw, &got); err != nil {
+			t.Fatal(err)
+		}
+		if got != testPayload(i) {
+			t.Fatalf("cell %d = %+v, want %+v", i, got, testPayload(i))
+		}
+	}
+}
+
+// TestJournalFreshOpenTruncates proves a non-resume Open starts empty
+// even over an existing journal.
+func TestJournalFreshOpenTruncates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, _ := Open(path, false)
+	j.Append("k", testPayload(1))
+	j.Close()
+	j2, err := Open(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Len() != 0 {
+		t.Fatalf("fresh open kept %d entries", j2.Len())
+	}
+	if _, ok := j2.Lookup("k"); ok {
+		t.Fatal("fresh open served a stale entry")
+	}
+}
+
+// TestJournalTruncateAtEveryByte is the crash-tear property test: write N
+// cells, truncate the journal at EVERY byte offset, and prove each
+// truncated journal resumes cleanly — recovering exactly the cells whose
+// fsync'd append completed (all fully-written lines) and never a torn
+// one, so a resumed campaign re-runs only the interrupted cell and the
+// final output is byte-identical to an uninterrupted run.
+func TestJournalTruncateAtEveryByte(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "journal.jsonl")
+	j, err := Open(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 5
+	keys := make([]string, n)
+	lineEnd := make([]int64, 0, n+1) // journal size after each append
+	lineEnd = append(lineEnd, 0)
+	for i := 0; i < n; i++ {
+		keys[i], _ = CellKey(i)
+		if err := j.Append(keys[i], testPayload(i)); err != nil {
+			t.Fatal(err)
+		}
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lineEnd = append(lineEnd, fi.Size())
+	}
+	j.Close()
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// complete(off) = how many appends are fully contained in off bytes.
+	complete := func(off int64) int {
+		c := 0
+		for c < n && lineEnd[c+1] <= off {
+			c++
+		}
+		return c
+	}
+
+	for off := int64(0); off <= int64(len(full)); off++ {
+		cut := filepath.Join(dir, "cut.jsonl")
+		if err := os.WriteFile(cut, full[:off], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		r, err := Open(cut, true)
+		if err != nil {
+			t.Fatalf("offset %d: resume failed: %v", off, err)
+		}
+		want := complete(off)
+		if r.Len() != want {
+			t.Fatalf("offset %d: recovered %d cells, want %d", off, r.Len(), want)
+		}
+		for i := 0; i < n; i++ {
+			raw, ok := r.Lookup(keys[i])
+			if i < want {
+				if !ok {
+					t.Fatalf("offset %d: fsync'd cell %d lost", off, i)
+				}
+				var got payload
+				if err := json.Unmarshal(raw, &got); err != nil || got != testPayload(i) {
+					t.Fatalf("offset %d: cell %d payload corrupted: %s", off, i, raw)
+				}
+			} else if ok {
+				t.Fatalf("offset %d: torn cell %d resurrected", off, i)
+			}
+		}
+		// The truncated journal must be append-ready: finishing the
+		// campaign after resume yields a journal equivalent to the
+		// uninterrupted one.
+		for i := want; i < n; i++ {
+			if err := r.Append(keys[i], testPayload(i)); err != nil {
+				t.Fatalf("offset %d: append after resume: %v", off, err)
+			}
+		}
+		r.Close()
+		r2, err := Open(cut, true)
+		if err != nil || r2.Len() != n {
+			t.Fatalf("offset %d: final journal broken: len=%d err=%v", off, r2.Len(), err)
+		}
+		r2.Close()
+	}
+}
+
+// TestJournalCorruptMiddleRejected proves a malformed line that is NOT
+// the torn tail is reported as corruption, not silently skipped.
+func TestJournalCorruptMiddleRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, _ := Open(path, false)
+	j.Append("aaaa", testPayload(1))
+	j.Append("bbbb", testPayload(2))
+	j.Close()
+	data, _ := os.ReadFile(path)
+	lines := strings.SplitAfter(string(data), "\n")
+	corrupted := "garbage not json\n" + lines[1]
+	os.WriteFile(path, []byte(corrupted), 0o644)
+	if _, err := Open(path, true); err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("err = %v, want corruption error", err)
+	}
+}
+
+// TestJournalConcurrentAppend proves Append is safe from the worker pool.
+func TestJournalConcurrentAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, err := Open(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			key, _ := CellKey(i)
+			if err := j.Append(key, testPayload(i)); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	j.Close()
+	r, err := Open(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Len() != n {
+		t.Fatalf("recovered %d entries, want %d", r.Len(), n)
+	}
+}

@@ -1,0 +1,188 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/runner"
+)
+
+func cellsOf(keys ...string) []runner.Cell[string] {
+	cells := make([]runner.Cell[string], len(keys))
+	for i, k := range keys {
+		cells[i] = runner.Cell[string]{Key: k, Do: func(context.Context) (string, error) {
+			return "ok:" + k, nil
+		}}
+	}
+	return cells
+}
+
+// TestInjectedPanicIsolated proves a Panic fault surfaces as a CellError
+// in the matched cell only.
+func TestInjectedPanicIsolated(t *testing.T) {
+	in := New(1, Fault{Kind: Panic, Match: "bad"})
+	results, _ := runner.Run(context.Background(),
+		runner.Options{Parallelism: 2, Hook: in.Hook()},
+		cellsOf("good-1", "bad-2", "good-3"))
+	if results[0].Err != nil || results[2].Err != nil {
+		t.Fatalf("unmatched cells failed: %v / %v", results[0].Err, results[2].Err)
+	}
+	var ce *runner.CellError
+	if !errors.As(results[1].Err, &ce) || len(ce.Stack) == 0 {
+		t.Fatalf("matched cell err = %v, want CellError with stack", results[1].Err)
+	}
+}
+
+// TestInjectedDelayHitsDeadline proves a Delay fault drives the cell
+// into its CellTimeout.
+func TestInjectedDelayHitsDeadline(t *testing.T) {
+	in := New(1, Fault{Kind: Delay, Match: "slow"})
+	start := time.Now()
+	results, _ := runner.Run(context.Background(),
+		runner.Options{Parallelism: 1, CellTimeout: 20 * time.Millisecond, Hook: in.Hook()},
+		cellsOf("slow-1", "fast-2"))
+	if !errors.Is(results[0].Err, context.DeadlineExceeded) {
+		t.Fatalf("slow cell err = %v, want DeadlineExceeded", results[0].Err)
+	}
+	if results[1].Err != nil {
+		t.Fatalf("fast cell failed: %v", results[1].Err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("batch stalled %v — delay was not abandoned at the deadline", elapsed)
+	}
+}
+
+// TestInjectedTransientRetries proves a Transient fault fails exactly N
+// attempts then succeeds under retry.
+func TestInjectedTransientRetries(t *testing.T) {
+	in := New(1, Fault{Kind: Transient, Match: "flaky", Attempts: 2})
+	results, err := runner.Run(context.Background(),
+		runner.Options{MaxRetries: 3, RetryBackoff: time.Microsecond, Hook: in.Hook()},
+		cellsOf("flaky-1"))
+	if err != nil || results[0].Value != "ok:flaky-1" {
+		t.Fatalf("got (%q, %v), want success after 2 transient failures", results[0].Value, err)
+	}
+
+	// Without enough retries the cell fails with the transient error.
+	in2 := New(1, Fault{Kind: Transient, Match: "flaky", Attempts: 5})
+	results, _ = runner.Run(context.Background(),
+		runner.Options{MaxRetries: 1, RetryBackoff: time.Microsecond, Hook: in2.Hook()},
+		cellsOf("flaky-1"))
+	if results[0].Err == nil || !runner.IsTransient(results[0].Err) {
+		t.Fatalf("err = %v, want transient failure after retries exhausted", results[0].Err)
+	}
+}
+
+// TestCrashAfterN proves the crash fires deterministically after exactly
+// N completed cells (CrashFunc overridden in-process).
+func TestCrashAfterN(t *testing.T) {
+	old := CrashFunc
+	defer func() { CrashFunc = old }()
+	crashed := make(chan struct{})
+	CrashFunc = func() { close(crashed) }
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	in := New(1, Fault{Kind: Crash, After: 3})
+	go func() {
+		<-crashed
+		cancel() // in-process stand-in for process death
+	}()
+	results, _ := runner.Run(ctx, runner.Options{Parallelism: 1, Hook: in.Hook()},
+		cellsOf("c1", "c2", "c3", "c4", "c5"))
+	select {
+	case <-crashed:
+	default:
+		t.Fatal("crash never fired")
+	}
+	if in.Completed() < 3 {
+		t.Fatalf("crash fired after %d cells, want ≥3", in.Completed())
+	}
+	for i := 0; i < 3; i++ {
+		if results[i].Err != nil {
+			t.Fatalf("pre-crash cell %d failed: %v", i, results[i].Err)
+		}
+	}
+}
+
+// TestEverySampling proves Every thins deterministically by seeded hash.
+func TestEverySampling(t *testing.T) {
+	keys := make([]string, 40)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("cell-%02d", i)
+	}
+	in := New(7, Fault{Kind: Panic, Every: 4})
+	results, _ := runner.Run(context.Background(), runner.Options{Parallelism: 4, Hook: in.Hook()}, cellsOf(keys...))
+	var failed []int
+	for i, r := range results {
+		if r.Err != nil {
+			failed = append(failed, i)
+		}
+	}
+	if len(failed) == 0 || len(failed) == len(keys) {
+		t.Fatalf("Every=4 faulted %d/%d cells — sampling not thinning", len(failed), len(keys))
+	}
+	// Re-run: identical selection.
+	in2 := New(7, Fault{Kind: Panic, Every: 4})
+	results2, _ := runner.Run(context.Background(), runner.Options{Parallelism: 4, Hook: in2.Hook()}, cellsOf(keys...))
+	for i := range results {
+		if (results[i].Err != nil) != (results2[i].Err != nil) {
+			t.Fatalf("cell %d selection changed between runs with the same seed", i)
+		}
+	}
+	// Different seed: different selection (overwhelmingly likely for 40 cells).
+	in3 := New(8, Fault{Kind: Panic, Every: 4})
+	results3, _ := runner.Run(context.Background(), runner.Options{Parallelism: 4, Hook: in3.Hook()}, cellsOf(keys...))
+	same := true
+	for i := range results {
+		if (results[i].Err != nil) != (results3[i].Err != nil) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seed change did not move the sample")
+	}
+}
+
+// TestParse covers the JVMSIM_FAULTS grammar.
+func TestParse(t *testing.T) {
+	in, err := Parse("seed=9; panic=compress; delay=jess:50; transient=db:2; crash-after=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Seed != 9 || len(in.Faults) != 4 {
+		t.Fatalf("parsed %+v", in)
+	}
+	want := []Fault{
+		{Kind: Panic, Match: "compress"},
+		{Kind: Delay, Match: "jess", Delay: 50 * time.Millisecond},
+		{Kind: Transient, Match: "db", Attempts: 2},
+		{Kind: Crash, After: 3},
+	}
+	for i, f := range want {
+		if in.Faults[i] != f {
+			t.Errorf("fault %d = %+v, want %+v", i, in.Faults[i], f)
+		}
+	}
+
+	if in, err := Parse(""); in != nil || err != nil {
+		t.Errorf("empty spec = (%v, %v), want (nil, nil)", in, err)
+	}
+	for _, bad := range []string{"explode", "transient=x", "transient=:3", "crash-after=0", "crash-after=x", "seed=x", "delay=a:-1"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+// TestNilInjectorHook pins the nil-interface adaptation.
+func TestNilInjectorHook(t *testing.T) {
+	var in *Injector
+	if in.Hook() != nil {
+		t.Fatal("nil injector must adapt to nil Hook")
+	}
+}

@@ -2,11 +2,15 @@ package harness
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"strings"
 
+	"repro/internal/checkpoint"
 	"repro/internal/runner"
 	"repro/internal/scenarios"
+	"repro/internal/vm"
+	"repro/internal/workloads"
 )
 
 // Campaign is the generalized measurement matrix: any scenario set × any
@@ -22,6 +26,14 @@ type Campaign struct {
 	Agents []string
 	// Config is the shared measurement configuration.
 	Config Config
+	// Journal, when non-nil, makes the campaign crash-resumable: each
+	// cell's Measurement is journaled under its content-addressed key as
+	// soon as the cell completes, and cells already present in the
+	// journal are served from it instead of re-running. Because the
+	// journaled payload is the exact Measurement (JSON round-trips it
+	// bit-for-bit), a resumed campaign's output is byte-identical to an
+	// uninterrupted run.
+	Journal *checkpoint.Journal
 }
 
 // DefaultAgents is the agent set a campaign uses when none is given: the
@@ -33,6 +45,10 @@ type CampaignRow struct {
 	Scenario  scenarios.Scenario
 	AgentName string
 	M         *Measurement
+	// Err is the cell's failure after isolation and retries (a
+	// *runner.CellError wrapping the cause), set only in graceful mode;
+	// M is nil when Err is set.
+	Err error
 }
 
 // CampaignResult is a finished campaign: every row in matrix order
@@ -43,6 +59,45 @@ type CampaignResult struct {
 	// CheckFailures lists every violated per-scenario check, one line per
 	// violation; empty means all checks passed.
 	CheckFailures []string
+	// Failed counts rows whose cell failed after retries — a campaign
+	// with Failed > 0 is partial and exits with ExitPartial.
+	Failed int
+}
+
+// CellIdentity is everything that determines one campaign cell's
+// Measurement: the scenario content, the agent, the effective VM options
+// (cost model, engine, heap after the scenario/flag precedence) and the
+// repetition parameters. Its checkpoint.CellKey is the content address
+// under which the cell journals and resumes — and the key the roadmap's
+// result cache will share.
+type CellIdentity struct {
+	Scenario string             `json:"scenario"`
+	Workload workloads.Workload `json:"workload"`
+	Sequence []int              `json:"sequence,omitempty"`
+	Agent    string             `json:"agent"`
+	Opts     vm.Options         `json:"opts"`
+	Scale    int                `json:"scale"`
+	Runs     int                `json:"runs"`
+	Warmup   int                `json:"warmup"`
+}
+
+// cellKey content-addresses the (scenario, agent) cell under cfg. The
+// heap precedence (scenario spec applies only when the flags left the
+// heap unset) is baked in by applying it to a copy of the options, so
+// two campaigns with the same effective heap share keys.
+func cellKey(sc scenarios.Scenario, agent string, cfg Config) (string, error) {
+	opts := cfg.Opts
+	sc.ApplyHeap(&opts)
+	return checkpoint.CellKey(CellIdentity{
+		Scenario: sc.Name(),
+		Workload: sc.Workload,
+		Sequence: sc.WarehouseSequence,
+		Agent:    agent,
+		Opts:     opts,
+		Scale:    cfg.Scale,
+		Runs:     cfg.Runs,
+		Warmup:   cfg.Warmup,
+	})
 }
 
 // Run executes the campaign. emit, when non-nil, receives rows in matrix
@@ -50,6 +105,13 @@ type CampaignResult struct {
 // streaming form a long campaign renders incrementally. The returned
 // result always holds the full row set; per-scenario checks are evaluated
 // after the matrix completes.
+//
+// Failure semantics follow Config.FailFast. In the graceful default, a
+// cell that still fails after isolation and retries becomes an error row
+// (CampaignRow.Err) and the campaign keeps going; Run returns an error
+// only for fatal conditions — context cancellation, a rejected emission,
+// or journal setup. With FailFast set, the first cell error aborts the
+// campaign and is returned, the pre-PR-7 contract the paper presets use.
 func (c Campaign) Run(ctx context.Context, emit func(CampaignRow) error) (*CampaignResult, error) {
 	cfg := c.Config.normalized()
 	agents := c.Agents
@@ -65,28 +127,71 @@ func (c Campaign) Run(ctx context.Context, emit func(CampaignRow) error) (*Campa
 	for _, sc := range c.Scenarios {
 		for _, agent := range agents {
 			sc, agent := sc, agent
+			var key string
+			if c.Journal != nil {
+				var err error
+				if key, err = cellKey(sc, agent, cfg); err != nil {
+					return nil, err
+				}
+			}
 			cells = append(cells, runner.Cell[*Measurement]{
 				Key: sc.Name() + "/" + agent,
 				Do: func(ctx context.Context) (*Measurement, error) {
-					return MeasureScenario(ctx, sc, agent, cfg)
+					if c.Journal != nil {
+						if raw, ok := c.Journal.Lookup(key); ok {
+							m := new(Measurement)
+							if err := json.Unmarshal(raw, m); err != nil {
+								return nil, fmt.Errorf("harness: corrupt checkpoint payload for %s/%s: %w", sc.Name(), agent, err)
+							}
+							return m, nil
+						}
+					}
+					m, err := MeasureScenario(ctx, sc, agent, cfg)
+					if err != nil {
+						return nil, err
+					}
+					if c.Journal != nil {
+						// Journal I/O is environmental, not a property of the
+						// cell — mark it transient so retries can ride out a
+						// briefly unwritable checkpoint file.
+						if err := c.Journal.Append(key, m); err != nil {
+							return nil, runner.Transient(err)
+						}
+					}
+					return m, nil
 				},
 			})
 			meta = append(meta, cellMeta{sc: sc, agent: agent})
 		}
 	}
+	var emitErr error
 	var streamEmit func(runner.Result[*Measurement]) error
 	if emit != nil {
 		streamEmit = func(r runner.Result[*Measurement]) error {
-			return emit(CampaignRow{Scenario: meta[r.Index].sc, AgentName: meta[r.Index].agent, M: r.Value})
+			row := CampaignRow{Scenario: meta[r.Index].sc, AgentName: meta[r.Index].agent, M: r.Value, Err: r.Err}
+			if err := emit(row); err != nil {
+				emitErr = err
+				return err
+			}
+			return nil
 		}
 	}
 	results, err := runner.Stream(ctx, cfg.runnerOptions(), cells, streamEmit)
-	if err != nil {
+	if emitErr != nil {
+		return nil, emitErr
+	}
+	if cfg.FailFast && err != nil {
 		return nil, err
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, cerr
 	}
 	res := &CampaignResult{Rows: make([]CampaignRow, len(results))}
 	for i, r := range results {
-		res.Rows[i] = CampaignRow{Scenario: meta[i].sc, AgentName: meta[i].agent, M: r.Value}
+		res.Rows[i] = CampaignRow{Scenario: meta[i].sc, AgentName: meta[i].agent, M: r.Value, Err: r.Err}
+		if r.Err != nil {
+			res.Failed++
+		}
 	}
 	for _, sc := range c.Scenarios {
 		res.CheckFailures = append(res.CheckFailures, EvaluateChecks(sc, res.Rows, cfg.Scale)...)
@@ -192,8 +297,14 @@ func CampaignHeader() string {
 
 // String renders one campaign row as a fixed-width report line. The
 // native share is the agent's measurement when a report exists, the
-// ground truth otherwise.
+// ground truth otherwise. Failed cells render an error line in the
+// metric columns' place — the scenario/agent/family prefix keeps its
+// fixed width so partial tables stay aligned.
 func (r CampaignRow) String() string {
+	if r.Err != nil {
+		return fmt.Sprintf("%-18s %-9s %-16s FAILED: %s",
+			r.Scenario.Name(), r.AgentName, r.Scenario.Family, errorLine(r.Err))
+	}
 	if r.M == nil {
 		return fmt.Sprintf("%-18s %-9s (no measurement)", r.Scenario.Name(), r.AgentName)
 	}
@@ -207,6 +318,17 @@ func (r CampaignRow) String() string {
 		m.MedianCycles, m.MedianThroughput, nativePct,
 		m.Truth.NativeMethodCalls, m.Truth.JNICalls,
 		m.GC.MinorGCs, m.GC.MajorGCs)
+}
+
+// errorLine flattens err to a single report line: a cell failure's cause
+// can carry embedded newlines (a captured panic message, a wrapped I/O
+// chain) that would break the fixed-width table.
+func errorLine(err error) string {
+	s := err.Error()
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i] + " ..."
+	}
+	return s
 }
 
 // RenderChecks formats the check verdict block of a campaign report.
@@ -233,6 +355,9 @@ func RenderCampaign(res *CampaignResult) (string, error) {
 	fmt.Fprintf(&b, "CAMPAIGN RESULTS\n%s\n", CampaignHeader())
 	for _, r := range res.Rows {
 		fmt.Fprintf(&b, "%s\n", r)
+	}
+	if res.Failed > 0 {
+		fmt.Fprintf(&b, "\npartial: %d of %d cells failed\n", res.Failed, len(res.Rows))
 	}
 	b.WriteByte('\n')
 	b.WriteString(RenderChecks(res.CheckFailures))

@@ -1,0 +1,20 @@
+package harness
+
+// The exit-code contract shared by the measurement CLIs (jvmsim, jprof,
+// tables) and documented in docs/robustness.md. A caller scripting a
+// campaign can distinguish "everything ran" from "the campaign finished
+// but some cells failed" from "the run itself broke":
+//
+//	0 ExitComplete  every cell ran and every check passed
+//	1 ExitFatal     the run could not complete (bad input, I/O failure,
+//	                fail-fast cell error, failed scenario checks)
+//	2 ExitUsage     flag/argument parse errors (flag package convention)
+//	3 ExitPartial   the campaign completed gracefully but one or more
+//	                cells failed after isolation and retries; the partial
+//	                table marks each failed row
+const (
+	ExitComplete = 0
+	ExitFatal    = 1
+	ExitUsage    = 2
+	ExitPartial  = 3
+)

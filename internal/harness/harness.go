@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"time"
 
 	"repro/internal/agents/registry"
 	"repro/internal/core"
@@ -106,6 +107,23 @@ type Config struct {
 	// the execution engine for every cell (-engine on the CLIs); all
 	// measured simulated values are byte-identical across engines.
 	Opts vm.Options
+	// FailFast aborts the campaign at the first cell failure instead of
+	// degrading gracefully. The paper table presets set it — every cell
+	// feeds an overhead formula, so a partial grid is useless — while
+	// campaigns default to graceful: a failed cell becomes an error row,
+	// the rest of the matrix still runs, and the result reports Failed.
+	FailFast bool
+	// CellTimeout bounds each attempt of each measurement cell; zero
+	// means no deadline. See runner.Options.CellTimeout.
+	CellTimeout time.Duration
+	// MaxRetries grants extra attempts to cells failing with a transient
+	// error. See runner.Options.MaxRetries.
+	MaxRetries int
+	// RetrySeed seeds the deterministic retry backoff jitter.
+	RetrySeed int64
+	// Hook is the runner's fault-injection seam, forwarded verbatim
+	// (internal/faultinject implements it). Nil injects nothing.
+	Hook runner.Hook
 }
 
 // DefaultConfig returns the configuration used to regenerate the tables.
@@ -129,11 +147,19 @@ func (c Config) normalized() Config {
 	return c
 }
 
-// runnerOptions maps the campaign configuration onto the runner. The
-// harness fails fast: like the sequential loops it replaced, a cell error
-// aborts the rest of the campaign.
+// runnerOptions maps the campaign configuration onto the runner. In
+// graceful mode (FailFast unset) failed cells are emitted in order like
+// successful ones, so a campaign can render error rows in place.
 func (c Config) runnerOptions() runner.Options {
-	return runner.Options{Parallelism: c.Parallelism, FailFast: true}
+	return runner.Options{
+		Parallelism: c.Parallelism,
+		FailFast:    c.FailFast,
+		EmitFailed:  !c.FailFast,
+		CellTimeout: c.CellTimeout,
+		MaxRetries:  c.MaxRetries,
+		RetrySeed:   c.RetrySeed,
+		Hook:        c.Hook,
+	}
 }
 
 // Measurement is the median outcome of repeated runs of one scenario
@@ -300,6 +326,9 @@ func paperCampaign(cfg Config, kinds []AgentKind) (Campaign, error) {
 	for i, k := range kinds {
 		agents[i] = k.registryName()
 	}
+	// Every cell of the paper grid feeds an overhead formula; a partial
+	// grid cannot render, so the presets fail fast.
+	cfg.FailFast = true
 	return Campaign{Scenarios: suite, Agents: agents, Config: cfg}, nil
 }
 

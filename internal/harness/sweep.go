@@ -39,6 +39,9 @@ func SweepTransitionFrequency(callsPerIter []int, cfg Config) ([]SweepPoint, err
 // pool like the table campaigns.
 func SweepTransitionFrequencyContext(ctx context.Context, callsPerIter []int, cfg Config) ([]SweepPoint, error) {
 	cfg = cfg.normalized()
+	// The sweep consumes runner.Values, which is only valid for an
+	// all-success batch; like the paper grids it fails fast.
+	cfg.FailFast = true
 	results, err := runner.Map(ctx, cfg.runnerOptions(), callsPerIter,
 		func(n int) string { return fmt.Sprintf("sweep-%d", n) },
 		func(ctx context.Context, n int) (SweepPoint, error) {

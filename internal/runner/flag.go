@@ -1,6 +1,9 @@
 package runner
 
-import "flag"
+import (
+	"flag"
+	"time"
+)
 
 // AddFlag registers the shared -parallel flag on fs with the project-wide
 // default and help text, so every binary exposes the same knob. The
@@ -8,4 +11,33 @@ import "flag"
 func AddFlag(fs *flag.FlagSet) *int {
 	return fs.Int("parallel", DefaultParallelism(),
 		"measurement cells to run concurrently, each on its own isolated VM (1 = sequential)")
+}
+
+// RobustFlags holds the shared fault-tolerance flags registered by
+// AddRobustFlags; Apply copies the parsed values into an Options.
+type RobustFlags struct {
+	CellTimeout *time.Duration
+	MaxRetries  *int
+	RetrySeed   *int64
+}
+
+// AddRobustFlags registers the shared -cell-timeout, -max-retries and
+// -retry-seed flags on fs, so every binary exposes the same
+// fault-tolerance knobs. The returned struct is valid after fs.Parse.
+func AddRobustFlags(fs *flag.FlagSet) *RobustFlags {
+	return &RobustFlags{
+		CellTimeout: fs.Duration("cell-timeout", 0,
+			"deadline per measurement cell attempt (0 = no deadline)"),
+		MaxRetries: fs.Int("max-retries", 0,
+			"extra attempts for cells that fail with a transient error"),
+		RetrySeed: fs.Int64("retry-seed", 0,
+			"seed for the deterministic retry backoff jitter"),
+	}
+}
+
+// Apply copies the parsed flag values into opts.
+func (f *RobustFlags) Apply(opts *Options) {
+	opts.CellTimeout = *f.CellTimeout
+	opts.MaxRetries = *f.MaxRetries
+	opts.RetrySeed = *f.RetrySeed
 }

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"runtime"
 	"sync"
+	"time"
 )
 
 // Cell is one independent unit of measurement work. Do must be
@@ -59,6 +60,33 @@ type Options struct {
 	// ones that observe the cancelled context may themselves return a
 	// cancellation error; Run still reports the triggering error.
 	FailFast bool
+	// CellTimeout bounds each attempt of each cell. When positive, the
+	// attempt runs on its own goroutine under a deadline context and is
+	// abandoned (not interrupted — the simulation is not preemptible) if
+	// it overruns; the cell fails with context.DeadlineExceeded wrapped
+	// in a CellError. Zero runs cells inline with no deadline.
+	CellTimeout time.Duration
+	// MaxRetries is the number of additional attempts granted to a cell
+	// whose failure is marked Transient. Panics, deadline overruns and
+	// plain errors are never retried: the simulation is deterministic,
+	// so they would recur.
+	MaxRetries int
+	// RetryBackoff is the base delay between retry attempts, doubled per
+	// failed attempt with deterministic seeded jitter. Zero means
+	// DefaultRetryBackoff.
+	RetryBackoff time.Duration
+	// RetrySeed seeds the backoff jitter so a retried campaign schedules
+	// identically run to run.
+	RetrySeed int64
+	// Hook, when non-nil, is consulted around every attempt — the
+	// fault-injection seam. See Hook.
+	Hook Hook
+	// EmitFailed extends Stream's in-order emission to failed cells:
+	// every result is emitted in submission order, Err set on the failed
+	// ones, and emission continues past failures. The default (false)
+	// preserves the original contract — successful prefix only, stop at
+	// the first failure.
+	EmitFailed bool
 }
 
 // DefaultParallelism is the worker count used when Options.Parallelism
@@ -102,8 +130,10 @@ func Run[T any](ctx context.Context, opts Options, cells []Cell[T]) ([]Result[T]
 // it and all lower-index cells have completed — a campaign can render
 // finished rows while later cells are still running, without giving up
 // deterministic output order. After the first failed cell in submission
-// order no further emissions happen; an emit error cancels the batch and
-// is reported like a cell error. The returned results cover every cell
+// order no further emissions happen — unless Options.EmitFailed is set,
+// in which case every result is emitted in order, failures included, and
+// emission continues past them. An emit error cancels the batch and is
+// reported like a cell error. The returned results cover every cell
 // regardless of how far emission got.
 func Stream[T any](ctx context.Context, opts Options, cells []Cell[T], emit func(Result[T]) error) ([]Result[T], error) {
 	results := make([]Result[T], len(cells))
@@ -129,7 +159,7 @@ func Stream[T any](ctx context.Context, opts Options, cells []Cell[T], emit func
 				if err := runCtx.Err(); err != nil {
 					r.Err = err
 				} else {
-					r.Value, r.Err = cell.Do(runCtx)
+					r.Value, r.Err = runCell(runCtx, opts, cell)
 					if r.Err != nil && opts.FailFast {
 						err := r.Err
 						failOnce.Do(func() {
@@ -167,7 +197,7 @@ func Stream[T any](ctx context.Context, opts Options, cells []Cell[T], emit func
 			if !emitting {
 				continue
 			}
-			if r.Err != nil {
+			if r.Err != nil && !opts.EmitFailed {
 				emitting = false
 				continue
 			}

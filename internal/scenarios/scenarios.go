@@ -31,6 +31,11 @@ type HeapSpec struct {
 	TenuredWords uint64 `json:"tenuredWords,omitempty"`
 	// TenureAge is the survivals before promotion; 0 = the VM default.
 	TenureAge int `json:"tenureAge,omitempty"`
+	// LimitWords is a hard cap on live occupancy: an allocation that
+	// still does not fit after collection throws a catchable simulated
+	// OutOfMemoryError, failing the run as a cell rather than thrashing
+	// forever. 0 = unlimited.
+	LimitWords uint64 `json:"limitWords,omitempty"`
 }
 
 // Validate checks the spec for registrability.
@@ -41,6 +46,9 @@ func (h HeapSpec) Validate() error {
 	if h.TenureAge < 0 || h.TenureAge > 64 {
 		return fmt.Errorf("scenarios: heap spec tenureAge %d out of range [0,64]", h.TenureAge)
 	}
+	if h.LimitWords > 0 && h.LimitWords < h.NurseryWords {
+		return fmt.Errorf("scenarios: heap spec limitWords %d below nurseryWords %d (the nursery could never fill)", h.LimitWords, h.NurseryWords)
+	}
 	return nil
 }
 
@@ -50,6 +58,7 @@ func (h HeapSpec) Config() vm.HeapConfig {
 		NurseryWords: h.NurseryWords,
 		TenuredWords: h.TenuredWords,
 		TenureAge:    h.TenureAge,
+		LimitWords:   h.LimitWords,
 	}
 }
 

@@ -42,6 +42,26 @@ func AsThrown(err error) (*Thrown, bool) {
 	return nil, false
 }
 
+// TrapError is a host-level panic trapped on a simulated thread — a
+// buggy native function, an agent hook gone wrong, an engine defect. The
+// thread's goroutine recovers it, keeps the scheduler baton protocol
+// intact (so no other thread deadlocks), and surfaces it as this typed
+// error: the run fails as a cell, never as a process death.
+type TrapError struct {
+	// ThreadName is the simulated thread the panic was trapped on.
+	ThreadName string
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the goroutine stack captured at the recovery point.
+	Stack []byte
+}
+
+// Error renders the trap without the stack; diagnostics that want the
+// stack read the field.
+func (e *TrapError) Error() string {
+	return fmt.Sprintf("vm: trapped panic on thread %s: %v", e.ThreadName, e.Value)
+}
+
 // Internal error values reported by the VM for conditions that have no
 // in-simulation representation.
 var (

@@ -149,6 +149,14 @@ func (t *Thread) newArray(m *Method, at int, length int64, sp int) (int64, error
 			t.runGC(GCMajor)
 		}
 	}
+	if length >= 0 && h.ExceedsLimit(uint64(length)) {
+		// Collections already ran (or are deferred by a native frame);
+		// the surviving occupancy genuinely cannot fit this allocation.
+		// Throw the simulated OutOfMemoryError: catchable by the
+		// workload, a typed failed cell for the campaign — never a host
+		// panic.
+		return 0, Throw(length, "OutOfMemoryError")
+	}
 	handle, err := h.Alloc(length, Site{Method: m, At: at})
 	if err != nil {
 		return 0, err

@@ -127,6 +127,14 @@ type HeapConfig struct {
 	// GCWordCost is the cycle cost per surviving word scanned/evacuated;
 	// 0 means the default (2) when collection is enabled.
 	GCWordCost uint64
+	// LimitWords is a hard cap on total live occupancy (nursery +
+	// tenured) in words. An allocation that would still exceed it after
+	// the collections it triggers throws a catchable simulated
+	// OutOfMemoryError — heap exhaustion under a tiny spec fails the
+	// run, never the process. 0 means unlimited. Unlike the occupancy
+	// thresholds it also applies in legacy mode (no collection), where
+	// it simply caps cumulative live allocation.
+	LimitWords uint64
 }
 
 // Enabled reports whether the configuration turns collection on.
@@ -323,6 +331,14 @@ func (h *Heap) Alloc(length int64, site Site) (int64, error) {
 // the boundary does not collect.
 func (h *Heap) NeedsMinor(need uint64) bool {
 	return h.cfg.Enabled() && h.rootScan != nil && h.nurseryUsed+need > h.cfg.NurseryWords
+}
+
+// ExceedsLimit reports whether allocating need more words would push
+// live occupancy past the configured hard cap. Callers check it after
+// running any due collections, so only genuinely irreducible occupancy
+// trips it.
+func (h *Heap) ExceedsLimit(need uint64) bool {
+	return h.cfg.LimitWords > 0 && h.nurseryUsed+h.tenuredUsed+need > h.cfg.LimitWords
 }
 
 // NeedsMajor reports whether tenured occupancy is strictly past its

@@ -12,6 +12,7 @@ type HeapFlags struct {
 	nursery   *uint64
 	tenured   *uint64
 	tenureAge *int
+	limit     *uint64
 }
 
 // AddHeapFlags registers the generational-heap sizing flags on fs with
@@ -25,6 +26,8 @@ func AddHeapFlags(fs *flag.FlagSet) *HeapFlags {
 			"tenured occupancy threshold in `words` that triggers a major GC (0 = unbounded tenured space)"),
 		tenureAge: fs.Int("heap-tenure-age", 0,
 			"minor collections an array must survive before tenuring (0 = default)"),
+		limit: fs.Uint64("heap-limit", 0,
+			"hard cap on live heap occupancy in `words`; exceeding it after collection throws a simulated OutOfMemoryError (0 = unlimited)"),
 	}
 }
 
@@ -43,12 +46,16 @@ func (h *HeapFlags) Apply(o *Options) error {
 		if *h.tenured > 0 || *h.tenureAge > 0 {
 			return fmt.Errorf("vm: -heap-tenured/-heap-tenure-age require -heap-nursery > 0 (collection triggers through the nursery threshold)")
 		}
+		// The hard cap is meaningful without collection: in legacy mode
+		// it bounds cumulative live allocation.
+		o.Heap.LimitWords = *h.limit
 		return nil
 	}
 	o.Heap = HeapConfig{
 		NurseryWords: *h.nursery,
 		TenuredWords: *h.tenured,
 		TenureAge:    *h.tenureAge,
+		LimitWords:   *h.limit,
 	}
 	return nil
 }

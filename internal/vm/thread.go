@@ -1,7 +1,9 @@
 package vm
 
 import (
+	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync"
 
 	"repro/internal/cycles"
@@ -345,9 +347,21 @@ func reserveStack(n int) byte {
 // shallow enough that the copy it implies is still small.
 const reserveDepth = 64
 
-// run is the body of a scheduler-managed thread goroutine.
+// run is the body of a scheduler-managed thread goroutine. Its deferred
+// recover is the process's panic firewall: a host-level panic anywhere
+// under CallStatic — a native function, an agent hook, an engine defect
+// — becomes a typed *TrapError on the thread instead of a process death,
+// and the deferred parkDone hands the baton back so the scheduler loop
+// never deadlocks on a dead thread.
 func (t *Thread) run() {
 	<-t.resume
+	defer func() {
+		if r := recover(); r != nil {
+			t.err = &TrapError{ThreadName: t.name, Value: r, Stack: debug.Stack()}
+		}
+		t.vm.Clock.Unregister(t.id)
+		t.parked <- parkDone
+	}()
 	if !t.isMain && t.vm.hooks.ThreadStart != nil {
 		t.AdvanceCycles(t.vm.opts.CostEventDispatch)
 		t.vm.hooks.ThreadStart(t)
@@ -362,8 +376,6 @@ func (t *Thread) run() {
 		t.AdvanceCycles(t.vm.opts.CostEventDispatch)
 		t.vm.hooks.ThreadEnd(t)
 	}
-	t.vm.Clock.Unregister(t.id)
-	t.parked <- parkDone
 }
 
 // newThread allocates a thread and registers its cycle counter.
@@ -451,6 +463,18 @@ func (v *VM) Run(class, method, desc string, args ...int64) (int64, error) {
 	v.sched.loop()
 	if v.hooks.VMDeath != nil {
 		v.hooks.VMDeath()
+	}
+	if main.err == nil {
+		// A trapped panic on a worker thread must fail the run even when
+		// main finished cleanly — the simulation's state after a trap is
+		// not trustworthy. Only traps propagate from workers: a worker's
+		// simulated exception (Thrown) remains thread-local, as before.
+		for _, t := range v.Threads() {
+			var trap *TrapError
+			if errors.As(t.err, &trap) {
+				return main.result, trap
+			}
+		}
 	}
 	return main.result, main.err
 }

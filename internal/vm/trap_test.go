@@ -1,0 +1,247 @@
+package vm
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/bytecode"
+	"repro/internal/classfile"
+)
+
+// The trap tests pin the robustness contract of PR 7: every host-level
+// failure reachable from a scenario — a panicking native function, heap
+// exhaustion under a hard limit, a hostile classfile — surfaces as a
+// typed error from Run, never as a process death or scheduler deadlock.
+
+// panicProgram loads a main that calls a native "boomnat" whose
+// implementation panics with the given value.
+func loadPanicProgram(t *testing.T, v *VM, panicValue any) {
+	t.Helper()
+	natDef := &classfile.Method{
+		Name: "boomnat", Desc: "()V",
+		Flags: classfile.AccStatic | classfile.AccNative,
+	}
+	a := bytecode.NewAssembler()
+	a.InvokeStatic("t/Main", "boomnat", "()V")
+	a.Const(1)
+	a.IReturn()
+	mainM, err := a.FinishMethod("main", "()I", classfile.AccStatic, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.LoadClasses([]*classfile.Class{buildClass(t, "t/Main", mainM, natDef)}); err != nil {
+		t.Fatal(err)
+	}
+	err = v.RegisterNative("t/Main", "boomnat", "()V", func(env Env, args []int64) (int64, error) {
+		panic(panicValue)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNativePanicTrappedOnMainThread(t *testing.T) {
+	v := New(DefaultOptions())
+	loadPanicProgram(t, v, "injected native bug")
+	_, err := v.Run("t/Main", "main", "()I")
+	var trap *TrapError
+	if !errors.As(err, &trap) {
+		t.Fatalf("err = %v, want *TrapError", err)
+	}
+	if trap.ThreadName != "main" {
+		t.Fatalf("ThreadName = %q, want main", trap.ThreadName)
+	}
+	if trap.Value != "injected native bug" {
+		t.Fatalf("Value = %v", trap.Value)
+	}
+	if len(trap.Stack) == 0 || !strings.Contains(string(trap.Stack), "goroutine") {
+		t.Fatalf("Stack missing or unrecognizable: %q", trap.Stack)
+	}
+}
+
+func TestNativePanicTrappedOnWorkerThread(t *testing.T) {
+	// main spawns a worker running a panicking native, then finishes a
+	// spin loop cleanly. The worker's trap must not deadlock the
+	// scheduler (main completes), and Run must still fail with the
+	// worker's TrapError — the simulation state after a trap is not
+	// trustworthy.
+	v := New(DefaultOptions())
+	spawnDef := &classfile.Method{
+		Name: "spawn", Desc: "()V",
+		Flags: classfile.AccStatic | classfile.AccNative,
+	}
+	boomDef := &classfile.Method{
+		Name: "boomnat", Desc: "()I",
+		Flags: classfile.AccStatic | classfile.AccNative,
+	}
+	a := bytecode.NewAssembler()
+	a.InvokeStatic("t/Main", "spawn", "()V")
+	a.Const(200)
+	a.InvokeStatic("t/Main", "spin", "(I)I")
+	a.IReturn()
+	mainM, err := a.FinishMethod("main", "()I", classfile.AccStatic, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cls := buildClass(t, "t/Main", mainM, spawnDef, boomDef, spinMethod(t, "spin"))
+	if err := v.LoadClasses([]*classfile.Class{cls}); err != nil {
+		t.Fatal(err)
+	}
+	err = v.RegisterNative("t/Main", "spawn", "()V", func(env Env, args []int64) (int64, error) {
+		_, err := env.VM().SpawnThread("worker", "t/Main", "boomnat", "()I")
+		return 0, err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = v.RegisterNative("t/Main", "boomnat", "()I", func(env Env, args []int64) (int64, error) {
+		panic("worker bug")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = v.Run("t/Main", "main", "()I")
+	var trap *TrapError
+	if !errors.As(err, &trap) {
+		t.Fatalf("err = %v, want worker *TrapError", err)
+	}
+	if trap.ThreadName != "worker" {
+		t.Fatalf("ThreadName = %q, want worker", trap.ThreadName)
+	}
+	// Both threads must have reached their terminal state — the baton
+	// protocol survived the trap.
+	if n := len(v.Threads()); n != 2 {
+		t.Fatalf("threads = %d, want 2", n)
+	}
+}
+
+func TestAgentHookPanicTrapped(t *testing.T) {
+	// A panic from an agent callback (here: the method-entry hook) is a
+	// host bug outside the workload; it must surface as a TrapError too.
+	v := New(DefaultOptions())
+	cls := buildClass(t, "t/Main", spinMethod(t, "spin"))
+	if err := v.LoadClasses([]*classfile.Class{cls}); err != nil {
+		t.Fatal(err)
+	}
+	v.SetHooks(Hooks{
+		MethodEntry: func(th *Thread, m *Method) { panic("agent bug") },
+	})
+	v.EnableMethodEvents(true)
+	_, err := v.Run("t/Main", "spin", "(I)I", 10)
+	var trap *TrapError
+	if !errors.As(err, &trap) {
+		t.Fatalf("err = %v, want *TrapError", err)
+	}
+	if trap.Value != "agent bug" {
+		t.Fatalf("Value = %v", trap.Value)
+	}
+}
+
+// allocLoopClass assembles: for k := count; k > 0; k-- { _ = new [size] }
+// with nothing retained, so only the limit (not liveness) can stop it.
+func allocLoopClass(t *testing.T, count, size int) *classfile.Class {
+	t.Helper()
+	a := bytecode.NewAssembler()
+	a.Const(int64(count))
+	a.Store(0)
+	top := a.NewLabel()
+	end := a.NewLabel()
+	a.Bind(top)
+	a.Load(0)
+	a.Ifle(end)
+	a.Const(int64(size))
+	a.NewArray()
+	a.Pop()
+	a.Inc(0, -1)
+	a.Goto(top)
+	a.Bind(end)
+	a.Const(0)
+	a.IReturn()
+	m, err := a.FinishMethod("churn", "()I", classfile.AccStatic, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buildClass(t, "t/Alloc", m)
+}
+
+func TestHeapLimitExceededThrowsOOMLegacyMode(t *testing.T) {
+	// Legacy (collection-free) heap with a hard cap: cumulative live
+	// allocation crosses LimitWords and the run must fail with the
+	// catchable simulated OutOfMemoryError, not thrash or panic.
+	opts := DefaultOptions()
+	opts.Heap = HeapConfig{LimitWords: 1024}
+	v := New(opts)
+	if err := v.LoadClasses([]*classfile.Class{allocLoopClass(t, 1000, 16)}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := v.Run("t/Alloc", "churn", "()I")
+	th, ok := AsThrown(err)
+	if !ok || th.Reason != "OutOfMemoryError" {
+		t.Fatalf("err = %v, want OutOfMemoryError", err)
+	}
+}
+
+func TestHeapLimitExceededThrowsOOMGenerationalMode(t *testing.T) {
+	// Generational heap with a hard cap: a churn loop whose garbage the
+	// minors reclaim stays under the cap and completes, while a single
+	// allocation larger than the cap — irreducible occupancy no
+	// collection can shrink — fails with the catchable OOM.
+	run := func(limit uint64, cls *classfile.Class, method string) error {
+		opts := DefaultOptions()
+		opts.Heap = HeapConfig{NurseryWords: 512, LimitWords: limit}
+		v := New(opts)
+		if err := v.LoadClasses([]*classfile.Class{cls}); err != nil {
+			t.Fatal(err)
+		}
+		_, err := v.Run("t/Alloc", method, "()I")
+		return err
+	}
+	if err := run(2048, allocLoopClass(t, 500, 16), "churn"); err != nil {
+		t.Fatalf("reclaimable churn: err = %v, want success after collections", err)
+	}
+	a := bytecode.NewAssembler()
+	a.Const(4096)
+	a.NewArray()
+	a.Pop()
+	a.Const(0)
+	a.IReturn()
+	m, err := a.FinishMethod("big", "()I", classfile.AccStatic, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = run(2048, buildClass(t, "t/Alloc", m), "big")
+	th, ok := AsThrown(err)
+	if !ok || th.Reason != "OutOfMemoryError" {
+		t.Fatalf("oversized allocation: err = %v, want OutOfMemoryError", err)
+	}
+}
+
+func TestHostileClassfileRejectedAtLoad(t *testing.T) {
+	// Malformed bytecode must be rejected at LoadClasses by the
+	// verifier — never reach an engine where it could index out of
+	// bounds. One case per corruption family.
+	cases := []struct {
+		name string
+		code []byte
+	}{
+		{"unknown opcode", []byte{0xFE}},
+		{"truncated operands", []byte{byte(bytecode.OpGoto)}},
+		{"branch past end", []byte{byte(bytecode.OpGoto), 0x7F, 0xFF}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			v := New(DefaultOptions())
+			bad := &classfile.Method{
+				Name: "evil", Desc: "()V",
+				Flags:     classfile.AccStatic,
+				Code:      tc.code,
+				MaxLocals: 1,
+			}
+			err := v.LoadClasses([]*classfile.Class{buildClass(t, "t/Evil", bad)})
+			if err == nil {
+				t.Fatal("hostile classfile loaded without error")
+			}
+		})
+	}
+}
