@@ -24,7 +24,10 @@
 //	                           holds across machines of very different
 //	                           speeds (CI vs the dev box that recorded
 //	                           the baseline), where raw ns/op thresholds
-//	                           would misfire. Add -abs to also gate the
+//	                           would misfire. The warm-cache pair (cold
+//	                           campaign vs cache-served campaign) also
+//	                           carries an absolute 5x floor the candidate
+//	                           must hold on its own. Add -abs to also gate the
 //	                           absolute ns/op of every benchmark present
 //	                           in both entries — meaningful only when
 //	                           both were recorded on comparable hosts.
@@ -71,20 +74,25 @@ type Ledger struct {
 	Entries   []Entry `json:"entries"`
 }
 
-// ratioPair defines one tracked tier speedup: the interpreted-side
-// benchmark over its compiled-side counterpart, so >1 means the
-// compiled tier wins.
+// ratioPair defines one tracked speedup: the slow-side benchmark over
+// its fast-side counterpart, so >1 means the fast side wins. Floor,
+// when nonzero, is an absolute minimum the candidate's ratio must hold
+// in gate mode regardless of the baseline — the contract for speedups
+// that must not merely avoid regressing but stay categorically large
+// (the warm result cache).
 type ratioPair struct {
-	Name   string
-	Interp string
-	JIT    string
+	Name  string
+	Slow  string
+	Fast  string
+	Floor float64
 }
 
 var ratioPairs = []ratioPair{
-	{"CompiledLoop speedup", "BenchmarkInterpreterLoop", "BenchmarkCompiledLoop"},
-	{"Campaign jit speedup", "BenchmarkCampaign/engine=interp", "BenchmarkCampaign/engine=jit"},
-	{"Table I sequential jit speedup", "BenchmarkTableISequential", "BenchmarkTableISequentialJIT"},
-	{"Table I parallel jit speedup", "BenchmarkTableIParallel", "BenchmarkTableIParallelJIT"},
+	{Name: "CompiledLoop speedup", Slow: "BenchmarkInterpreterLoop", Fast: "BenchmarkCompiledLoop"},
+	{Name: "Campaign jit speedup", Slow: "BenchmarkCampaign/engine=interp", Fast: "BenchmarkCampaign/engine=jit"},
+	{Name: "Table I sequential jit speedup", Slow: "BenchmarkTableISequential", Fast: "BenchmarkTableISequentialJIT"},
+	{Name: "Table I parallel jit speedup", Slow: "BenchmarkTableIParallel", Fast: "BenchmarkTableIParallelJIT"},
+	{Name: "Warm cache speedup", Slow: "BenchmarkCampaignCacheCold", Fast: "BenchmarkCampaignCacheWarm", Floor: 5},
 }
 
 func (e *Entry) lookup(name string) (float64, bool) {
@@ -97,12 +105,12 @@ func (e *Entry) lookup(name string) (float64, bool) {
 }
 
 func (e *Entry) ratio(p ratioPair) (float64, bool) {
-	in, ok1 := e.lookup(p.Interp)
-	jit, ok2 := e.lookup(p.JIT)
-	if !ok1 || !ok2 || jit == 0 {
+	slow, ok1 := e.lookup(p.Slow)
+	fast, ok2 := e.lookup(p.Fast)
+	if !ok1 || !ok2 || fast == 0 {
 		return 0, false
 	}
-	return in / jit, true
+	return slow / fast, true
 }
 
 func findEntry(l *Ledger, label string) *Entry {
@@ -211,6 +219,17 @@ func check(l *Ledger, baseline, candidate string, tol float64, abs bool) int {
 	for _, p := range ratioPairs {
 		br, ok1 := base.ratio(p)
 		cr, ok2 := cand.ratio(p)
+		// An absolute floor is checked whenever the candidate measured the
+		// pair, even before any baseline entry carries it.
+		if ok2 && p.Floor > 0 {
+			status := "ok"
+			if cr < p.Floor {
+				status = "REGRESSION"
+				failures++
+			}
+			fmt.Printf("%-32s %-14s %6.2fx >= %5.2fx floor  %s\n",
+				p.Name, candidate, cr, p.Floor, status)
+		}
 		if !ok1 || !ok2 {
 			continue
 		}

@@ -8,6 +8,8 @@
 //	      [-scenario FILE] [-heap-nursery W] [-heap-tenured W] [-heap-tenure-age N]
 //	      [-heap-limit W] [-scale K] [-parallel N] [-tierstats] [-list]
 //	      [-cell-timeout D] [-max-retries N] [-retry-seed S]
+//	      [-cache-dir DIR] [-cache off|ro|rw] [-cache-verify N]
+//	      [-cache-max-mb MB] [-cellstats]
 //	      <scenario|family>... | all
 //
 // A cell that panics, exceeds -cell-timeout or fails is reported in
@@ -24,11 +26,21 @@
 // printed. The chains agent additionally prints the hottest mixed
 // Java/native call chains; the sampler agent demonstrates the
 // related-work PC-sampling baseline.
+//
+// -cache-dir (default $JVMSIM_CACHE) points at the persistent
+// content-addressed result cache (see docs/caching.md): a warm rerun
+// serves reports from disk byte-identically and prints a stats trailer
+// on stderr. -cache-verify N re-executes a deterministic 1-in-N sample
+// of hits and fails loudly on mismatch. -cellstats appends each
+// result's host-side production cost (never part of cached payloads);
+// with -json it becomes a trailing {"host":...} object after the
+// report, keeping the report itself engine-independent.
 package main
 
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -39,10 +51,12 @@ import (
 	"repro/internal/agents/chains"
 	"repro/internal/agents/ipa"
 	"repro/internal/agents/registry"
+	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/faultinject"
 	"repro/internal/harness"
 	"repro/internal/jit"
+	"repro/internal/resultcache"
 	"repro/internal/runner"
 	"repro/internal/scenarios"
 	"repro/internal/vm"
@@ -61,6 +75,8 @@ func main() {
 	scenarioFile := scenarios.AddFlag(flag.CommandLine)
 	parallel := runner.AddFlag(flag.CommandLine)
 	robust := runner.AddRobustFlags(flag.CommandLine)
+	cacheFlags := resultcache.AddFlags(flag.CommandLine)
+	cellStats := flag.Bool("cellstats", false, "append each result's host-side production cost (wall time, allocations, source); with -json a trailing {\"host\":...} object")
 	flag.Parse()
 
 	if err := scenarios.LoadIfSet(*scenarioFile); err != nil {
@@ -107,6 +123,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	cache, err := cacheFlags.Open()
+	if err != nil {
+		fatal(err)
+	}
+	memo := new(resultcache.Memo)
 	ropts := runner.Options{
 		Parallelism: *parallel,
 		EmitFailed:  true,
@@ -116,7 +137,9 @@ func main() {
 	results, err := runner.Map(context.Background(), ropts, scns,
 		func(s scenarios.Scenario) string { return s.Name() + "/" + *agentName },
 		func(ctx context.Context, s scenarios.Scenario) (string, error) {
-			return profileOne(ctx, s, *agentName, *scale, opts, *asJSON, *perMethod, *tierStats)
+			return profileCell(ctx, s, *agentName, *scale, opts,
+				*asJSON, *perMethod, *tierStats, *cellStats,
+				cache, cacheFlags.VerifyN(), memo)
 		})
 	failed := 0
 	for i, r := range results {
@@ -130,6 +153,12 @@ func main() {
 		}
 		fmt.Print(r.Value)
 	}
+	if cache != nil {
+		if cerr := cache.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "jprof:", cerr)
+		}
+		fmt.Fprintln(os.Stderr, cache.Stats())
+	}
 	if failed > 0 {
 		// Cell failures are already reported in place; the batch error is
 		// their FirstError, so the partial exit subsumes it.
@@ -139,6 +168,127 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+}
+
+// profileKey derives the content-addressed cache key for one report: the
+// scenario's full content identity under every flag that shapes the
+// rendered bytes, plus a payload-kind discriminator so jprof reports
+// never collide with other tools' payloads in a shared cache directory.
+func profileKey(s scenarios.Scenario, agentName string, scale int, opts vm.Options,
+	asJSON, perMethod, tierStats bool) (string, error) {
+	s.ApplyHeap(&opts)
+	return checkpoint.CellKey(struct {
+		scenarios.Identity
+		Agent     string     `json:"agent"`
+		Opts      vm.Options `json:"opts"`
+		Scale     int        `json:"scale"`
+		JSON      bool       `json:"json"`
+		PerMethod bool       `json:"perMethod"`
+		TierStats bool       `json:"tierStats"`
+		Kind      string     `json:"payloadKind"`
+	}{s.Identity(), agentName, opts, scale, asJSON, perMethod, tierStats, "jprof-rendered"})
+}
+
+// profileCell resolves one report through the result cache and the
+// in-process memo before falling back to a real profiling run. The
+// cached payload is the rendered report alone; the -cellstats host-cost
+// line (or trailing {"host":...} object with -json) is appended outside
+// it, so cold and warm report bytes stay identical and the telemetry
+// reflects how this invocation produced the result.
+func profileCell(ctx context.Context, s scenarios.Scenario, agentName string, scale int,
+	opts vm.Options, asJSON, perMethod, tierStats, cellStats bool,
+	cache *resultcache.Cache, verifyN int, memo *resultcache.Memo) (string, error) {
+	var doneHost func(string) core.HostStats
+	if cellStats {
+		doneHost = core.StartHostMeasure()
+	}
+	finish := func(text, source string) (string, error) {
+		if doneHost == nil {
+			return text, nil
+		}
+		h := doneHost(source)
+		if asJSON {
+			var buf bytes.Buffer
+			buf.WriteString(text)
+			if err := core.WriteHostJSON(&buf, h); err != nil {
+				return "", err
+			}
+			return buf.String(), nil
+		}
+		return text + "host: " + h.String() + "\n", nil
+	}
+	key, err := profileKey(s, agentName, scale, opts, asJSON, perMethod, tierStats)
+	if err != nil {
+		return "", err
+	}
+	decode := func(raw json.RawMessage, source string) (string, error) {
+		var text string
+		if err := json.Unmarshal(raw, &text); err != nil {
+			return "", fmt.Errorf("corrupt %s payload for %s: %w", source, s.Name(), err)
+		}
+		return text, nil
+	}
+	execute := func() (json.RawMessage, error) {
+		text, err := profileOne(ctx, s, agentName, scale, opts, asJSON, perMethod, tierStats)
+		if err != nil {
+			return nil, err
+		}
+		return checkpoint.CanonicalPayload(text)
+	}
+	if raw, ok := cache.Get(key); ok {
+		if resultcache.VerifySample(key, verifyN) {
+			fresh, err := execute()
+			if err != nil {
+				return "", err
+			}
+			if err := cache.Verify(key, raw, fresh); err != nil {
+				return "", err
+			}
+			text, err := decode(fresh, "verify")
+			if err != nil {
+				return "", err
+			}
+			return finish(text, "verify")
+		}
+		if text, err := decode(raw, "cache"); err == nil {
+			return finish(text, "cache")
+		}
+		// A valid record wrapping an undecodable payload falls through as
+		// a miss, like every other flavour of cache damage.
+	}
+	raw, shared, err := memo.Do(key, func() (json.RawMessage, error) {
+		raw, err := execute()
+		if err != nil {
+			return nil, err
+		}
+		if err := cache.Put(key, raw); err != nil {
+			// An unwritable cache is environmental, so retryable.
+			return nil, runner.Transient(err)
+		}
+		return raw, nil
+	})
+	if err != nil {
+		if !shared {
+			return "", err
+		}
+		// A deduplicated sibling's failure (an injected fault, a timeout)
+		// must stay its own: run this cell's attempt instead of inheriting
+		// the error.
+		if raw, err = execute(); err != nil {
+			return "", err
+		}
+		shared = false
+	}
+	source := "run"
+	if shared {
+		cache.AddDeduped(1)
+		source = "dedup"
+	}
+	text, err := decode(raw, "execution")
+	if err != nil {
+		return "", err
+	}
+	return finish(text, source)
 }
 
 // profileOne runs one scenario under a fresh agent on its own VM and

@@ -9,6 +9,7 @@ import (
 	"runtime"
 
 	"repro/internal/harness"
+	"repro/internal/resultcache"
 	"repro/internal/scenarios"
 )
 
@@ -34,8 +35,9 @@ func runDoctor(args []string) int {
 	fs := flag.NewFlagSet("doctor", flag.ExitOnError)
 	format := fs.String("format", "text", "output format: text or json")
 	checkpointDir := fs.String("checkpoint-dir", ".", "directory whose writability to verify (where -checkpoint journals would go)")
+	cacheDir := fs.String("cache-dir", os.Getenv(resultcache.EnvVar), "result cache directory to audit (default $"+resultcache.EnvVar+"; empty skips the check)")
 	ledger := fs.String("ledger", "BENCH_TREND.json", "benchmark ledger to verify")
-	baseline := fs.String("baseline", "pr6", "ledger entry the perf gate compares against")
+	baseline := fs.String("baseline", "pr7", "ledger entry the perf gate compares against")
 	if err := fs.Parse(args); err != nil {
 		return harness.ExitUsage
 	}
@@ -49,6 +51,7 @@ func runDoctor(args []string) int {
 		checkRegistry(),
 		checkHeapSpecs(),
 		checkCheckpointDir(*checkpointDir),
+		checkCache(*cacheDir),
 		checkBaseline(*ledger, *baseline),
 	}
 	ok := true
@@ -183,6 +186,51 @@ func checkCheckpointDir(dir string) check {
 	}
 	c.OK = true
 	c.Detail = fmt.Sprintf("%s writable (fsync ok)", dir)
+	return c
+}
+
+// checkCache audits the result cache directory: the layout-version stamp
+// (a stale or unstamped-populated layout fails with the remediation the
+// cache itself would give), writability, and the current entry
+// count/size. An unconfigured cache and an absent directory both pass —
+// caching is opt-in, and rw mode creates its directory on first use.
+func checkCache(dir string) check {
+	c := check{Name: "cache-dir"}
+	if dir == "" {
+		c.OK = true
+		c.Detail = "no cache configured (set -cache-dir or $" + resultcache.EnvVar + " to enable)"
+		return c
+	}
+	if _, err := os.Stat(dir); os.IsNotExist(err) {
+		c.OK = true
+		c.Detail = fmt.Sprintf("%s absent (created on first rw run)", dir)
+		return c
+	}
+	if err := resultcache.CheckLayout(dir); err != nil {
+		c.Detail = err.Error()
+		return c
+	}
+	f, err := os.CreateTemp(dir, ".doctor-probe-*")
+	if err != nil {
+		c.Detail = fmt.Sprintf("%s not writable: %v (ro mode still works)", dir, err)
+		return c
+	}
+	name := f.Name()
+	f.Close()
+	os.Remove(name)
+	cache, err := resultcache.Open(dir, resultcache.ModeRO)
+	if err != nil {
+		c.Detail = err.Error()
+		return c
+	}
+	count, size, err := cache.Len()
+	if err != nil {
+		c.Detail = fmt.Sprintf("%s: %v", dir, err)
+		return c
+	}
+	c.OK = true
+	c.Detail = fmt.Sprintf("%s writable, layout %s, %d entries (%.1f MB)",
+		dir, resultcache.LayoutVersion, count, float64(size)/(1<<20))
 	return c
 }
 

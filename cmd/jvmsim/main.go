@@ -9,9 +9,10 @@
 //	       [-scale K] [-parallel N] [-tierstats]
 //	       [-cell-timeout D] [-max-retries N] [-retry-seed S]
 //	       [-checkpoint FILE] [-resume]
+//	       [-cache-dir DIR] [-cache off|ro|rw] [-cache-verify N] [-cache-max-mb MB]
 //	       [-cpuprofile F] [-memprofile F] [-dump|-metrics]
 //	       <scenario|family>... | all
-//	jvmsim doctor [-format text|json] [-checkpoint-dir DIR]
+//	jvmsim doctor [-format text|json] [-checkpoint-dir DIR] [-cache-dir DIR]
 //
 // Arguments name registered scenarios, scenario families ("paper",
 // "gc-heavy", ...) or the word "all"; -scenario loads a declarative JSON
@@ -34,9 +35,17 @@
 // reported in place and the process exits with code 3 (partial).
 // -checkpoint journals each finished cell's rendered output to FILE;
 // -resume replays finished cells from the journal and runs only the
-// rest, producing byte-identical output. The `doctor` subcommand checks
-// the installation (toolchain, registry, checkpoint-dir writability,
-// benchmark baseline) and exits non-zero on failure.
+// rest, producing byte-identical output.
+//
+// -cache-dir (default $JVMSIM_CACHE) points at the persistent
+// content-addressed result cache (see docs/caching.md): a warm rerun
+// serves finished cells from disk byte-identically and prints a stats
+// trailer on stderr; identical cells appearing more than once in one
+// invocation execute exactly once. -cache-verify N re-executes a
+// deterministic 1-in-N sample of hits and fails loudly on mismatch.
+// The `doctor` subcommand checks the installation (toolchain, registry,
+// checkpoint-dir and cache-dir health, benchmark baseline) and exits
+// non-zero on failure.
 //
 // Exit codes: 0 complete, 1 fatal, 2 usage, 3 partial.
 package main
@@ -58,6 +67,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/harness"
 	"repro/internal/jit"
+	"repro/internal/resultcache"
 	"repro/internal/runner"
 	"repro/internal/scenarios"
 	"repro/internal/vm"
@@ -82,6 +92,7 @@ func main() {
 	robust := runner.AddRobustFlags(flag.CommandLine)
 	checkpointPath := flag.String("checkpoint", "", "journal each finished cell's output to `file` (crash-resumable with -resume)")
 	resume := flag.Bool("resume", false, "with -checkpoint: replay finished cells from the journal instead of re-running them")
+	cacheFlags := resultcache.AddFlags(flag.CommandLine)
 	flag.Parse()
 	if *resume && *checkpointPath == "" {
 		fmt.Fprintln(os.Stderr, "jvmsim: -resume requires -checkpoint")
@@ -169,6 +180,13 @@ func main() {
 		}
 		defer journal.Close()
 	}
+	// Opened after the static-analysis paths so -dump/-metrics never
+	// create or stamp a cache directory they will not use.
+	cache, err := cacheFlags.Open()
+	if err != nil {
+		fatal(err)
+	}
+	memo := new(resultcache.Memo)
 
 	ropts := runner.Options{
 		Parallelism: *parallel,
@@ -179,29 +197,8 @@ func main() {
 	results, err := runner.Map(context.Background(), ropts, scns,
 		func(s scenarios.Scenario) string { return s.Name() + "/" + *agentName },
 		func(ctx context.Context, s scenarios.Scenario) (string, error) {
-			key, err := cellKey(s, *agentName, *scale, opts, *tierStats)
-			if err != nil {
-				return "", err
-			}
-			if journal != nil {
-				if payload, ok := journal.Lookup(key); ok {
-					var text string
-					if err := json.Unmarshal(payload, &text); err != nil {
-						return "", fmt.Errorf("checkpoint payload for %s: %w", s.Name(), err)
-					}
-					return text, nil
-				}
-			}
-			text, err := runOne(ctx, s, *agentName, *scale, opts, *tierStats)
-			if err != nil {
-				return "", err
-			}
-			if journal != nil {
-				if err := journal.Append(key, text); err != nil {
-					return "", err
-				}
-			}
-			return text, nil
+			return runCell(ctx, s, *agentName, *scale, opts, *tierStats,
+				journal, cache, cacheFlags.VerifyN(), memo)
 		})
 	failed := 0
 	for i, r := range results {
@@ -215,6 +212,7 @@ func main() {
 		}
 		fmt.Print(r.Value)
 	}
+	finishCache(cache)
 	if failed > 0 {
 		// Cell failures are already reported in place; the batch error is
 		// their FirstError, so the partial exit subsumes it.
@@ -226,19 +224,132 @@ func main() {
 	}
 }
 
-// cellKey derives the content-addressed checkpoint key for one cell: the
-// scenario under everything that shapes its output. A changed flag or
-// heap spec changes the key, so a stale journal entry can never replay
-// into a differently-configured run.
+// runCell resolves one scenario cell through the result layers, cheapest
+// first: the checkpoint journal (this run's crash log), the persistent
+// result cache, the in-process memo (identical cells execute once), and
+// finally a real execution. Every layer serves the same canonical JSON
+// payload, so the rendered output is byte-identical however the cell was
+// resolved.
+func runCell(ctx context.Context, s scenarios.Scenario, agentName string, scale int,
+	opts vm.Options, tierStats bool, journal *checkpoint.Journal,
+	cache *resultcache.Cache, verifyN int, memo *resultcache.Memo) (string, error) {
+	key, err := cellKey(s, agentName, scale, opts, tierStats)
+	if err != nil {
+		return "", err
+	}
+	decode := func(raw json.RawMessage, source string) (string, error) {
+		var text string
+		if err := json.Unmarshal(raw, &text); err != nil {
+			return "", fmt.Errorf("corrupt %s payload for %s: %w", source, s.Name(), err)
+		}
+		return text, nil
+	}
+	execute := func() (json.RawMessage, error) {
+		text, err := runOne(ctx, s, agentName, scale, opts, tierStats)
+		if err != nil {
+			return nil, err
+		}
+		return checkpoint.CanonicalPayload(text)
+	}
+	journalPut := func(raw json.RawMessage) error {
+		if journal == nil {
+			return nil
+		}
+		if err := journal.Append(key, raw); err != nil {
+			// An unwritable journal is environmental, so retryable.
+			return runner.Transient(err)
+		}
+		return nil
+	}
+
+	if journal != nil {
+		if raw, ok := journal.Lookup(key); ok {
+			return decode(raw, "checkpoint")
+		}
+	}
+	if raw, ok := cache.Get(key); ok {
+		if resultcache.VerifySample(key, verifyN) {
+			fresh, err := execute()
+			if err != nil {
+				return "", err
+			}
+			if err := cache.Verify(key, raw, fresh); err != nil {
+				return "", err
+			}
+			if err := journalPut(fresh); err != nil {
+				return "", err
+			}
+			return decode(fresh, "verified")
+		}
+		if text, err := decode(raw, "cache"); err == nil {
+			if err := journalPut(raw); err != nil {
+				return "", err
+			}
+			return text, nil
+		}
+		// A valid record wrapping an undecodable payload falls through as
+		// a miss, like every other flavour of cache damage.
+	}
+	raw, shared, err := memo.Do(key, func() (json.RawMessage, error) {
+		raw, err := execute()
+		if err != nil {
+			return nil, err
+		}
+		if err := cache.Put(key, raw); err != nil {
+			return nil, runner.Transient(err)
+		}
+		return raw, nil
+	})
+	if err != nil {
+		if !shared {
+			return "", err
+		}
+		// A deduplicated sibling's failure (an injected fault, a timeout)
+		// must stay its own: run this cell's attempt instead of inheriting
+		// the error.
+		if raw, err = execute(); err != nil {
+			return "", err
+		}
+		shared = false
+	}
+	if shared {
+		cache.AddDeduped(1)
+	}
+	if err := journalPut(raw); err != nil {
+		return "", err
+	}
+	return decode(raw, "execution")
+}
+
+// finishCache runs the end-of-run cache work: the size-capped eviction
+// pass, then the stats trailer on stderr (stdout stays byte-identical
+// whether the run was cold or warm).
+func finishCache(c *resultcache.Cache) {
+	if c == nil {
+		return
+	}
+	if err := c.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "jvmsim:", err)
+	}
+	fmt.Fprintln(os.Stderr, c.Stats())
+}
+
+// cellKey derives the content-addressed key for one cell: the scenario's
+// full content identity (not just its name, so a re-edited -scenario
+// file can never alias a stale entry) under everything that shapes the
+// output. The payload-kind discriminator keeps jvmsim's rendered-text
+// payloads from ever colliding with the harness's Measurement payloads
+// in a shared cache directory.
 func cellKey(s scenarios.Scenario, agentName string, scale int, opts vm.Options, tierStats bool) (string, error) {
 	s.ApplyHeap(&opts)
 	return checkpoint.CellKey(struct {
-		Scenario  string     `json:"scenario"`
+		scenarios.Identity
 		Agent     string     `json:"agent"`
 		Opts      vm.Options `json:"opts"`
 		Scale     int        `json:"scale"`
 		TierStats bool       `json:"tierStats"`
-	}{s.Name(), agentName, opts, scale, tierStats})
+		Kind      string     `json:"payloadKind"`
+	}{s.Identity(), agentName, opts, scale, tierStats, "jvmsim-rendered"})
 }
 
 // exit flushes the deferred profile writers before terminating with the

@@ -11,6 +11,8 @@
 //	       [-table 1|2|all] [-runs N] [-scale K] [-parallel N]
 //	       [-cell-timeout D] [-max-retries N] [-retry-seed S]
 //	       [-checkpoint FILE] [-resume]
+//	       [-cache-dir DIR] [-cache off|ro|rw] [-cache-verify N]
+//	       [-cache-max-mb MB] [-cellstats]
 //
 // -engine selects the execution tier every measurement cell runs on;
 // the rendered tables and campaign rows are byte-identical across
@@ -44,6 +46,16 @@
 // fast and rejects -checkpoint/-resume; -cell-timeout and -max-retries
 // apply everywhere.
 //
+// -cache-dir (default $JVMSIM_CACHE) points at the persistent
+// content-addressed result cache (see docs/caching.md): a warm rerun
+// serves every cell from disk, byte-identical to a cold one, and prints
+// a hits/misses stats trailer on stderr. Unlike -checkpoint it applies
+// to every profile, paper included — a hit replays a complete cell,
+// never a partial table. -cache-verify N re-executes a deterministic
+// 1-in-N sample of hits and fails loudly on any byte mismatch.
+// -cellstats appends host-side wall-time/allocation/source columns to
+// campaign rows; the telemetry is never part of cached payloads.
+//
 // Exit codes: 0 complete, 1 fatal (including check failures), 2 usage,
 // 3 partial.
 package main
@@ -59,6 +71,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/harness"
 	"repro/internal/jit"
+	"repro/internal/resultcache"
 	"repro/internal/runner"
 	"repro/internal/scenarios"
 	"repro/internal/vm"
@@ -80,6 +93,8 @@ func main() {
 	robust := runner.AddRobustFlags(flag.CommandLine)
 	checkpointPath := flag.String("checkpoint", "", "journal each finished cell's measurement to `file` (crash-resumable with -resume)")
 	resume := flag.Bool("resume", false, "with -checkpoint: replay finished cells from the journal instead of re-measuring them")
+	cacheFlags := resultcache.AddFlags(flag.CommandLine)
+	cellStats := flag.Bool("cellstats", false, "append host-side wall-time/alloc/source columns to campaign rows (telemetry only, never cached)")
 	flag.Parse()
 
 	engine, err := jit.ParseEngine(*engineName)
@@ -103,6 +118,13 @@ func main() {
 		fatal(err)
 	}
 	cfg.Hook = injector.Hook()
+	cache, err := cacheFlags.Open()
+	if err != nil {
+		fatal(err)
+	}
+	cfg.Cache = cache
+	cfg.CacheVerify = cacheFlags.VerifyN()
+	cfg.CellStats = *cellStats
 	if *resume && *checkpointPath == "" {
 		fmt.Fprintln(os.Stderr, "tables: -resume requires -checkpoint")
 		os.Exit(harness.ExitUsage)
@@ -127,9 +149,16 @@ func main() {
 	}
 	// The paper tables are all-or-nothing reference output: resuming a
 	// half-measured table would be indistinguishable from a complete one,
-	// so the journal applies only to campaign profiles.
+	// so the journal applies only to campaign profiles. The result cache
+	// is safe there — a hit replays a complete cell, never a partial
+	// table — so -cache is the supported way to speed up paper reruns.
 	if *checkpointPath != "" && *profile == "paper" {
-		fatal(fmt.Errorf("-checkpoint/-resume apply only to campaign profiles; the paper tables are regenerated whole"))
+		fatal(fmt.Errorf("-checkpoint/-resume apply only to campaign profiles; the paper tables are regenerated whole (use -cache-dir/-cache to reuse finished cell results instead)"))
+	}
+	// -cellstats columns attach to streamed campaign rows; the paper
+	// tables have the paper's fixed layout.
+	if *cellStats && *profile == "paper" {
+		fatal(fmt.Errorf("-cellstats applies only to campaign profiles; the paper tables keep the paper's layout"))
 	}
 	// The paper profile never includes loaded scenarios, so accepting the
 	// file there would silently measure nothing from it.
@@ -160,6 +189,7 @@ func main() {
 			fatal(err)
 		}
 		fmt.Print(rep.String())
+		finishCache(cache)
 		if !rep.OK() {
 			os.Exit(1)
 		}
@@ -182,6 +212,7 @@ func main() {
 		if err := harness.WriteMarkdown(os.Stdout, rows1, geo, rows2); err != nil {
 			fatal(err)
 		}
+		finishCache(cache)
 		return
 	}
 
@@ -215,6 +246,20 @@ func main() {
 	if *table != "1" && *table != "2" && *table != "all" {
 		fatal(fmt.Errorf("unknown -table %q (want 1, 2 or all)", *table))
 	}
+	finishCache(cache)
+}
+
+// finishCache runs the end-of-run cache work on every successful exit
+// path: the size-capped eviction pass, then the stats trailer on stderr
+// (stdout stays byte-identical whether the run was cold or warm).
+func finishCache(c *resultcache.Cache) {
+	if c == nil {
+		return
+	}
+	if err := c.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "tables:", err)
+	}
+	fmt.Fprintln(os.Stderr, c.Stats())
 }
 
 // runCampaign measures a non-paper profile: every profile scenario under
@@ -236,15 +281,25 @@ func runCampaign(profile string, agents []string, cfg harness.Config, checkpoint
 		defer journal.Close()
 		camp.Journal = journal
 	}
-	fmt.Printf("campaign %s: %d scenarios x %d agents\n%s\n",
-		profile, len(scns), len(agents), harness.CampaignHeader())
-	res, err := camp.Run(context.Background(), func(r harness.CampaignRow) error {
+	header := harness.CampaignHeader()
+	emit := func(r harness.CampaignRow) error {
 		_, err := fmt.Println(r)
 		return err
-	})
+	}
+	if cfg.CellStats {
+		header = harness.CampaignCellStatsHeader()
+		emit = func(r harness.CampaignRow) error {
+			_, err := fmt.Println(r.CellStatsString())
+			return err
+		}
+	}
+	fmt.Printf("campaign %s: %d scenarios x %d agents\n%s\n",
+		profile, len(scns), len(agents), header)
+	res, err := camp.Run(context.Background(), emit)
 	if err != nil {
 		fatal(err)
 	}
+	finishCache(cfg.Cache)
 	fmt.Println()
 	fmt.Print(harness.RenderChecks(res.CheckFailures))
 	if res.Failed > 0 {

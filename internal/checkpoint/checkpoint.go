@@ -40,6 +40,21 @@ func CellKey(identity any) (string, error) {
 	return hex.EncodeToString(sum[:]), nil
 }
 
+// CanonicalPayload is the canonical JSON encoding of a cell payload —
+// the byte form journaled here and stored by the result cache. Both
+// stores share this one codec so a payload round-trips bit-exactly
+// between them and an uncached run: encoding/json is deterministic for
+// struct-typed values (field order follows declaration, float formatting
+// is shortest-round-trip), which is what makes byte-level cache
+// verification possible at all.
+func CanonicalPayload(payload any) (json.RawMessage, error) {
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: encoding payload: %w", err)
+	}
+	return raw, nil
+}
+
 // record is one journal line.
 type record struct {
 	Key     string          `json:"key"`
@@ -123,9 +138,9 @@ func (j *Journal) load() error {
 // as one line, and fsync'd before Append returns, so a crash after
 // Append never loses the cell.
 func (j *Journal) Append(key string, payload any) error {
-	raw, err := json.Marshal(payload)
+	raw, err := CanonicalPayload(payload)
 	if err != nil {
-		return fmt.Errorf("checkpoint: encoding payload for %s: %w", key, err)
+		return fmt.Errorf("checkpoint: %s: %w", key, err)
 	}
 	line, err := json.Marshal(record{Key: key, Payload: raw})
 	if err != nil {

@@ -7,10 +7,11 @@ import (
 	"strings"
 
 	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/resultcache"
 	"repro/internal/runner"
 	"repro/internal/scenarios"
 	"repro/internal/vm"
-	"repro/internal/workloads"
 )
 
 // Campaign is the generalized measurement matrix: any scenario set × any
@@ -68,17 +69,16 @@ type CampaignResult struct {
 // Measurement: the scenario content, the agent, the effective VM options
 // (cost model, engine, heap after the scenario/flag precedence) and the
 // repetition parameters. Its checkpoint.CellKey is the content address
-// under which the cell journals and resumes — and the key the roadmap's
-// result cache will share.
+// under which the cell journals, resumes, deduplicates and memoizes in
+// the persistent result cache: equal keys imply interchangeable
+// pure-function evaluations, so a hit skips simulation entirely.
 type CellIdentity struct {
-	Scenario string             `json:"scenario"`
-	Workload workloads.Workload `json:"workload"`
-	Sequence []int              `json:"sequence,omitempty"`
-	Agent    string             `json:"agent"`
-	Opts     vm.Options         `json:"opts"`
-	Scale    int                `json:"scale"`
-	Runs     int                `json:"runs"`
-	Warmup   int                `json:"warmup"`
+	scenarios.Identity
+	Agent  string     `json:"agent"`
+	Opts   vm.Options `json:"opts"`
+	Scale  int        `json:"scale"`
+	Runs   int        `json:"runs"`
+	Warmup int        `json:"warmup"`
 }
 
 // cellKey content-addresses the (scenario, agent) cell under cfg. The
@@ -89,9 +89,7 @@ func cellKey(sc scenarios.Scenario, agent string, cfg Config) (string, error) {
 	opts := cfg.Opts
 	sc.ApplyHeap(&opts)
 	return checkpoint.CellKey(CellIdentity{
-		Scenario: sc.Name(),
-		Workload: sc.Workload,
-		Sequence: sc.WarehouseSequence,
+		Identity: sc.Identity(),
 		Agent:    agent,
 		Opts:     opts,
 		Scale:    cfg.Scale,
@@ -124,41 +122,22 @@ func (c Campaign) Run(ctx context.Context, emit func(CampaignRow) error) (*Campa
 		agent string
 	}
 	var meta []cellMeta
+	// memo is the per-campaign dedup layer: identical cells (equal
+	// content keys — overlapping sweeps, repeated scenario × agent pairs)
+	// execute exactly once per process, whether they arrive concurrently
+	// (singleflight) or in sequence (memoization).
+	memo := new(resultcache.Memo)
 	for _, sc := range c.Scenarios {
 		for _, agent := range agents {
 			sc, agent := sc, agent
-			var key string
-			if c.Journal != nil {
-				var err error
-				if key, err = cellKey(sc, agent, cfg); err != nil {
-					return nil, err
-				}
+			key, err := cellKey(sc, agent, cfg)
+			if err != nil {
+				return nil, err
 			}
 			cells = append(cells, runner.Cell[*Measurement]{
 				Key: sc.Name() + "/" + agent,
 				Do: func(ctx context.Context) (*Measurement, error) {
-					if c.Journal != nil {
-						if raw, ok := c.Journal.Lookup(key); ok {
-							m := new(Measurement)
-							if err := json.Unmarshal(raw, m); err != nil {
-								return nil, fmt.Errorf("harness: corrupt checkpoint payload for %s/%s: %w", sc.Name(), agent, err)
-							}
-							return m, nil
-						}
-					}
-					m, err := MeasureScenario(ctx, sc, agent, cfg)
-					if err != nil {
-						return nil, err
-					}
-					if c.Journal != nil {
-						// Journal I/O is environmental, not a property of the
-						// cell — mark it transient so retries can ride out a
-						// briefly unwritable checkpoint file.
-						if err := c.Journal.Append(key, m); err != nil {
-							return nil, runner.Transient(err)
-						}
-					}
-					return m, nil
+					return c.runCell(ctx, sc, agent, key, cfg, memo)
 				},
 			})
 			meta = append(meta, cellMeta{sc: sc, agent: agent})
@@ -197,6 +176,129 @@ func (c Campaign) Run(ctx context.Context, emit func(CampaignRow) error) (*Campa
 		res.CheckFailures = append(res.CheckFailures, EvaluateChecks(sc, res.Rows, cfg.Scale)...)
 	}
 	return res, nil
+}
+
+// runCell produces one cell's Measurement, cheapest source first:
+//
+//  1. the checkpoint journal (an explicit -resume replays it verbatim),
+//  2. the persistent result cache — a hit skips simulation entirely,
+//     except for the deterministic -cache-verify sample, which
+//     re-executes and fails loudly on any byte mismatch,
+//  3. memoized execution: identical in-campaign cells run once and
+//     share the canonical payload.
+//
+// Every consumer — leader, dedup follower, cache hit, journal replay —
+// decodes its Measurement from the same canonical JSON payload (the
+// checkpoint codec round-trips it bit-exactly), so the rendered output
+// is byte-identical no matter which source served the cell. Only
+// successful, complete payloads ever reach the cache: a failed attempt
+// (panic, timeout, injected fault, exhausted retries) returns before
+// Put, and retries re-enter this whole path so a transient failure can
+// never publish partial state. Host-side cost (wall time, allocated
+// bytes) is measured around whichever path ran and stamped on the
+// decoded Measurement — never on the cached payload.
+func (c Campaign) runCell(ctx context.Context, sc scenarios.Scenario, agent, key string,
+	cfg Config, memo *resultcache.Memo) (*Measurement, error) {
+	var doneHost func(string) core.HostStats
+	if cfg.CellStats {
+		doneHost = core.StartHostMeasure()
+	}
+	decode := func(raw json.RawMessage, source string) (*Measurement, error) {
+		m := new(Measurement)
+		if err := json.Unmarshal(raw, m); err != nil {
+			return nil, fmt.Errorf("harness: corrupt %s payload for %s/%s: %w", source, sc.Name(), agent, err)
+		}
+		if doneHost != nil {
+			m.Host = doneHost(source)
+		}
+		return m, nil
+	}
+	execute := func() (json.RawMessage, error) {
+		m, err := MeasureScenario(ctx, sc, agent, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return checkpoint.CanonicalPayload(m)
+	}
+	journal := func(raw json.RawMessage) error {
+		if c.Journal == nil {
+			return nil
+		}
+		// Journal I/O is environmental, not a property of the cell — mark
+		// it transient so retries can ride out a briefly unwritable
+		// checkpoint file.
+		if err := c.Journal.Append(key, raw); err != nil {
+			return runner.Transient(err)
+		}
+		return nil
+	}
+
+	if c.Journal != nil {
+		if raw, ok := c.Journal.Lookup(key); ok {
+			return decode(raw, "journal")
+		}
+	}
+
+	cache := cfg.Cache
+	if raw, ok := cache.Get(key); ok {
+		if resultcache.VerifySample(key, cfg.CacheVerify) {
+			fresh, err := execute()
+			if err != nil {
+				return nil, err
+			}
+			if err := cache.Verify(key, raw, fresh); err != nil {
+				return nil, err
+			}
+			if err := journal(fresh); err != nil {
+				return nil, err
+			}
+			return decode(fresh, "verify")
+		}
+		if m, err := decode(raw, "cache"); err == nil {
+			if err := journal(raw); err != nil {
+				return nil, err
+			}
+			return m, nil
+		}
+		// A well-formed record wrapping an undecodable Measurement is
+		// corruption like any other: fall through to execution as a miss.
+	}
+
+	raw, shared, err := memo.Do(key, func() (json.RawMessage, error) {
+		raw, err := execute()
+		if err != nil {
+			return nil, err
+		}
+		// Cache I/O is environmental, like journal I/O: transient, so a
+		// briefly unwritable cache directory spends retries instead of
+		// failing the measurement outright.
+		if err := cache.Put(key, raw); err != nil {
+			return nil, runner.Transient(err)
+		}
+		return raw, nil
+	})
+	if shared && err != nil {
+		// The identical in-flight cell failed; its error belongs to it,
+		// not to us — run our own attempt so per-cell fault injection and
+		// retry accounting stay cell-local.
+		raw, err = execute()
+		if err == nil {
+			err = cache.Put(key, raw)
+		}
+		shared = false
+	}
+	if err != nil {
+		return nil, err
+	}
+	source := "run"
+	if shared {
+		cache.AddDeduped(1)
+		source = "dedup"
+	}
+	if err := journal(raw); err != nil {
+		return nil, err
+	}
+	return decode(raw, source)
 }
 
 // EvaluateChecks applies a scenario's expected-value checks to the
@@ -318,6 +420,31 @@ func (r CampaignRow) String() string {
 		m.MedianCycles, m.MedianThroughput, nativePct,
 		m.Truth.NativeMethodCalls, m.Truth.JNICalls,
 		m.GC.MinorGCs, m.GC.MajorGCs)
+}
+
+// CampaignCellStatsHeader is CampaignHeader extended with the opt-in
+// -cellstats columns: host-side wall time, Go-heap allocation and the
+// source that served the cell (run, cache, verify, journal, dedup).
+// These are simulator telemetry, not simulated values, and vary run to
+// run — which is why they live behind the flag instead of in the
+// byte-identical default layout.
+func CampaignCellStatsHeader() string {
+	return fmt.Sprintf("%s %10s %11s %8s", CampaignHeader(), "wall(ms)", "alloc(KB)", "source")
+}
+
+// CellStatsString renders the row with the -cellstats columns appended.
+// Failed rows keep their FAILED form unchanged — there is no meaningful
+// host cost to report for an error row.
+func (r CampaignRow) CellStatsString() string {
+	if r.Err != nil || r.M == nil {
+		return r.String()
+	}
+	src := r.M.Host.Source
+	if src == "" {
+		src = "run"
+	}
+	return fmt.Sprintf("%s %10.3f %11.1f %8s", r.String(),
+		float64(r.M.Host.WallNanos)/1e6, float64(r.M.Host.AllocBytes)/1024, src)
 }
 
 // errorLine flattens err to a single report line: a cell failure's cause

@@ -22,6 +22,7 @@ import (
 	"repro/internal/agents/registry"
 	"repro/internal/core"
 	"repro/internal/jit"
+	"repro/internal/resultcache"
 	"repro/internal/runner"
 	"repro/internal/scenarios"
 	"repro/internal/stats"
@@ -124,6 +125,22 @@ type Config struct {
 	// Hook is the runner's fault-injection seam, forwarded verbatim
 	// (internal/faultinject implements it). Nil injects nothing.
 	Hook runner.Hook
+	// Cache is the persistent content-addressed result cache; nil (or a
+	// nil-opening ModeOff) disables it. A campaign cell whose content
+	// key hits the cache skips simulation entirely and decodes the
+	// stored canonical payload — byte-identical output either way. See
+	// internal/resultcache and docs/caching.md.
+	Cache *resultcache.Cache
+	// CacheVerify, when positive, re-executes a deterministic 1-in-N
+	// sample of cache hits (keyed by content hash, so the sample is
+	// stable across runs and parallelism) and fails the cell loudly if
+	// the fresh canonical payload differs from the cached bytes.
+	CacheVerify int
+	// CellStats stamps each cell's Measurement.Host with the host-side
+	// cost of producing it (-cellstats on the CLIs). Off by default so
+	// the run-varying telemetry never leaks into row comparisons or
+	// byte-identity goldens.
+	CellStats bool
 }
 
 // DefaultConfig returns the configuration used to regenerate the tables.
@@ -196,6 +213,14 @@ type Measurement struct {
 	// tests can assert that promotion, deopt and invalidation actually
 	// happened under -engine=jit/auto.
 	Tier jit.Stats
+	// Host is the host-side cost of producing this measurement (wall
+	// time, Go-heap allocation, and whether it came from execution, the
+	// cache, the journal or an in-process dedup). Excluded from the
+	// canonical JSON payload — and therefore from every byte-identity
+	// golden — because it varies run to run; campaigns stamp it fresh on
+	// every cell, including cached hits (which report their own
+	// near-zero cost). Rendered only behind -cellstats.
+	Host core.HostStats `json:"-"`
 }
 
 // Measure runs one benchmark under one agent configuration cfg.Runs times

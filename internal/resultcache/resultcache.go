@@ -1,0 +1,536 @@
+// Package resultcache is the persistent, content-addressed memoization
+// store for measurement cells. Every cell of a campaign is a pure,
+// deterministic function of its content-addressed identity (the
+// checkpoint.CellKey over scenario content × agent × engine × effective
+// options × heap spec × scale/runs/warmup), so any two invocations with
+// equal keys are interchangeable: the cache stores each cell's canonical
+// JSON payload once on disk and serves every later invocation — a second
+// Table I run, an overlapping sweep, a CI re-run — at near-pure-render
+// cost.
+//
+// Layout (see docs/caching.md):
+//
+//	<dir>/VERSION        layout stamp ("jvmsim-resultcache-v1")
+//	<dir>/ab/<64 hex>    one entry per cell key, sharded by the key's
+//	                     first two hex digits
+//
+// Each entry holds one JSON object {"key": <hex>, "payload": <raw>} —
+// the same record codec the checkpoint journal appends — written to a
+// temp file and renamed into place, so concurrent writers (two processes
+// sharing a cache directory) can never expose a torn entry. Reads treat
+// any unreadable, truncated or key-mismatched entry as a miss, never a
+// crash: a corrupted cache costs re-execution, not correctness.
+//
+// Eviction is a size-capped LRU pass over entry mtimes (Get touches its
+// entry), run by Close when a cap is configured. Failed cells are never
+// stored — Put is only reached with a complete, successful payload.
+package resultcache
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// LayoutVersion is the on-disk layout stamp. A directory carrying a
+// different stamp (or entries but no stamp at all) belongs to another
+// layout generation and is refused with a remediation message instead of
+// being misread.
+const LayoutVersion = "jvmsim-resultcache-v1"
+
+// versionFile is the stamp's file name inside the cache directory.
+const versionFile = "VERSION"
+
+// Mode selects how a cache participates in a run.
+type Mode int
+
+const (
+	// ModeOff disables the cache entirely (Open returns nil).
+	ModeOff Mode = iota
+	// ModeRO serves hits but never writes: no entries, no version stamp,
+	// no eviction. A missing directory is an empty cache, not an error.
+	ModeRO
+	// ModeRW serves hits and stores every successful cell.
+	ModeRW
+)
+
+// String names the mode the way the -cache flag spells it.
+func (m Mode) String() string {
+	switch m {
+	case ModeRO:
+		return "ro"
+	case ModeRW:
+		return "rw"
+	default:
+		return "off"
+	}
+}
+
+// ParseMode parses the -cache flag value.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "off":
+		return ModeOff, nil
+	case "ro":
+		return ModeRO, nil
+	case "rw":
+		return ModeRW, nil
+	}
+	return ModeOff, fmt.Errorf("resultcache: unknown cache mode %q (want off, ro or rw)", s)
+}
+
+// Stats is a point-in-time snapshot of a cache's counters.
+type Stats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Puts      uint64 `json:"puts"`
+	Deduped   uint64 `json:"deduped"`
+	Evictions uint64 `json:"evictions"`
+	Verified  uint64 `json:"verified"`
+}
+
+// HitRate is the fraction of lookups served from disk, in percent.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total) * 100
+}
+
+// String renders the stats trailer the CLIs print after a cached run.
+func (s Stats) String() string {
+	return fmt.Sprintf("cache: %d hits, %d misses, %d deduped, %d evicted, %d verified (%.1f%% hit rate)",
+		s.Hits, s.Misses, s.Deduped, s.Evictions, s.Verified, s.HitRate())
+}
+
+// Cache is a persistent content-addressed result store rooted at one
+// directory. All methods are safe for concurrent use, nil-safe (a nil
+// *Cache behaves as ModeOff: every Get misses without counting, every
+// Put is a no-op), and safe against concurrent use of the same directory
+// by other processes.
+type Cache struct {
+	dir  string
+	mode Mode
+	// MaxBytes caps the total entry size; Close (or an explicit Evict)
+	// deletes least-recently-used entries until the cap holds. Zero means
+	// unbounded.
+	MaxBytes int64
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	puts      atomic.Uint64
+	deduped   atomic.Uint64
+	evictions atomic.Uint64
+	verified  atomic.Uint64
+}
+
+// record is one entry file's content — the checkpoint journal's record
+// shape, reused so the two stores speak one codec.
+type record struct {
+	Key     string          `json:"key"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// Open opens (and in rw mode initializes) the cache at dir. ModeOff
+// returns a nil cache, which every method accepts. A directory stamped
+// with a different layout version — or holding entries without any stamp
+// — is a descriptive error telling the user how to recover, not a store
+// to be misread.
+func Open(dir string, mode Mode) (*Cache, error) {
+	if mode == ModeOff {
+		return nil, nil
+	}
+	if dir == "" {
+		return nil, fmt.Errorf("resultcache: mode %s needs a cache directory (set -cache-dir or JVMSIM_CACHE)", mode)
+	}
+	if err := CheckLayout(dir); err != nil {
+		return nil, err
+	}
+	if mode == ModeRW {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("resultcache: %w", err)
+		}
+		stamp := filepath.Join(dir, versionFile)
+		if _, err := os.Stat(stamp); os.IsNotExist(err) {
+			if err := os.WriteFile(stamp, []byte(LayoutVersion+"\n"), 0o644); err != nil {
+				return nil, fmt.Errorf("resultcache: stamping layout: %w", err)
+			}
+		}
+	}
+	return &Cache{dir: dir, mode: mode}, nil
+}
+
+// CheckLayout verifies dir is usable as a cache root: either absent,
+// empty, or stamped with the current LayoutVersion. It is shared with
+// the doctor's cache check.
+func CheckLayout(dir string) error {
+	stamp, err := os.ReadFile(filepath.Join(dir, versionFile))
+	if err == nil {
+		if got := strings.TrimSpace(string(stamp)); got != LayoutVersion {
+			return fmt.Errorf("resultcache: %s holds stale cache layout %q (this build writes %q); delete the directory or point -cache-dir at a fresh one",
+				dir, got, LayoutVersion)
+		}
+		return nil
+	}
+	if !os.IsNotExist(err) {
+		return fmt.Errorf("resultcache: reading layout stamp: %w", err)
+	}
+	// No stamp: acceptable only while the directory holds no entries —
+	// an unstamped populated directory is a pre-versioning (or foreign)
+	// layout.
+	entries, derr := os.ReadDir(dir)
+	if derr != nil || len(entries) == 0 {
+		return nil
+	}
+	return fmt.Errorf("resultcache: %s holds %d entries but no layout stamp (pre-versioning or foreign layout); delete the directory or point -cache-dir at a fresh one",
+		dir, len(entries))
+}
+
+// Dir reports the cache root ("" for a nil cache).
+func (c *Cache) Dir() string {
+	if c == nil {
+		return ""
+	}
+	return c.dir
+}
+
+// Mode reports the cache mode (ModeOff for a nil cache).
+func (c *Cache) Mode() Mode {
+	if c == nil {
+		return ModeOff
+	}
+	return c.mode
+}
+
+// entryPath shards an entry under its key's first two hex digits, the
+// fanout that keeps directory listings short at millions of entries.
+func (c *Cache) entryPath(key string) string {
+	shard := "xx"
+	if len(key) >= 2 {
+		shard = key[:2]
+	}
+	return filepath.Join(c.dir, shard, key)
+}
+
+// Get returns the stored canonical payload for key. Every failure mode —
+// absent entry, unreadable file, truncated or otherwise corrupt JSON, a
+// record whose embedded key does not match — is a miss; the cache never
+// turns its own damage into a caller's crash. A hit touches the entry's
+// mtime so the LRU eviction pass sees recency, not just insertion order.
+func (c *Cache) Get(key string) (json.RawMessage, bool) {
+	if c == nil {
+		return nil, false
+	}
+	path := c.entryPath(key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		c.misses.Add(1)
+		return nil, false
+	}
+	var rec record
+	if err := json.Unmarshal(data, &rec); err != nil || rec.Key != key || len(rec.Payload) == 0 {
+		c.misses.Add(1)
+		return nil, false
+	}
+	now := time.Now()
+	os.Chtimes(path, now, now) // best effort: LRU recency only
+	c.hits.Add(1)
+	return rec.Payload, true
+}
+
+// Put stores payload (a canonical JSON encoding, e.g. from
+// checkpoint.CanonicalPayload) under key: the record is written to a
+// temp file in the cache root and renamed into its shard, so a reader —
+// in this process or another one sharing the directory — observes either
+// no entry or a complete one. In ro (or off) mode Put is a no-op.
+func (c *Cache) Put(key string, payload json.RawMessage) error {
+	if c == nil || c.mode != ModeRW {
+		return nil
+	}
+	line, err := json.Marshal(record{Key: key, Payload: payload})
+	if err != nil {
+		return fmt.Errorf("resultcache: encoding entry %s: %w", key, err)
+	}
+	dir := filepath.Dir(c.entryPath(key))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("resultcache: %w", err)
+	}
+	tmp, err := os.CreateTemp(c.dir, ".put-*")
+	if err != nil {
+		return fmt.Errorf("resultcache: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(line); err == nil {
+		err = tmp.Sync()
+	} else {
+		tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("resultcache: writing entry %s: %w", key, err)
+	}
+	if err := os.Rename(tmpName, c.entryPath(key)); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("resultcache: publishing entry %s: %w", key, err)
+	}
+	c.puts.Add(1)
+	return nil
+}
+
+// AddDeduped counts singleflight/memo dedups into the cache's stats
+// trailer; the dedup machinery itself lives in Group. Nil-safe so dedup
+// still works (uncounted) with the cache off.
+func (c *Cache) AddDeduped(n uint64) {
+	if c != nil {
+		c.deduped.Add(n)
+	}
+}
+
+// AddVerified counts -cache-verify re-executions that matched.
+func (c *Cache) AddVerified(n uint64) {
+	if c != nil {
+		c.verified.Add(n)
+	}
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Puts:      c.puts.Load(),
+		Deduped:   c.deduped.Load(),
+		Evictions: c.evictions.Load(),
+		Verified:  c.verified.Load(),
+	}
+}
+
+// entryInfo is one entry the eviction pass considers.
+type entryInfo struct {
+	path  string
+	size  int64
+	mtime time.Time
+}
+
+// walkEntries lists every entry file (shard depth only, never the
+// version stamp or in-flight temp files).
+func (c *Cache) walkEntries() ([]entryInfo, error) {
+	var out []entryInfo
+	shards, err := os.ReadDir(c.dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, sh := range shards {
+		if !sh.IsDir() {
+			continue
+		}
+		files, err := os.ReadDir(filepath.Join(c.dir, sh.Name()))
+		if err != nil {
+			continue // a shard deleted underneath us is fine
+		}
+		for _, f := range files {
+			info, err := f.Info()
+			if err != nil {
+				continue
+			}
+			out = append(out, entryInfo{
+				path:  filepath.Join(c.dir, sh.Name(), f.Name()),
+				size:  info.Size(),
+				mtime: info.ModTime(),
+			})
+		}
+	}
+	return out, nil
+}
+
+// Evict runs the size-capped LRU pass: while the summed entry size
+// exceeds MaxBytes, the least-recently-used entry (oldest mtime; Get
+// touches entries) is deleted. No-op when MaxBytes is zero or the mode
+// is not rw. Returns the number of entries evicted.
+func (c *Cache) Evict() (int, error) {
+	if c == nil || c.mode != ModeRW || c.MaxBytes <= 0 {
+		return 0, nil
+	}
+	entries, err := c.walkEntries()
+	if err != nil {
+		return 0, fmt.Errorf("resultcache: evicting: %w", err)
+	}
+	var total int64
+	for _, e := range entries {
+		total += e.size
+	}
+	if total <= c.MaxBytes {
+		return 0, nil
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if !entries[i].mtime.Equal(entries[j].mtime) {
+			return entries[i].mtime.Before(entries[j].mtime)
+		}
+		return entries[i].path < entries[j].path // deterministic tie-break
+	})
+	evicted := 0
+	for _, e := range entries {
+		if total <= c.MaxBytes {
+			break
+		}
+		if err := os.Remove(e.path); err != nil {
+			if os.IsNotExist(err) {
+				continue // another process got there first
+			}
+			return evicted, fmt.Errorf("resultcache: evicting %s: %w", e.path, err)
+		}
+		total -= e.size
+		evicted++
+	}
+	c.evictions.Add(uint64(evicted))
+	return evicted, nil
+}
+
+// Len walks the store and reports entry count and summed size —
+// diagnostic use (doctor, tests, the stats trailer's eviction decision).
+func (c *Cache) Len() (count int, bytes int64, err error) {
+	if c == nil {
+		return 0, 0, nil
+	}
+	entries, err := c.walkEntries()
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, e := range entries {
+		bytes += e.size
+	}
+	return len(entries), bytes, nil
+}
+
+// Close runs the eviction pass (when a cap is set). The cache holds no
+// file handles between calls, so Close is about shrinking to cap, not
+// releasing resources.
+func (c *Cache) Close() error {
+	_, err := c.Evict()
+	return err
+}
+
+// VerifyError is the loud failure of a -cache-verify re-execution: the
+// cached payload and the fresh execution's canonical bytes differ, which
+// means either the store was tampered with or a supposedly deterministic
+// cell is not. It is never swallowed into a miss.
+type VerifyError struct {
+	Key    string
+	Cached json.RawMessage
+	Fresh  json.RawMessage
+}
+
+// Error renders the mismatch with both payload sizes; the payloads
+// themselves can be large, so the message carries lengths, not bodies.
+func (e *VerifyError) Error() string {
+	return fmt.Sprintf("resultcache: verify mismatch for %s: cached payload (%d bytes) != re-executed payload (%d bytes); the cache entry is wrong or the cell is nondeterministic — delete the cache directory and re-run",
+		e.Key, len(e.Cached), len(e.Fresh))
+}
+
+// VerifySample reports whether a hit on key falls in the deterministic
+// 1-in-n verification sample: the FNV-64a hash of the key modulo n.
+// Sampling by key (not by arrival order) makes the sample identical
+// across runs, parallelism levels and engines. n <= 0 disables, n == 1
+// verifies every hit.
+func VerifySample(key string, n int) bool {
+	if n <= 0 {
+		return false
+	}
+	if n == 1 {
+		return true
+	}
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return h.Sum64()%uint64(n) == 0
+}
+
+// Verify compares a cached payload against a fresh canonical encoding,
+// counting a match and returning a *VerifyError on mismatch.
+func (c *Cache) Verify(key string, cached, fresh json.RawMessage) error {
+	if !bytes.Equal(cached, fresh) {
+		return &VerifyError{Key: key, Cached: cached, Fresh: fresh}
+	}
+	c.AddVerified(1)
+	return nil
+}
+
+// Memo is the per-process dedup layer: the first Do for a key runs fn
+// exactly once; concurrent callers with the same key wait for that
+// in-flight execution (singleflight), and later callers are served from
+// the completed result without re-running — so identical cells appearing
+// more than once in one campaign (overlapping sweeps, duplicated
+// scenario × agent pairs) execute exactly once per process whether they
+// arrive together or in sequence.
+//
+// Failures are never memoized: a leader's error is returned to every
+// waiter of that flight, the key is forgotten, and the next Do runs fn
+// again — one attempt's transient failure (an injected fault, a briefly
+// unwritable journal) must not poison an identical later cell.
+type Memo struct {
+	mu sync.Mutex
+	m  map[string]*flight
+}
+
+// flight is one in-flight or completed execution.
+type flight struct {
+	done    chan struct{}
+	payload json.RawMessage
+	err     error
+}
+
+// Do runs fn once per key. The returned payload is the canonical JSON
+// produced by fn; shared reports whether this call was served by another
+// execution (waited on it or read its memoized result) rather than
+// running fn itself. Callers must treat a shared payload as read-only
+// and decode their own copy.
+func (g *Memo) Do(key string, fn func() (json.RawMessage, error)) (payload json.RawMessage, shared bool, err error) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flight)
+	}
+	if f, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		<-f.done
+		return f.payload, true, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	g.m[key] = f
+	g.mu.Unlock()
+
+	completed := false
+	defer func() {
+		// A panicking fn (a simulated-VM trap escaping a cell) must not
+		// strand waiters on a never-closed channel: publish an error,
+		// forget the flight, and let the panic propagate to the runner's
+		// isolation layer. Waiters re-execute on their own.
+		if !completed {
+			f.err = fmt.Errorf("resultcache: deduplicated execution for %s panicked", key)
+		}
+		if f.err != nil {
+			// Forget failed flights before waking waiters: an identical
+			// later cell deserves its own attempt.
+			g.mu.Lock()
+			delete(g.m, key)
+			g.mu.Unlock()
+		}
+		close(f.done)
+	}()
+	f.payload, f.err = fn()
+	completed = true
+	return f.payload, false, f.err
+}

@@ -139,6 +139,24 @@ type Scenario struct {
 // Name returns the scenario's workload name, its registry key.
 func (s Scenario) Name() string { return s.Workload.Name }
 
+// Identity is the scenario-content fragment of a cell's content address:
+// the name plus the full workload description and warehouse sequence, so
+// two scenarios that share a name but differ in content (a re-edited
+// -scenario file, a registry change between releases) can never collide
+// in the checkpoint journal or the result cache. Cell keys embed it next
+// to the agent/options/scale fragment; the JSON field names are part of
+// the key derivation and must stay stable.
+type Identity struct {
+	Scenario string             `json:"scenario"`
+	Workload workloads.Workload `json:"workload"`
+	Sequence []int              `json:"sequence,omitempty"`
+}
+
+// Identity returns the scenario's content-identity fragment.
+func (s Scenario) Identity() Identity {
+	return Identity{Scenario: s.Name(), Workload: s.Workload, Sequence: s.WarehouseSequence}
+}
+
 // Validate checks the scenario for registrability.
 func (s Scenario) Validate() error {
 	if s.Family == "" {

@@ -44,4 +44,9 @@ OUT=${OUT:-BENCH_TREND.json}
   # parallel (interp and jit variants) and the all-family campaign.
   go test -run '^$' -bench 'BenchmarkTableISequential|BenchmarkTableIParallel|BenchmarkCampaign/|BenchmarkCampaignGCPressure' \
     -benchtime "$BENCHTIME" repro/internal/harness
+  # Result cache: the all-family campaign cold (empty cache) vs warm
+  # (every cell served from disk); their ratio is the cache speedup the
+  # benchtrend gate floors at 5x.
+  go test -run '^$' -bench 'BenchmarkCampaignCacheCold|BenchmarkCampaignCacheWarm' \
+    -benchtime "$BENCHTIME" repro/internal/harness
 } | go run scripts/benchjson.go -label "$LABEL" -out "$OUT"
