@@ -1,0 +1,307 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"html/template"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/telemetry"
+)
+
+// familyPanel is one scenario family's dashboard row set: the run's
+// telemetry metrics for that family joined (when present) with the
+// ledger's per-family campaign benchmarks.
+type familyPanel struct {
+	Family string
+
+	// Cell accounting.
+	Cells, Failed, Retries, Timeouts, Panics uint64
+
+	// Serving sources: every cell lands in exactly one bucket.
+	Runs, CacheHits, JournalHits, DedupHits, Verified uint64
+	HitRate                                           float64 // (cache+journal+dedup) / cells
+
+	// Wall-time distribution (host-side, never in payloads).
+	WallP50, WallP95, WallMax float64 // nanoseconds
+
+	// Tier mix: how much simulated work ran compiled vs fell back.
+	Compiled, OSR, Deopts, Inlined uint64
+	CompiledFrames, FallbackChunks uint64
+	CompiledShare                  float64 // compiled frames / (compiled+fallback)
+
+	// GC activity (simulated cycles, from the deterministic payloads).
+	MinorGC, MajorGC, Tenured uint64
+	GCPauseP50, GCPauseP95    float64 // simulated cycles per collecting cell
+	GCPauseSamples            uint64
+
+	// Ledger join: per-family campaign ns/op for both engines, when the
+	// chosen entry measured them.
+	InterpNs, JitNs, Speedup float64
+	HasBench                 bool
+}
+
+// processPanel is the process-wide (family-less) section: cache and
+// journal traffic that cannot be attributed to one scenario family.
+type processPanel struct {
+	CacheHits, CacheMisses, CachePuts         uint64
+	CacheDeduped, CacheEvicted, CacheVerified uint64
+	JournalReplayed, JournalAppended          uint64
+}
+
+// dashboard is everything the renderers need.
+type dashboard struct {
+	Tool     string
+	Entry    string
+	Families []familyPanel
+	Process  *processPanel
+}
+
+func counterOf(fd telemetry.FamilyDump, name string) uint64 {
+	return fd.Counters[name]
+}
+
+func histOf(fd telemetry.FamilyDump, name string) *telemetry.Histogram {
+	hd, ok := fd.Histograms[name]
+	if !ok {
+		return nil
+	}
+	return hd.Histogram()
+}
+
+// buildDashboard joins a metrics dump with one ledger entry (nil entry
+// means no benchmark join — the telemetry columns still render).
+func buildDashboard(d *telemetry.Dump, entry *Entry) dashboard {
+	db := dashboard{Tool: d.Tool}
+	if entry != nil {
+		db.Entry = entry.Label
+	}
+	for _, fam := range d.FamilyNames() {
+		fd := d.Families[fam]
+		if fam == telemetry.ProcessFamily {
+			db.Process = &processPanel{
+				CacheHits:       counterOf(fd, telemetry.MetricProcCacheHits),
+				CacheMisses:     counterOf(fd, telemetry.MetricProcCacheMisses),
+				CachePuts:       counterOf(fd, telemetry.MetricProcCachePuts),
+				CacheDeduped:    counterOf(fd, telemetry.MetricProcCacheDeduped),
+				CacheEvicted:    counterOf(fd, telemetry.MetricProcCacheEvicted),
+				CacheVerified:   counterOf(fd, telemetry.MetricProcCacheVerified),
+				JournalReplayed: counterOf(fd, telemetry.MetricProcJournalReplay),
+				JournalAppended: counterOf(fd, telemetry.MetricProcJournalAppend),
+			}
+			continue
+		}
+		p := familyPanel{
+			Family:         fam,
+			Cells:          counterOf(fd, telemetry.MetricCells),
+			Failed:         counterOf(fd, telemetry.MetricCellsFailed),
+			Retries:        counterOf(fd, telemetry.MetricRetries),
+			Timeouts:       counterOf(fd, telemetry.MetricTimeouts),
+			Panics:         counterOf(fd, telemetry.MetricPanics),
+			Runs:           counterOf(fd, telemetry.MetricRuns),
+			CacheHits:      counterOf(fd, telemetry.MetricCacheHits),
+			JournalHits:    counterOf(fd, telemetry.MetricJournalHits),
+			DedupHits:      counterOf(fd, telemetry.MetricDedupHits),
+			Verified:       counterOf(fd, telemetry.MetricVerified),
+			Compiled:       counterOf(fd, telemetry.MetricTierCompiled),
+			OSR:            counterOf(fd, telemetry.MetricTierOSR),
+			Deopts:         counterOf(fd, telemetry.MetricTierDeopts),
+			Inlined:        counterOf(fd, telemetry.MetricTierInlined),
+			CompiledFrames: counterOf(fd, telemetry.MetricTierCompiledFrm),
+			FallbackChunks: counterOf(fd, telemetry.MetricTierFallback),
+			MinorGC:        counterOf(fd, telemetry.MetricGCMinor),
+			MajorGC:        counterOf(fd, telemetry.MetricGCMajor),
+			Tenured:        counterOf(fd, telemetry.MetricGCTenured),
+		}
+		if p.Cells > 0 {
+			p.HitRate = float64(p.CacheHits+p.JournalHits+p.DedupHits) / float64(p.Cells)
+		}
+		if frames := p.CompiledFrames + p.FallbackChunks; frames > 0 {
+			p.CompiledShare = float64(p.CompiledFrames) / float64(frames)
+		}
+		if h := histOf(fd, telemetry.MetricCellWallNanos); h != nil {
+			p.WallP50 = h.Quantile(0.50)
+			p.WallP95 = h.Quantile(0.95)
+			p.WallMax = h.Max
+		}
+		if h := histOf(fd, telemetry.MetricGCPauseCycles); h != nil {
+			p.GCPauseP50 = h.Quantile(0.50)
+			p.GCPauseP95 = h.Quantile(0.95)
+			p.GCPauseSamples = h.Count
+		}
+		if entry != nil {
+			interp, ok1 := entry.lookup("BenchmarkCampaignByFamily/" + fam + "/engine=interp")
+			jitNs, ok2 := entry.lookup("BenchmarkCampaignByFamily/" + fam + "/engine=jit")
+			if ok1 && ok2 && jitNs > 0 {
+				p.InterpNs, p.JitNs, p.Speedup, p.HasBench = interp, jitNs, interp/jitNs, true
+			}
+		}
+		db.Families = append(db.Families, p)
+	}
+	return db
+}
+
+func pct(f float64) string { return fmt.Sprintf("%.1f%%", f*100) }
+
+// renderText writes the per-family dashboard as aligned text panels.
+func renderText(w io.Writer, db dashboard) {
+	fmt.Fprintf(w, "# Campaign dashboard — %s metrics", db.Tool)
+	if db.Entry != "" {
+		fmt.Fprintf(w, ", ledger entry %q", db.Entry)
+	}
+	fmt.Fprintln(w)
+	for _, p := range db.Families {
+		fmt.Fprintf(w, "\n%s\n%s\n", p.Family, strings.Repeat("-", len(p.Family)))
+		fmt.Fprintf(w, "  cells        %d total, %d failed, %d retries, %d timeouts, %d panics\n",
+			p.Cells, p.Failed, p.Retries, p.Timeouts, p.Panics)
+		fmt.Fprintf(w, "  sources      %d run, %d cache, %d journal, %d dedup, %d verified (%s served without re-running)\n",
+			p.Runs, p.CacheHits, p.JournalHits, p.DedupHits, p.Verified, pct(p.HitRate))
+		fmt.Fprintf(w, "  wall time    p50 %s  p95 %s  max %s\n",
+			fmtNs(p.WallP50), fmtNs(p.WallP95), fmtNs(p.WallMax))
+		fmt.Fprintf(w, "  tier mix     %s compiled frames (%d compiled, %d fallback; %d methods, %d OSR, %d deopts, %d inlined calls)\n",
+			pct(p.CompiledShare), p.CompiledFrames, p.FallbackChunks, p.Compiled, p.OSR, p.Deopts, p.Inlined)
+		if p.MinorGC+p.MajorGC > 0 {
+			fmt.Fprintf(w, "  gc           %d minor, %d major, %d tenured; pause cycles p50 %.0f p95 %.0f over %d collecting cells\n",
+				p.MinorGC, p.MajorGC, p.Tenured, p.GCPauseP50, p.GCPauseP95, p.GCPauseSamples)
+		} else {
+			fmt.Fprintf(w, "  gc           quiet (no collections)\n")
+		}
+		if p.HasBench {
+			fmt.Fprintf(w, "  bench        interp %s/op, jit %s/op  (%.2fx jit speedup)\n",
+				fmtNs(p.InterpNs), fmtNs(p.JitNs), p.Speedup)
+		} else {
+			fmt.Fprintf(w, "  bench        no BenchmarkCampaignByFamily pair in ledger entry\n")
+		}
+	}
+	if pr := db.Process; pr != nil {
+		fmt.Fprintf(w, "\nprocess\n-------\n")
+		fmt.Fprintf(w, "  cache        %d hits, %d misses, %d puts, %d deduped, %d evicted, %d verified\n",
+			pr.CacheHits, pr.CacheMisses, pr.CachePuts, pr.CacheDeduped, pr.CacheEvicted, pr.CacheVerified)
+		fmt.Fprintf(w, "  journal      %d replayed, %d appended\n", pr.JournalReplayed, pr.JournalAppended)
+	}
+}
+
+// htmlTmpl is the self-contained HTML dashboard: one card per family
+// with a tier-mix bar, no external assets.
+var htmlTmpl = template.Must(template.New("dash").Funcs(template.FuncMap{
+	"ns":  fmtNs,
+	"pct": pct,
+	"mix": func(share float64) int { return int(share * 100) },
+}).Parse(`<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>Campaign dashboard</title>
+<style>
+body { font: 14px/1.45 system-ui, sans-serif; margin: 2em; background: #f6f7f9; }
+h1 { font-size: 1.3em; }
+.card { background: #fff; border: 1px solid #d8dde3; border-radius: 8px; padding: 1em 1.2em; margin: 1em 0; max-width: 56em; }
+.card h2 { margin: 0 0 .5em; font-size: 1.05em; }
+table { border-collapse: collapse; }
+td { padding: .15em .9em .15em 0; vertical-align: top; }
+td.k { color: #5a6470; white-space: nowrap; }
+.bar { display: inline-block; width: 160px; height: 10px; background: #e3e7ec; border-radius: 5px; overflow: hidden; vertical-align: middle; }
+.bar span { display: block; height: 100%; background: #4c8dd6; }
+.muted { color: #8a93a0; }
+</style></head><body>
+<h1>Campaign dashboard — {{.Tool}} metrics{{if .Entry}}, ledger entry “{{.Entry}}”{{end}}</h1>
+{{range .Families}}<div class="card"><h2>{{.Family}}</h2><table>
+<tr><td class="k">cells</td><td>{{.Cells}} total, {{.Failed}} failed, {{.Retries}} retries, {{.Timeouts}} timeouts, {{.Panics}} panics</td></tr>
+<tr><td class="k">sources</td><td>{{.Runs}} run, {{.CacheHits}} cache, {{.JournalHits}} journal, {{.DedupHits}} dedup, {{.Verified}} verified ({{pct .HitRate}} served without re-running)</td></tr>
+<tr><td class="k">wall time</td><td>p50 {{ns .WallP50}} · p95 {{ns .WallP95}} · max {{ns .WallMax}}</td></tr>
+<tr><td class="k">tier mix</td><td><span class="bar"><span style="width:{{mix .CompiledShare}}%"></span></span> {{pct .CompiledShare}} compiled frames ({{.CompiledFrames}} compiled, {{.FallbackChunks}} fallback; {{.Compiled}} methods, {{.OSR}} OSR, {{.Deopts}} deopts, {{.Inlined}} inlined calls)</td></tr>
+<tr><td class="k">gc</td><td>{{if .GCPauseSamples}}{{.MinorGC}} minor, {{.MajorGC}} major, {{.Tenured}} tenured; pause cycles p50 {{printf "%.0f" .GCPauseP50}} · p95 {{printf "%.0f" .GCPauseP95}}{{else}}<span class="muted">quiet (no collections)</span>{{end}}</td></tr>
+<tr><td class="k">bench</td><td>{{if .HasBench}}interp {{ns .InterpNs}}/op, jit {{ns .JitNs}}/op ({{printf "%.2f" .Speedup}}× jit speedup){{else}}<span class="muted">no BenchmarkCampaignByFamily pair in ledger entry</span>{{end}}</td></tr>
+</table></div>
+{{end}}{{if .Process}}<div class="card"><h2>process</h2><table>
+<tr><td class="k">cache</td><td>{{.Process.CacheHits}} hits, {{.Process.CacheMisses}} misses, {{.Process.CachePuts}} puts, {{.Process.CacheDeduped}} deduped, {{.Process.CacheEvicted}} evicted, {{.Process.CacheVerified}} verified</td></tr>
+<tr><td class="k">journal</td><td>{{.Process.JournalReplayed}} replayed, {{.Process.JournalAppended}} appended</td></tr>
+</table></div>
+{{end}}</body></html>
+`))
+
+// runDashboard is the `benchtrend dashboard` subcommand: join a -metrics
+// dump with the ledger's per-family campaign benchmarks and render text
+// (stdout or -o) and optionally HTML (-html) panels.
+func runDashboard(args []string) int {
+	fs := flag.NewFlagSet("dashboard", flag.ExitOnError)
+	metricsPath := fs.String("metrics", "", "telemetry metrics dump to render (from jvmsim/jprof/tables -metrics)")
+	ledgerPath := fs.String("ledger", "BENCH_TREND.json", "trend ledger joined for per-family ns/op (missing file skips the join)")
+	entryLabel := fs.String("entry", "", "ledger entry to join (default: the newest)")
+	outPath := fs.String("o", "", "write the text dashboard to `FILE` instead of stdout")
+	htmlPath := fs.String("html", "", "also write a self-contained HTML dashboard to `FILE`")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *metricsPath == "" {
+		fmt.Fprintln(os.Stderr, "benchtrend dashboard: -metrics FILE is required")
+		return 2
+	}
+	data, err := os.ReadFile(*metricsPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchtrend dashboard:", err)
+		return 2
+	}
+	dump, err := telemetry.ReadDump(data)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchtrend dashboard:", err)
+		return 2
+	}
+
+	var entry *Entry
+	if ldata, err := os.ReadFile(*ledgerPath); err == nil {
+		var l Ledger
+		if err := json.Unmarshal(ldata, &l); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtrend dashboard: %s: %v\n", *ledgerPath, err)
+			return 2
+		}
+		if *entryLabel != "" {
+			if entry = findEntry(&l, *entryLabel); entry == nil {
+				fmt.Fprintf(os.Stderr, "benchtrend dashboard: no ledger entry %q\n", *entryLabel)
+				return 2
+			}
+		} else if len(l.Entries) > 0 {
+			entry = &l.Entries[len(l.Entries)-1]
+		}
+	} else if *entryLabel != "" {
+		fmt.Fprintln(os.Stderr, "benchtrend dashboard:", err)
+		return 2
+	}
+
+	db := buildDashboard(dump, entry)
+	if len(db.Families) == 0 && db.Process == nil {
+		fmt.Fprintln(os.Stderr, "benchtrend dashboard: metrics dump has no families")
+		return 2
+	}
+	sort.Slice(db.Families, func(i, j int) bool { return db.Families[i].Family < db.Families[j].Family })
+
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchtrend dashboard:", err)
+			return 2
+		}
+		defer f.Close()
+		out = f
+	}
+	renderText(out, db)
+	if *htmlPath != "" {
+		f, err := os.Create(*htmlPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchtrend dashboard:", err)
+			return 2
+		}
+		err = htmlTmpl.Execute(f, db)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchtrend dashboard:", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "benchtrend dashboard: HTML -> %s\n", *htmlPath)
+	}
+	return 0
+}

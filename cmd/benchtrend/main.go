@@ -32,6 +32,25 @@
 //	                           in both entries — meaningful only when
 //	                           both were recorded on comparable hosts.
 //
+// A third mode renders observability dashboards:
+//
+//	benchtrend dashboard -metrics FILE [-ledger FILE] [-entry LABEL]
+//	                     [-o FILE] [-html FILE]
+//	                           join a telemetry -metrics dump (from
+//	                           jvmsim/jprof/tables) with the ledger's
+//	                           per-family BenchmarkCampaignByFamily
+//	                           interp/jit pairs and render one panel per
+//	                           scenario family — wall-time percentiles,
+//	                           cache hit-rate, tier mix, GC pauses,
+//	                           failure/retry counts — as text and
+//	                           optionally a self-contained HTML page.
+//	                           See docs/observability.md.
+//
+// The telemetry-overhead pair (campaign with tracing+metrics on over
+// off) carries an absolute 1.05x ceiling in gate mode: instrumentation
+// that costs more than 5% wall time fails CI on its own, no baseline
+// required.
+//
 // Flags:
 //
 //	-ledger path   ledger file (default BENCH_TREND.json)
@@ -79,12 +98,16 @@ type Ledger struct {
 // when nonzero, is an absolute minimum the candidate's ratio must hold
 // in gate mode regardless of the baseline — the contract for speedups
 // that must not merely avoid regressing but stay categorically large
-// (the warm result cache).
+// (the warm result cache). Ceil, when nonzero, is the opposite
+// contract: an absolute maximum for ratios that measure overhead
+// rather than speedup (telemetry on over off), where growing past the
+// ceiling — not shrinking — is the regression.
 type ratioPair struct {
 	Name  string
 	Slow  string
 	Fast  string
 	Floor float64
+	Ceil  float64
 }
 
 var ratioPairs = []ratioPair{
@@ -93,6 +116,7 @@ var ratioPairs = []ratioPair{
 	{Name: "Table I sequential jit speedup", Slow: "BenchmarkTableISequential", Fast: "BenchmarkTableISequentialJIT"},
 	{Name: "Table I parallel jit speedup", Slow: "BenchmarkTableIParallel", Fast: "BenchmarkTableIParallelJIT"},
 	{Name: "Warm cache speedup", Slow: "BenchmarkCampaignCacheCold", Fast: "BenchmarkCampaignCacheWarm", Floor: 5},
+	{Name: "Telemetry overhead (on/off)", Slow: "BenchmarkCampaignTelemetryOn", Fast: "BenchmarkCampaignTelemetryOff", Ceil: 1.05},
 }
 
 func (e *Entry) lookup(name string) (float64, bool) {
@@ -192,7 +216,9 @@ func report(l *Ledger, tol float64) {
 			if prev > 0 {
 				delta := (r - prev) / prev * 100
 				line += fmt.Sprintf("  %+6.1f%%", delta)
-				if delta < -tol {
+				// For overhead ratios (Ceil pairs) growth is the regression;
+				// for speedups it's shrinkage.
+				if (p.Ceil > 0 && delta > tol) || (p.Ceil == 0 && delta < -tol) {
 					line += "  REGRESSION"
 				}
 			}
@@ -219,8 +245,8 @@ func check(l *Ledger, baseline, candidate string, tol float64, abs bool) int {
 	for _, p := range ratioPairs {
 		br, ok1 := base.ratio(p)
 		cr, ok2 := cand.ratio(p)
-		// An absolute floor is checked whenever the candidate measured the
-		// pair, even before any baseline entry carries it.
+		// Absolute floors and ceilings are checked whenever the candidate
+		// measured the pair, even before any baseline entry carries it.
 		if ok2 && p.Floor > 0 {
 			status := "ok"
 			if cr < p.Floor {
@@ -230,7 +256,22 @@ func check(l *Ledger, baseline, candidate string, tol float64, abs bool) int {
 			fmt.Printf("%-32s %-14s %6.2fx >= %5.2fx floor  %s\n",
 				p.Name, candidate, cr, p.Floor, status)
 		}
+		if ok2 && p.Ceil > 0 {
+			status := "ok"
+			if cr > p.Ceil {
+				status = "REGRESSION"
+				failures++
+			}
+			fmt.Printf("%-32s %-14s %6.2fx <= %5.2fx ceiling  %s\n",
+				p.Name, candidate, cr, p.Ceil, status)
+		}
 		if !ok1 || !ok2 {
+			continue
+		}
+		if p.Ceil > 0 {
+			// Overhead pairs are gated by their ceiling alone: the relative
+			// test below would flag a shrinking ratio — an improvement — as
+			// a regression.
 			continue
 		}
 		delta := (cr - br) / br * 100
@@ -267,6 +308,9 @@ func check(l *Ledger, baseline, candidate string, tol float64, abs bool) int {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "dashboard" {
+		os.Exit(runDashboard(os.Args[2:]))
+	}
 	ledgerPath := flag.String("ledger", "BENCH_TREND.json", "trend ledger file")
 	tol := flag.Float64("tol", 15, "tolerance band in percent")
 	gate := flag.Bool("check", false, "gate mode: compare -candidate against -baseline")

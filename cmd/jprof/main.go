@@ -9,7 +9,7 @@
 //	      [-heap-limit W] [-scale K] [-parallel N] [-tierstats] [-list]
 //	      [-cell-timeout D] [-max-retries N] [-retry-seed S]
 //	      [-cache-dir DIR] [-cache off|ro|rw] [-cache-verify N]
-//	      [-cache-max-mb MB] [-cellstats]
+//	      [-cache-max-mb MB] [-cellstats] [-trace FILE] [-metrics FILE]
 //	      <scenario|family>... | all
 //
 // A cell that panics, exceeds -cell-timeout or fails is reported in
@@ -45,6 +45,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/agents/aprof"
 	"repro/internal/agents/bic"
@@ -59,6 +60,7 @@ import (
 	"repro/internal/resultcache"
 	"repro/internal/runner"
 	"repro/internal/scenarios"
+	"repro/internal/telemetry"
 	"repro/internal/vm"
 	"repro/internal/workloads"
 )
@@ -77,6 +79,7 @@ func main() {
 	robust := runner.AddRobustFlags(flag.CommandLine)
 	cacheFlags := resultcache.AddFlags(flag.CommandLine)
 	cellStats := flag.Bool("cellstats", false, "append each result's host-side production cost (wall time, allocations, source); with -json a trailing {\"host\":...} object")
+	telFlags := telemetry.AddFlags(flag.CommandLine)
 	flag.Parse()
 
 	if err := scenarios.LoadIfSet(*scenarioFile); err != nil {
@@ -127,27 +130,40 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	tel := telFlags.Open()
+	sum := telemetry.NewSummary("jprof", os.Stderr)
+	cache.SetTelemetry(tel)
 	memo := new(resultcache.Memo)
 	ropts := runner.Options{
 		Parallelism: *parallel,
 		EmitFailed:  true,
 		Hook:        injector.Hook(),
+		Telemetry:   tel,
 	}
 	robust.Apply(&ropts)
-	results, err := runner.Map(context.Background(), ropts, scns,
-		func(s scenarios.Scenario) string { return s.Name() + "/" + *agentName },
-		func(ctx context.Context, s scenarios.Scenario) (string, error) {
-			return profileCell(ctx, s, *agentName, *scale, opts,
-				*asJSON, *perMethod, *tierStats, *cellStats,
-				cache, cacheFlags.VerifyN(), memo)
-		})
+	cells := make([]runner.Cell[string], len(scns))
+	for i, s := range scns {
+		s := s
+		cells[i] = runner.Cell[string]{
+			Key:   s.Name() + "/" + *agentName,
+			Group: s.Family,
+			Do: func(ctx context.Context) (string, error) {
+				return profileCell(ctx, s, *agentName, *scale, opts,
+					*asJSON, *perMethod, *tierStats, *cellStats,
+					cache, cacheFlags.VerifyN(), memo, tel)
+			},
+		}
+	}
+	results, err := runner.Run(context.Background(), ropts, cells)
 	failed := 0
 	for i, r := range results {
 		if i > 0 && !*asJSON {
 			fmt.Println()
 		}
+		tel.Count(cells[i].Group, telemetry.MetricCells, 1)
 		if r.Err != nil {
 			failed++
+			tel.Count(cells[i].Group, telemetry.MetricCellsFailed, 1)
 			fmt.Printf("benchmark %s: FAILED: %v\n", r.Key, r.Err)
 			continue
 		}
@@ -155,14 +171,15 @@ func main() {
 	}
 	if cache != nil {
 		if cerr := cache.Close(); cerr != nil {
-			fmt.Fprintln(os.Stderr, "jprof:", cerr)
+			sum.Error(cerr)
 		}
-		fmt.Fprintln(os.Stderr, cache.Stats())
+		sum.Stat(cache.Stats())
 	}
+	telFlags.Finish(tel, sum)
 	if failed > 0 {
 		// Cell failures are already reported in place; the batch error is
 		// their FirstError, so the partial exit subsumes it.
-		fmt.Fprintf(os.Stderr, "jprof: partial: %d of %d cells failed\n", failed, len(results))
+		sum.Partial(failed, len(results))
 		os.Exit(harness.ExitPartial)
 	}
 	if err != nil {
@@ -197,7 +214,21 @@ func profileKey(s scenarios.Scenario, agentName string, scale int, opts vm.Optio
 // reflects how this invocation produced the result.
 func profileCell(ctx context.Context, s scenarios.Scenario, agentName string, scale int,
 	opts vm.Options, asJSON, perMethod, tierStats, cellStats bool,
-	cache *resultcache.Cache, verifyN int, memo *resultcache.Memo) (string, error) {
+	cache *resultcache.Cache, verifyN int, memo *resultcache.Memo,
+	tel *telemetry.Recorder) (string, error) {
+	if tel != nil {
+		var span *telemetry.Span
+		ctx, span = tel.StartSpan(ctx, telemetry.CatCampaign, "cell")
+		if span != nil {
+			span.Arg("cell", s.Name()+"/"+agentName).Arg("family", s.Family)
+		}
+		start := time.Now()
+		defer func() {
+			tel.Observe(s.Family, telemetry.MetricCellWallNanos,
+				float64(time.Since(start).Nanoseconds()))
+			span.End()
+		}()
+	}
 	var doneHost func(string) core.HostStats
 	if cellStats {
 		doneHost = core.StartHostMeasure()

@@ -6,7 +6,10 @@ import (
 	"fmt"
 	"go/version"
 	"os"
+	"path/filepath"
 	"runtime"
+	"strings"
+	"time"
 
 	"repro/internal/harness"
 	"repro/internal/resultcache"
@@ -37,7 +40,9 @@ func runDoctor(args []string) int {
 	checkpointDir := fs.String("checkpoint-dir", ".", "directory whose writability to verify (where -checkpoint journals would go)")
 	cacheDir := fs.String("cache-dir", os.Getenv(resultcache.EnvVar), "result cache directory to audit (default $"+resultcache.EnvVar+"; empty skips the check)")
 	ledger := fs.String("ledger", "BENCH_TREND.json", "benchmark ledger to verify")
-	baseline := fs.String("baseline", "pr7", "ledger entry the perf gate compares against")
+	baseline := fs.String("baseline", "pr8", "ledger entry the perf gate compares against")
+	tracePath := fs.String("trace", "", "intended -trace output path to audit (empty checks the clock only)")
+	metricsPath := fs.String("metrics", "", "intended -metrics output path to audit")
 	if err := fs.Parse(args); err != nil {
 		return harness.ExitUsage
 	}
@@ -53,6 +58,7 @@ func runDoctor(args []string) int {
 		checkCheckpointDir(*checkpointDir),
 		checkCache(*cacheDir),
 		checkBaseline(*ledger, *baseline),
+		checkTelemetry(*tracePath, *metricsPath, *cacheDir),
 	}
 	ok := true
 	for _, c := range checks {
@@ -231,6 +237,55 @@ func checkCache(dir string) check {
 	c.OK = true
 	c.Detail = fmt.Sprintf("%s writable, layout %s, %d entries (%.1f MB)",
 		dir, resultcache.LayoutVersion, count, float64(size)/(1<<20))
+	return c
+}
+
+// checkTelemetry audits the observability outputs a -trace/-metrics run
+// would produce: the host clock must carry a monotonic reading (span
+// durations come from time.Since, so a wall-only clock would let NTP
+// steps produce negative spans), each requested output path's directory
+// must be writable, and -trace must not point inside the result cache
+// directory — the eviction pass walks that tree by size and would
+// happily delete (or be skewed by) a growing trace file.
+func checkTelemetry(tracePath, metricsPath, cacheDir string) check {
+	c := check{Name: "telemetry"}
+	if strings.Index(time.Now().String(), " m=+") < 0 {
+		c.Detail = "host clock has no monotonic reading; span durations would be unreliable"
+		return c
+	}
+	if tracePath != "" && cacheDir != "" {
+		absTrace, err1 := filepath.Abs(tracePath)
+		absCache, err2 := filepath.Abs(cacheDir)
+		if err1 == nil && err2 == nil {
+			if rel, err := filepath.Rel(absCache, absTrace); err == nil &&
+				rel != ".." && !strings.HasPrefix(rel, ".."+string(filepath.Separator)) {
+				c.Detail = fmt.Sprintf("refusing: -trace %s lies inside the result cache %s (the eviction pass owns that tree; point -trace elsewhere)", tracePath, cacheDir)
+				return c
+			}
+		}
+	}
+	probed := 0
+	for _, p := range []string{tracePath, metricsPath} {
+		if p == "" {
+			continue
+		}
+		dir := filepath.Dir(p)
+		f, err := os.CreateTemp(dir, ".doctor-probe-*")
+		if err != nil {
+			c.Detail = fmt.Sprintf("%s not writable: %v", dir, err)
+			return c
+		}
+		name := f.Name()
+		f.Close()
+		os.Remove(name)
+		probed++
+	}
+	c.OK = true
+	if probed == 0 {
+		c.Detail = "monotonic clock ok (pass -trace/-metrics to audit output paths)"
+	} else {
+		c.Detail = fmt.Sprintf("monotonic clock ok, %d output path(s) writable", probed)
+	}
 	return c
 }
 

@@ -10,9 +10,11 @@
 //	       [-cell-timeout D] [-max-retries N] [-retry-seed S]
 //	       [-checkpoint FILE] [-resume]
 //	       [-cache-dir DIR] [-cache off|ro|rw] [-cache-verify N] [-cache-max-mb MB]
-//	       [-cpuprofile F] [-memprofile F] [-dump|-metrics]
+//	       [-trace FILE] [-metrics FILE]
+//	       [-cpuprofile F] [-memprofile F] [-dump|-instrmix]
 //	       <scenario|family>... | all
 //	jvmsim doctor [-format text|json] [-checkpoint-dir DIR] [-cache-dir DIR]
+//	              [-trace FILE] [-metrics FILE]
 //
 // Arguments name registered scenarios, scenario families ("paper",
 // "gc-heavy", ...) or the word "all"; -scenario loads a declarative JSON
@@ -23,7 +25,12 @@
 // execution tier (interp, jit, auto); every simulated statistic is
 // byte-identical across engines, and -tierstats appends the tier's
 // host-side bookkeeping (promotions, compiled frames, deopts) per run.
-// -dump and -metrics are static analyses and always run sequentially.
+// -dump and -instrmix are static analyses and always run sequentially.
+//
+// -trace writes a Chrome trace_event JSON timeline of the run (loadable
+// in Perfetto) and -metrics dumps the per-family metrics registry; both
+// are host-side observability that never changes stdout — see
+// docs/observability.md.
 //
 // -cpuprofile and -memprofile write pprof profiles of the simulator
 // itself (not the simulated workload), the entry point for performance
@@ -59,6 +66,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"time"
 
 	"repro/internal/agents/registry"
 	"repro/internal/bytecode"
@@ -70,6 +78,7 @@ import (
 	"repro/internal/resultcache"
 	"repro/internal/runner"
 	"repro/internal/scenarios"
+	"repro/internal/telemetry"
 	"repro/internal/vm"
 	"repro/internal/workloads"
 )
@@ -84,7 +93,7 @@ func main() {
 	scale := flag.Int("scale", 1, "iteration divisor")
 	tierStats := flag.Bool("tierstats", false, "append the execution tier's host-side statistics per run")
 	dump := flag.Bool("dump", false, "disassemble the generated classes instead of running")
-	metrics := flag.Bool("metrics", false, "print static instruction-mix metrics instead of running")
+	instrmix := flag.Bool("instrmix", false, "print static instruction-mix metrics instead of running")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the simulator to `file`")
 	memprofile := flag.String("memprofile", "", "write a heap profile of the simulator to `file`")
 	scenarioFile := scenarios.AddFlag(flag.CommandLine)
@@ -93,6 +102,7 @@ func main() {
 	checkpointPath := flag.String("checkpoint", "", "journal each finished cell's output to `file` (crash-resumable with -resume)")
 	resume := flag.Bool("resume", false, "with -checkpoint: replay finished cells from the journal instead of re-running them")
 	cacheFlags := resultcache.AddFlags(flag.CommandLine)
+	telFlags := telemetry.AddFlags(flag.CommandLine)
 	flag.Parse()
 	if *resume && *checkpointPath == "" {
 		fmt.Fprintln(os.Stderr, "jvmsim: -resume requires -checkpoint")
@@ -100,7 +110,7 @@ func main() {
 	}
 	if flag.NArg() < 1 {
 		// Before profile setup: os.Exit skips the deferred profile writers.
-		fmt.Fprintln(os.Stderr, "usage: jvmsim [-agent NAME] [-engine NAME] [-scenario FILE] [-scale K] [-parallel N] [-tierstats] [-cpuprofile F] [-memprofile F] [-dump|-metrics] <scenario|family>... | all")
+		fmt.Fprintln(os.Stderr, "usage: jvmsim [-agent NAME] [-engine NAME] [-scenario FILE] [-scale K] [-parallel N] [-tierstats] [-trace F] [-metrics F] [-cpuprofile F] [-memprofile F] [-dump|-instrmix] <scenario|family>... | all")
 		os.Exit(2)
 	}
 	if err := scenarios.LoadIfSet(*scenarioFile); err != nil {
@@ -133,23 +143,23 @@ func main() {
 		defer writeMemProfile()
 	}
 
-	if *metrics || *dump {
+	if *instrmix || *dump {
 		// Static analyses never run the program, so an agent, engine or
 		// tier-stats selection would be dropped silently — reject them
 		// like tables rejects inapplicable flag combinations.
 		if *agentName != "none" {
-			fatal(fmt.Errorf("-agent does not apply to -dump/-metrics (static analyses never run the program)"))
+			fatal(fmt.Errorf("-agent does not apply to -dump/-instrmix (static analyses never run the program)"))
 		}
 		if engine != jit.EngineInterp || *tierStats {
-			fatal(fmt.Errorf("-engine/-tierstats do not apply to -dump/-metrics (static analyses never run the program)"))
+			fatal(fmt.Errorf("-engine/-tierstats do not apply to -dump/-instrmix (static analyses never run the program)"))
 		}
 		for _, s := range scns {
 			prog, err := workloads.BuildWorkload(s.Workload.Scale(*scale))
 			if err != nil {
 				fatal(err)
 			}
-			if *metrics {
-				if err := printMetrics(prog); err != nil {
+			if *instrmix {
+				if err := printInstrMix(prog); err != nil {
 					fatal(err)
 				}
 			} else {
@@ -172,51 +182,65 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	tel := telFlags.Open()
+	sum := telemetry.NewSummary("jvmsim", os.Stderr)
 	var journal *checkpoint.Journal
 	if *checkpointPath != "" {
-		journal, err = checkpoint.Open(*checkpointPath, *resume)
+		journal, err = checkpoint.OpenWithTelemetry(*checkpointPath, *resume, tel)
 		if err != nil {
 			fatal(err)
 		}
 		defer journal.Close()
 	}
-	// Opened after the static-analysis paths so -dump/-metrics never
+	// Opened after the static-analysis paths so -dump/-instrmix never
 	// create or stamp a cache directory they will not use.
 	cache, err := cacheFlags.Open()
 	if err != nil {
 		fatal(err)
 	}
+	cache.SetTelemetry(tel)
 	memo := new(resultcache.Memo)
 
 	ropts := runner.Options{
 		Parallelism: *parallel,
 		EmitFailed:  true,
 		Hook:        injector.Hook(),
+		Telemetry:   tel,
 	}
 	robust.Apply(&ropts)
-	results, err := runner.Map(context.Background(), ropts, scns,
-		func(s scenarios.Scenario) string { return s.Name() + "/" + *agentName },
-		func(ctx context.Context, s scenarios.Scenario) (string, error) {
-			return runCell(ctx, s, *agentName, *scale, opts, *tierStats,
-				journal, cache, cacheFlags.VerifyN(), memo)
-		})
+	cells := make([]runner.Cell[string], len(scns))
+	for i, s := range scns {
+		s := s
+		cells[i] = runner.Cell[string]{
+			Key:   s.Name() + "/" + *agentName,
+			Group: s.Family,
+			Do: func(ctx context.Context) (string, error) {
+				return runCell(ctx, s, *agentName, *scale, opts, *tierStats,
+					journal, cache, cacheFlags.VerifyN(), memo, tel)
+			},
+		}
+	}
+	results, err := runner.Run(context.Background(), ropts, cells)
 	failed := 0
 	for i, r := range results {
 		if i > 0 {
 			fmt.Println()
 		}
+		tel.Count(cells[i].Group, telemetry.MetricCells, 1)
 		if r.Err != nil {
 			failed++
+			tel.Count(cells[i].Group, telemetry.MetricCellsFailed, 1)
 			fmt.Printf("benchmark %s\n  FAILED: %v\n", r.Key, r.Err)
 			continue
 		}
 		fmt.Print(r.Value)
 	}
-	finishCache(cache)
+	finishCache(cache, sum)
+	telFlags.Finish(tel, sum)
 	if failed > 0 {
 		// Cell failures are already reported in place; the batch error is
 		// their FirstError, so the partial exit subsumes it.
-		fmt.Fprintf(os.Stderr, "jvmsim: partial: %d of %d cells failed\n", failed, len(results))
+		sum.Partial(failed, len(results))
 		exit(harness.ExitPartial)
 	}
 	if err != nil {
@@ -232,7 +256,21 @@ func main() {
 // resolved.
 func runCell(ctx context.Context, s scenarios.Scenario, agentName string, scale int,
 	opts vm.Options, tierStats bool, journal *checkpoint.Journal,
-	cache *resultcache.Cache, verifyN int, memo *resultcache.Memo) (string, error) {
+	cache *resultcache.Cache, verifyN int, memo *resultcache.Memo,
+	tel *telemetry.Recorder) (string, error) {
+	if tel != nil {
+		var span *telemetry.Span
+		ctx, span = tel.StartSpan(ctx, telemetry.CatCampaign, "cell")
+		if span != nil {
+			span.Arg("cell", s.Name()+"/"+agentName).Arg("family", s.Family)
+		}
+		start := time.Now()
+		defer func() {
+			tel.Observe(s.Family, telemetry.MetricCellWallNanos,
+				float64(time.Since(start).Nanoseconds()))
+			span.End()
+		}()
+	}
 	key, err := cellKey(s, agentName, scale, opts, tierStats)
 	if err != nil {
 		return "", err
@@ -324,14 +362,14 @@ func runCell(ctx context.Context, s scenarios.Scenario, agentName string, scale 
 // finishCache runs the end-of-run cache work: the size-capped eviction
 // pass, then the stats trailer on stderr (stdout stays byte-identical
 // whether the run was cold or warm).
-func finishCache(c *resultcache.Cache) {
+func finishCache(c *resultcache.Cache, sum *telemetry.Summary) {
 	if c == nil {
 		return
 	}
 	if err := c.Close(); err != nil {
-		fmt.Fprintln(os.Stderr, "jvmsim:", err)
+		sum.Error(err)
 	}
-	fmt.Fprintln(os.Stderr, c.Stats())
+	sum.Stat(c.Stats())
 }
 
 // cellKey derives the content-addressed key for one cell: the scenario's
@@ -409,7 +447,7 @@ func runOne(ctx context.Context, s scenarios.Scenario, agentName string, scale i
 	return out.String(), nil
 }
 
-func printMetrics(prog *core.Program) error {
+func printInstrMix(prog *core.Program) error {
 	total := make(bytecode.Histogram)
 	for _, c := range prog.Classes {
 		cm, err := bytecode.AnalyzeClass(c)

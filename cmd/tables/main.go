@@ -12,7 +12,7 @@
 //	       [-cell-timeout D] [-max-retries N] [-retry-seed S]
 //	       [-checkpoint FILE] [-resume]
 //	       [-cache-dir DIR] [-cache off|ro|rw] [-cache-verify N]
-//	       [-cache-max-mb MB] [-cellstats]
+//	       [-cache-max-mb MB] [-cellstats] [-trace FILE] [-metrics FILE]
 //
 // -engine selects the execution tier every measurement cell runs on;
 // the rendered tables and campaign rows are byte-identical across
@@ -56,6 +56,12 @@
 // -cellstats appends host-side wall-time/allocation/source columns to
 // campaign rows; the telemetry is never part of cached payloads.
 //
+// -trace FILE writes a Chrome trace_event JSON timeline of the run and
+// -metrics FILE dumps the per-family metrics registry (see
+// docs/observability.md). Both are host-side observability only: the
+// rendered tables and campaign rows stay byte-identical with telemetry
+// on or off.
+//
 // Exit codes: 0 complete, 1 fatal (including check failures), 2 usage,
 // 3 partial.
 package main
@@ -74,6 +80,7 @@ import (
 	"repro/internal/resultcache"
 	"repro/internal/runner"
 	"repro/internal/scenarios"
+	"repro/internal/telemetry"
 	"repro/internal/vm"
 )
 
@@ -95,6 +102,7 @@ func main() {
 	resume := flag.Bool("resume", false, "with -checkpoint: replay finished cells from the journal instead of re-measuring them")
 	cacheFlags := resultcache.AddFlags(flag.CommandLine)
 	cellStats := flag.Bool("cellstats", false, "append host-side wall-time/alloc/source columns to campaign rows (telemetry only, never cached)")
+	telFlags := telemetry.AddFlags(flag.CommandLine)
 	flag.Parse()
 
 	engine, err := jit.ParseEngine(*engineName)
@@ -125,6 +133,10 @@ func main() {
 	cfg.Cache = cache
 	cfg.CacheVerify = cacheFlags.VerifyN()
 	cfg.CellStats = *cellStats
+	tel := telFlags.Open()
+	sum := telemetry.NewSummary("tables", os.Stderr)
+	cfg.Telemetry = tel
+	cache.SetTelemetry(tel)
 	if *resume && *checkpointPath == "" {
 		fmt.Fprintln(os.Stderr, "tables: -resume requires -checkpoint")
 		os.Exit(harness.ExitUsage)
@@ -179,7 +191,7 @@ func main() {
 		if *table != "all" {
 			fatal(fmt.Errorf("-table applies only to -profile paper (got -profile %s)", *profile))
 		}
-		runCampaign(*profile, agents, cfg, *checkpointPath, *resume)
+		runCampaign(*profile, agents, cfg, *checkpointPath, *resume, telFlags, sum)
 		return
 	}
 
@@ -189,7 +201,8 @@ func main() {
 			fatal(err)
 		}
 		fmt.Print(rep.String())
-		finishCache(cache)
+		finishCache(cache, sum)
+		telFlags.Finish(tel, sum)
 		if !rep.OK() {
 			os.Exit(1)
 		}
@@ -212,7 +225,8 @@ func main() {
 		if err := harness.WriteMarkdown(os.Stdout, rows1, geo, rows2); err != nil {
 			fatal(err)
 		}
-		finishCache(cache)
+		finishCache(cache, sum)
+		telFlags.Finish(tel, sum)
 		return
 	}
 
@@ -246,20 +260,21 @@ func main() {
 	if *table != "1" && *table != "2" && *table != "all" {
 		fatal(fmt.Errorf("unknown -table %q (want 1, 2 or all)", *table))
 	}
-	finishCache(cache)
+	finishCache(cache, sum)
+	telFlags.Finish(tel, sum)
 }
 
 // finishCache runs the end-of-run cache work on every successful exit
 // path: the size-capped eviction pass, then the stats trailer on stderr
 // (stdout stays byte-identical whether the run was cold or warm).
-func finishCache(c *resultcache.Cache) {
+func finishCache(c *resultcache.Cache, sum *telemetry.Summary) {
 	if c == nil {
 		return
 	}
 	if err := c.Close(); err != nil {
-		fmt.Fprintln(os.Stderr, "tables:", err)
+		sum.Error(err)
 	}
-	fmt.Fprintln(os.Stderr, c.Stats())
+	sum.Stat(c.Stats())
 }
 
 // runCampaign measures a non-paper profile: every profile scenario under
@@ -267,14 +282,14 @@ func finishCache(c *resultcache.Cache) {
 // finished cell, then the expected-value check verdict. Failed cells
 // render as FAILED rows and degrade the exit code to partial (3); check
 // failures exit fatal (1).
-func runCampaign(profile string, agents []string, cfg harness.Config, checkpointPath string, resume bool) {
+func runCampaign(profile string, agents []string, cfg harness.Config, checkpointPath string, resume bool, telFlags *telemetry.Flags, sum *telemetry.Summary) {
 	scns, err := scenarios.Profile(profile)
 	if err != nil {
 		fatal(err)
 	}
 	camp := harness.Campaign{Scenarios: scns, Agents: agents, Config: cfg}
 	if checkpointPath != "" {
-		journal, err := checkpoint.Open(checkpointPath, resume)
+		journal, err := checkpoint.OpenWithTelemetry(checkpointPath, resume, cfg.Telemetry)
 		if err != nil {
 			fatal(err)
 		}
@@ -299,7 +314,8 @@ func runCampaign(profile string, agents []string, cfg harness.Config, checkpoint
 	if err != nil {
 		fatal(err)
 	}
-	finishCache(cfg.Cache)
+	finishCache(cfg.Cache, sum)
+	telFlags.Finish(cfg.Telemetry, sum)
 	fmt.Println()
 	fmt.Print(harness.RenderChecks(res.CheckFailures))
 	if res.Failed > 0 {

@@ -18,12 +18,15 @@ package checkpoint
 
 import (
 	"bytes"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"os"
 	"sync"
+
+	"repro/internal/telemetry"
 )
 
 // CellKey content-addresses a cell: the hex sha256 of the canonical JSON
@@ -68,6 +71,10 @@ type Journal struct {
 	mu      sync.Mutex
 	f       *os.File
 	entries map[string]json.RawMessage
+
+	// tel mirrors replay/append counts into a telemetry registry's
+	// process family; nil costs one comparison.
+	tel *telemetry.Recorder
 }
 
 // Open opens (creating if needed) the journal at path. With resume set,
@@ -77,6 +84,14 @@ type Journal struct {
 // corruption errors. Without resume an existing journal is truncated to
 // empty: the run starts fresh.
 func Open(path string, resume bool) (*Journal, error) {
+	return OpenWithTelemetry(path, resume, nil)
+}
+
+// OpenWithTelemetry is Open with a telemetry recorder attached from the
+// start, so the resume replay itself is traced (a "journal_replay" span
+// under the journal category) and counted (journal_replayed entries in
+// the process family). A nil recorder makes it exactly Open.
+func OpenWithTelemetry(path string, resume bool, r *telemetry.Recorder) (*Journal, error) {
 	flags := os.O_RDWR | os.O_CREATE
 	if !resume {
 		flags |= os.O_TRUNC
@@ -85,12 +100,19 @@ func Open(path string, resume bool) (*Journal, error) {
 	if err != nil {
 		return nil, fmt.Errorf("checkpoint: %w", err)
 	}
-	j := &Journal{f: f, entries: make(map[string]json.RawMessage)}
+	j := &Journal{f: f, entries: make(map[string]json.RawMessage), tel: r}
 	if resume {
-		if err := j.load(); err != nil {
+		_, span := r.StartSpan(context.Background(), telemetry.CatJournal, "journal_replay")
+		err := j.load()
+		if span != nil {
+			span.Arg("path", path).Arg("entries", len(j.entries))
+		}
+		span.End()
+		if err != nil {
 			f.Close()
 			return nil, err
 		}
+		r.Count(telemetry.ProcessFamily, telemetry.MetricProcJournalReplay, uint64(len(j.entries)))
 	}
 	return j, nil
 }
@@ -156,6 +178,7 @@ func (j *Journal) Append(key string, payload any) error {
 		return fmt.Errorf("checkpoint: fsync: %w", err)
 	}
 	j.entries[key] = raw
+	j.tel.Count(telemetry.ProcessFamily, telemetry.MetricProcJournalAppend, 1)
 	return nil
 }
 

@@ -5,12 +5,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/resultcache"
 	"repro/internal/runner"
 	"repro/internal/scenarios"
+	"repro/internal/telemetry"
 	"repro/internal/vm"
 )
 
@@ -135,12 +137,27 @@ func (c Campaign) Run(ctx context.Context, emit func(CampaignRow) error) (*Campa
 				return nil, err
 			}
 			cells = append(cells, runner.Cell[*Measurement]{
-				Key: sc.Name() + "/" + agent,
+				Key:   sc.Name() + "/" + agent,
+				Group: sc.Family,
 				Do: func(ctx context.Context) (*Measurement, error) {
 					return c.runCell(ctx, sc, agent, key, cfg, memo)
 				},
 			})
 			meta = append(meta, cellMeta{sc: sc, agent: agent})
+		}
+	}
+	tel := cfg.Telemetry
+	if tel != nil {
+		// Mirror the cache's counters into the registry's process family
+		// for the lifetime of this campaign.
+		cfg.Cache.SetTelemetry(tel)
+		// The campaign span is a root on its own lane; Stream gets the
+		// original context so each worker's attempt spans claim their own
+		// lanes instead of stacking on the campaign's track.
+		_, span := tel.StartSpan(ctx, telemetry.CatCampaign, "campaign")
+		if span != nil {
+			span.Arg("cells", len(cells)).Arg("parallelism", cfg.Parallelism)
+			defer span.End()
 		}
 	}
 	var emitErr error
@@ -168,8 +185,14 @@ func (c Campaign) Run(ctx context.Context, emit func(CampaignRow) error) (*Campa
 	res := &CampaignResult{Rows: make([]CampaignRow, len(results))}
 	for i, r := range results {
 		res.Rows[i] = CampaignRow{Scenario: meta[i].sc, AgentName: meta[i].agent, M: r.Value, Err: r.Err}
+		if tel != nil {
+			tel.Count(meta[i].sc.Family, telemetry.MetricCells, 1)
+		}
 		if r.Err != nil {
 			res.Failed++
+			if tel != nil {
+				tel.Count(meta[i].sc.Family, telemetry.MetricCellsFailed, 1)
+			}
 		}
 	}
 	for _, sc := range c.Scenarios {
@@ -199,6 +222,65 @@ func (c Campaign) Run(ctx context.Context, emit func(CampaignRow) error) (*Campa
 // decoded Measurement — never on the cached payload.
 func (c Campaign) runCell(ctx context.Context, sc scenarios.Scenario, agent, key string,
 	cfg Config, memo *resultcache.Memo) (*Measurement, error) {
+	tel := cfg.Telemetry
+	if tel == nil {
+		m, _, err := c.runCellFrom(ctx, sc, agent, key, cfg, memo)
+		return m, err
+	}
+	ctx, span := tel.StartSpan(ctx, telemetry.CatCampaign, "cell")
+	if span != nil {
+		span.Arg("cell", sc.Name()+"/"+agent).Arg("family", sc.Family)
+	}
+	start := time.Now()
+	m, source, err := c.runCellFrom(ctx, sc, agent, key, cfg, memo)
+	fam := sc.Family
+	tel.Observe(fam, telemetry.MetricCellWallNanos, float64(time.Since(start).Nanoseconds()))
+	if span != nil {
+		if source != "" {
+			span.Arg("source", source)
+		}
+		span.End()
+	}
+	if err != nil || m == nil {
+		return m, err
+	}
+	// Attribute the serving source per family (the cache itself only
+	// counts process-wide), and read the tier/GC seams off the decoded
+	// payload — cached and journaled cells carry them too, so the
+	// dashboard sees the same tier mix whether the cell ran or was
+	// served from disk.
+	switch source {
+	case "cache":
+		tel.Count(fam, telemetry.MetricCacheHits, 1)
+	case "journal":
+		tel.Count(fam, telemetry.MetricJournalHits, 1)
+	case "dedup":
+		tel.Count(fam, telemetry.MetricDedupHits, 1)
+	case "verify":
+		tel.Count(fam, telemetry.MetricVerified, 1)
+	default:
+		tel.Count(fam, telemetry.MetricRuns, 1)
+	}
+	tel.Count(fam, telemetry.MetricTierCompiled, m.Tier.MethodsCompiled)
+	tel.Count(fam, telemetry.MetricTierOSR, m.Tier.OSREntries)
+	tel.Count(fam, telemetry.MetricTierDeopts, m.Tier.DeoptFrames)
+	tel.Count(fam, telemetry.MetricTierCompiledFrm, m.Tier.CompiledFrames)
+	tel.Count(fam, telemetry.MetricTierInlined, m.Tier.InlinedCalls)
+	tel.Count(fam, telemetry.MetricTierFallback, m.Tier.FallbackChunks)
+	tel.Count(fam, telemetry.MetricGCMinor, m.GC.MinorGCs)
+	tel.Count(fam, telemetry.MetricGCMajor, m.GC.MajorGCs)
+	tel.Count(fam, telemetry.MetricGCTenured, m.GC.TenurePromotions)
+	if m.GC.Collections() > 0 {
+		tel.Observe(fam, telemetry.MetricGCPauseCycles, float64(m.GC.GCCycles))
+	}
+	return m, nil
+}
+
+// runCellFrom is runCell's source-tracking core; the returned source
+// names which layer served the cell ("journal", "cache", "verify",
+// "dedup" or "run") and is meaningful only on success.
+func (c Campaign) runCellFrom(ctx context.Context, sc scenarios.Scenario, agent, key string,
+	cfg Config, memo *resultcache.Memo) (*Measurement, string, error) {
 	var doneHost func(string) core.HostStats
 	if cfg.CellStats {
 		doneHost = core.StartHostMeasure()
@@ -235,7 +317,8 @@ func (c Campaign) runCell(ctx context.Context, sc scenarios.Scenario, agent, key
 
 	if c.Journal != nil {
 		if raw, ok := c.Journal.Lookup(key); ok {
-			return decode(raw, "journal")
+			m, err := decode(raw, "journal")
+			return m, "journal", err
 		}
 	}
 
@@ -244,21 +327,22 @@ func (c Campaign) runCell(ctx context.Context, sc scenarios.Scenario, agent, key
 		if resultcache.VerifySample(key, cfg.CacheVerify) {
 			fresh, err := execute()
 			if err != nil {
-				return nil, err
+				return nil, "", err
 			}
 			if err := cache.Verify(key, raw, fresh); err != nil {
-				return nil, err
+				return nil, "", err
 			}
 			if err := journal(fresh); err != nil {
-				return nil, err
+				return nil, "", err
 			}
-			return decode(fresh, "verify")
+			m, err := decode(fresh, "verify")
+			return m, "verify", err
 		}
 		if m, err := decode(raw, "cache"); err == nil {
 			if err := journal(raw); err != nil {
-				return nil, err
+				return nil, "", err
 			}
-			return m, nil
+			return m, "cache", nil
 		}
 		// A well-formed record wrapping an undecodable Measurement is
 		// corruption like any other: fall through to execution as a miss.
@@ -288,7 +372,7 @@ func (c Campaign) runCell(ctx context.Context, sc scenarios.Scenario, agent, key
 		shared = false
 	}
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	source := "run"
 	if shared {
@@ -296,9 +380,10 @@ func (c Campaign) runCell(ctx context.Context, sc scenarios.Scenario, agent, key
 		source = "dedup"
 	}
 	if err := journal(raw); err != nil {
-		return nil, err
+		return nil, "", err
 	}
-	return decode(raw, source)
+	m, err := decode(raw, source)
+	return m, source, err
 }
 
 // EvaluateChecks applies a scenario's expected-value checks to the

@@ -26,6 +26,7 @@ import (
 	"repro/internal/runner"
 	"repro/internal/scenarios"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/vm"
 	"repro/internal/workloads"
 )
@@ -141,6 +142,14 @@ type Config struct {
 	// the run-varying telemetry never leaks into row comparisons or
 	// byte-identity goldens.
 	CellStats bool
+	// Telemetry, when non-nil, records campaign/cell/repetition spans
+	// and per-family metrics (wall time, cache sources, tier and GC
+	// counters read from each Measurement's jit.Stats/vm.GCStats seams).
+	// Like Host, everything it collects is host-side bookkeeping stamped
+	// outside the canonical payloads: output is byte-identical with
+	// telemetry on or off. Nil (the default) costs one comparison per
+	// cell.
+	Telemetry *telemetry.Recorder
 }
 
 // DefaultConfig returns the configuration used to regenerate the tables.
@@ -176,6 +185,7 @@ func (c Config) runnerOptions() runner.Options {
 		MaxRetries:  c.MaxRetries,
 		RetrySeed:   c.RetrySeed,
 		Hook:        c.Hook,
+		Telemetry:   c.Telemetry,
 	}
 }
 
@@ -272,6 +282,13 @@ func MeasureScenario(ctx context.Context, sc scenarios.Scenario, agentName strin
 	// host before the measured repetitions start.
 	for i := 0; i < cfg.Warmup+cfg.Runs; i++ {
 		warmup := i < cfg.Warmup
+		// The repetition span is pure host-side observability: rctx only
+		// adds the trace lane, never a deadline, so execution under
+		// telemetry is identical to execution without it.
+		rctx, rspan := cfg.Telemetry.StartSpan(ctx, telemetry.CatMeasure, "repetition")
+		if rspan != nil {
+			rspan.Arg("scenario", sc.Name()).Arg("rep", i).Arg("warmup", warmup)
+		}
 		var totalCycles, totalOps uint64
 		var report *core.Report
 		var truth core.GroundTruth
@@ -283,14 +300,17 @@ func MeasureScenario(ctx context.Context, sc scenarios.Scenario, agentName strin
 			wv.Threads = warehouses
 			prog, err := workloads.BuildWorkload(wv)
 			if err != nil {
+				rspan.End()
 				return nil, fmt.Errorf("harness: %s: %w", wv.Name, err)
 			}
 			agent, err := registry.New(agentName, registry.Config{})
 			if err != nil {
+				rspan.End()
 				return nil, fmt.Errorf("harness: %s: %w", wv.Name, err)
 			}
-			res, err := core.RunContext(ctx, prog, agent, opts)
+			res, err := core.RunContext(rctx, prog, agent, opts)
 			if err != nil {
+				rspan.End()
 				return nil, fmt.Errorf("harness: %s under %s: %w", wv.Name, agentName, err)
 			}
 			totalCycles += res.TotalCycles
@@ -314,6 +334,7 @@ func MeasureScenario(ctx context.Context, sc scenarios.Scenario, agentName strin
 			tier.SuperinstrPairs += res.Tier.SuperinstrPairs
 			tier.PerMethod = jit.MergeMethodStats(tier.PerMethod, res.Tier.PerMethod)
 		}
+		rspan.End()
 		if warmup {
 			continue
 		}

@@ -38,6 +38,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // LayoutVersion is the on-disk layout stamp. A directory carrying a
@@ -131,6 +133,10 @@ type Cache struct {
 	deduped   atomic.Uint64
 	evictions atomic.Uint64
 	verified  atomic.Uint64
+
+	// tel mirrors the counters into a telemetry registry's process
+	// family as they happen; nil (the default) costs one comparison.
+	tel *telemetry.Recorder
 }
 
 // record is one entry file's content — the checkpoint journal's record
@@ -195,6 +201,16 @@ func CheckLayout(dir string) error {
 		dir, len(entries))
 }
 
+// SetTelemetry attaches a telemetry recorder: every counter the cache
+// bumps from here on is mirrored into the recorder's process family
+// (the cache is shared across scenario families and cannot attribute
+// finer). Nil-safe on both sides.
+func (c *Cache) SetTelemetry(r *telemetry.Recorder) {
+	if c != nil {
+		c.tel = r
+	}
+}
+
 // Dir reports the cache root ("" for a nil cache).
 func (c *Cache) Dir() string {
 	if c == nil {
@@ -234,16 +250,19 @@ func (c *Cache) Get(key string) (json.RawMessage, bool) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		c.misses.Add(1)
+		c.tel.Count(telemetry.ProcessFamily, telemetry.MetricProcCacheMisses, 1)
 		return nil, false
 	}
 	var rec record
 	if err := json.Unmarshal(data, &rec); err != nil || rec.Key != key || len(rec.Payload) == 0 {
 		c.misses.Add(1)
+		c.tel.Count(telemetry.ProcessFamily, telemetry.MetricProcCacheMisses, 1)
 		return nil, false
 	}
 	now := time.Now()
 	os.Chtimes(path, now, now) // best effort: LRU recency only
 	c.hits.Add(1)
+	c.tel.Count(telemetry.ProcessFamily, telemetry.MetricProcCacheHits, 1)
 	return rec.Payload, true
 }
 
@@ -286,6 +305,7 @@ func (c *Cache) Put(key string, payload json.RawMessage) error {
 		return fmt.Errorf("resultcache: publishing entry %s: %w", key, err)
 	}
 	c.puts.Add(1)
+	c.tel.Count(telemetry.ProcessFamily, telemetry.MetricProcCachePuts, 1)
 	return nil
 }
 
@@ -295,6 +315,7 @@ func (c *Cache) Put(key string, payload json.RawMessage) error {
 func (c *Cache) AddDeduped(n uint64) {
 	if c != nil {
 		c.deduped.Add(n)
+		c.tel.Count(telemetry.ProcessFamily, telemetry.MetricProcCacheDeduped, n)
 	}
 }
 
@@ -302,6 +323,7 @@ func (c *Cache) AddDeduped(n uint64) {
 func (c *Cache) AddVerified(n uint64) {
 	if c != nil {
 		c.verified.Add(n)
+		c.tel.Count(telemetry.ProcessFamily, telemetry.MetricProcCacheVerified, n)
 	}
 }
 
@@ -398,6 +420,7 @@ func (c *Cache) Evict() (int, error) {
 		evicted++
 	}
 	c.evictions.Add(uint64(evicted))
+	c.tel.Count(telemetry.ProcessFamily, telemetry.MetricProcCacheEvicted, uint64(evicted))
 	return evicted, nil
 }
 

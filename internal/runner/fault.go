@@ -7,6 +7,8 @@ import (
 	"hash/fnv"
 	"runtime/debug"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // CellError is the typed failure of one cell attempt: which cell failed,
@@ -141,8 +143,14 @@ type attemptResult[T any] struct {
 // abandoned goroutine is left to notice ctx.Done() and exit on its own
 // while the campaign moves on. Without a timeout the body runs inline —
 // the happy path adds one deferred recover and nothing else.
-func runAttempt[T any](ctx context.Context, opts Options, key string, attempt int,
+func runAttempt[T any](ctx context.Context, opts Options, cell Cell[T], attempt int,
 	do func(context.Context) (T, error)) (T, error) {
+	key := cell.Key
+	ctx, span := opts.Telemetry.StartSpan(ctx, telemetry.CatRunner, "attempt")
+	if span != nil {
+		span.Arg("cell", key).Arg("attempt", attempt)
+	}
+	defer span.End()
 	if opts.CellTimeout <= 0 {
 		return guardedDo(ctx, key, attempt, opts.Hook, do)
 	}
@@ -173,16 +181,27 @@ func runCell[T any](ctx context.Context, opts Options, cell Cell[T]) (T, error) 
 	var val T
 	var err error
 	for attempt := 1; ; attempt++ {
-		val, err = runAttempt(ctx, opts, cell.Key, attempt, cell.Do)
+		val, err = runAttempt(ctx, opts, cell, attempt, cell.Do)
 		if err == nil {
 			break
 		}
 		if ce := (*CellError)(nil); !errors.As(err, &ce) {
 			err = &CellError{Key: cell.Key, Attempt: attempt, Cause: err}
 		}
+		if opts.Telemetry != nil {
+			if errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
+				opts.Telemetry.Count(cell.Group, telemetry.MetricTimeouts, 1)
+			}
+			var pe *PanicError
+			if errors.As(err, &pe) {
+				opts.Telemetry.Count(cell.Group, telemetry.MetricPanics, 1)
+			}
+		}
 		if attempt > opts.MaxRetries || !IsTransient(err) || ctx.Err() != nil {
 			break
 		}
+		opts.Telemetry.Count(cell.Group, telemetry.MetricRetries, 1)
+		opts.Telemetry.Event(ctx, telemetry.CatRunner, "retry")
 		delay := retryDelay(opts.RetryBackoff, opts.RetrySeed, cell.Key, attempt+1)
 		select {
 		case <-time.After(delay):

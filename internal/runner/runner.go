@@ -20,6 +20,8 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Cell is one independent unit of measurement work. Do must be
@@ -28,6 +30,10 @@ import (
 type Cell[T any] struct {
 	// Key labels the cell for error reporting ("compress/IPA").
 	Key string
+	// Group is the cell's scenario family for telemetry aggregation;
+	// empty falls back to telemetry.DefaultFamily. It has no effect on
+	// scheduling or results.
+	Group string
 	// Do performs the measurement. It should honour ctx cancellation
 	// where practical; the runner itself never starts a cell after ctx
 	// is done.
@@ -87,6 +93,10 @@ type Options struct {
 	// preserves the original contract — successful prefix only, stop at
 	// the first failure.
 	EmitFailed bool
+	// Telemetry, when non-nil, records queue-wait, attempt spans and
+	// retry/timeout counters. It never influences scheduling or results;
+	// nil costs one comparison per cell.
+	Telemetry *telemetry.Recorder
 }
 
 // DefaultParallelism is the worker count used when Options.Parallelism
@@ -144,6 +154,8 @@ func Stream[T any](ctx context.Context, opts Options, cells []Cell[T], emit func
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	submitted := time.Now() // queue-wait epoch for telemetry
+
 	var failOnce sync.Once
 	var failErr error // the error that triggered fail-fast cancellation
 	indices := make(chan int)
@@ -159,6 +171,10 @@ func Stream[T any](ctx context.Context, opts Options, cells []Cell[T], emit func
 				if err := runCtx.Err(); err != nil {
 					r.Err = err
 				} else {
+					if opts.Telemetry != nil {
+						opts.Telemetry.Observe(cell.Group, telemetry.MetricQueueWaitNs,
+							float64(time.Since(submitted).Nanoseconds()))
+					}
 					r.Value, r.Err = runCell(runCtx, opts, cell)
 					if r.Err != nil && opts.FailFast {
 						err := r.Err

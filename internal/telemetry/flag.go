@@ -1,0 +1,84 @@
+package telemetry
+
+import (
+	"flag"
+	"os"
+)
+
+// Flags holds the standard telemetry CLI flags shared by jvmsim, jprof
+// and tables.
+type Flags struct {
+	Trace   *string
+	Metrics *string
+}
+
+// AddFlags registers -trace and -metrics on fs.
+func AddFlags(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	f.Trace = fs.String("trace", "", "write Chrome trace_event JSON to `FILE` (load in Perfetto)")
+	f.Metrics = fs.String("metrics", "", "write the per-family metrics registry as JSON to `FILE`")
+	return f
+}
+
+// Enabled reports whether either telemetry output was requested.
+func (f *Flags) Enabled() bool {
+	return f != nil && (*f.Trace != "" || *f.Metrics != "")
+}
+
+// Open returns the Recorder these flags ask for: nil (fully disabled)
+// when neither -trace nor -metrics was given, metrics-only when just
+// -metrics, and span-buffering when -trace.
+func (f *Flags) Open() *Recorder {
+	if !f.Enabled() {
+		return nil
+	}
+	return New(*f.Trace != "")
+}
+
+// Finish writes the requested trace and metrics files and their
+// summary trailers. A nil recorder (telemetry disabled) is a no-op.
+// The first write error is reported through sum and returned.
+func (f *Flags) Finish(r *Recorder, sum *Summary) error {
+	if r == nil || f == nil {
+		return nil
+	}
+	var firstErr error
+	if *f.Trace != "" {
+		if err := writeFileWith(*f.Trace, func(w *os.File) error {
+			return r.WriteTrace(w, sum.Tool())
+		}); err != nil {
+			sum.Error(err)
+			firstErr = err
+		} else {
+			sum.Printf("trace: %d events -> %s", r.EventCount(), *f.Trace)
+		}
+	}
+	if *f.Metrics != "" {
+		if err := writeFileWith(*f.Metrics, func(w *os.File) error {
+			return r.WriteMetricsJSON(w, sum.Tool())
+		}); err != nil {
+			sum.Error(err)
+			if firstErr == nil {
+				firstErr = err
+			}
+		} else {
+			sum.Printf("metrics: -> %s", *f.Metrics)
+		}
+	}
+	sum.Metrics(r)
+	return firstErr
+}
+
+// writeFileWith creates path, runs fn on it, and returns the first
+// error from fn or Close.
+func writeFileWith(path string, fn func(*os.File) error) error {
+	w, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(w); err != nil {
+		w.Close()
+		return err
+	}
+	return w.Close()
+}

@@ -1,0 +1,59 @@
+package telemetry
+
+// Canonical metric names. Every package that records into the registry
+// uses these constants so the -metrics dump, the stderr digest and the
+// benchtrend dashboard agree on spelling.
+const (
+	// Per-family counters recorded by the harness and runner.
+	MetricCells        = "cells"         // cells completed (any source)
+	MetricCellsFailed  = "cells_failed"  // cells that ended in error
+	MetricCacheHits    = "cache_hits"    // cells served from the result cache
+	MetricJournalHits  = "journal_hits"  // cells served from the checkpoint journal
+	MetricDedupHits    = "dedup_hits"    // cells served from in-process memoization
+	MetricRuns         = "runs"          // cells actually executed
+	MetricVerified     = "verified"      // cache hits re-executed and byte-compared
+	MetricRetries      = "retries"       // attempts beyond the first
+	MetricTimeouts     = "timeouts"      // attempts killed by the cell deadline
+	MetricPanics       = "panics"        // attempts that panicked (isolated)
+	MetricFailedEvents = "failed_events" // events recorded for failed cells
+
+	// Per-family counters sourced from the jit.Stats seam of each
+	// measurement (cached or executed — tier stats live in the payload).
+	MetricTierCompiled    = "tier_methods_compiled"
+	MetricTierOSR         = "tier_osr_entries"
+	MetricTierDeopts      = "tier_deopt_frames"
+	MetricTierCompiledFrm = "tier_compiled_frames"
+	MetricTierInlined     = "tier_inlined_calls"
+	MetricTierFallback    = "tier_fallback_chunks"
+
+	// Per-family counters sourced from the vm.GCStats seam.
+	MetricGCMinor   = "gc_minor"
+	MetricGCMajor   = "gc_major"
+	MetricGCTenured = "gc_tenure_promotions"
+
+	// Per-family histograms.
+	MetricCellWallNanos = "cell_wall_ns"    // host wall time per cell
+	MetricQueueWaitNs   = "queue_wait_ns"   // runner submit-to-start wait
+	MetricGCPauseCycles = "gc_pause_cycles" // simulated GC cycles per cell
+
+	// Process-family counters (under ProcessFamily) recorded by the
+	// result cache and checkpoint journal, which do not know families.
+	MetricProcCacheHits     = "cache_hits"
+	MetricProcCacheMisses   = "cache_misses"
+	MetricProcCachePuts     = "cache_puts"
+	MetricProcCacheDeduped  = "cache_deduped"
+	MetricProcCacheEvicted  = "cache_evicted"
+	MetricProcCacheVerified = "cache_verified"
+	MetricProcJournalReplay = "journal_replayed"
+	MetricProcJournalAppend = "journal_appended"
+)
+
+// Trace span categories, one per layer, so Perfetto can filter by
+// subsystem.
+const (
+	CatCampaign = "campaign" // harness: whole campaign + per-cell work
+	CatRunner   = "runner"   // runner: attempts, retries, timeouts
+	CatCache    = "cache"    // result cache events
+	CatJournal  = "journal"  // checkpoint journal replay/append
+	CatMeasure  = "measure"  // harness: per-repetition measurement spans
+)

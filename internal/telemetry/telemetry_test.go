@@ -1,0 +1,234 @@
+package telemetry
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNilRecorderIsInert(t *testing.T) {
+	var r *Recorder
+	ctx := context.Background()
+	ctx2, s := r.StartSpan(ctx, CatCampaign, "cell")
+	if ctx2 != ctx {
+		t.Error("nil recorder changed the context")
+	}
+	if s != nil {
+		t.Error("nil recorder returned a non-nil span")
+	}
+	s.Arg("k", 1)
+	s.End()
+	r.Event(ctx, CatCache, "hit")
+	r.Count("fam", MetricCells, 1)
+	r.Observe("fam", MetricCellWallNanos, 42)
+	if r.TraceEnabled() || r.EventCount() != 0 || r.Metrics() != nil {
+		t.Error("nil recorder reported enabled state")
+	}
+}
+
+func TestDisabledFastPathZeroAllocs(t *testing.T) {
+	var r *Recorder
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(1000, func() {
+		c, s := r.StartSpan(ctx, CatRunner, "attempt")
+		s.End()
+		r.Event(c, CatCache, "hit")
+		r.Count("fam", MetricCells, 1)
+		r.Observe("fam", MetricCellWallNanos, 1234)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled-Recorder fast path allocated %.1f allocs/op, want 0", allocs)
+	}
+}
+
+func TestMetricsOnlyModeBuffersNoEvents(t *testing.T) {
+	r := New(false)
+	ctx, s := r.StartSpan(context.Background(), CatCampaign, "campaign")
+	if s != nil {
+		t.Error("metrics-only recorder returned a span")
+	}
+	r.Event(ctx, CatCache, "hit")
+	r.Count("fam", MetricCells, 3)
+	if r.EventCount() != 0 {
+		t.Errorf("metrics-only recorder buffered %d events", r.EventCount())
+	}
+	if got := r.Metrics().Counter("fam", MetricCells); got != 3 {
+		t.Errorf("counter = %d, want 3", got)
+	}
+}
+
+func TestSpanNestingSharesLane(t *testing.T) {
+	r := New(true)
+	ctx, root := r.StartSpan(context.Background(), CatCampaign, "campaign")
+	_, child := r.StartSpan(ctx, CatRunner, "attempt")
+	if child.lane != root.lane {
+		t.Errorf("child lane %d != root lane %d", child.lane, root.lane)
+	}
+	if child.owned {
+		t.Error("nested span claims lane ownership")
+	}
+	child.End()
+	root.End()
+
+	// With the root's lane released, the next root reuses lane 0.
+	_, next := r.StartSpan(context.Background(), CatCampaign, "campaign2")
+	if next.lane != 0 {
+		t.Errorf("lane not reused: got %d, want 0", next.lane)
+	}
+	next.End()
+}
+
+func TestConcurrentRootsGetDistinctLanes(t *testing.T) {
+	r := New(true)
+	_, a := r.StartSpan(context.Background(), CatCampaign, "a")
+	_, b := r.StartSpan(context.Background(), CatCampaign, "b")
+	if a.lane == b.lane {
+		t.Errorf("concurrent roots share lane %d", a.lane)
+	}
+	a.End()
+	b.End()
+}
+
+func TestWriteTraceFormat(t *testing.T) {
+	r := New(true)
+	ctx, s := r.StartSpan(context.Background(), CatCampaign, "cell")
+	s.Arg("key", "compress/exact")
+	r.Event(ctx, CatCache, "cache_hit")
+	s.End()
+
+	var buf bytes.Buffer
+	if err := r.WriteTrace(&buf, "jvmsim"); err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+		TraceEvents     []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if f.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", f.DisplayTimeUnit)
+	}
+	var sawProcess, sawX, sawI bool
+	for _, ev := range f.TraceEvents {
+		switch ev["ph"] {
+		case "M":
+			if ev["name"] == "process_name" {
+				sawProcess = true
+				args := ev["args"].(map[string]any)
+				if args["name"] != "jvmsim" {
+					t.Errorf("process_name = %v, want jvmsim", args["name"])
+				}
+			}
+		case "X":
+			sawX = true
+			if ev["name"] != "cell" || ev["cat"] != CatCampaign {
+				t.Errorf("complete event = %v", ev)
+			}
+			if _, ok := ev["dur"]; !ok {
+				t.Error("complete event missing dur")
+			}
+		case "i":
+			sawI = true
+			if ev["s"] != "t" {
+				t.Errorf("instant event scope = %v, want t", ev["s"])
+			}
+		}
+	}
+	if !sawProcess || !sawX || !sawI {
+		t.Errorf("missing events: process=%v X=%v i=%v", sawProcess, sawX, sawI)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := new(Histogram)
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i))
+	}
+	if h.Count != 1000 || h.Min != 1 || h.Max != 1000 {
+		t.Fatalf("count/min/max = %d/%v/%v", h.Count, h.Min, h.Max)
+	}
+	if m := h.Mean(); m != 500.5 {
+		t.Errorf("mean = %v, want 500.5", m)
+	}
+	// Bucket-resolution quantiles: p50 of 1..1000 lands in the bucket
+	// bounded by 1024, p99 likewise (bounds are powers of 4: 256, 1024).
+	if q := h.Quantile(0.50); q < 256 || q > 1000 {
+		t.Errorf("p50 = %v, want within (256, 1000]", q)
+	}
+	if q := h.Quantile(1.0); q != 1000 {
+		t.Errorf("p100 = %v, want 1000", q)
+	}
+	var empty Histogram
+	if empty.Quantile(0.5) != 0 || empty.Mean() != 0 {
+		t.Error("empty histogram quantile/mean != 0")
+	}
+}
+
+func TestRegistryDumpRoundTrip(t *testing.T) {
+	r := New(false)
+	r.Count("compress", MetricCells, 9)
+	r.Count("compress", MetricCacheHits, 3)
+	r.Observe("compress", MetricCellWallNanos, 1e6)
+	r.Observe("compress", MetricCellWallNanos, 2e6)
+	r.Count(ProcessFamily, MetricProcCacheEvicted, 1)
+
+	var buf bytes.Buffer
+	if err := r.WriteMetricsJSON(&buf, "tables"); err != nil {
+		t.Fatal(err)
+	}
+	d, err := ReadDump(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Tool != "tables" {
+		t.Errorf("tool = %q", d.Tool)
+	}
+	names := d.FamilyNames()
+	if len(names) != 2 || names[0] != "compress" || names[1] != ProcessFamily {
+		t.Errorf("family names = %v", names)
+	}
+	fd := d.Families["compress"]
+	if fd.Counters[MetricCells] != 9 || fd.Counters[MetricCacheHits] != 3 {
+		t.Errorf("counters = %v", fd.Counters)
+	}
+	h := fd.Histograms[MetricCellWallNanos].Histogram()
+	if h.Count != 2 || h.Sum != 3e6 {
+		t.Errorf("histogram count/sum = %d/%v", h.Count, h.Sum)
+	}
+
+	if _, err := ReadDump([]byte(`{"schema":"bogus/v9"}`)); err == nil {
+		t.Error("ReadDump accepted a bogus schema")
+	}
+}
+
+func TestSummaryFormatting(t *testing.T) {
+	var buf bytes.Buffer
+	sum := NewSummary("jvmsim", &buf)
+	sum.Printf("hello %d", 7)
+	sum.Partial(3, 9)
+
+	r := New(false)
+	r.Count("compress", MetricCells, 9)
+	r.Count("compress", MetricCacheHits, 4)
+	r.Count("compress", MetricCellsFailed, 1)
+	r.Observe("compress", MetricCellWallNanos, 2e6)
+	sum.Metrics(r)
+	sum.Metrics(nil) // no-op
+
+	out := buf.String()
+	for _, want := range []string{
+		"jvmsim: hello 7\n",
+		"jvmsim: partial: 3 of 9 cells failed\n",
+		"jvmsim: telemetry: compress: 9 cells",
+		"4 cache hits",
+		"1 failed",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// tracePID is the single process id all events carry: one tool
+// invocation is one trace process, lanes are its threads.
+const tracePID = 1
+
+// traceEvent is one Chrome trace_event entry. Field names and the
+// microsecond timebase follow the trace_event format so the output
+// loads directly in Perfetto and chrome://tracing.
+type traceEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Ph    string         `json:"ph"`
+	Scope string         `json:"s,omitempty"`
+	TS    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// traceFile is the JSON object format of a trace_event file.
+type traceFile struct {
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+	TraceEvents     []traceEvent `json:"traceEvents"`
+}
+
+// WriteTrace writes all buffered events as a trace_event JSON object,
+// prefixed with process/thread metadata events naming the tool and the
+// lanes. Events are sorted by start time so the file is stable under
+// concurrent recording.
+func (r *Recorder) WriteTrace(w io.Writer, tool string) error {
+	if r == nil {
+		return fmt.Errorf("telemetry: no recorder to dump trace from")
+	}
+	r.mu.Lock()
+	events := append([]traceEvent(nil), r.events...)
+	laneCount := len(r.lanes)
+	r.mu.Unlock()
+
+	sort.SliceStable(events, func(i, j int) bool { return events[i].TS < events[j].TS })
+
+	meta := []traceEvent{{
+		Name: "process_name", Ph: "M", PID: tracePID,
+		Args: map[string]any{"name": tool},
+	}}
+	for lane := 0; lane < laneCount; lane++ {
+		meta = append(meta, traceEvent{
+			Name: "thread_name", Ph: "M", PID: tracePID, TID: lane,
+			Args: map[string]any{"name": fmt.Sprintf("lane %d", lane)},
+		})
+	}
+
+	f := traceFile{DisplayTimeUnit: "ms", TraceEvents: append(meta, events...)}
+	enc := json.NewEncoder(w)
+	return enc.Encode(f)
+}

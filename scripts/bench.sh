@@ -49,4 +49,11 @@ OUT=${OUT:-BENCH_TREND.json}
   # benchtrend gate floors at 5x.
   go test -run '^$' -bench 'BenchmarkCampaignCacheCold|BenchmarkCampaignCacheWarm' \
     -benchtime "$BENCHTIME" repro/internal/harness
+  # Telemetry overhead: the same campaign with the recorder nil vs fully
+  # live (spans + metrics registry); benchtrend ceilings their ratio at
+  # 1.05x — instrumentation may never cost more than 5% wall time. The
+  # pair keeps a 1s floor under reduced BENCHTIME: a 5% ceiling needs
+  # tighter iteration statistics than the 15%-band speedup ratios.
+  go test -run '^$' -bench 'BenchmarkCampaignTelemetryOff|BenchmarkCampaignTelemetryOn' \
+    -benchtime "${TELEMETRY_BENCHTIME:-1s}" repro/internal/harness
 } | go run scripts/benchjson.go -label "$LABEL" -out "$OUT"
