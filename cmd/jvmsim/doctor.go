@@ -40,7 +40,7 @@ func runDoctor(args []string) int {
 	checkpointDir := fs.String("checkpoint-dir", ".", "directory whose writability to verify (where -checkpoint journals would go)")
 	cacheDir := fs.String("cache-dir", os.Getenv(resultcache.EnvVar), "result cache directory to audit (default $"+resultcache.EnvVar+"; empty skips the check)")
 	ledger := fs.String("ledger", "BENCH_TREND.json", "benchmark ledger to verify")
-	baseline := fs.String("baseline", "pr8", "ledger entry the perf gate compares against")
+	baseline := fs.String("baseline", "pr9", "ledger entry the perf gate compares against")
 	tracePath := fs.String("trace", "", "intended -trace output path to audit (empty checks the clock only)")
 	metricsPath := fs.String("metrics", "", "intended -metrics output path to audit")
 	if err := fs.Parse(args); err != nil {

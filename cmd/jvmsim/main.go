@@ -15,6 +15,10 @@
 //	       <scenario|family>... | all
 //	jvmsim doctor [-format text|json] [-checkpoint-dir DIR] [-cache-dir DIR]
 //	              [-trace FILE] [-metrics FILE]
+//	jvmsim search [-budget N] [-seed S] [-oracle NAME] [-stop N]
+//	              [-format text|json] [-out DIR] [-scenario FILE]
+//	jvmsim search -record ziptool|jdkapp [-o FILE]
+//	jvmsim search -replay FILE...
 //
 // Arguments name registered scenarios, scenario families ("paper",
 // "gc-heavy", ...) or the word "all"; -scenario loads a declarative JSON
@@ -54,7 +58,16 @@
 // checkpoint-dir and cache-dir health, benchmark baseline) and exits
 // non-zero on failure.
 //
-// Exit codes: 0 complete, 1 fatal, 2 usage, 3 partial.
+// The `search` subcommand is the adversarial differential scenario
+// search (see docs/scenario-search.md): it mutates phase workloads under
+// a fixed seed and budget, judges each candidate with differential
+// oracles (engines, dispatch loops, GC configurations), minimizes any
+// divergence and writes it as a pinned regression scenario. -record
+// compiles a real-program trace into a scenario file; -replay re-checks
+// found scenarios against their pins.
+//
+// Exit codes: 0 complete, 1 fatal, 2 usage, 3 partial; `search` adds
+// 4 (divergence found).
 package main
 
 import (
@@ -84,8 +97,19 @@ import (
 )
 
 func main() {
+	// JVMSIM_DEFECT arms a named test-only engine defect (see
+	// internal/jit/defect.go) for the whole process — the hook the search
+	// acceptance tests use to prove `jvmsim search` finds real bugs.
+	if d := os.Getenv(jit.DefectEnvVar); d != "" {
+		if err := jit.SetTestDefect(d); err != nil {
+			fatal(err)
+		}
+	}
 	if len(os.Args) > 1 && os.Args[1] == "doctor" {
 		os.Exit(runDoctor(os.Args[2:]))
+	}
+	if len(os.Args) > 1 && os.Args[1] == "search" {
+		os.Exit(runSearch(os.Args[2:]))
 	}
 	agentName := registry.AddFlag(flag.CommandLine, "none")
 	engineName := jit.AddEngineFlag(flag.CommandLine)

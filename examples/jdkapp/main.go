@@ -14,85 +14,18 @@ import (
 	"log"
 
 	"repro/internal/agents/ipa"
-	"repro/internal/bytecode"
-	"repro/internal/classfile"
 	"repro/internal/core"
 	"repro/internal/jdk"
 	"repro/internal/vm"
 )
 
-// buildApp assembles:
-//
-//	static long main(int batches) {
-//	    long[] buf = new long[64];
-//	    long acc = 0;
-//	    for (int i = 0; i < batches; i++) {
-//	        Stream.read(buf);          // native I/O
-//	        Arrays.sort(buf);          // pure Java
-//	        long h = Arrays.hashCode(buf); // native intrinsic
-//	        acc += Math.isqrt(Math.abs(h)); // native + Java
-//	    }
-//	    return acc;
-//	}
-func buildApp() (*classfile.Class, error) {
-	a := bytecode.NewAssembler()
-	// locals: 0=batches 1=buf 2=i 3=acc
-	a.Const(64)
-	a.NewArray()
-	a.Store(1)
-	a.Const(0)
-	a.Store(3)
-	a.Const(0)
-	a.Store(2)
-	top := a.NewLabel()
-	end := a.NewLabel()
-	a.Bind(top)
-	a.Load(2)
-	a.Load(0)
-	a.IfCmpge(end)
-	a.Load(1)
-	a.InvokeStatic(jdk.StreamClass, "read", "(J)I")
-	a.Pop()
-	a.Load(1)
-	a.InvokeStatic(jdk.ArraysClass, "sort", "(J)V")
-	a.Load(1)
-	a.InvokeStatic(jdk.ArraysClass, "hashCode", "(J)J")
-	a.InvokeStatic(jdk.MathClass, "abs", "(J)J")
-	a.InvokeStatic(jdk.MathClass, "isqrt", "(J)J")
-	a.Load(3)
-	a.Add()
-	a.Store(3)
-	a.Inc(2, 1)
-	a.Goto(top)
-	a.Bind(end)
-	a.Load(3)
-	a.IReturn()
-	mainM, err := a.FinishMethod("main", "(I)J", classfile.AccPublic|classfile.AccStatic, 4, nil)
-	if err != nil {
-		return nil, err
-	}
-	return &classfile.Class{
-		Name:       "app/Pipeline",
-		SourceFile: "Pipeline.java",
-		Methods:    []*classfile.Method{mainM},
-	}, nil
-}
-
 func main() {
-	app, err := buildApp()
+	// The application (app/Pipeline over Stream.read / Arrays.sort /
+	// Arrays.hashCode / Math.isqrt) is assembled by the jdk package so
+	// the trace recorder can replay it too.
+	prog, err := jdk.JDKAppProgram(150)
 	if err != nil {
 		log.Fatal(err)
-	}
-	jdkClasses, jdkLib, err := jdk.Program()
-	if err != nil {
-		log.Fatal(err)
-	}
-	prog := &core.Program{
-		Name:      "jdkapp",
-		Classes:   append(jdkClasses, app),
-		Libraries: []vm.NativeLibrary{jdkLib},
-		MainClass: "app/Pipeline", MainName: "main", MainDesc: "(I)J",
-		Args: []int64{150},
 	}
 
 	agent := ipa.NewWithConfig(ipa.Config{Compensate: true, PerMethod: true})

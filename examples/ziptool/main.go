@@ -14,72 +14,16 @@ import (
 
 	"repro/internal/agents/ipa"
 	"repro/internal/core"
-	"repro/internal/jasm"
 	"repro/internal/jdk"
 	"repro/internal/vm"
 )
 
-// The application: read blocks from a stream, deflate them, CRC the
-// packed form, and accumulate. Plain jasm text.
-const source = `
-class app/ZipTool {
-    # main(blocks) -> accumulated crc
-    method static main(I)J {
-        # locals: 0=blocks 1=buf 2=packed 3=i 4=acc 5=n
-        const 128
-        newarray
-        store 1
-        const 256
-        newarray
-        store 2
-        const 0
-        store 4
-        const 0
-        store 3
-    loop:
-        load 3
-        load 0
-        if_cmpge done
-
-        load 1
-        invokestatic java/io/Stream.read(J)I
-        pop
-
-        load 1
-        load 2
-        invokestatic java/util/zip/Zip.deflate(JJ)J
-        store 5
-
-        load 2
-        invokestatic java/util/zip/Zip.crc(J)J
-        load 4
-        xor
-        store 4
-
-        inc 3 1
-        goto loop
-    done:
-        load 4
-        ireturn
-    }
-}
-`
-
 func main() {
-	appClasses, err := jasm.Parse(source)
+	// The application (app/ZipTool, written in jasm) lives in the jdk
+	// package so the trace recorder can replay it too.
+	prog, err := jdk.ZiptoolProgram(400)
 	if err != nil {
 		log.Fatal(err)
-	}
-	jdkClasses, jdkLib, err := jdk.Program()
-	if err != nil {
-		log.Fatal(err)
-	}
-	prog := &core.Program{
-		Name:      "ziptool",
-		Classes:   append(jdkClasses, appClasses...),
-		Libraries: []vm.NativeLibrary{jdkLib},
-		MainClass: "app/ZipTool", MainName: "main", MainDesc: "(I)J",
-		Args: []int64{400},
 	}
 	agent := ipa.NewWithConfig(ipa.Config{Compensate: true, PerMethod: true})
 	res, err := core.Run(prog, agent, vm.DefaultOptions())

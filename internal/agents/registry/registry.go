@@ -19,6 +19,7 @@ import (
 	"repro/internal/agents/bic"
 	"repro/internal/agents/chains"
 	"repro/internal/agents/ipa"
+	"repro/internal/agents/recorder"
 	"repro/internal/agents/sampler"
 	"repro/internal/agents/spa"
 	"repro/internal/core"
@@ -68,6 +69,10 @@ var agents = map[string]entry{
 	"bic": {
 		describe: "bytecode instruction counter comparator",
 		make:     func(Config) core.Agent { return bic.New() },
+	},
+	"recorder": {
+		describe: "trace recorder: per-method self-cycle profile for scenario record/replay",
+		make:     func(Config) core.Agent { return recorder.New() },
 	},
 	"aprof": {
 		describe: "allocation-site profiler (VMObjectAlloc/GarbageCollection events)",

@@ -9,7 +9,7 @@ import (
 )
 
 func TestNames(t *testing.T) {
-	want := []string{"aprof", "bic", "chains", "ipa", "none", "sampler", "spa"}
+	want := []string{"aprof", "bic", "chains", "ipa", "none", "recorder", "sampler", "spa"}
 	got := Names()
 	if len(got) != len(want) {
 		t.Fatalf("Names() = %v", got)

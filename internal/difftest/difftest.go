@@ -1,0 +1,308 @@
+// Package difftest is the reusable differential oracle behind the
+// simulator's byte-identity contracts: two runs of the same workload
+// under different execution configurations (fast vs instrumented loop,
+// interp vs jit vs auto, legacy vs generational heap) are reduced to a
+// flat observable snapshot (Obs) and compared field by field into a
+// structured diff report.
+//
+// The package deliberately imports nothing from the rest of the
+// repository: Obs is built either directly (tests inside internal/vm,
+// which core depends on and therefore cannot import a core-based helper
+// without an import cycle) or via FromRun, which extracts the fields
+// from a *core.RunResult by reflection. That single design decision lets
+// one oracle serve every layer — the vm package's engine differentials,
+// the scenario-family loop differentials, the harness's whole-system
+// checks and the adversarial scenario search (internal/scensearch).
+package difftest
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+)
+
+// Obs is one leg's observable snapshot: every simulated observable the
+// byte-identity contracts cover, flattened to scalar fields so the
+// comparison, the ignore masks and the diff report can be driven by the
+// field names. Host-side bookkeeping (tier stats, wall time) is
+// deliberately absent — it is allowed to differ between legs.
+type Obs struct {
+	// Err is the run error text; "" for a successful run. Two legs that
+	// fail identically agree; one failing leg is a divergence.
+	Err string
+	// MainResult is the program's main return value.
+	MainResult int64
+	// TotalCycles and Instructions are the engine's execution metrics.
+	TotalCycles  uint64
+	Instructions uint64
+	// JITCompiled is the legacy JIT model's compiled-method count, a
+	// simulated observable (unlike the tier stats).
+	JITCompiled int
+	// Threads is the number of threads the run created.
+	Threads int
+	// Ground-truth attribution (core.GroundTruth).
+	BytecodeCycles    uint64
+	NativeCycles      uint64
+	OverheadCycles    uint64
+	GCCycles          uint64
+	NativeMethodCalls uint64
+	JNICalls          uint64
+	// Heap ledger (vm.GCStats).
+	AllocatedArrays  uint64
+	AllocatedWords   uint64
+	CollectedArrays  uint64
+	CollectedWords   uint64
+	MinorGCs         uint64
+	MajorGCs         uint64
+	TenurePromotions uint64
+	// Agent report summary; HasReport false leaves the Report* fields
+	// zero (an uninstrumented run).
+	HasReport            bool
+	ReportBytecodeCycles uint64
+	ReportNativeCycles   uint64
+	ReportJNICalls       uint64
+	ReportNativeCalls    uint64
+}
+
+// FieldNames lists Obs's field names in declaration order — the legal
+// values for ignore masks.
+func FieldNames() []string {
+	t := reflect.TypeOf(Obs{})
+	out := make([]string, t.NumField())
+	for i := range out {
+		out[i] = t.Field(i).Name
+	}
+	return out
+}
+
+// IgnoreHeapSensitive is the ignore mask for comparisons across heap
+// configurations: collection counts, pause cycles and therefore total
+// cycles legitimately differ when the nursery size changes, but the
+// program's results, instruction counts, allocation totals and
+// transition counts must not.
+func IgnoreHeapSensitive() []string {
+	return []string{"TotalCycles", "GCCycles",
+		"CollectedArrays", "CollectedWords",
+		"MinorGCs", "MajorGCs", "TenurePromotions",
+		"ReportBytecodeCycles", "ReportNativeCycles"}
+}
+
+// FromRun extracts an Obs from a *core.RunResult (or any value with the
+// same field layout) by reflection, with err folded into Obs.Err. A nil
+// result with a nil error yields the zero Obs. The reflection walk is
+// what keeps this package import-free; TestFromRunCoversRunResult (an
+// external test that can import core) pins the field mapping against
+// the real struct.
+func FromRun(res any, err error) Obs {
+	var o Obs
+	if err != nil {
+		o.Err = err.Error()
+	}
+	v := reflect.ValueOf(res)
+	if !v.IsValid() || (v.Kind() == reflect.Pointer && v.IsNil()) {
+		return o
+	}
+	for v.Kind() == reflect.Pointer {
+		v = v.Elem()
+	}
+	get := func(path ...string) (reflect.Value, bool) {
+		cur := v
+		for _, name := range path {
+			if cur.Kind() == reflect.Pointer {
+				if cur.IsNil() {
+					return reflect.Value{}, false
+				}
+				cur = cur.Elem()
+			}
+			if cur.Kind() != reflect.Struct {
+				return reflect.Value{}, false
+			}
+			cur = cur.FieldByName(name)
+			if !cur.IsValid() {
+				return reflect.Value{}, false
+			}
+		}
+		return cur, true
+	}
+	setU := func(dst *uint64, path ...string) {
+		if f, ok := get(path...); ok && f.CanUint() {
+			*dst = f.Uint()
+		}
+	}
+	if f, ok := get("MainResult"); ok && f.CanInt() {
+		o.MainResult = f.Int()
+	}
+	setU(&o.TotalCycles, "TotalCycles")
+	setU(&o.Instructions, "Instructions")
+	if f, ok := get("JITCompiled"); ok && f.CanInt() {
+		o.JITCompiled = int(f.Int())
+	}
+	if f, ok := get("Threads"); ok && f.CanInt() {
+		o.Threads = int(f.Int())
+	}
+	setU(&o.BytecodeCycles, "Truth", "BytecodeCycles")
+	setU(&o.NativeCycles, "Truth", "NativeCycles")
+	setU(&o.OverheadCycles, "Truth", "OverheadCycles")
+	setU(&o.GCCycles, "Truth", "GCCycles")
+	setU(&o.NativeMethodCalls, "Truth", "NativeMethodCalls")
+	setU(&o.JNICalls, "Truth", "JNICalls")
+	setU(&o.AllocatedArrays, "GC", "AllocatedArrays")
+	setU(&o.AllocatedWords, "GC", "AllocatedWords")
+	setU(&o.CollectedArrays, "GC", "CollectedArrays")
+	setU(&o.CollectedWords, "GC", "CollectedWords")
+	setU(&o.MinorGCs, "GC", "MinorGCs")
+	setU(&o.MajorGCs, "GC", "MajorGCs")
+	setU(&o.TenurePromotions, "GC", "TenurePromotions")
+	if rep, ok := get("Report"); ok && rep.Kind() == reflect.Pointer && !rep.IsNil() {
+		o.HasReport = true
+		setU(&o.ReportBytecodeCycles, "Report", "TotalBytecodeCycles")
+		setU(&o.ReportNativeCycles, "Report", "TotalNativeCycles")
+		setU(&o.ReportJNICalls, "Report", "JNICalls")
+		setU(&o.ReportNativeCalls, "Report", "NativeMethodCalls")
+	}
+	return o
+}
+
+// Mismatch is one diverging field of a comparison.
+type Mismatch struct {
+	// Field is the Obs field name.
+	Field string `json:"field"`
+	// A and B are the two legs' values, rendered.
+	A string `json:"a"`
+	B string `json:"b"`
+}
+
+// Report is the structured diff of one leg pair.
+type Report struct {
+	// Subject names what was compared (a scenario, a method).
+	Subject string `json:"subject"`
+	// LabelA and LabelB name the two legs ("fast", "instrumented", ...).
+	LabelA string `json:"labelA"`
+	LabelB string `json:"labelB"`
+	// Mismatches lists the diverging fields in declaration order; empty
+	// means the legs agree on every compared field.
+	Mismatches []Mismatch `json:"mismatches,omitempty"`
+}
+
+// Diverged reports whether the legs disagree.
+func (r *Report) Diverged() bool { return r != nil && len(r.Mismatches) > 0 }
+
+// String renders the report one mismatch per line.
+func (r *Report) String() string {
+	if !r.Diverged() {
+		return fmt.Sprintf("differential %s: %s vs %s: agree", r.Subject, r.LabelA, r.LabelB)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "differential %s: %s vs %s: %d mismatched field(s)\n",
+		r.Subject, r.LabelA, r.LabelB, len(r.Mismatches))
+	for _, m := range r.Mismatches {
+		fmt.Fprintf(&b, "  %-20s %s=%s  %s=%s\n", m.Field, r.LabelA, m.A, r.LabelB, m.B)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// Compare diffs two snapshots field by field, skipping the named ignore
+// fields, and returns the mismatches in field-declaration order.
+// Unknown ignore names panic — a misspelled mask would silently compare
+// nothing it meant to exclude.
+func Compare(a, b Obs, ignore ...string) []Mismatch {
+	skip := map[string]bool{}
+	known := map[string]bool{}
+	for _, n := range FieldNames() {
+		known[n] = true
+	}
+	for _, n := range ignore {
+		if !known[n] {
+			panic(fmt.Sprintf("difftest: unknown ignore field %q", n))
+		}
+		skip[n] = true
+	}
+	va, vb := reflect.ValueOf(a), reflect.ValueOf(b)
+	t := va.Type()
+	var out []Mismatch
+	for i := 0; i < t.NumField(); i++ {
+		name := t.Field(i).Name
+		if skip[name] {
+			continue
+		}
+		fa, fb := va.Field(i).Interface(), vb.Field(i).Interface()
+		if fa != fb {
+			out = append(out, Mismatch{Field: name,
+				A: fmt.Sprintf("%v", fa), B: fmt.Sprintf("%v", fb)})
+		}
+	}
+	return out
+}
+
+// Diff is Compare wrapped into a labelled Report.
+func Diff(subject, labelA, labelB string, a, b Obs, ignore ...string) *Report {
+	return &Report{Subject: subject, LabelA: labelA, LabelB: labelB,
+		Mismatches: Compare(a, b, ignore...)}
+}
+
+// Leg is one labelled observable snapshot of a multi-leg comparison.
+type Leg struct {
+	Label string
+	Obs   Obs
+}
+
+// Verdict is the outcome of judging several legs against the first: one
+// report per non-baseline leg.
+type Verdict struct {
+	Subject string    `json:"subject"`
+	Reports []*Report `json:"reports"`
+}
+
+// Diverged reports whether any leg disagrees with the baseline.
+func (v *Verdict) Diverged() bool {
+	if v == nil {
+		return false
+	}
+	for _, r := range v.Reports {
+		if r.Diverged() {
+			return true
+		}
+	}
+	return false
+}
+
+// Mismatches flattens the diverging reports' mismatches, prefixing each
+// field with the offending leg's label.
+func (v *Verdict) Mismatches() []Mismatch {
+	var out []Mismatch
+	for _, r := range v.Reports {
+		for _, m := range r.Mismatches {
+			out = append(out, Mismatch{Field: r.LabelB + "." + m.Field, A: m.A, B: m.B})
+		}
+	}
+	return out
+}
+
+// String renders every diverging report; "agree" when none do.
+func (v *Verdict) String() string {
+	if !v.Diverged() {
+		return fmt.Sprintf("differential %s: all legs agree", v.Subject)
+	}
+	var parts []string
+	for _, r := range v.Reports {
+		if r.Diverged() {
+			parts = append(parts, r.String())
+		}
+	}
+	return strings.Join(parts, "\n")
+}
+
+// Judge compares legs[1:] against legs[0] (the baseline) under one
+// ignore mask. Fewer than two legs is a programming error.
+func Judge(subject string, legs []Leg, ignore ...string) *Verdict {
+	if len(legs) < 2 {
+		panic("difftest: Judge needs at least two legs")
+	}
+	v := &Verdict{Subject: subject}
+	base := legs[0]
+	for _, leg := range legs[1:] {
+		v.Reports = append(v.Reports,
+			Diff(subject, base.Label, leg.Label, base.Obs, leg.Obs, ignore...))
+	}
+	return v
+}

@@ -1,0 +1,137 @@
+package difftest_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/difftest"
+	"repro/internal/vm"
+)
+
+// TestFromRunCoversRunResult pins the reflection extraction against the
+// real core.RunResult layout: every Obs field must be populated from its
+// source field. A rename in core or vm breaks this test, not the oracle
+// silently.
+func TestFromRunCoversRunResult(t *testing.T) {
+	res := &core.RunResult{
+		Program:      "p",
+		MainResult:   -7,
+		TotalCycles:  100,
+		Instructions: 50,
+		JITCompiled:  3,
+		Threads:      4,
+		Truth: core.GroundTruth{
+			BytecodeCycles: 1, NativeCycles: 2, OverheadCycles: 3,
+			GCCycles: 4, NativeMethodCalls: 5, JNICalls: 6,
+		},
+		GC: vm.GCStats{
+			AllocatedArrays: 7, AllocatedWords: 8,
+			CollectedArrays: 9, CollectedWords: 10,
+			MinorGCs: 11, MajorGCs: 12, TenurePromotions: 13,
+		},
+		Report: &core.Report{
+			TotalBytecodeCycles: 14, TotalNativeCycles: 15,
+			JNICalls: 16, NativeMethodCalls: 17,
+		},
+	}
+	o := difftest.FromRun(res, nil)
+	want := difftest.Obs{
+		MainResult: -7, TotalCycles: 100, Instructions: 50,
+		JITCompiled: 3, Threads: 4,
+		BytecodeCycles: 1, NativeCycles: 2, OverheadCycles: 3,
+		GCCycles: 4, NativeMethodCalls: 5, JNICalls: 6,
+		AllocatedArrays: 7, AllocatedWords: 8,
+		CollectedArrays: 9, CollectedWords: 10,
+		MinorGCs: 11, MajorGCs: 12, TenurePromotions: 13,
+		HasReport: true, ReportBytecodeCycles: 14, ReportNativeCycles: 15,
+		ReportJNICalls: 16, ReportNativeCalls: 17,
+	}
+	if o != want {
+		t.Fatalf("FromRun mapping drifted:\ngot  %+v\nwant %+v", o, want)
+	}
+}
+
+// TestFromRunErrorAndNil: a failed leg carries the error text; a nil
+// report leaves the Report* fields zero with HasReport false.
+func TestFromRunErrorAndNil(t *testing.T) {
+	o := difftest.FromRun((*core.RunResult)(nil), errors.New("boom"))
+	if o.Err != "boom" || o.HasReport {
+		t.Fatalf("nil result: %+v", o)
+	}
+	o = difftest.FromRun(&core.RunResult{MainResult: 9}, nil)
+	if o.MainResult != 9 || o.HasReport || o.ReportJNICalls != 0 {
+		t.Fatalf("reportless result: %+v", o)
+	}
+}
+
+// TestCompareAndReport: equal snapshots agree; a single differing field
+// is named in the mismatch and the rendered report.
+func TestCompareAndReport(t *testing.T) {
+	a := difftest.Obs{MainResult: 1, TotalCycles: 10}
+	b := a
+	if ms := difftest.Compare(a, b); len(ms) != 0 {
+		t.Fatalf("equal snapshots diverge: %+v", ms)
+	}
+	b.TotalCycles = 11
+	ms := difftest.Compare(a, b)
+	if len(ms) != 1 || ms[0].Field != "TotalCycles" || ms[0].A != "10" || ms[0].B != "11" {
+		t.Fatalf("mismatch = %+v", ms)
+	}
+	rep := difftest.Diff("scn", "fast", "slow", a, b)
+	if !rep.Diverged() || !strings.Contains(rep.String(), "TotalCycles") {
+		t.Fatalf("report = %s", rep)
+	}
+	// The ignore mask suppresses exactly the named field.
+	if ms := difftest.Compare(a, b, "TotalCycles"); len(ms) != 0 {
+		t.Fatalf("ignored field still reported: %+v", ms)
+	}
+}
+
+// TestCompareUnknownIgnorePanics: a misspelled ignore mask must fail
+// loudly instead of silently comparing a field it meant to exclude.
+func TestCompareUnknownIgnorePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown ignore field did not panic")
+		}
+	}()
+	difftest.Compare(difftest.Obs{}, difftest.Obs{}, "TotlaCycles")
+}
+
+// TestIgnoreMaskNamesValid: the canonical masks only name real fields
+// (Compare would panic otherwise).
+func TestIgnoreMaskNamesValid(t *testing.T) {
+	difftest.Compare(difftest.Obs{}, difftest.Obs{}, difftest.IgnoreHeapSensitive()...)
+}
+
+// TestJudge: the multi-leg verdict diverges iff some leg disagrees with
+// the baseline, and mismatches are attributed to the offending leg.
+func TestJudge(t *testing.T) {
+	base := difftest.Obs{MainResult: 5}
+	same := base
+	bad := base
+	bad.MainResult = 6
+	v := difftest.Judge("scn", []difftest.Leg{
+		{Label: "interp", Obs: base},
+		{Label: "jit", Obs: same},
+		{Label: "auto", Obs: bad},
+	})
+	if !v.Diverged() {
+		t.Fatal("verdict should diverge")
+	}
+	ms := v.Mismatches()
+	if len(ms) != 1 || ms[0].Field != "auto.MainResult" {
+		t.Fatalf("mismatches = %+v", ms)
+	}
+	if !strings.Contains(v.String(), "auto") {
+		t.Fatalf("verdict string = %s", v)
+	}
+	clean := difftest.Judge("scn", []difftest.Leg{
+		{Label: "a", Obs: base}, {Label: "b", Obs: same},
+	})
+	if clean.Diverged() {
+		t.Fatal("clean verdict diverged")
+	}
+}

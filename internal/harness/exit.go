@@ -12,9 +12,14 @@ package harness
 //	3 ExitPartial   the campaign completed gracefully but one or more
 //	                cells failed after isolation and retries; the partial
 //	                table marks each failed row
+//	4 ExitFound     the adversarial scenario search (jvmsim search)
+//	                completed and found at least one divergence — a
+//	                "success" for the searcher but an alarm for CI, so it
+//	                is distinct from both 0 and the failure codes
 const (
 	ExitComplete = 0
 	ExitFatal    = 1
 	ExitUsage    = 2
 	ExitPartial  = 3
+	ExitFound    = 4
 )

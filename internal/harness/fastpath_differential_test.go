@@ -8,6 +8,7 @@ import (
 	"repro/internal/agents/sampler"
 	"repro/internal/agents/spa"
 	"repro/internal/core"
+	"repro/internal/difftest"
 	"repro/internal/vm"
 	"repro/internal/workloads"
 )
@@ -45,21 +46,12 @@ func TestFastLoopDifferentialAllWorkloads(t *testing.T) {
 				}
 				fast := run(false)
 				slow := run(true)
-				if fast.MainResult != slow.MainResult {
-					t.Errorf("MainResult: fast %d, instrumented %d", fast.MainResult, slow.MainResult)
+				if rep := difftest.Diff(spec.Name, "fast", "instrumented",
+					difftest.FromRun(fast, nil), difftest.FromRun(slow, nil)); rep.Diverged() {
+					t.Error(rep)
 				}
-				if fast.TotalCycles != slow.TotalCycles {
-					t.Errorf("TotalCycles: fast %d, instrumented %d", fast.TotalCycles, slow.TotalCycles)
-				}
-				if fast.Instructions != slow.Instructions {
-					t.Errorf("Instructions: fast %d, instrumented %d", fast.Instructions, slow.Instructions)
-				}
-				if fast.Truth != slow.Truth {
-					t.Errorf("GroundTruth: fast %+v, instrumented %+v", fast.Truth, slow.Truth)
-				}
-				if fast.JITCompiled != slow.JITCompiled {
-					t.Errorf("JITCompiled: fast %d, instrumented %d", fast.JITCompiled, slow.JITCompiled)
-				}
+				// Obs summarizes the report; the per-thread rows must also
+				// match exactly.
 				if !reflect.DeepEqual(fast.Report, slow.Report) {
 					t.Errorf("agent report diverged:\nfast: %+v\ninstrumented: %+v", fast.Report, slow.Report)
 				}
@@ -94,9 +86,8 @@ func TestFastLoopDifferentialSampler(t *testing.T) {
 	}
 	fast := run(false)
 	slow := run(true)
-	if fast.TotalCycles != slow.TotalCycles || fast.Truth != slow.Truth ||
-		fast.Instructions != slow.Instructions {
-		t.Fatalf("sampler run diverged:\nfast: %+v %+v\nforced: %+v %+v",
-			fast.Truth, fast.Instructions, slow.Truth, slow.Instructions)
+	if rep := difftest.Diff("javac/sampler", "fast", "forced",
+		difftest.FromRun(fast, nil), difftest.FromRun(slow, nil)); rep.Diverged() {
+		t.Fatalf("sampler run diverged:\n%s", rep)
 	}
 }

@@ -1,0 +1,180 @@
+package jdk
+
+import (
+	"fmt"
+
+	"repro/internal/bytecode"
+	"repro/internal/classfile"
+	"repro/internal/core"
+	"repro/internal/jasm"
+	"repro/internal/vm"
+)
+
+// This file hosts the two "real program" applications built against the
+// mini-JDK — ziptool and jdkapp — as reusable program builders. The
+// examples print their profiles; the recorder agent and the trace
+// compiler (internal/scenarios/trace) replay them as scenario sources.
+
+// ziptoolSource is the ziptool application in jasm: read blocks from a
+// stream, deflate them, CRC the packed form, and accumulate.
+const ziptoolSource = `
+class app/ZipTool {
+    # main(blocks) -> accumulated crc
+    method static main(I)J {
+        # locals: 0=blocks 1=buf 2=packed 3=i 4=acc 5=n
+        const 128
+        newarray
+        store 1
+        const 256
+        newarray
+        store 2
+        const 0
+        store 4
+        const 0
+        store 3
+    loop:
+        load 3
+        load 0
+        if_cmpge done
+
+        load 1
+        invokestatic java/io/Stream.read(J)I
+        pop
+
+        load 1
+        load 2
+        invokestatic java/util/zip/Zip.deflate(JJ)J
+        store 5
+
+        load 2
+        invokestatic java/util/zip/Zip.crc(J)J
+        load 4
+        xor
+        store 4
+
+        inc 3 1
+        goto loop
+    done:
+        load 4
+        ireturn
+    }
+}
+`
+
+// ZiptoolProgram builds the ziptool application (app/ZipTool against the
+// java/util/zip natives) as a runnable program with the given block
+// count; blocks < 1 selects the example's default of 400.
+func ZiptoolProgram(blocks int) (*core.Program, error) {
+	if blocks < 1 {
+		blocks = 400
+	}
+	appClasses, err := jasm.Parse(ziptoolSource)
+	if err != nil {
+		return nil, err
+	}
+	jdkClasses, jdkLib, err := Program()
+	if err != nil {
+		return nil, err
+	}
+	return &core.Program{
+		Name:      "ziptool",
+		Classes:   append(jdkClasses, appClasses...),
+		Libraries: []vm.NativeLibrary{jdkLib},
+		MainClass: "app/ZipTool", MainName: "main", MainDesc: "(I)J",
+		Args: []int64{int64(blocks)},
+	}, nil
+}
+
+// buildPipelineClass assembles app/Pipeline:
+//
+//	static long main(int batches) {
+//	    long[] buf = new long[64];
+//	    long acc = 0;
+//	    for (int i = 0; i < batches; i++) {
+//	        Stream.read(buf);              // native I/O
+//	        Arrays.sort(buf);              // pure Java
+//	        long h = Arrays.hashCode(buf); // native intrinsic
+//	        acc += Math.isqrt(Math.abs(h)); // native + Java
+//	    }
+//	    return acc;
+//	}
+func buildPipelineClass() (*classfile.Class, error) {
+	a := bytecode.NewAssembler()
+	// locals: 0=batches 1=buf 2=i 3=acc
+	a.Const(64)
+	a.NewArray()
+	a.Store(1)
+	a.Const(0)
+	a.Store(3)
+	a.Const(0)
+	a.Store(2)
+	top := a.NewLabel()
+	end := a.NewLabel()
+	a.Bind(top)
+	a.Load(2)
+	a.Load(0)
+	a.IfCmpge(end)
+	a.Load(1)
+	a.InvokeStatic(StreamClass, "read", "(J)I")
+	a.Pop()
+	a.Load(1)
+	a.InvokeStatic(ArraysClass, "sort", "(J)V")
+	a.Load(1)
+	a.InvokeStatic(ArraysClass, "hashCode", "(J)J")
+	a.InvokeStatic(MathClass, "abs", "(J)J")
+	a.InvokeStatic(MathClass, "isqrt", "(J)J")
+	a.Load(3)
+	a.Add()
+	a.Store(3)
+	a.Inc(2, 1)
+	a.Goto(top)
+	a.Bind(end)
+	a.Load(3)
+	a.IReturn()
+	mainM, err := a.FinishMethod("main", "(I)J", classfile.AccPublic|classfile.AccStatic, 4, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &classfile.Class{
+		Name:       "app/Pipeline",
+		SourceFile: "Pipeline.java",
+		Methods:    []*classfile.Method{mainM},
+	}, nil
+}
+
+// JDKAppProgram builds the jdkapp data-processing pipeline (app/Pipeline
+// over Stream/Arrays/Math) as a runnable program with the given batch
+// count; batches < 1 selects the example's default of 150.
+func JDKAppProgram(batches int) (*core.Program, error) {
+	if batches < 1 {
+		batches = 150
+	}
+	app, err := buildPipelineClass()
+	if err != nil {
+		return nil, err
+	}
+	jdkClasses, jdkLib, err := Program()
+	if err != nil {
+		return nil, err
+	}
+	return &core.Program{
+		Name:      "jdkapp",
+		Classes:   append(jdkClasses, app),
+		Libraries: []vm.NativeLibrary{jdkLib},
+		MainClass: "app/Pipeline", MainName: "main", MainDesc: "(I)J",
+		Args: []int64{int64(batches)},
+	}, nil
+}
+
+// AppProgram maps an application name ("ziptool" or "jdkapp") to its
+// program builder at the default size; size > 0 overrides the main
+// argument (blocks / batches).
+func AppProgram(name string, size int) (*core.Program, error) {
+	switch name {
+	case "ziptool":
+		return ZiptoolProgram(size)
+	case "jdkapp":
+		return JDKAppProgram(size)
+	}
+	return nil, fmt.Errorf("jdk: unknown application %q (known: ziptool, jdkapp)", name)
+}

@@ -367,6 +367,12 @@ func (lo *lowerer) binOp(op bytecode.Op) error {
 			if last := &lo.ops[len(lo.ops)-1]; last.Kind == KMulSI && last.Dst == aSlot {
 				last.Kind = KMulAddSII
 				last.Imm2 = bImm
+				if defectMulAdd() {
+					// Armed test defect (see defect.go): every executor of
+					// the fused op inherits the wrong immediate, so jit/auto
+					// runs diverge observably from the interpreter.
+					last.Imm2 = bImm + 1
+				}
 				lo.st = append(lo.st, desc{kind: dHome})
 				return nil
 			}

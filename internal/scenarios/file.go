@@ -64,6 +64,7 @@ type FileScenario struct {
 	WarehouseSequence []int     `json:"warehouseSequence,omitempty"`
 	Checks            Checks    `json:"checks,omitempty"`
 	Heap              *HeapSpec `json:"heap,omitempty"`
+	Pins              *Pins     `json:"pins,omitempty"`
 }
 
 // Scenario converts the file entry to its registry form, defaulting the
@@ -76,6 +77,7 @@ func (f FileScenario) Scenario() Scenario {
 		WarehouseSequence: f.WarehouseSequence,
 		Checks:            f.Checks,
 		Heap:              f.Heap,
+		Pins:              f.Pins,
 	}
 	if s.Family == "" {
 		s.Family = "custom"
@@ -174,6 +176,7 @@ func Marshal(list []Scenario) ([]byte, error) {
 			WarehouseSequence: s.WarehouseSequence,
 			Checks:            s.Checks,
 			Heap:              s.Heap,
+			Pins:              s.Pins,
 		}
 	}
 	data, err := json.MarshalIndent(&f, "", "  ")

@@ -1,0 +1,49 @@
+package scenarios
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// FuzzScenarioFile: any scenario file that parses must survive a
+// Marshal/Parse round trip unchanged — the invariant the trace compiler
+// and the adversarial search rely on when they write found scenarios to
+// disk. Seeds come from the checked-in example and found/ corpora so
+// the fuzzer starts from real shapes (pins and heap specs included).
+func FuzzScenarioFile(f *testing.F) {
+	for _, pattern := range []string{
+		"../../examples/scenarios/*.json",
+		"../../examples/scenarios/found/*.json",
+	} {
+		files, err := filepath.Glob(pattern)
+		if err != nil {
+			f.Fatal(err)
+		}
+		for _, path := range files {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				f.Fatal(err)
+			}
+			f.Add(data)
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		list, err := ParseBytes(data)
+		if err != nil {
+			t.Skip()
+		}
+		out, err := Marshal(list)
+		if err != nil {
+			t.Fatalf("parsed scenarios do not marshal: %v", err)
+		}
+		back, err := ParseBytes(out)
+		if err != nil {
+			t.Fatalf("marshalled scenarios do not re-parse: %v\n%s", err, out)
+		}
+		if !reflect.DeepEqual(list, back) {
+			t.Fatalf("round trip drifted:\n%+v\n%+v", list, back)
+		}
+	})
+}

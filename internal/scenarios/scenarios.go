@@ -134,6 +134,12 @@ type Scenario struct {
 	// ApplyHeap). The gcpressure family uses it to guarantee nonzero
 	// collection counts without a global flag.
 	Heap *HeapSpec
+	// Pins, when non-nil, are byte-exact expected observables recorded
+	// from a canonical run (see pins.go); recorded and found scenarios
+	// carry them so replays can assert exact reproduction. Pins are
+	// deliberately not part of Identity — re-recording them must not
+	// invalidate cached cells.
+	Pins *Pins
 }
 
 // Name returns the scenario's workload name, its registry key.
@@ -175,6 +181,11 @@ func (s Scenario) Validate() error {
 	}
 	if s.Heap != nil {
 		if err := s.Heap.Validate(); err != nil {
+			return fmt.Errorf("scenarios: %s: %w", s.Name(), err)
+		}
+	}
+	if s.Pins != nil {
+		if err := s.Pins.Validate(); err != nil {
 			return fmt.Errorf("scenarios: %s: %w", s.Name(), err)
 		}
 	}

@@ -1,0 +1,162 @@
+// Package trace is the record/replay half of the scenario diversity
+// engine: it runs a real program (the mini-JDK's ziptool and jdkapp
+// applications) under the recording agent, captures its per-method
+// self-cycle profile, and compiles that trace into a phase-based
+// scenario whose canonical observables are pinned — so "real program"
+// shapes enter the registry as ordinary, replayable scenario JSON.
+//
+// The compilation is deliberately a modelling step, not a transcription:
+// the phase vocabulary cannot reproduce an arbitrary call graph, so the
+// compiler fits the trace's aggregate shape (java kernel calls, native
+// calls, the bytecode/native cycle split, JNI callbacks) onto a
+// bytecode + native phase pair and then lets the pinned canonical run
+// define exactness from there. Whatever the fit loses, the pins keep
+// honest: a compiled scenario replays byte-identically or not at all.
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/agents/recorder"
+	"repro/internal/core"
+	"repro/internal/jdk"
+	"repro/internal/scenarios"
+	"repro/internal/workloads"
+)
+
+// Trace is one recorded run's profile, the compiler's input.
+type Trace struct {
+	// Program is the recorded program's name.
+	Program string `json:"program"`
+	// MainResult, TotalCycles and Truth are the recorded run's
+	// observables (under the recorder agent, interpreter engine).
+	MainResult  int64            `json:"mainResult"`
+	TotalCycles uint64           `json:"totalCycles"`
+	Truth       core.GroundTruth `json:"truth"`
+	// Methods is the per-method profile, descending self cycles.
+	Methods []recorder.MethodStat `json:"methods"`
+}
+
+// Record runs the program under the recording agent (interpreter
+// engine, default options) and returns the captured trace alongside
+// the raw run result.
+func Record(prog *core.Program) (*Trace, *core.RunResult, error) {
+	rec := recorder.New()
+	res, err := core.Run(prog, rec, scenarios.CanonicalOptions())
+	if err != nil {
+		return nil, nil, fmt.Errorf("trace: recording %s: %w", prog.Name, err)
+	}
+	return &Trace{
+		Program:     prog.Name,
+		MainResult:  res.MainResult,
+		TotalCycles: res.TotalCycles,
+		Truth:       res.Truth,
+		Methods:     rec.Stats(),
+	}, res, nil
+}
+
+// RecordApp records one of the named mini-JDK applications ("ziptool",
+// "jdkapp") at its default size.
+func RecordApp(app string) (*Trace, *core.RunResult, error) {
+	prog, err := jdk.AppProgram(app, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	return Record(prog)
+}
+
+// clamp bounds v to [lo, hi].
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Compile fits the trace onto a phase-based scenario named name (family
+// "recorded") and pins its canonical observables at scale 1. The fit:
+// the recorded java kernel calls and native calls per outer iteration
+// become a bytecode phase and a native phase whose work parameters are
+// solved from the trace's cycle split.
+func Compile(tr *Trace, name string) (scenarios.Scenario, error) {
+	if len(tr.Methods) == 0 {
+		return scenarios.Scenario{}, fmt.Errorf("trace: %s: empty trace", tr.Program)
+	}
+	// Count the recorded java kernel calls (excluding the entry method,
+	// which models the workload's own outer loop) and native calls.
+	var javaCalls, nativeCalls uint64
+	var javaSelf, nativeSelf uint64
+	for _, m := range tr.Methods {
+		if m.Native {
+			nativeCalls += m.Calls
+			nativeSelf += m.SelfCycles
+		} else if m.Calls > 1 {
+			// The singly-called non-native method is main itself.
+			javaCalls += m.Calls
+			javaSelf += m.SelfCycles
+		}
+	}
+	// Spread the calls over an outer loop so each phase's per-iteration
+	// call count fits the vocabulary's [0,256] bound with headroom.
+	top := javaCalls
+	if nativeCalls > top {
+		top = nativeCalls
+	}
+	if top == 0 {
+		top = 1
+	}
+	outer := int((top + 63) / 64)
+	if outer < 1 {
+		outer = 1
+	}
+	var phases []workloads.Phase
+	if javaCalls > 0 {
+		calls := clamp(int(javaCalls)/outer, 1, 256)
+		// A bytecode kernel invocation costs roughly 40 cycles per unit
+		// of work at the default interpreter cost; solve work from the
+		// recorded self time per call.
+		work := clamp(int(javaSelf/(javaCalls*40)), 1, 200)
+		phases = append(phases, workloads.Phase{Kind: "bytecode", Calls: calls, Work: work})
+	}
+	if nativeCalls > 0 {
+		calls := clamp(int(nativeCalls)/outer, 1, 256)
+		work := clamp(int(nativeSelf/nativeCalls), 1, 4096)
+		ph := workloads.Phase{Kind: "native", Calls: calls, Work: work}
+		// The recorded JNI callbacks (minus the launcher's own) map to
+		// the native phase's callback knob.
+		if tr.Truth.JNICalls > 1 && nativeCalls > 0 {
+			every := int(nativeCalls / (tr.Truth.JNICalls - 1))
+			ph.JNIEvery = clamp(every, 1, 256)
+			ph.CallbackWork = 4
+		}
+		phases = append(phases, ph)
+	}
+	s := scenarios.Scenario{
+		Family: "recorded",
+		Workload: workloads.Workload{
+			Name:       name,
+			ClassName:  "recorded/" + tr.Program,
+			OuterIters: outer,
+			Phases:     phases,
+		},
+	}
+	if err := s.Validate(); err != nil {
+		return scenarios.Scenario{}, fmt.Errorf("trace: compiled scenario invalid: %w", err)
+	}
+	if err := s.RecordPins(1); err != nil {
+		return scenarios.Scenario{}, err
+	}
+	return s, nil
+}
+
+// CompileApp records and compiles one named application in one step.
+func CompileApp(app, name string) (scenarios.Scenario, error) {
+	tr, _, err := RecordApp(app)
+	if err != nil {
+		return scenarios.Scenario{}, err
+	}
+	return Compile(tr, name)
+}

@@ -1,0 +1,57 @@
+package scensearch
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/scenarios"
+)
+
+// corpusSeeds loads every checked-in scenario file under
+// examples/scenarios (the found/ corpus included) as fuzz seed input,
+// so CI's fuzz smoke exercises real recorded and found shapes.
+func corpusSeeds(f *testing.F) {
+	f.Helper()
+	for _, pattern := range []string{
+		"../../examples/scenarios/*.json",
+		"../../examples/scenarios/found/*.json",
+	} {
+		files, err := filepath.Glob(pattern)
+		if err != nil {
+			f.Fatal(err)
+		}
+		for _, path := range files {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				f.Fatal(err)
+			}
+			f.Add(data, int64(1))
+		}
+	}
+}
+
+// FuzzMutate: for any parseable scenario file and any seed, the mutation
+// grammar must only ever emit validatable workloads. This is the
+// grammar's safety property — an invalid candidate inside Search wastes
+// budget, and a candidate that panics the builder would kill the search.
+func FuzzMutate(f *testing.F) {
+	corpusSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte, seed int64) {
+		list, err := scenarios.ParseBytes(data)
+		if err != nil {
+			t.Skip()
+		}
+		rng := rand.New(rand.NewSource(seed))
+		for _, sc := range list {
+			w := sc.Workload
+			for i := 0; i < 8; i++ {
+				w = Mutate(rng, w, "fuzz")
+				if err := w.Validate(); err != nil {
+					t.Fatalf("mutation %d invalid: %v\n%+v", i, err, w)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,189 @@
+package scensearch
+
+import (
+	"math/rand"
+
+	"repro/internal/workloads"
+)
+
+// The mutation grammar. Every mutation stays inside the phase
+// vocabulary's validation bounds (and the search's own tighter budget
+// bounds, so candidates stay cheap to evaluate): a candidate that fails
+// workloads.Validate is a grammar bug, counted and discarded.
+
+// Grammar bounds, deliberately tighter than the vocabulary's hard
+// limits so a single evaluation stays in the low milliseconds.
+const (
+	maxPhases     = 6
+	minOuterIters = 8
+	maxOuterIters = 192
+	maxCalls      = 16
+	maxWork       = 64
+	maxSize       = 512
+	maxDepth      = 48
+	maxJNIEvery   = 8
+	maxCallbacks  = 3
+	maxCbWork     = 16
+)
+
+// phaseKinds is the mutable vocabulary, mirroring workloads.PhaseKinds.
+var phaseKinds = []string{
+	"bytecode", "array", "native", "alloc",
+	"deepchain", "exception", "contend", "retain",
+}
+
+// randPhase generates one valid random phase of the given kind.
+func randPhase(rng *rand.Rand, kind string) workloads.Phase {
+	p := workloads.Phase{
+		Kind:  kind,
+		Calls: 1 + rng.Intn(maxCalls),
+		Work:  rng.Intn(maxWork + 1),
+	}
+	switch kind {
+	case "alloc", "retain":
+		p.Size = 8 + rng.Intn(maxSize-7)
+	}
+	switch kind {
+	case "deepchain", "exception", "retain":
+		p.Depth = 1 + rng.Intn(maxDepth)
+	}
+	if kind == "native" && rng.Intn(2) == 0 {
+		p.JNIEvery = 1 + rng.Intn(maxJNIEvery)
+		p.CallbacksPerNative = 1 + rng.Intn(maxCallbacks)
+		p.CallbackWork = rng.Intn(maxCbWork + 1)
+	}
+	return p
+}
+
+// seedWorkloads are the search's base corpus: one minimal workload per
+// phase kind, each individually cheap.
+func seedWorkloads() []workloads.Workload {
+	out := make([]workloads.Workload, 0, len(phaseKinds))
+	for _, kind := range phaseKinds {
+		p := workloads.Phase{Kind: kind, Calls: 4, Work: 8}
+		switch kind {
+		case "alloc", "retain":
+			p.Size = 32
+		}
+		switch kind {
+		case "deepchain", "exception", "retain":
+			p.Depth = 4
+		}
+		out = append(out, workloads.Workload{
+			Name:       "seed-" + kind,
+			ClassName:  "search/Seed_" + kind,
+			OuterIters: 32,
+			Phases:     []workloads.Phase{p},
+		})
+	}
+	return out
+}
+
+// clampSearch bounds v to [lo, hi].
+func clampSearch(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// tweakPhase mutates one parameter of the phase, respecting the
+// per-kind "irrelevant param must be zero" validation rules.
+func tweakPhase(rng *rand.Rand, p *workloads.Phase) {
+	// Candidate parameter slots legal for this kind.
+	type knob struct {
+		get func() int
+		set func(int)
+		lo  int
+		hi  int
+	}
+	knobs := []knob{
+		{func() int { return p.Calls }, func(v int) { p.Calls = v }, 1, maxCalls},
+		{func() int { return p.Work }, func(v int) { p.Work = v }, 0, maxWork},
+	}
+	switch p.Kind {
+	case "alloc", "retain":
+		knobs = append(knobs, knob{func() int { return p.Size }, func(v int) { p.Size = v }, 8, maxSize})
+	}
+	switch p.Kind {
+	case "deepchain", "exception", "retain":
+		knobs = append(knobs, knob{func() int { return p.Depth }, func(v int) { p.Depth = v }, 1, maxDepth})
+	}
+	if p.Kind == "native" && p.JNIEvery > 0 {
+		knobs = append(knobs,
+			knob{func() int { return p.JNIEvery }, func(v int) { p.JNIEvery = v }, 1, maxJNIEvery},
+			knob{func() int { return p.CallbacksPerNative }, func(v int) { p.CallbacksPerNative = v }, 1, maxCallbacks},
+			knob{func() int { return p.CallbackWork }, func(v int) { p.CallbackWork = v }, 0, maxCbWork})
+	}
+	k := knobs[rng.Intn(len(knobs))]
+	switch rng.Intn(3) {
+	case 0: // jump to a fresh random value
+		k.set(k.lo + rng.Intn(k.hi-k.lo+1))
+	case 1: // double
+		k.set(clampSearch(k.get()*2, k.lo, k.hi))
+	default: // nudge
+		k.set(clampSearch(k.get()+rng.Intn(7)-3, k.lo, k.hi))
+	}
+}
+
+// mutate applies one random mutation to the workload.
+func mutate(rng *rand.Rand, w *workloads.Workload) {
+	switch op := rng.Intn(8); {
+	case op == 0 && len(w.Phases) < maxPhases:
+		// Insert a random phase at a random position.
+		p := randPhase(rng, phaseKinds[rng.Intn(len(phaseKinds))])
+		at := rng.Intn(len(w.Phases) + 1)
+		w.Phases = append(w.Phases[:at], append([]workloads.Phase{p}, w.Phases[at:]...)...)
+	case op == 1 && len(w.Phases) > 1:
+		// Remove a random phase.
+		at := rng.Intn(len(w.Phases))
+		w.Phases = append(w.Phases[:at], w.Phases[at+1:]...)
+	case op == 2 && len(w.Phases) > 1:
+		// Swap two phases.
+		i, j := rng.Intn(len(w.Phases)), rng.Intn(len(w.Phases))
+		w.Phases[i], w.Phases[j] = w.Phases[j], w.Phases[i]
+	case op == 3:
+		// Replace a phase wholesale.
+		at := rng.Intn(len(w.Phases))
+		w.Phases[at] = randPhase(rng, phaseKinds[rng.Intn(len(phaseKinds))])
+	case op == 4:
+		// Rescale the outer loop.
+		switch rng.Intn(3) {
+		case 0:
+			w.OuterIters = clampSearch(w.OuterIters*2, minOuterIters, maxOuterIters)
+		case 1:
+			w.OuterIters = clampSearch(w.OuterIters/2, minOuterIters, maxOuterIters)
+		default:
+			w.OuterIters = minOuterIters + rng.Intn(maxOuterIters-minOuterIters+1)
+		}
+	case op == 5:
+		// Toggle worker threads.
+		w.Threads = []int{0, 2, 4}[rng.Intn(3)]
+	default:
+		// Tweak one parameter of one phase.
+		tweakPhase(rng, &w.Phases[rng.Intn(len(w.Phases))])
+	}
+}
+
+// copyWorkload deep-copies w (the phase slice is the only reference).
+func copyWorkload(w workloads.Workload) workloads.Workload {
+	w.Phases = append([]workloads.Phase(nil), w.Phases...)
+	return w
+}
+
+// Mutate derives a candidate from base: a deep copy with 1–3 random
+// mutations applied, renamed for the search round. Exported for the
+// fuzz harness; invalid candidates are possible only through a grammar
+// bug, which the fuzzer exists to find.
+func Mutate(rng *rand.Rand, base workloads.Workload, name string) workloads.Workload {
+	w := copyWorkload(base)
+	for n := 1 + rng.Intn(3); n > 0; n-- {
+		mutate(rng, &w)
+	}
+	w.Name = name
+	w.ClassName = "search/Cand"
+	return w
+}

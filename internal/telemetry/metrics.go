@@ -31,6 +31,13 @@ const (
 	MetricGCMajor   = "gc_major"
 	MetricGCTenured = "gc_tenure_promotions"
 
+	// Counters recorded by the adversarial scenario search (under the
+	// "search" family).
+	MetricSearchIterations = "search_iterations" // mutation candidates generated
+	MetricSearchEvals      = "search_evals"      // differential leg evaluations
+	MetricSearchFindings   = "search_findings"   // divergences found (post-minimization)
+	MetricSearchRejected   = "search_rejected"   // candidates rejected by validation
+
 	// Per-family histograms.
 	MetricCellWallNanos = "cell_wall_ns"    // host wall time per cell
 	MetricQueueWaitNs   = "queue_wait_ns"   // runner submit-to-start wait

@@ -1,44 +1,45 @@
 package vm
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 	"testing/quick"
 
 	"repro/internal/bytecode"
 	"repro/internal/classfile"
+	"repro/internal/difftest"
 	"repro/internal/jit"
 )
 
 // runEngines executes the same single-method program under all three
 // engines (instrumented interpreter, fast interpreter, template jit) and
 // fails the test on any observable divergence: result, error text, cycle
-// counter, ground truth, or instruction count. invocations crosses the
-// compile threshold so later calls run compiled. It returns the jit VM
-// for tier-state assertions.
+// counter, ground truth, or instruction count, compared per call through
+// the difftest oracle (difftest is stdlib-only precisely so this
+// package's internal tests can use it without an import cycle; the
+// Obs fields the thread API cannot see stay zero on every leg).
+// invocations crosses the compile threshold so later calls run compiled.
+// It returns the jit VM for tier-state assertions.
 func runEngines(t *testing.T, cls *classfile.Class, method string, invocations int, args ...int64) *VM {
 	t.Helper()
-	type outcome struct {
-		ret     int64
-		errText string
-		cycles  uint64
-		instr   uint64
-		gtBC    uint64
-		gtOv    uint64
-	}
-	run := func(opts Options) ([]outcome, *VM) {
+	run := func(opts Options) ([]difftest.Obs, *VM) {
 		v := New(opts)
 		if err := v.LoadClasses([]*classfile.Class{cls.Clone()}); err != nil {
 			t.Fatal(err)
 		}
 		th := v.NewDetachedThread("diff")
-		var outs []outcome
+		var outs []difftest.Obs
 		for i := 0; i < invocations; i++ {
 			ret, err := th.InvokeStatic(cls.Name, method, cls.Methods[0].Desc, args...)
-			o := outcome{ret: ret, cycles: th.Cycles(), instr: th.InstructionsExecuted()}
-			o.gtBC, _, o.gtOv = th.GroundTruth()
+			o := difftest.Obs{
+				MainResult:   ret,
+				TotalCycles:  th.Cycles(),
+				Instructions: th.InstructionsExecuted(),
+			}
+			o.BytecodeCycles, _, o.OverheadCycles = th.GroundTruth()
 			if err != nil {
-				o.errText = err.Error()
+				o.Err = err.Error()
 			}
 			outs = append(outs, o)
 		}
@@ -59,11 +60,13 @@ func runEngines(t *testing.T, cls *classfile.Class, method string, invocations i
 	jitted, jv := run(jitOpts)
 
 	for i := range inst {
-		if fast[i] != inst[i] {
-			t.Fatalf("call %d: fast %+v != instrumented %+v", i, fast[i], inst[i])
-		}
-		if jitted[i] != inst[i] {
-			t.Fatalf("call %d: jit %+v != instrumented %+v", i, jitted[i], inst[i])
+		v := difftest.Judge(fmt.Sprintf("%s.%s call %d", cls.Name, method, i), []difftest.Leg{
+			{Label: "instrumented", Obs: inst[i]},
+			{Label: "fast", Obs: fast[i]},
+			{Label: "jit", Obs: jitted[i]},
+		})
+		if v.Diverged() {
+			t.Fatal(v)
 		}
 	}
 	return jv
